@@ -1,0 +1,253 @@
+//! A simplified deFinetti attack (Kifer, SIGMOD 2009; discussed in
+//! Section 7 of the paper).
+//!
+//! The attack exploits divergence between each EC's local SA distribution
+//! and the published table's global one: starting from an arbitrary
+//! assignment of the EC's SA multiset to its tuples, it iteratively
+//!
+//! 1. trains a Naïve-Bayes classifier `Pr[t_j | v_i]` on the *current*
+//!    assignment (exact QI values are visible), then
+//! 2. re-matches, inside every EC, SA values to tuples greedily by
+//!    classifier confidence,
+//!
+//! until the assignment stabilizes. Record-level accuracy is compared to
+//! the in-EC random-matching baseline `Σ_G (|G|/|DB|) Σ_i (q_i^G)²` — the
+//! probability a random permutation pins the right value.
+//!
+//! β-likeness bounds the local-global divergence by construction, so the
+//! attack's edge over the baseline shrinks as β does (the Section 7
+//! argument).
+
+use betalike_metrics::Partition;
+use betalike_microdata::{Table, Value};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for [`definetti_attack`].
+#[derive(Debug, Clone)]
+pub struct DefinettiConfig {
+    /// Maximum refinement rounds.
+    pub max_iters: usize,
+    /// RNG seed for the initial in-EC permutation.
+    pub seed: u64,
+}
+
+impl Default for DefinettiConfig {
+    fn default() -> Self {
+        DefinettiConfig {
+            max_iters: 10,
+            seed: 1,
+        }
+    }
+}
+
+/// Result of the attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefinettiOutcome {
+    /// Fraction of tuples whose SA value the final matching pins correctly.
+    pub accuracy: f64,
+    /// Expected accuracy of a uniformly random in-EC matching.
+    pub random_baseline: f64,
+    /// Rounds until convergence (or `max_iters`).
+    pub iterations: usize,
+}
+
+/// Runs the attack against a generalized publication.
+pub fn definetti_attack(
+    table: &Table,
+    partition: &Partition,
+    cfg: &DefinettiConfig,
+) -> DefinettiOutcome {
+    let sa = partition.sa();
+    let qi = partition.qi();
+    let m = table.schema().attr(sa).cardinality();
+    let n = table.num_rows();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    // Current guess: per EC, an assignment of its SA multiset to its rows.
+    // Initialized by random permutation (the attacker knows the multiset,
+    // not the matching).
+    let sa_col = table.column(sa);
+    let mut assigned: Vec<Value> = vec![0; n];
+    for ec in partition.ecs() {
+        let mut values: Vec<Value> = ec.iter().map(|&r| sa_col[r]).collect();
+        values.shuffle(&mut rng);
+        for (&r, &v) in ec.iter().zip(&values) {
+            assigned[r] = v;
+        }
+    }
+
+    // Random-matching baseline: Σ_G (|G|/n) Σ_i (q_i)².
+    let random_baseline = partition
+        .ecs()
+        .iter()
+        .enumerate()
+        .map(|(i, ec)| {
+            let q = partition.ec_distribution(table, i);
+            let hit: f64 = q.freqs().iter().map(|&f| f * f).sum();
+            ec.len() as f64 / n as f64 * hit
+        })
+        .sum();
+
+    let card: Vec<usize> = qi
+        .iter()
+        .map(|&a| table.schema().attr(a).cardinality())
+        .collect();
+    let mut iterations = 0;
+    for round in 0..cfg.max_iters {
+        iterations = round + 1;
+        // Train NB on the current assignment: counts[dim][value][sa].
+        let mut counts: Vec<Vec<f64>> = card.iter().map(|&c| vec![0.0; c * m]).collect();
+        let mut class_totals = vec![0.0f64; m];
+        for r in 0..n {
+            let v = assigned[r] as usize;
+            class_totals[v] += 1.0;
+            for (dim, &a) in qi.iter().enumerate() {
+                counts[dim][table.value(r, a) as usize * m + v] += 1.0;
+            }
+        }
+
+        // Re-match inside each EC greedily by log-likelihood, with
+        // add-one smoothing to keep scores finite.
+        let mut changed = 0usize;
+        for ec in partition.ecs() {
+            let mut remaining: Vec<Value> = ec.iter().map(|&r| sa_col[r]).collect();
+            // Candidate (score, row, value-slot) triples; greedy: highest
+            // confidence first.
+            let mut prefs: Vec<(f64, usize, Value)> = Vec::new();
+            let distinct: std::collections::BTreeSet<Value> =
+                remaining.iter().copied().collect();
+            for &r in ec {
+                for &v in &distinct {
+                    let vi = v as usize;
+                    let mut score = (class_totals[vi] + 1.0).ln();
+                    for (dim, &a) in qi.iter().enumerate() {
+                        let c = counts[dim][table.value(r, a) as usize * m + vi];
+                        score += ((c + 1.0) / (class_totals[vi] + card[dim] as f64)).ln();
+                    }
+                    prefs.push((score, r, v));
+                }
+            }
+            prefs.sort_by(|x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
+            let mut row_done: std::collections::BTreeSet<usize> =
+                std::collections::BTreeSet::new();
+            for (_, r, v) in prefs {
+                if row_done.contains(&r) {
+                    continue;
+                }
+                if let Some(pos) = remaining.iter().position(|&x| x == v) {
+                    remaining.swap_remove(pos);
+                    if assigned[r] != v {
+                        changed += 1;
+                    }
+                    assigned[r] = v;
+                    row_done.insert(r);
+                }
+            }
+            // Any rows left unmatched (their preferred values exhausted)
+            // take the leftovers in order.
+            for &r in ec {
+                if !row_done.contains(&r) {
+                    let v = remaining.pop().expect("multiset sizes match");
+                    if assigned[r] != v {
+                        changed += 1;
+                    }
+                    assigned[r] = v;
+                }
+            }
+        }
+        if changed == 0 {
+            break;
+        }
+    }
+
+    let hits = (0..n).filter(|&r| assigned[r] == sa_col[r]).count();
+    DefinettiOutcome {
+        accuracy: hits as f64 / n as f64,
+        random_baseline,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betalike::{burel, BurelConfig};
+    use betalike_microdata::census::{self, CensusConfig};
+
+    #[test]
+    fn random_baseline_formula() {
+        // Two ECs: one pure (baseline 1), one uniform over 2 values
+        // (baseline ½): overall (2·1 + 2·0.5)/4 = 0.75.
+        use betalike_microdata::synthetic::{random_table, SyntheticConfig};
+        let t = random_table(&SyntheticConfig {
+            rows: 4,
+            sa_cardinality: 2,
+            seed: 0,
+            ..Default::default()
+        });
+        // Construct the SA layout we need by picking rows accordingly: use
+        // whatever values exist; the formula only needs the per-EC
+        // distributions, so compute the expectation independently.
+        let p = Partition::new(vec![0], 2, vec![vec![0, 1], vec![2, 3]]);
+        let out = definetti_attack(&t, &p, &DefinettiConfig::default());
+        let expected: f64 = p
+            .ecs()
+            .iter()
+            .enumerate()
+            .map(|(i, ec)| {
+                let q = p.ec_distribution(&t, i);
+                ec.len() as f64 / 4.0 * q.freqs().iter().map(|&f| f * f).sum::<f64>()
+            })
+            .sum();
+        assert!((out.random_baseline - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attack_beats_random_on_leaky_publication() {
+        // Correlated CENSUS data published with large, heterogeneous ECs by
+        // QI locality (NOT β-likeness-compliant): a grouping by age bands
+        // leaves strong local signal for the matcher.
+        let t = census::generate(&CensusConfig::new(3_000, 10));
+        let mut by_age: Vec<Vec<usize>> = vec![Vec::new(); 10];
+        for r in 0..t.num_rows() {
+            by_age[(t.value(r, 0) / 8).min(9) as usize].push(r);
+        }
+        by_age.retain(|g| !g.is_empty());
+        let p = Partition::new(vec![0, 2], 5, by_age);
+        let out = definetti_attack(&t, &p, &DefinettiConfig::default());
+        assert!(
+            out.accuracy > out.random_baseline,
+            "attack {} must beat random {}",
+            out.accuracy,
+            out.random_baseline
+        );
+    }
+
+    #[test]
+    fn beta_likeness_limits_the_edge() {
+        // On BUREL output the local distributions are pinned near the
+        // global one; the attack's edge over random matching must be small.
+        let t = census::generate(&CensusConfig::new(3_000, 10));
+        let p = burel(&t, &[0, 2], 5, &BurelConfig::new(2.0)).unwrap();
+        let out = definetti_attack(&t, &p, &DefinettiConfig::default());
+        assert!(
+            out.accuracy < out.random_baseline + 0.05,
+            "edge too large: {} vs {}",
+            out.accuracy,
+            out.random_baseline
+        );
+    }
+
+    #[test]
+    fn converges_and_is_deterministic() {
+        let t = census::generate(&CensusConfig::new(500, 11));
+        let p = burel(&t, &[0, 2], 5, &BurelConfig::new(3.0)).unwrap();
+        let cfg = DefinettiConfig::default();
+        let a = definetti_attack(&t, &p, &cfg);
+        let b = definetti_attack(&t, &p, &cfg);
+        assert_eq!(a, b);
+        assert!(a.iterations <= cfg.max_iters);
+    }
+}

@@ -1,0 +1,197 @@
+//! The Naïve-Bayes attack of Section 7.
+//!
+//! The attacker knows each victim's QI values `t_1 … t_λ` and the published
+//! generalized table. She estimates the class-conditional probabilities
+//! from the publication (Equation 17):
+//!
+//! ```text
+//! Pr[t_j | v_i] = Σ_{ECs G whose box contains t_j} q_i^G · |G|
+//!                 ─────────────────────────────────────────────
+//!                              p_i · |DB|
+//! ```
+//!
+//! and predicts `v̂(t) = argmax_i Pr[v_i] Π_j Pr[t_j | v_i]` (Equation 15).
+//!
+//! Section 7 proves `Pr[t_j | v_i] ≤ (1 + min{β, −ln p_i}) · Pr[t_j]` for
+//! any β-likeness publication, so the attack's accuracy stays close to the
+//! frequency of the most frequent SA value — which is what
+//! [`naive_bayes_attack`] measures.
+
+use betalike_metrics::Partition;
+use betalike_microdata::{AttrKind, Table};
+
+/// Result of running the attack against a publication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveBayesOutcome {
+    /// Fraction of tuples whose SA value the classifier predicted exactly.
+    pub accuracy: f64,
+    /// Frequency of the most frequent SA value — the trivial baseline the
+    /// attack should collapse to under β-likeness.
+    pub majority_freq: f64,
+    /// Number of tuples classified.
+    pub tuples: usize,
+}
+
+/// Runs the attack: learns per-attribute conditionals from the published
+/// ECs (using each EC's *published* box — numeric extents, categorical LCA
+/// ranges) and classifies every tuple by its exact QI values.
+///
+/// # Panics
+///
+/// Panics if the partition does not belong to `table` (row ids out of
+/// range).
+pub fn naive_bayes_attack(table: &Table, partition: &Partition) -> NaiveBayesOutcome {
+    let sa = partition.sa();
+    let qi = partition.qi();
+    let m = table.schema().attr(sa).cardinality();
+    let p = table.sa_distribution(sa);
+    let n = table.num_rows() as f64;
+
+    // cond[a][value * m + i] accumulates Σ q_i |G| over ECs whose published
+    // box on attribute `a` contains `value`.
+    let mut cond: Vec<Vec<f64>> = qi
+        .iter()
+        .map(|&a| vec![0.0; table.schema().attr(a).cardinality() * m])
+        .collect();
+
+    for ec_idx in 0..partition.num_ecs() {
+        let q = partition.ec_distribution(table, ec_idx);
+        // Per-value mass contributed by this EC: q_i * |G| = count_i.
+        let masses: Vec<f64> = q.counts().iter().map(|&c| c as f64).collect();
+        let extent = partition.ec_extent(table, ec_idx);
+        for (dim, (&a, &(lo, hi))) in qi.iter().zip(&extent).enumerate() {
+            let (blo, bhi) = match table.schema().attr(a).kind() {
+                AttrKind::Numeric { .. } => (lo, hi),
+                AttrKind::Categorical { hierarchy } => {
+                    hierarchy.leaf_range(hierarchy.lca_of_leaves(lo, hi))
+                }
+            };
+            let table_dim = &mut cond[dim];
+            for value in blo..=bhi {
+                let base = value as usize * m;
+                for (i, &mass) in masses.iter().enumerate() {
+                    if mass > 0.0 {
+                        table_dim[base + i] += mass;
+                    }
+                }
+            }
+        }
+    }
+
+    // Classify every tuple: argmax_i p_i Π_j Pr[t_j | v_i]; work in
+    // log-space for numerical robustness. Values with p_i = 0 are skipped.
+    let majority = p
+        .freqs()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty domain");
+    let sa_col = table.column(sa);
+    let mut hits = 0usize;
+    let mut scores = vec![0.0f64; m];
+    for (r, &true_value) in sa_col.iter().enumerate() {
+        for (score, &pf) in scores.iter_mut().zip(p.freqs()) {
+            *score = if pf > 0.0 { pf.ln() } else { f64::NEG_INFINITY };
+        }
+        for (dim, &a) in qi.iter().enumerate() {
+            let value = table.value(r, a) as usize;
+            let base = value * m;
+            for (i, score) in scores.iter_mut().enumerate() {
+                if score.is_finite() {
+                    let pr = cond[dim][base + i] / (p.freqs()[i] * n);
+                    *score += if pr > 0.0 { pr.ln() } else { f64::NEG_INFINITY };
+                }
+            }
+        }
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty domain");
+        let prediction = if scores[best].is_finite() { best } else { majority };
+        if prediction == true_value as usize {
+            hits += 1;
+        }
+    }
+
+    NaiveBayesOutcome {
+        accuracy: hits as f64 / n,
+        majority_freq: p.max_freq(),
+        tuples: table.num_rows(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betalike::{burel, BurelConfig};
+    use betalike_microdata::census::{self, CensusConfig};
+    use betalike_microdata::synthetic::{random_table, SyntheticConfig};
+
+    #[test]
+    fn attack_on_point_ecs_learns_correlations() {
+        // Single-tuple ECs publish everything: on strongly correlated data
+        // the classifier should far exceed the majority baseline.
+        let t = census::generate(&CensusConfig::new(4_000, 5));
+        let ecs: Vec<Vec<usize>> = (0..t.num_rows()).map(|r| vec![r]).collect();
+        let p = Partition::new(vec![0, 1, 2], 5, ecs);
+        let out = naive_bayes_attack(&t, &p);
+        assert!(
+            out.accuracy > 2.0 * out.majority_freq,
+            "point ECs must leak: accuracy {} vs majority {}",
+            out.accuracy,
+            out.majority_freq
+        );
+    }
+
+    #[test]
+    fn attack_on_single_ec_matches_majority() {
+        // One EC covering the table carries zero conditional signal: the
+        // attack degenerates to always predicting the most frequent value.
+        let t = census::generate(&CensusConfig::new(3_000, 6));
+        let p = Partition::new(vec![0, 1, 2], 5, vec![(0..t.num_rows()).collect()]);
+        let out = naive_bayes_attack(&t, &p);
+        assert!(
+            (out.accuracy - out.majority_freq).abs() < 0.01,
+            "no-signal accuracy {} vs majority {}",
+            out.accuracy,
+            out.majority_freq
+        );
+    }
+
+    #[test]
+    fn beta_likeness_curbs_the_attack() {
+        // The Section 7 experiment: on BUREL output the success rate stays
+        // "remarkably close to the frequency of the most frequent SA value".
+        let t = census::generate(&CensusConfig::new(8_000, 7));
+        let published = burel(&t, &[0, 1, 2], 5, &BurelConfig::new(4.0)).unwrap();
+        let out = naive_bayes_attack(&t, &published);
+        assert!(
+            out.accuracy < 2.0 * out.majority_freq,
+            "beta-likeness must curb NB: accuracy {} vs majority {}",
+            out.accuracy,
+            out.majority_freq
+        );
+        // And far below the point-EC leak measured above.
+        assert!(out.accuracy < 0.15);
+    }
+
+    #[test]
+    fn uncorrelated_data_gives_majority_accuracy() {
+        let t = random_table(&SyntheticConfig {
+            rows: 5_000,
+            qi_attrs: 2,
+            sa_cardinality: 8,
+            seed: 8,
+            ..Default::default()
+        });
+        let ecs: Vec<Vec<usize>> = (0..t.num_rows()).map(|r| vec![r]).collect();
+        let p = Partition::new(vec![0, 1], 2, ecs);
+        let out = naive_bayes_attack(&t, &p);
+        // QI ⟂ SA: even full disclosure of the QI/SA pairs cannot beat the
+        // prior by much (overfitting noise allows a few points).
+        assert!(out.accuracy < out.majority_freq + 0.1);
+    }
+}

@@ -1,0 +1,299 @@
+//! The privacy-model constraints the paper plugs into Mondrian
+//! (Section 6.2), plus plain k-anonymity as the substrate model.
+//!
+//! Each constraint pre-computes the table-level SA distribution once, so
+//! the per-node check is a single scan over the candidate class.
+
+use crate::mondrian::SplitConstraint;
+use betalike::model::BetaLikeness;
+use betalike_metrics::audit::ClosenessMetric;
+use betalike_microdata::{RowId, SaDistribution, Table};
+
+/// Plain k-anonymity: every class holds at least `k` tuples.
+#[derive(Debug, Clone, Copy)]
+pub struct KAnonymityConstraint {
+    /// Minimum class size.
+    pub k: usize,
+}
+
+impl SplitConstraint for KAnonymityConstraint {
+    fn acceptable(&self, _table: &Table, _sa: usize, rows: &[RowId]) -> bool {
+        rows.len() >= self.k
+    }
+}
+
+/// LMondrian's condition: the class satisfies β-likeness w.r.t. the overall
+/// table distribution.
+#[derive(Debug, Clone)]
+pub struct LikenessConstraint {
+    model: BetaLikeness,
+    table_dist: SaDistribution,
+}
+
+impl LikenessConstraint {
+    /// Builds the constraint for `table`'s SA distribution.
+    pub fn new(table: &Table, sa: usize, model: BetaLikeness) -> Self {
+        LikenessConstraint {
+            model,
+            table_dist: table.sa_distribution(sa),
+        }
+    }
+}
+
+impl SplitConstraint for LikenessConstraint {
+    fn acceptable(&self, table: &Table, sa: usize, rows: &[RowId]) -> bool {
+        let q = table.sa_distribution_of(sa, rows);
+        self.model.satisfies(&self.table_dist, &q)
+    }
+}
+
+/// DMondrian's condition: δ-disclosure-privacy,
+/// `∀ i with p_i > 0: e^{−δ}·p_i < q_i < e^{δ}·p_i` — note the *lower*
+/// bound, which forces every table value to occur in every class (the
+/// rigidity Section 2 of the paper criticizes).
+#[derive(Debug, Clone)]
+pub struct DeltaDisclosureConstraint {
+    delta: f64,
+    table_dist: SaDistribution,
+}
+
+impl DeltaDisclosureConstraint {
+    /// Builds the constraint for `table`'s SA distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `delta > 0` and finite.
+    pub fn new(table: &Table, sa: usize, delta: f64) -> Self {
+        assert!(delta.is_finite() && delta > 0.0, "delta must be positive");
+        DeltaDisclosureConstraint {
+            delta,
+            table_dist: table.sa_distribution(sa),
+        }
+    }
+
+    /// The configured δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+}
+
+impl SplitConstraint for DeltaDisclosureConstraint {
+    fn acceptable(&self, table: &Table, sa: usize, rows: &[RowId]) -> bool {
+        let q = table.sa_distribution_of(sa, rows);
+        let lo = (-self.delta).exp();
+        let hi = self.delta.exp();
+        self.table_dist
+            .freqs()
+            .iter()
+            .zip(q.freqs())
+            .all(|(&p, &qf)| p <= 0.0 || (qf > lo * p && qf < hi * p))
+    }
+}
+
+/// tMondrian's condition: EMD between the class distribution and the table
+/// distribution is at most `t`.
+#[derive(Debug, Clone)]
+pub struct TClosenessConstraint {
+    t: f64,
+    metric: ClosenessMetric,
+    table_dist: SaDistribution,
+}
+
+impl TClosenessConstraint {
+    /// Builds the constraint for `table`'s SA distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < t` and finite.
+    pub fn new(table: &Table, sa: usize, t: f64, metric: ClosenessMetric) -> Self {
+        assert!(t.is_finite() && t > 0.0, "t must be positive");
+        TClosenessConstraint {
+            t,
+            metric,
+            table_dist: table.sa_distribution(sa),
+        }
+    }
+
+    /// The configured threshold.
+    pub fn t(&self) -> f64 {
+        self.t
+    }
+}
+
+impl SplitConstraint for TClosenessConstraint {
+    fn acceptable(&self, table: &Table, sa: usize, rows: &[RowId]) -> bool {
+        let q = table.sa_distribution_of(sa, rows);
+        self.metric.distance(self.table_dist.freqs(), q.freqs()) <= self.t
+    }
+}
+
+/// The two-sided β-likeness condition (the paper's Section 7 extension):
+/// positive *and* negative relative gain bounded by the model.
+#[derive(Debug, Clone)]
+pub struct TwoSidedLikenessConstraint {
+    model: BetaLikeness,
+    table_dist: SaDistribution,
+}
+
+impl TwoSidedLikenessConstraint {
+    /// Builds the constraint for `table`'s SA distribution.
+    pub fn new(table: &Table, sa: usize, model: BetaLikeness) -> Self {
+        TwoSidedLikenessConstraint {
+            model,
+            table_dist: table.sa_distribution(sa),
+        }
+    }
+}
+
+impl SplitConstraint for TwoSidedLikenessConstraint {
+    fn acceptable(&self, table: &Table, sa: usize, rows: &[RowId]) -> bool {
+        let q = table.sa_distribution_of(sa, rows);
+        self.model.check_two_sided(&self.table_dist, &q, 0).is_ok()
+    }
+}
+
+/// The δ the paper gives DMondrian so that δ-disclosure-privacy implies
+/// β-likeness (Section 6.2):
+/// `δ = ln(1 + min{β, −ln(max_i p_i)})`.
+///
+/// Rationale: δ-disclosure's upper bound is `q_i < e^δ·p_i`; picking
+/// `e^δ = 1 + min{β, −ln p_i}` for the *largest* `p_i` (whose `−ln p` is
+/// smallest, hence whose enhanced cap is the tightest multiplier) makes the
+/// bound at most the enhanced β-likeness cap for every value.
+pub fn delta_for_beta(beta: f64, table_dist: &SaDistribution) -> f64 {
+    let p_max = table_dist.max_freq();
+    assert!(p_max > 0.0, "empty distribution");
+    (1.0 + beta.min(-(p_max.ln()))).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betalike_microdata::synthetic::{random_table, SaShape, SyntheticConfig};
+
+    fn table() -> Table {
+        random_table(&SyntheticConfig {
+            rows: 2_000,
+            qi_attrs: 2,
+            sa_cardinality: 5,
+            sa_shape: SaShape::Zipf(0.8),
+            seed: 6,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn k_anonymity_counts_rows() {
+        let t = table();
+        let c = KAnonymityConstraint { k: 3 };
+        assert!(c.acceptable(&t, 2, &[0, 1, 2]));
+        assert!(!c.acceptable(&t, 2, &[0, 1]));
+    }
+
+    #[test]
+    fn likeness_accepts_whole_table() {
+        let t = table();
+        let model = BetaLikeness::new(1.0).unwrap();
+        let c = LikenessConstraint::new(&t, 2, model);
+        let all: Vec<usize> = (0..t.num_rows()).collect();
+        assert!(c.acceptable(&t, 2, &all), "the table mirrors itself");
+    }
+
+    #[test]
+    fn likeness_rejects_concentration() {
+        let t = table();
+        let model = BetaLikeness::new(0.5).unwrap();
+        let c = LikenessConstraint::new(&t, 2, model);
+        // A class of rows sharing one SA value concentrates q = 1.
+        let v0: Vec<usize> = (0..t.num_rows())
+            .filter(|&r| t.value(r, 2) == 4)
+            .take(10)
+            .collect();
+        assert!(v0.len() == 10);
+        assert!(!c.acceptable(&t, 2, &v0));
+    }
+
+    #[test]
+    fn delta_disclosure_needs_full_support() {
+        let t = table();
+        let c = DeltaDisclosureConstraint::new(&t, 2, 2.0);
+        let all: Vec<usize> = (0..t.num_rows()).collect();
+        assert!(c.acceptable(&t, 2, &all));
+        // Any class missing some value is rejected regardless of δ.
+        let missing: Vec<usize> = (0..t.num_rows())
+            .filter(|&r| t.value(r, 2) != 0)
+            .collect();
+        assert!(!c.acceptable(&t, 2, &missing));
+    }
+
+    #[test]
+    fn t_closeness_thresholds() {
+        let t = table();
+        let all: Vec<usize> = (0..t.num_rows()).collect();
+        let tight = TClosenessConstraint::new(&t, 2, 1e-6, ClosenessMetric::EqualDistance);
+        assert!(tight.acceptable(&t, 2, &all), "EMD(table, table) = 0");
+        // Half the rows sharing value 0 has EMD > 0.2 for this Zipf data.
+        let conc: Vec<usize> = (0..t.num_rows())
+            .filter(|&r| t.value(r, 2) == 0)
+            .collect();
+        assert!(!tight.acceptable(&t, 2, &conc));
+        let loose = TClosenessConstraint::new(&t, 2, 1.0, ClosenessMetric::EqualDistance);
+        assert!(loose.acceptable(&t, 2, &conc));
+    }
+
+    #[test]
+    fn delta_for_beta_matches_section6() {
+        // δ = ln(1 + min{β, −ln max p}).
+        let dist = SaDistribution::from_counts(vec![10, 20, 70]);
+        let d = delta_for_beta(2.0, &dist);
+        let expected = (1.0 + 2.0f64.min(-(0.7f64.ln()))).ln();
+        assert!((d - expected).abs() < 1e-12);
+        // For a very frequent value, −ln p_max < β kicks in.
+        assert!((d - (1.0f64 + 0.356675).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn two_sided_is_stricter_than_one_sided() {
+        let t = table();
+        let model = BetaLikeness::new(1.0).unwrap();
+        let one = LikenessConstraint::new(&t, 2, model);
+        let two = TwoSidedLikenessConstraint::new(&t, 2, model);
+        let all: Vec<usize> = (0..t.num_rows()).collect();
+        assert!(two.acceptable(&t, 2, &all));
+        // Every class two-sided accepts must pass the one-sided check.
+        for chunk in all.chunks(61) {
+            if two.acceptable(&t, 2, chunk) {
+                assert!(one.acceptable(&t, 2, chunk));
+            }
+        }
+        // A class missing a supported value entirely fails two-sided but
+        // can pass one-sided.
+        let missing: Vec<usize> = (0..t.num_rows())
+            .filter(|&r| t.value(r, 2) != 0)
+            .collect();
+        assert!(!two.acceptable(&t, 2, &missing));
+    }
+
+    #[test]
+    fn delta_disclosure_implies_beta_likeness() {
+        // The paper's reduction: a class satisfying δ-disclosure with
+        // δ = delta_for_beta(β) also satisfies enhanced β-likeness.
+        let t = table();
+        let dist = t.sa_distribution(2);
+        let beta = 1.5;
+        let delta = delta_for_beta(beta, &dist);
+        let dc = DeltaDisclosureConstraint::new(&t, 2, delta);
+        let model = BetaLikeness::new(beta).unwrap();
+        // Scan many random classes; whenever δ-disclosure accepts,
+        // β-likeness must too.
+        for chunk in (0..t.num_rows()).collect::<Vec<_>>().chunks(97) {
+            if dc.acceptable(&t, 2, chunk) {
+                let q = t.sa_distribution_of(2, chunk);
+                assert!(
+                    model.satisfies(&dist, &q),
+                    "delta-accepted class violates beta-likeness"
+                );
+            }
+        }
+    }
+}

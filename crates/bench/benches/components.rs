@@ -1,0 +1,161 @@
+//! Component-level benches and the ablations DESIGN.md §6 calls out:
+//!
+//! * `dp_vs_trivial` — DP bucketization vs one-value-per-bucket;
+//! * `retrieve_hilbert_vs_arbitrary` — what Hilbert locality buys/costs;
+//! * `seed_first_alive_vs_random` — the EC-seed policy;
+//! * `pm_inverse` — Sherman–Morrison vs LU reconstruction;
+//! * plus throughput benches for the Hilbert transform, the ECTree, the
+//!   auditors and the Naïve-Bayes attack.
+
+use betalike::bucketize::{dp_partition, trivial_partition};
+use betalike::ectree::{bi_split, BetaEligibility};
+use betalike::model::BetaLikeness;
+use betalike::perturb::PerturbationPlan;
+use betalike::retrieve::{hilbert_keys, FillStrategy, SeedChoice};
+use betalike::{burel, BurelConfig};
+use betalike_attacks::naive_bayes::naive_bayes_attack;
+use betalike_bench::algos::METRIC;
+use betalike_bench::SA;
+use betalike_hilbert::HilbertCurve;
+use betalike_metrics::audit::audit_partition;
+use betalike_microdata::census::{self, CensusConfig};
+use betalike_microdata::SaDistribution;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+const ROWS: usize = 10_000;
+const QI: [usize; 3] = [0, 1, 2];
+
+fn census_table() -> betalike_microdata::Table {
+    census::generate(&CensusConfig::new(ROWS, 42))
+}
+
+fn bench_bucketize(c: &mut Criterion) {
+    let table = census_table();
+    let dist = table.sa_distribution(SA);
+    let model = BetaLikeness::new(4.0).unwrap();
+    let mut g = c.benchmark_group("bucketize");
+    g.bench_function("dp_partition_m50", |b| {
+        b.iter(|| dp_partition(black_box(&dist), &model, 0.25))
+    });
+    g.bench_function("trivial_partition_m50", |b| {
+        b.iter(|| trivial_partition(black_box(&dist), &model))
+    });
+    g.finish();
+}
+
+fn bench_ectree(c: &mut Criterion) {
+    let table = census_table();
+    let dist = table.sa_distribution(SA);
+    let model = BetaLikeness::new(4.0).unwrap();
+    let buckets = dp_partition(&dist, &model, 0.25);
+    let sizes: Vec<u64> = buckets.iter().map(|b| b.count).collect();
+    let elig = BetaEligibility::from_buckets(&buckets);
+    c.bench_function("ectree_bi_split_10k", |b| {
+        b.iter(|| bi_split(black_box(&sizes), &elig).unwrap())
+    });
+}
+
+fn bench_hilbert(c: &mut Criterion) {
+    let table = census_table();
+    let mut g = c.benchmark_group("hilbert");
+    g.bench_function("keys_10k_rows_3d", |b| {
+        b.iter(|| hilbert_keys(black_box(&table), &QI))
+    });
+    let curve = HilbertCurve::new(5, 7).unwrap();
+    g.bench_function("index_roundtrip_5d", |b| {
+        b.iter(|| {
+            let h = curve.index(black_box(&[13, 1, 9, 4, 7]));
+            curve.point(black_box(h))
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: materialization strategies (utility is asserted in tests;
+/// here we track cost).
+fn bench_retrieve_ablation(c: &mut Criterion) {
+    let table = census_table();
+    let mut g = c.benchmark_group("retrieve_ablation");
+    g.sample_size(10);
+    for (name, strategy, seed_choice) in [
+        ("hilbert_random_seed", FillStrategy::HilbertNearest, SeedChoice::Random),
+        ("hilbert_sweep_seed", FillStrategy::HilbertNearest, SeedChoice::FirstAlive),
+        ("arbitrary", FillStrategy::Arbitrary, SeedChoice::Random),
+    ] {
+        let mut cfg = BurelConfig::new(4.0);
+        cfg.strategy = strategy;
+        cfg.seed_choice = seed_choice;
+        g.bench_function(name, |b| {
+            b.iter(|| burel(black_box(&table), &QI, SA, &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: PM reconstruction paths (m = 50).
+fn bench_pm_inverse(c: &mut Criterion) {
+    let table = census_table();
+    let dist = table.sa_distribution(SA);
+    let model = BetaLikeness::new(4.0).unwrap();
+    let plan = PerturbationPlan::new(&dist, &model).unwrap();
+    let observed: Vec<f64> = (0..plan.m()).map(|i| 100.0 + i as f64).collect();
+    let mut g = c.benchmark_group("pm_inverse");
+    g.bench_function("sherman_morrison_m50", |b| {
+        b.iter(|| plan.reconstruct_sherman_morrison(black_box(&observed)).unwrap())
+    });
+    g.bench_function("lu_m50", |b| {
+        b.iter(|| plan.reconstruct_lu(black_box(&observed)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_audit_and_attack(c: &mut Criterion) {
+    let table = census_table();
+    let partition = burel(&table, &QI, SA, &BurelConfig::new(4.0)).unwrap();
+    let mut g = c.benchmark_group("audit_attack");
+    g.sample_size(10);
+    g.bench_function("audit_partition", |b| {
+        b.iter(|| audit_partition(black_box(&table), &partition, METRIC))
+    });
+    g.bench_function("naive_bayes_attack", |b| {
+        b.iter(|| naive_bayes_attack(black_box(&table), &partition))
+    });
+    g.finish();
+}
+
+fn bench_apportion(c: &mut Criterion) {
+    let weights: Vec<f64> = (0..50).map(|i| 1.0 + (i as f64 * 0.37).sin().abs()).collect();
+    c.bench_function("largest_remainder_apportion_50", |b| {
+        b.iter(|| {
+            betalike_microdata::distribution::largest_remainder_apportion(
+                black_box(500_000),
+                black_box(&weights),
+            )
+        })
+    });
+    // Keep SaDistribution used so the import is exercised under all cfgs.
+    let d = SaDistribution::from_counts(vec![1, 2, 3]);
+    black_box(d.entropy());
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = components;
+    config = config();
+    targets =
+        bench_bucketize,
+        bench_ectree,
+        bench_hilbert,
+        bench_retrieve_ablation,
+        bench_pm_inverse,
+        bench_audit_and_attack,
+        bench_apportion
+}
+criterion_main!(components);

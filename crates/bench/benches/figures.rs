@@ -1,0 +1,185 @@
+//! Criterion benches mirroring the paper's tables and figures at
+//! micro-benchmark scale (one group per figure family).
+//!
+//! These complement the full-scale experiment binaries in `src/bin/`: the
+//! binaries regenerate the paper's *numbers*; these benches track the
+//! *runtime* of each pipeline so performance regressions are caught by
+//! `cargo bench --workspace`. Dataset sizes are deliberately small to keep
+//! the suite fast.
+
+use betalike::model::BetaLikeness;
+use betalike::perturb::perturb;
+use betalike_baselines::anatomy::AnatomyBaseline;
+use betalike_bench::algos::{
+    run_burel, run_dmondrian, run_lmondrian, run_sabre, run_tmondrian, METRIC,
+};
+use betalike_bench::SA;
+use betalike_metrics::audit::achieved_closeness;
+use betalike_microdata::census::{self, CensusConfig};
+use betalike_query::{
+    estimate_anatomy, estimate_perturbed, exact_count, generate_workload, GeneralizedView,
+    WorkloadConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+const ROWS: usize = 10_000;
+const QI: [usize; 3] = [0, 1, 2];
+
+fn census_table() -> betalike_microdata::Table {
+    census::generate(&CensusConfig::new(ROWS, 42))
+}
+
+/// Figure 4 family: the three closeness-calibrated anonymizers.
+fn bench_fig4_closeness(c: &mut Criterion) {
+    let table = census_table();
+    let mut g = c.benchmark_group("fig4_closeness");
+    g.sample_size(10);
+    g.bench_function("burel_beta4", |b| {
+        b.iter(|| run_burel(black_box(&table), &QI, SA, 4.0, 1).unwrap())
+    });
+    let p = run_burel(&table, &QI, SA, 4.0, 1).unwrap();
+    let (t_beta, _) = achieved_closeness(&table, &p, METRIC);
+    g.bench_function("tmondrian_at_t_beta", |b| {
+        b.iter(|| run_tmondrian(black_box(&table), &QI, SA, t_beta).unwrap())
+    });
+    g.bench_function("sabre_at_t_beta", |b| {
+        b.iter(|| run_sabre(black_box(&table), &QI, SA, t_beta, 1).unwrap())
+    });
+    g.finish();
+}
+
+/// Figure 5 family: the β-likeness generalizers across β.
+fn bench_fig5_generalization(c: &mut Criterion) {
+    let table = census_table();
+    let mut g = c.benchmark_group("fig5_generalization");
+    g.sample_size(10);
+    for beta in [2.0, 4.0] {
+        g.bench_with_input(BenchmarkId::new("burel", beta), &beta, |b, &beta| {
+            b.iter(|| run_burel(black_box(&table), &QI, SA, beta, 1).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("lmondrian", beta), &beta, |b, &beta| {
+            b.iter(|| run_lmondrian(black_box(&table), &QI, SA, beta).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("dmondrian", beta), &beta, |b, &beta| {
+            b.iter(|| run_dmondrian(black_box(&table), &QI, SA, beta).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Figures 6–7 family: BUREL across QI dimensionality and dataset size.
+fn bench_fig6_fig7_scaling(c: &mut Criterion) {
+    let table = census_table();
+    let mut g = c.benchmark_group("fig6_fig7_scaling");
+    g.sample_size(10);
+    for qi_size in [1usize, 3, 5] {
+        let qi: Vec<usize> = (0..qi_size).collect();
+        g.bench_with_input(BenchmarkId::new("burel_qi", qi_size), &qi, |b, qi| {
+            b.iter(|| run_burel(black_box(&table), qi, SA, 4.0, 1).unwrap())
+        });
+    }
+    for rows in [5_000usize, 10_000] {
+        let prefix = table.prefix(rows);
+        g.bench_with_input(BenchmarkId::new("burel_rows", rows), &prefix, |b, t| {
+            b.iter(|| run_burel(black_box(t), &QI, SA, 4.0, 1).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8 family: query estimation over a generalized publication.
+fn bench_fig8_queries(c: &mut Criterion) {
+    let table = census_table();
+    let partition = run_burel(&table, &QI, SA, 4.0, 1).unwrap();
+    let view = GeneralizedView::new(&table, &partition);
+    let workload = generate_workload(
+        &table,
+        &WorkloadConfig {
+            qi_pool: QI.to_vec(),
+            sa: SA,
+            lambda: 2,
+            theta: 0.1,
+            num_queries: 100,
+            seed: 3,
+        },
+    );
+    let mut g = c.benchmark_group("fig8_queries");
+    g.bench_function("generalized_estimate_100q", |b| {
+        b.iter(|| {
+            workload
+                .iter()
+                .map(|q| view.estimate(black_box(q)))
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("exact_count_100q", |b| {
+        b.iter(|| {
+            workload
+                .iter()
+                .map(|q| exact_count(black_box(&table), q))
+                .sum::<u64>()
+        })
+    });
+    g.finish();
+}
+
+/// Figure 9 family: the perturbation pipeline and its estimators.
+fn bench_fig9_perturbation(c: &mut Criterion) {
+    let table = census_table();
+    let model = BetaLikeness::new(4.0).unwrap();
+    let mut g = c.benchmark_group("fig9_perturbation");
+    g.sample_size(10);
+    g.bench_function("perturb_table", |b| {
+        b.iter(|| perturb(black_box(&table), SA, &model, 1).unwrap())
+    });
+    let published = perturb(&table, SA, &model, 1).unwrap();
+    let baseline = AnatomyBaseline::publish(&table, SA);
+    let workload = generate_workload(
+        &table,
+        &WorkloadConfig {
+            qi_pool: vec![0, 1, 2, 3, 4],
+            sa: SA,
+            lambda: 3,
+            theta: 0.1,
+            num_queries: 50,
+            seed: 4,
+        },
+    );
+    g.bench_function("perturbed_estimate_50q", |b| {
+        b.iter(|| {
+            workload
+                .iter()
+                .map(|q| estimate_perturbed(black_box(&published), q).unwrap())
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("anatomy_estimate_50q", |b| {
+        b.iter(|| {
+            workload
+                .iter()
+                .map(|q| estimate_anatomy(black_box(&baseline), &table, q))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets =
+        bench_fig4_closeness,
+        bench_fig5_generalization,
+        bench_fig6_fig7_scaling,
+        bench_fig8_queries,
+        bench_fig9_perturbation
+}
+criterion_main!(figures);

@@ -1,0 +1,84 @@
+//! One-call wrappers for every algorithm the experiments compare, so the
+//! figure binaries and the Criterion benches share identical
+//! configurations.
+
+use betalike::error::Result;
+use betalike::model::{BetaLikeness, BoundKind};
+use betalike::{burel, BurelConfig};
+use betalike_baselines::constraints::{
+    delta_for_beta, DeltaDisclosureConstraint, LikenessConstraint, TClosenessConstraint,
+};
+use betalike_baselines::mondrian::{mondrian, MondrianConfig};
+use betalike_baselines::sabre::{sabre, SabreConfig};
+use betalike_metrics::audit::ClosenessMetric;
+use betalike_metrics::Partition;
+use betalike_microdata::Table;
+
+/// The closeness metric every experiment uses (equal-distance EMD, which
+/// upper-bounds the ordered variant).
+pub const METRIC: ClosenessMetric = ClosenessMetric::EqualDistance;
+
+/// BUREL at the paper's defaults (enhanced bound).
+pub fn run_burel(table: &Table, qi: &[usize], sa: usize, beta: f64, seed: u64) -> Result<Partition> {
+    burel(table, qi, sa, &BurelConfig::new(beta).with_seed(seed))
+}
+
+/// LMondrian: Mondrian splitting only while both halves satisfy
+/// β-likeness.
+pub fn run_lmondrian(table: &Table, qi: &[usize], sa: usize, beta: f64) -> Result<Partition> {
+    let model = BetaLikeness::with_bound(beta, BoundKind::Enhanced)?;
+    let c = LikenessConstraint::new(table, sa, model);
+    mondrian(table, qi, sa, &c, &MondrianConfig::default())
+}
+
+/// DMondrian: Mondrian under δ-disclosure-privacy with
+/// `δ = ln(1 + min{β, −ln max p})` so its output also satisfies
+/// β-likeness (Section 6.2 of the paper).
+pub fn run_dmondrian(table: &Table, qi: &[usize], sa: usize, beta: f64) -> Result<Partition> {
+    let dist = table.sa_distribution(sa);
+    let delta = delta_for_beta(beta, &dist);
+    let c = DeltaDisclosureConstraint::new(table, sa, delta);
+    mondrian(table, qi, sa, &c, &MondrianConfig::default())
+}
+
+/// tMondrian: Mondrian under t-closeness (equal-distance EMD).
+pub fn run_tmondrian(table: &Table, qi: &[usize], sa: usize, t: f64) -> Result<Partition> {
+    let c = TClosenessConstraint::new(table, sa, t, METRIC);
+    mondrian(table, qi, sa, &c, &MondrianConfig::default())
+}
+
+/// SABRE at its defaults.
+pub fn run_sabre(table: &Table, qi: &[usize], sa: usize, t: f64, seed: u64) -> Result<Partition> {
+    sabre(table, qi, sa, &SabreConfig::new(t).with_seed(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betalike_metrics::audit::{achieved_beta, achieved_closeness};
+    use betalike_microdata::census::{self, CensusConfig};
+
+    #[test]
+    fn all_wrappers_run_and_guarantee_their_models() {
+        let t = census::generate(&CensusConfig::new(3_000, 77));
+        let qi = [0usize, 1, 2];
+        let beta = 3.0;
+
+        let b = run_burel(&t, &qi, 5, beta, 1).unwrap();
+        assert!(achieved_beta(&t, &b) <= beta + 1e-9);
+
+        let l = run_lmondrian(&t, &qi, 5, beta).unwrap();
+        assert!(achieved_beta(&t, &l) <= beta + 1e-9);
+
+        let d = run_dmondrian(&t, &qi, 5, beta).unwrap();
+        assert!(achieved_beta(&t, &d) <= beta + 1e-9);
+
+        let tm = run_tmondrian(&t, &qi, 5, 0.2).unwrap();
+        let (max_t, _) = achieved_closeness(&t, &tm, METRIC);
+        assert!(max_t <= 0.2 + 1e-9);
+
+        let s = run_sabre(&t, &qi, 5, 0.2, 1).unwrap();
+        let (max_t, _) = achieved_closeness(&t, &s, METRIC);
+        assert!(max_t <= 0.2 + 1e-9);
+    }
+}

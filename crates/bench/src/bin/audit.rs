@@ -1,0 +1,160 @@
+//! `audit` — verify a generalized release you received.
+//!
+//! A β-likeness audit needs nothing but the release itself: the published
+//! file carries every SA value verbatim, so the overall distribution `P`
+//! and each EC's `Q` are reconstructible by any recipient. This binary
+//! reads a release produced by `anonymize generalize` (or any CSV with an
+//! `ec` column and the SA in the last column), recomputes the cross-model
+//! audit, and — given `--beta` — checks the claimed guarantee.
+//!
+//! ```text
+//! audit --release release.csv --schema schema.json --beta 4
+//! ```
+
+use betalike::model::BetaLikeness;
+use betalike_bench::tablefmt::{f, print_table};
+use betalike_metrics::audit::{delta_disclosure, distinct_l, inverse_max_freq_l, ClosenessMetric};
+use betalike_metrics::distance::max_relative_gain;
+use betalike_microdata::{SaDistribution, SchemaSpec};
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::process::exit;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("audit: {msg}");
+    exit(2)
+}
+
+fn main() {
+    let mut release_path = None;
+    let mut schema_path = None;
+    let mut beta: Option<f64> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} expects a value")))
+        };
+        match flag.as_str() {
+            "--release" => release_path = Some(value()),
+            "--schema" => schema_path = Some(value()),
+            "--beta" => beta = Some(value().parse().unwrap_or_else(|_| fail("bad --beta"))),
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    let release_path = release_path.unwrap_or_else(|| fail("--release <file.csv> is required"));
+    let schema_path = schema_path.unwrap_or_else(|| fail("--schema <file.json> is required"));
+
+    let spec = SchemaSpec::from_json(
+        &std::fs::read_to_string(&schema_path)
+            .unwrap_or_else(|e| fail(&format!("reading {schema_path}: {e}"))),
+    )
+    .unwrap_or_else(|e| fail(&format!("parsing schema: {e}")));
+    let schema = spec
+        .to_schema()
+        .unwrap_or_else(|e| fail(&format!("building schema: {e}")));
+    let sa_attr = schema.attr(schema.default_sa());
+
+    // Parse the release: header `ec,...,<SA name>`; the SA is the last
+    // column, `ec` the first.
+    let file = std::fs::File::open(&release_path)
+        .unwrap_or_else(|e| fail(&format!("opening {release_path}: {e}")));
+    let mut lines = std::io::BufReader::new(file).lines();
+    let header = lines
+        .next()
+        .unwrap_or_else(|| fail("empty release"))
+        .unwrap_or_else(|e| fail(&format!("reading header: {e}")));
+    let cols: Vec<&str> = header.split(',').collect();
+    if cols.first() != Some(&"ec") {
+        fail("release must start with an `ec` column (produced by `anonymize generalize`)");
+    }
+    if cols.last() != Some(&sa_attr.name()) {
+        fail(&format!(
+            "last column is `{}`, schema says the SA is `{}`",
+            cols.last().unwrap_or(&""),
+            sa_attr.name()
+        ));
+    }
+
+    let mut per_ec: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+    let mut all: Vec<u32> = Vec::new();
+    for line in lines {
+        let line = line.unwrap_or_else(|e| fail(&format!("reading release: {e}")));
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let ec: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| fail(&format!("bad ec field in `{line}`")));
+        let sa_label = line.rsplit(',').next().expect("non-empty line");
+        let code = sa_attr
+            .code_of(sa_label)
+            .unwrap_or_else(|_| fail(&format!("unknown SA label `{sa_label}`")));
+        per_ec.entry(ec).or_default().push(code);
+        all.push(code);
+    }
+    if all.is_empty() {
+        fail("release has no tuples");
+    }
+
+    let m = sa_attr.cardinality();
+    let p = SaDistribution::from_codes(&all, m);
+    let metric = ClosenessMetric::EqualDistance;
+    let mut max_beta: f64 = 0.0;
+    let mut max_t: f64 = 0.0;
+    let mut min_l = usize::MAX;
+    let mut min_inv_l = f64::INFINITY;
+    let mut max_delta: f64 = 0.0;
+    let mut min_size = usize::MAX;
+    for codes in per_ec.values() {
+        let q = SaDistribution::from_codes(codes, m);
+        max_beta = max_beta.max(max_relative_gain(p.freqs(), q.freqs()));
+        max_t = max_t.max(metric.distance(p.freqs(), q.freqs()));
+        min_l = min_l.min(distinct_l(&q));
+        min_inv_l = min_inv_l.min(inverse_max_freq_l(&q));
+        max_delta = max_delta.max(delta_disclosure(&p, &q));
+        min_size = min_size.min(codes.len());
+    }
+
+    println!(
+        "release: {} tuples in {} equivalence classes\n",
+        all.len(),
+        per_ec.len()
+    );
+    let fmt_delta = if max_delta.is_finite() {
+        f(max_delta, 3)
+    } else {
+        "inf (some EC misses a value)".into()
+    };
+    print_table(
+        &["Audit", "Value"],
+        &[
+            vec!["real beta (max relative gain)".into(), f(max_beta, 3)],
+            vec!["t-closeness (max EMD)".into(), f(max_t, 3)],
+            vec!["distinct l-diversity (min)".into(), min_l.to_string()],
+            vec!["probabilistic l (min 1/max q)".into(), f(min_inv_l, 2)],
+            vec!["delta-disclosure (max |ln q/p|)".into(), fmt_delta],
+            vec!["k-anonymity (min EC size)".into(), min_size.to_string()],
+        ],
+    );
+
+    if let Some(claimed) = beta {
+        let model =
+            BetaLikeness::new(claimed).unwrap_or_else(|e| fail(&format!("bad --beta: {e}")));
+        let mut violations = 0usize;
+        for codes in per_ec.values() {
+            let q = SaDistribution::from_codes(codes, m);
+            if model.check_distribution(&p, &q, 0).is_err() {
+                violations += 1;
+            }
+        }
+        if violations == 0 {
+            println!("\nOK: every EC satisfies (enhanced) {claimed}-likeness");
+        } else {
+            println!("\nFAIL: {violations} EC(s) violate {claimed}-likeness");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! E3–E5 — Figure 4: β-likeness achieved by BUREL vs. t-closeness schemes
+//! (tMondrian, SABRE) at matched privacy/utility levels.
+//!
+//! Sub-experiments (positional argument):
+//!
+//! * `a` (default) — vary β ∈ {2, 3, 4, 5}: run BUREL, measure its
+//!   closeness `t_β`, run tMondrian and SABRE at `t_β`, report everyone's
+//!   *real β* (Figure 4a);
+//! * `b` — vary t ∈ {0.05, 0.1, 0.15, 0.2}: run the t-closeness schemes at
+//!   t, binary-search the β giving BUREL the same (or smaller) closeness,
+//!   report real β (Figure 4b);
+//! * `c` — vary target AIL ∈ {0.30, 0.35, 0.40, 0.45}: binary-search each
+//!   algorithm's parameter to land at (or below) the AIL, report real β
+//!   (Figure 4c).
+//!
+//! ```text
+//! cargo run --release -p betalike-bench --bin fig4 -- a --rows 100000
+//! ```
+
+use betalike_bench::algos::{run_burel, run_sabre, run_tmondrian, METRIC};
+use betalike_bench::cli::ExpArgs;
+use betalike_bench::search::{max_param_below, min_param_below};
+use betalike_bench::tablefmt::{f, print_table};
+use betalike_bench::{load_census, qi_set, SA};
+use betalike_metrics::audit::{achieved_beta, achieved_closeness};
+use betalike_metrics::loss::average_information_loss;
+use betalike_microdata::Table;
+
+const BETA_GRID: [f64; 4] = [2.0, 3.0, 4.0, 5.0];
+const T_GRID: [f64; 4] = [0.05, 0.10, 0.15, 0.20];
+const AIL_GRID: [f64; 4] = [0.30, 0.35, 0.40, 0.45];
+const SEARCH_ITERS: usize = 10;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let table = load_census(&args);
+    let qi = qi_set(args.qi);
+    let sub = args.sub.clone().unwrap_or_else(|| "a".into());
+    match sub.as_str() {
+        "a" => fig4a(&table, &qi, args.seed),
+        "b" => fig4b(&table, &qi, args.seed),
+        "c" => fig4c(&table, &qi, args.seed),
+        other => {
+            eprintln!("unknown sub-experiment `{other}` (expected a, b or c)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Real β (max over ECs of the max relative gain) of a partition.
+fn real_beta(table: &Table, p: &betalike_metrics::Partition) -> f64 {
+    achieved_beta(table, p)
+}
+
+fn fig4a(table: &Table, qi: &[usize], seed: u64) {
+    println!("Figure 4(a): real beta as a function of beta (equal t calibration)\n");
+    let mut rows = Vec::new();
+    for &beta in &BETA_GRID {
+        let burel_p = run_burel(table, qi, SA, beta, seed).expect("BUREL");
+        let (t_beta, _) = achieved_closeness(table, &burel_p, METRIC);
+        let tm = run_tmondrian(table, qi, SA, t_beta).expect("tMondrian");
+        let sb = run_sabre(table, qi, SA, t_beta, seed).expect("SABRE");
+        rows.push(vec![
+            f(beta, 0),
+            f(t_beta, 4),
+            f(real_beta(table, &burel_p), 2),
+            f(real_beta(table, &tm), 2),
+            f(real_beta(table, &sb), 2),
+        ]);
+    }
+    print_table(
+        &["beta", "t_beta", "BUREL", "tMondrian", "SABRE"],
+        &rows,
+    );
+    println!("\n(the paper's Fig. 4a shows BUREL at ~beta and the t-closeness\n schemes 1–3 orders of magnitude above; log-scale y-axis)");
+}
+
+fn fig4b(table: &Table, qi: &[usize], seed: u64) {
+    println!("Figure 4(b): real beta as a function of t\n");
+    let mut rows = Vec::new();
+    for &t in &T_GRID {
+        let tm = run_tmondrian(table, qi, SA, t).expect("tMondrian");
+        let sb = run_sabre(table, qi, SA, t, seed).expect("SABRE");
+        // Largest β whose BUREL output closes within t.
+        let beta_t = max_param_below(0.05, 64.0, t, SEARCH_ITERS, |beta| {
+            match run_burel(table, qi, SA, beta, seed) {
+                Ok(p) => achieved_closeness(table, &p, METRIC).0,
+                Err(_) => f64::INFINITY,
+            }
+        });
+        let burel_beta = match beta_t {
+            Some(beta) => {
+                let p = run_burel(table, qi, SA, beta, seed).expect("BUREL");
+                f(real_beta(table, &p), 3)
+            }
+            None => "n/a".into(),
+        };
+        rows.push(vec![
+            f(t, 2),
+            beta_t.map(|b| f(b, 3)).unwrap_or_else(|| "n/a".into()),
+            burel_beta,
+            f(real_beta(table, &tm), 2),
+            f(real_beta(table, &sb), 2),
+        ]);
+    }
+    print_table(
+        &["t", "beta_t", "BUREL", "tMondrian", "SABRE"],
+        &rows,
+    );
+}
+
+fn fig4c(table: &Table, qi: &[usize], seed: u64) {
+    println!("Figure 4(c): real beta as a function of target AIL\n");
+    let ail_of = |p: &betalike_metrics::Partition| average_information_loss(table, p);
+    let mut rows = Vec::new();
+    for &l in &AIL_GRID {
+        // BUREL: AIL decreases as β grows -> smallest β with AIL <= l.
+        let beta_l = min_param_below(0.05, 64.0, l, SEARCH_ITERS, |beta| {
+            run_burel(table, qi, SA, beta, seed)
+                .map(|p| ail_of(&p))
+                .unwrap_or(f64::INFINITY)
+        });
+        // t-closeness schemes: AIL decreases as t grows -> smallest t.
+        let t_tm = min_param_below(0.005, 1.0, l, SEARCH_ITERS, |t| {
+            run_tmondrian(table, qi, SA, t)
+                .map(|p| ail_of(&p))
+                .unwrap_or(f64::INFINITY)
+        });
+        let t_sb = min_param_below(0.005, 1.0, l, SEARCH_ITERS, |t| {
+            run_sabre(table, qi, SA, t, seed)
+                .map(|p| ail_of(&p))
+                .unwrap_or(f64::INFINITY)
+        });
+        let cell = |v: Option<f64>, run: &dyn Fn(f64) -> Option<f64>| -> String {
+            match v.and_then(run) {
+                Some(beta) => f(beta, 2),
+                None => "n/a".into(),
+            }
+        };
+        rows.push(vec![
+            f(l, 2),
+            cell(beta_l, &|b| {
+                run_burel(table, qi, SA, b, seed)
+                    .ok()
+                    .map(|p| real_beta(table, &p))
+            }),
+            cell(t_tm, &|t| {
+                run_tmondrian(table, qi, SA, t)
+                    .ok()
+                    .map(|p| real_beta(table, &p))
+            }),
+            cell(t_sb, &|t| {
+                run_sabre(table, qi, SA, t, seed)
+                    .ok()
+                    .map(|p| real_beta(table, &p))
+            }),
+        ]);
+    }
+    print_table(&["AIL", "BUREL", "tMondrian", "SABRE"], &rows);
+}

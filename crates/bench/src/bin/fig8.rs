@@ -1,0 +1,149 @@
+//! E9 — Figure 8: median relative error of aggregation queries on
+//! generalized publications (BUREL, LMondrian, DMondrian).
+//!
+//! Sub-experiments (positional; default `all`):
+//!
+//! * `a` — vary λ (number of QI predicates) ∈ 1..5, QI = 5, θ = 0.1, β = 4;
+//! * `b` — vary β ∈ 1..5, λ = 3, θ = 0.1;
+//! * `c` — vary QI size ∈ 1..5 (λ = min(3, QI)), θ = 0.1, β = 4;
+//! * `d` — vary θ ∈ {0.05..0.25}, λ = 3, β = 4.
+//!
+//! ```text
+//! cargo run --release -p betalike-bench --bin fig8 -- a --rows 500000 --queries 10000
+//! ```
+
+use betalike_bench::algos::{run_burel, run_dmondrian, run_lmondrian};
+use betalike_bench::cli::ExpArgs;
+use betalike_bench::tablefmt::{pct, print_table};
+use betalike_bench::{load_census, qi_set, SA};
+use betalike_metrics::Partition;
+use betalike_microdata::Table;
+use betalike_query::{
+    exact_count, generate_workload, median_relative_error, relative_error, GeneralizedView,
+    WorkloadConfig,
+};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let table = load_census(&args);
+    let sub = args.sub.clone().unwrap_or_else(|| "all".into());
+    println!(
+        "Figure 8: median relative error, generalization ({} rows, {} queries/point)\n",
+        table.num_rows(),
+        args.queries
+    );
+    if sub == "a" || sub == "all" {
+        fig8a(&table, &args);
+    }
+    if sub == "b" || sub == "all" {
+        fig8b(&table, &args);
+    }
+    if sub == "c" || sub == "all" {
+        fig8c(&table, &args);
+    }
+    if sub == "d" || sub == "all" {
+        fig8d(&table, &args);
+    }
+    if !["a", "b", "c", "d", "all"].contains(&sub.as_str()) {
+        eprintln!("unknown sub-experiment `{sub}`");
+        std::process::exit(2);
+    }
+}
+
+/// Median relative error of one published partition over a workload.
+fn workload_error(table: &Table, partition: &Partition, cfg: &WorkloadConfig) -> String {
+    let view = GeneralizedView::new(table, partition);
+    let queries = generate_workload(table, cfg);
+    let med = median_relative_error(
+        queries
+            .iter()
+            .map(|q| relative_error(view.estimate(q), exact_count(table, q) as f64)),
+    );
+    med.map(pct).unwrap_or_else(|| "n/a".into())
+}
+
+fn workload(qi: &[usize], lambda: usize, theta: f64, args: &ExpArgs) -> WorkloadConfig {
+    WorkloadConfig {
+        qi_pool: qi.to_vec(),
+        sa: SA,
+        lambda,
+        theta,
+        num_queries: args.queries,
+        seed: args.seed ^ 0x5eed,
+    }
+}
+
+fn fig8a(table: &Table, args: &ExpArgs) {
+    println!("(a) vary lambda (QI = 5, theta = 0.1, beta = 4)");
+    let qi = qi_set(5);
+    let pubs = publish_all(table, &qi, 4.0, args.seed);
+    let rows = (1..=5usize)
+        .map(|lambda| {
+            let cfg = workload(&qi, lambda, 0.1, args);
+            row(lambda.to_string(), table, &pubs, &cfg)
+        })
+        .collect::<Vec<_>>();
+    print_table(&["lambda", "BUREL", "LMondrian", "DMondrian"], &rows);
+    println!();
+}
+
+fn fig8b(table: &Table, args: &ExpArgs) {
+    println!("(b) vary beta (lambda = 3, theta = 0.1, QI = 5)");
+    let qi = qi_set(5);
+    let rows = [1.0, 2.0, 3.0, 4.0, 5.0]
+        .iter()
+        .map(|&beta| {
+            let pubs = publish_all(table, &qi, beta, args.seed);
+            let cfg = workload(&qi, 3, 0.1, args);
+            row(format!("{beta:.0}"), table, &pubs, &cfg)
+        })
+        .collect::<Vec<_>>();
+    print_table(&["beta", "BUREL", "LMondrian", "DMondrian"], &rows);
+    println!();
+}
+
+fn fig8c(table: &Table, args: &ExpArgs) {
+    println!("(c) vary QI size (lambda = min(3, QI), theta = 0.1, beta = 4)");
+    let rows = (1..=5usize)
+        .map(|qi_size| {
+            let qi = qi_set(qi_size);
+            let pubs = publish_all(table, &qi, 4.0, args.seed);
+            let cfg = workload(&qi, qi_size.min(3), 0.1, args);
+            row(qi_size.to_string(), table, &pubs, &cfg)
+        })
+        .collect::<Vec<_>>();
+    print_table(&["QI size", "BUREL", "LMondrian", "DMondrian"], &rows);
+    println!();
+}
+
+fn fig8d(table: &Table, args: &ExpArgs) {
+    println!("(d) vary theta (lambda = 3, QI = 5, beta = 4)");
+    let qi = qi_set(5);
+    let pubs = publish_all(table, &qi, 4.0, args.seed);
+    let rows = [0.05, 0.10, 0.15, 0.20, 0.25]
+        .iter()
+        .map(|&theta| {
+            let cfg = workload(&qi, 3, theta, args);
+            row(format!("{theta:.2}"), table, &pubs, &cfg)
+        })
+        .collect::<Vec<_>>();
+    print_table(&["theta", "BUREL", "LMondrian", "DMondrian"], &rows);
+    println!();
+}
+
+fn publish_all(table: &Table, qi: &[usize], beta: f64, seed: u64) -> [Partition; 3] {
+    [
+        run_burel(table, qi, SA, beta, seed).expect("BUREL"),
+        run_lmondrian(table, qi, SA, beta).expect("LMondrian"),
+        run_dmondrian(table, qi, SA, beta).expect("DMondrian"),
+    ]
+}
+
+fn row(label: String, table: &Table, pubs: &[Partition; 3], cfg: &WorkloadConfig) -> Vec<String> {
+    vec![
+        label,
+        workload_error(table, &pubs[0], cfg),
+        workload_error(table, &pubs[1], cfg),
+        workload_error(table, &pubs[2], cfg),
+    ]
+}

@@ -1,0 +1,42 @@
+//! E11 — the Section 7 table: the t-closeness and ℓ-diversity readings of
+//! BUREL's output for β ∈ 1..5, relevant to the deFinetti-attack
+//! discussion (Cormode measured the attack's success to collapse for
+//! ℓ ≥ 5–7).
+//!
+//! ```text
+//! cargo run --release -p betalike-bench --bin table_sec7 -- --rows 500000
+//! ```
+
+use betalike_bench::algos::{run_burel, METRIC};
+use betalike_bench::cli::ExpArgs;
+use betalike_bench::tablefmt::{f, print_table};
+use betalike_bench::{load_census, qi_set, SA};
+use betalike_metrics::audit::audit_partition;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let table = load_census(&args);
+    let qi = qi_set(args.qi);
+    println!(
+        "Section 7 table: cross-model audit of BUREL output ({} rows)\n",
+        table.num_rows()
+    );
+    let mut rows = Vec::new();
+    for beta in [1.0, 2.0, 3.0, 4.0, 5.0] {
+        let p = run_burel(&table, &qi, SA, beta, args.seed).expect("BUREL");
+        let audit = audit_partition(&table, &p, METRIC);
+        rows.push(vec![
+            f(beta, 0),
+            f(audit.max_closeness, 2),
+            f(audit.avg_closeness, 2),
+            f(audit.min_distinct_l as f64, 1),
+            f(audit.avg_distinct_l, 1),
+        ]);
+    }
+    print_table(&["beta", "t", "Avg t", "l", "Avg l"], &rows);
+    println!(
+        "\n(paper: beta=1 -> t=0.02, l=19.0; beta=5 -> t=0.17, l=6.6;\n\
+         t grows and l falls as beta is relaxed. For l >= 5 the deFinetti\n\
+         attack's success rate is below 50% per Cormode's study.)"
+    );
+}

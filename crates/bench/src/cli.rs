@@ -1,0 +1,161 @@
+//! A dependency-free `--key value` argument parser for the experiment
+//! binaries.
+//!
+//! Recognized keys (binaries may ignore those that do not apply):
+//!
+//! * `--rows N` — dataset size (default 100 000; the paper uses 500 000);
+//! * `--seed S` — dataset / algorithm seed (default 42);
+//! * `--queries N` — workload size (default 2 000; the paper uses 10 000);
+//! * `--qi N` — number of QI attributes (default 3, Table 3 order);
+//! * `--beta X` — β threshold where a single value is needed (default 4);
+//! * a single positional word selects a sub-experiment (e.g. `a`..`d` for
+//!   Figures 4, 8, 9).
+
+use std::collections::BTreeMap;
+
+/// Parsed common arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpArgs {
+    /// Dataset size.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Queries per workload.
+    pub queries: usize,
+    /// Number of QI attributes (prefix of the Table 3 order).
+    pub qi: usize,
+    /// Default β.
+    pub beta: f64,
+    /// Positional sub-experiment selector, if any.
+    pub sub: Option<String>,
+    /// Unrecognized `--key value` pairs, for binary-specific extensions.
+    pub extra: BTreeMap<String, String>,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            rows: 100_000,
+            seed: 42,
+            queries: 2_000,
+            qi: 3,
+            beta: 4.0,
+            sub: None,
+            extra: BTreeMap::new(),
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses from an explicit iterator (testable); see the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed input.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = ExpArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{key} expects a value"))?;
+                match key {
+                    "rows" => out.rows = parse_num(key, &value)?,
+                    "seed" => out.seed = parse_num(key, &value)?,
+                    "queries" => out.queries = parse_num(key, &value)?,
+                    "qi" => out.qi = parse_num(key, &value)?,
+                    "beta" => {
+                        out.beta = value
+                            .parse()
+                            .map_err(|_| format!("--beta expects a number, got `{value}`"))?
+                    }
+                    _ => {
+                        out.extra.insert(key.to_string(), value);
+                    }
+                }
+            } else if out.sub.is_none() {
+                out.sub = Some(arg);
+            } else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            }
+        }
+        if out.rows == 0 {
+            return Err("--rows must be positive".into());
+        }
+        if out.qi == 0 || out.qi > 5 {
+            return Err("--qi must be within 1..=5 (Table 3 has 5 QI attributes)".into());
+        }
+        Ok(out)
+    }
+
+    /// Parses `std::env::args()` and exits with a message on error.
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("argument error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// An extra `--key` as f64, with a default.
+    pub fn extra_f64(&self, key: &str, default: f64) -> f64 {
+        self.extra
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("--{key} expects a number, got `{value}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<ExpArgs, String> {
+        ExpArgs::parse_from(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.rows, 100_000);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.queries, 2_000);
+        assert_eq!(a.qi, 3);
+        assert_eq!(a.sub, None);
+    }
+
+    #[test]
+    fn full_parse() {
+        let a = parse(&[
+            "b", "--rows", "500000", "--seed", "7", "--queries", "10000", "--qi", "5", "--beta",
+            "2.5", "--theta", "0.2",
+        ])
+        .unwrap();
+        assert_eq!(a.sub.as_deref(), Some("b"));
+        assert_eq!(a.rows, 500_000);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.queries, 10_000);
+        assert_eq!(a.qi, 5);
+        assert!((a.beta - 2.5).abs() < 1e-12);
+        assert!((a.extra_f64("theta", 0.1) - 0.2).abs() < 1e-12);
+        assert!((a.extra_f64("missing", 0.3) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--rows"]).is_err());
+        assert!(parse(&["--rows", "abc"]).is_err());
+        assert!(parse(&["--rows", "0"]).is_err());
+        assert!(parse(&["--qi", "6"]).is_err());
+        assert!(parse(&["a", "b"]).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Binary searches for the Figure 4 calibrations.
+//!
+//! Figure 4 compares BUREL against t-closeness algorithms at *matched*
+//! privacy or utility levels:
+//!
+//! * (b) given a target closeness `t`, find the largest β whose BUREL
+//!   output achieves max-EMD ≤ `t` (closeness grows with β);
+//! * (c) given a target AIL `l`, find for each algorithm the parameter
+//!   whose output achieves AIL ≤ `l` (AIL falls as β or t grows).
+//!
+//! Both reduce to a bisection over a monotone measurement; measurement
+//! noise (seeded tuple placement) is tolerated by keeping the best
+//! parameter seen that satisfies the target.
+
+/// Bisects over `param ∈ [lo, hi]` for the largest value whose measurement
+/// stays at or below `target`, assuming `measure` is (approximately)
+/// non-decreasing in the parameter. Returns `None` if even `lo` overshoots.
+///
+/// `iters` bisection steps give a resolution of `(hi − lo) / 2^iters`.
+pub fn max_param_below(
+    mut lo: f64,
+    mut hi: f64,
+    target: f64,
+    iters: usize,
+    mut measure: impl FnMut(f64) -> f64,
+) -> Option<f64> {
+    assert!(lo < hi, "empty search interval");
+    if measure(lo) > target {
+        return None;
+    }
+    let mut best = lo;
+    for _ in 0..iters {
+        let mid = 0.5 * (lo + hi);
+        if measure(mid) <= target {
+            best = mid;
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(best)
+}
+
+/// Bisects for the *smallest* parameter whose measurement is at or below
+/// `target`, assuming `measure` is (approximately) non-increasing in the
+/// parameter. Returns `None` if even `hi` overshoots.
+pub fn min_param_below(
+    mut lo: f64,
+    mut hi: f64,
+    target: f64,
+    iters: usize,
+    mut measure: impl FnMut(f64) -> f64,
+) -> Option<f64> {
+    assert!(lo < hi, "empty search interval");
+    if measure(hi) > target {
+        return None;
+    }
+    let mut best = hi;
+    for _ in 0..iters {
+        let mid = 0.5 * (lo + hi);
+        if measure(mid) <= target {
+            best = mid;
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_param_below_finds_boundary() {
+        // measure(x) = x²; target 4 -> boundary at 2.
+        let got = max_param_below(0.0, 10.0, 4.0, 40, |x| x * x).unwrap();
+        assert!((got - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_param_below_rejects_impossible() {
+        assert!(max_param_below(1.0, 2.0, 0.5, 10, |x| x).is_none());
+    }
+
+    #[test]
+    fn min_param_below_finds_boundary() {
+        // measure(x) = 10 − x; target 4 -> smallest x with 10 − x ≤ 4 is 6.
+        let got = min_param_below(0.0, 10.0, 4.0, 40, |x| 10.0 - x).unwrap();
+        assert!((got - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_param_below_rejects_impossible() {
+        assert!(min_param_below(0.0, 1.0, -5.0, 10, |x| 1.0 - x).is_none());
+    }
+
+    #[test]
+    fn tolerates_step_functions() {
+        // A step measurement (like AIL over discrete EC structures).
+        let got = max_param_below(0.0, 8.0, 1.0, 30, |x| if x < 5.0 { 0.5 } else { 2.0 })
+            .unwrap();
+        assert!((4.9..5.0).contains(&got), "got {got}");
+    }
+}

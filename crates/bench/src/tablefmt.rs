@@ -1,0 +1,89 @@
+//! Aligned text tables for experiment output.
+
+/// Prints a header row, a rule, and data rows with columns padded to the
+/// widest cell. Cells are right-aligned except the first column.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    println!("{}", render_table(headers, rows));
+}
+
+/// Renders the table to a string (testable).
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity must match the header");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, &w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            if i == 0 {
+                line.push_str(&format!("{cell:<w$}"));
+            } else {
+                line.push_str(&format!("{cell:>w$}"));
+            }
+        }
+        line
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with the given number of decimals.
+pub fn f(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+/// Formats a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{x:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let s = render_table(
+            &["name", "ail", "time"],
+            &[
+                vec!["BUREL".into(), "0.123".into(), "1.5".into()],
+                vec!["LMondrian".into(), "0.4".into(), "12.25".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // All rows equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[3].starts_with("LMondrian"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn number_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(12.345), "12.35%");
+    }
+}

@@ -1,0 +1,380 @@
+//! The bucketization phase of BUREL (Section 4.3, Function `DPpartition`).
+//!
+//! SA values are sorted by ascending table frequency and grouped into the
+//! *minimum number* of buckets of consecutive values such that each bucket
+//! satisfies the combinability condition of Lemma 2:
+//!
+//! > `Σ_{v ∈ bucket} p_v ≤ f(p_min)` where `p_min` is the smallest frequency
+//! > in the bucket.
+//!
+//! With such a partition, any EC drawing tuples (approximately)
+//! proportionally to bucket sizes satisfies β-likeness even in the worst
+//! case where every tuple drawn from a bucket carries the bucket's least
+//! frequent value (Theorem 1).
+//!
+//! The dynamic program is the paper's Equation 6: `N[e] = min over
+//! combinable (b, e) of N[b−1] + 1`, computed in O(m²) with the running
+//! frequency sums maintained incrementally. To keep eligibility checks
+//! elsewhere bit-identical with the combinability checks here, all
+//! comparisons use the form `count_sum ≤ f(p_min) · |DB|` on raw counts.
+
+use crate::model::BetaLikeness;
+use betalike_microdata::SaDistribution;
+
+/// A bucket of SA values produced by [`dp_partition`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaBucket {
+    /// SA value codes in this bucket (ascending table frequency).
+    pub values: Vec<u32>,
+    /// Total tuple count over the bucket's values.
+    pub count: u64,
+    /// Table frequency of the bucket's least frequent value (`p_ℓj`).
+    pub min_freq: f64,
+    /// The cap `f(p_ℓj)` every EC share drawn from this bucket must respect.
+    pub cap: f64,
+}
+
+/// Partitions the SA domain into the minimum number of frequency-consecutive
+/// buckets satisfying Lemma 2 (see module docs), packing each bucket to at
+/// most `1 − slack_reserve` of its cap.
+///
+/// The paper's `Combinable` uses the strict condition `Σ p < f(p_min)`
+/// (`slack_reserve = 0`). A positive reserve leaves headroom between a
+/// bucket's frequency mass and its cap; the reallocation phase needs that
+/// headroom to absorb the integer rounding of its halving splits — with a
+/// tightly packed bucket (mass = cap, which smooth SA marginals readily
+/// produce), the ECTree cannot split *at all* and the whole table collapses
+/// into one EC. The reserve only makes buckets smaller, so Lemma 2 (checked
+/// against the *true* caps downstream) continues to hold; privacy is
+/// unaffected, only granularity improves. See DESIGN.md §6.
+///
+/// Values with zero table frequency are excluded: they cannot occur in any
+/// EC. Returns an empty vector for an empty distribution.
+///
+/// # Panics
+///
+/// Panics unless `slack_reserve ∈ [0, 1)`.
+pub fn dp_partition(
+    dist: &SaDistribution,
+    model: &BetaLikeness,
+    slack_reserve: f64,
+) -> Vec<SaBucket> {
+    assert!(
+        (0.0..1.0).contains(&slack_reserve),
+        "slack reserve must be in [0, 1)"
+    );
+    let values = dist.values_by_ascending_freq();
+    let m = values.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let db_size = dist.total() as f64;
+
+    // Prefix sums of counts over the sorted values: counts of
+    // values[0..e].
+    let mut prefix = Vec::with_capacity(m + 1);
+    prefix.push(0u64);
+    for &v in &values {
+        prefix.push(prefix.last().unwrap() + dist.count(v));
+    }
+
+    // caps[b] = (1 − reserve) · f(p of values[b]) * |DB|: the largest count
+    // sum a bucket starting at b may hold.
+    let caps: Vec<f64> = values
+        .iter()
+        .map(|&v| (1.0 - slack_reserve) * model.max_ec_freq(dist.freq(v)) * db_size)
+        .collect();
+
+    // A singleton is always a valid bucket (Lemma 2 holds trivially:
+    // p ≤ f(p)); multi-value buckets must fit strictly under the reserved
+    // cap, per the paper's strict Combinable.
+    let combinable = |b: usize, e: usize| -> bool {
+        b == e || ((prefix[e + 1] - prefix[b]) as f64) < caps[b]
+    };
+
+    // n[e] = min #buckets covering values[0..e]; split[e] = start of the
+    // last bucket in an optimal cover of values[0..e].
+    const UNSET: usize = usize::MAX;
+    let mut n = vec![UNSET; m + 1];
+    let mut split = vec![UNSET; m + 1];
+    n[0] = 0;
+    for e in 1..=m {
+        // A single value is always a valid bucket: p ≤ f(p).
+        debug_assert!(combinable(e - 1, e - 1), "singleton bucket must combine");
+        let mut b = e; // candidate bucket start (1-based boundary): bucket is values[b-1..e].
+        while b >= 1 && combinable(b - 1, e - 1) {
+            if n[b - 1] != UNSET && (n[e] == UNSET || n[b - 1] + 1 < n[e]) {
+                n[e] = n[b - 1] + 1;
+                split[e] = b - 1;
+            }
+            b -= 1;
+        }
+        debug_assert_ne!(n[e], UNSET, "prefix {e} must be coverable");
+    }
+
+    // Walk the split chain back to materialize buckets, then reverse so
+    // buckets come out in ascending-frequency order.
+    let mut buckets = Vec::with_capacity(n[m]);
+    let mut e = m;
+    while e > 0 {
+        let b = split[e];
+        let bucket_values: Vec<u32> = values[b..e].to_vec();
+        let count = prefix[e] - prefix[b];
+        let min_freq = dist.freq(bucket_values[0]);
+        buckets.push(SaBucket {
+            values: bucket_values,
+            count,
+            min_freq,
+            cap: model.max_ec_freq(min_freq),
+        });
+        e = b;
+    }
+    buckets.reverse();
+    buckets
+}
+
+/// Trivial one-value-per-bucket partition (ablation baseline: every EC then
+/// mirrors the table's SA distribution exactly, achieving 0-likeness at high
+/// information loss, as in Example 1 of the paper).
+pub fn trivial_partition(dist: &SaDistribution, model: &BetaLikeness) -> Vec<SaBucket> {
+    dist.values_by_ascending_freq()
+        .into_iter()
+        .map(|v| SaBucket {
+            values: vec![v],
+            count: dist.count(v),
+            min_freq: dist.freq(v),
+            cap: model.max_ec_freq(dist.freq(v)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model(beta: f64) -> BetaLikeness {
+        BetaLikeness::new(beta).unwrap()
+    }
+
+    /// Checks the Lemma 2 condition on every bucket.
+    fn assert_valid(buckets: &[SaBucket], dist: &SaDistribution, m: &BetaLikeness) {
+        for b in buckets {
+            let sum: f64 = b.values.iter().map(|&v| dist.freq(v)).sum();
+            let min = b
+                .values
+                .iter()
+                .map(|&v| dist.freq(v))
+                .fold(f64::MAX, f64::min);
+            assert!(
+                sum <= m.max_ec_freq(min) + 1e-12,
+                "bucket {:?} violates Lemma 2: sum {sum} > f({min}) = {}",
+                b.values,
+                m.max_ec_freq(min)
+            );
+            assert!((b.min_freq - min).abs() < 1e-15);
+        }
+    }
+
+    /// Every non-zero value appears in exactly one bucket.
+    fn assert_exact_cover(buckets: &[SaBucket], dist: &SaDistribution) {
+        let mut seen = std::collections::BTreeSet::new();
+        for b in buckets {
+            for &v in &b.values {
+                assert!(seen.insert(v), "value {v} in two buckets");
+            }
+        }
+        for (v, _) in dist.support() {
+            assert!(seen.contains(&v), "value {v} not covered");
+        }
+        assert_eq!(seen.len(), dist.support_size());
+    }
+
+    #[test]
+    fn example2_bucketization() {
+        // Example 2 of the paper: counts (2,3,3,3,4,4), β = 2 yields three
+        // buckets: {headache, epilepsy}, {brain tumors, anemia}, {angina,
+        // heart murmur}.
+        let dist = SaDistribution::from_counts(vec![2, 3, 3, 3, 4, 4]);
+        let m = model(2.0);
+        // Sanity: the caps the paper quotes — f(2/19) ≈ 0.31,
+        // f(3/19) ≈ 0.45, f(4/19) ≈ 0.54.
+        assert!((m.max_ec_freq(2.0 / 19.0) - 0.3158).abs() < 1e-3);
+        assert!((m.max_ec_freq(3.0 / 19.0) - 0.4489).abs() < 1e-2);
+        assert!((m.max_ec_freq(4.0 / 19.0) - 0.5385).abs() < 1e-2);
+        let buckets = dp_partition(&dist, &m, 0.0);
+        assert_eq!(buckets.len(), 3, "paper's Example 2 yields 3 buckets");
+        assert_valid(&buckets, &dist, &m);
+        assert_exact_cover(&buckets, &dist);
+        // Ascending-frequency order groups value 0 (count 2) with one of
+        // the count-3 values, etc.; sizes must be (5, 6, 8).
+        let mut sizes: Vec<u64> = buckets.iter().map(|b| b.count).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![5, 6, 8]);
+    }
+
+    #[test]
+    fn uniform_large_beta_single_bucket() {
+        // With a huge β, f(p_min) ≥ 1 ≥ Σp: everything fits in one bucket
+        // (the cap is min{β, −ln p}; for p = 0.125, −ln p ≈ 2.08, so
+        // f = 0.125·3.08 ≈ 0.385 — not 1! The enhanced bound caps the bucket
+        // even for large β). Verify the DP respects the enhanced cap.
+        let dist = SaDistribution::from_counts(vec![10; 8]);
+        let buckets = dp_partition(&dist, &model(100.0), 0.0);
+        assert_valid(&buckets, &dist, &model(100.0));
+        assert_exact_cover(&buckets, &dist);
+        // f(0.125) = 0.125 (1 + ln 8) ≈ 0.385: buckets of at most 3 values.
+        assert!(buckets.iter().all(|b| b.values.len() <= 3));
+    }
+
+    #[test]
+    fn tiny_beta_forces_singletons() {
+        let dist = SaDistribution::from_counts(vec![10, 10, 10, 10]);
+        let buckets = dp_partition(&dist, &model(1e-9), 0.0);
+        assert_eq!(buckets.len(), 4, "no two values are combinable");
+        assert_exact_cover(&buckets, &dist);
+    }
+
+    #[test]
+    fn zero_count_values_excluded() {
+        let dist = SaDistribution::from_counts(vec![5, 0, 5, 0]);
+        let buckets = dp_partition(&dist, &model(2.0), 0.0);
+        let all: Vec<u32> = buckets.iter().flat_map(|b| b.values.clone()).collect();
+        assert!(!all.contains(&1) && !all.contains(&3));
+        assert_exact_cover(&buckets, &dist);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let dist = SaDistribution::from_counts(vec![0, 0]);
+        assert!(dp_partition(&dist, &model(1.0), 0.0).is_empty());
+    }
+
+    #[test]
+    fn single_value_distribution() {
+        let dist = SaDistribution::from_counts(vec![0, 7]);
+        let buckets = dp_partition(&dist, &model(1.0), 0.0);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].values, vec![1]);
+        assert_eq!(buckets[0].count, 7);
+        assert!((buckets[0].min_freq - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn skewed_distribution_protects_rare_values() {
+        // One rare value (1%) and one common (99%): the rare value's cap
+        // f(0.01) = 0.01(1+β) is far below 1, so the two values can never
+        // share a bucket for reasonable β.
+        let dist = SaDistribution::from_counts(vec![1, 99]);
+        let buckets = dp_partition(&dist, &model(4.0), 0.0);
+        assert_eq!(buckets.len(), 2);
+    }
+
+    #[test]
+    fn trivial_partition_is_singletons() {
+        let dist = SaDistribution::from_counts(vec![3, 1, 0, 6]);
+        let m = model(2.0);
+        let buckets = trivial_partition(&dist, &m);
+        assert_eq!(buckets.len(), 3);
+        assert!(buckets.iter().all(|b| b.values.len() == 1));
+        assert_exact_cover(&buckets, &dist);
+        // Ascending frequency: value 1 (count 1) first.
+        assert_eq!(buckets[0].values, vec![1]);
+    }
+
+    #[test]
+    fn dp_is_no_worse_than_greedy_or_trivial() {
+        // Minimality sanity: the DP can never produce more buckets than the
+        // trivial partition.
+        for seed in 0..20u64 {
+            let counts: Vec<u64> = (0..12)
+                .map(|i| 1 + ((seed * 7919 + i * 104729) % 50))
+                .collect();
+            let dist = SaDistribution::from_counts(counts);
+            let m = model(1.5);
+            let dp = dp_partition(&dist, &m, 0.0);
+            let trivial = trivial_partition(&dist, &m);
+            assert!(dp.len() <= trivial.len());
+            assert_valid(&dp, &dist, &m);
+            assert_exact_cover(&dp, &dist);
+        }
+    }
+
+    /// Brute-force minimum bucket count over consecutive ascending-frequency
+    /// segments (O(2^m); test-only reference).
+    fn brute_force_min_buckets(dist: &SaDistribution, m: &BetaLikeness) -> usize {
+        let values = dist.values_by_ascending_freq();
+        let n = values.len();
+        if n == 0 {
+            return 0;
+        }
+        let db = dist.total() as f64;
+        let combinable = |b: usize, e: usize| -> bool {
+            if b == e {
+                return true;
+            }
+            let sum: u64 = values[b..=e].iter().map(|&v| dist.count(v)).sum();
+            (sum as f64) < m.max_ec_freq(dist.freq(values[b])) * db
+        };
+        // best[e] = min buckets covering values[0..e].
+        let mut best = vec![usize::MAX; n + 1];
+        best[0] = 0;
+        for e in 1..=n {
+            for b in 1..=e {
+                if best[b - 1] != usize::MAX && combinable(b - 1, e - 1) {
+                    best[e] = best[e].min(best[b - 1] + 1);
+                }
+            }
+        }
+        best[n]
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_minimum() {
+        // Differential check against an unpruned reference on many random
+        // distributions: the DP must return exactly the minimum number of
+        // buckets (at zero slack, where the objectives coincide).
+        for seed in 0..40u64 {
+            let counts: Vec<u64> = (0..10)
+                .map(|i| (seed * 31 + i * 17) % 40 + u64::from(i % 3 == 0))
+                .collect();
+            let dist = SaDistribution::from_counts(counts);
+            if dist.total() == 0 {
+                continue;
+            }
+            for beta in [0.5, 1.5, 3.0] {
+                let m = model(beta);
+                let dp = dp_partition(&dist, &m, 0.0);
+                let reference = brute_force_min_buckets(&dist, &m);
+                assert_eq!(
+                    dp.len(),
+                    reference,
+                    "seed {seed} beta {beta}: DP returned {} buckets, optimum is {reference}",
+                    dp.len()
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn dp_partition_always_valid(
+            counts in proptest::collection::vec(0u64..200, 1..30),
+            beta_milli in 1u32..6000,
+        ) {
+            let dist = SaDistribution::from_counts(counts);
+            prop_assume!(dist.total() > 0);
+            let m = model(beta_milli as f64 / 1000.0);
+            let buckets = dp_partition(&dist, &m, 0.0);
+            assert_valid(&buckets, &dist, &m);
+            assert_exact_cover(&buckets, &dist);
+            // Buckets hold frequency-consecutive values: counts ascend
+            // across bucket boundaries.
+            let flat: Vec<u64> = buckets
+                .iter()
+                .flat_map(|b| b.values.iter().map(|&v| dist.count(v)))
+                .collect();
+            prop_assert!(flat.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

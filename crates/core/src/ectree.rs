@@ -1,0 +1,259 @@
+//! The reallocation phase of BUREL (Section 4.4): the **ECTree**.
+//!
+//! Given a bucket partition, a binary tree of candidate EC "templates" is
+//! grown top-down. The root draws every tuple (all of bucket `j`'s tuples
+//! for every `j`); a node splits into two children by halving each
+//! per-bucket count (`c1 = ⌊c/2⌋`, `c2 = c − c1`, matching the paper's
+//! worked Example 2), and a split is allowed only if **both** children
+//! satisfy the eligibility condition of Theorem 1:
+//!
+//! > for every bucket `j`: `x_j / |G| ≤ f(p_ℓj)`.
+//!
+//! When no node can split further, the leaves prescribe how many tuples each
+//! EC draws from each bucket (`biSplit`).
+//!
+//! Eligibility is expressed through the [`Eligibility`] trait so the same
+//! tree drives both BUREL (β-likeness caps) and the SABRE-style t-closeness
+//! baseline (EMD budget).
+
+use crate::bucketize::SaBucket;
+
+/// Decides whether an EC drawing `counts[j]` tuples from bucket `j` may be
+/// published.
+pub trait Eligibility {
+    /// `counts` has one entry per bucket; the EC size is `counts.sum()`.
+    fn eligible(&self, counts: &[u64]) -> bool;
+}
+
+/// Theorem 1's eligibility condition for β-likeness: every bucket's share of
+/// the EC stays within the bucket's frequency cap `f(p_ℓj)`.
+///
+/// The check compares `x_j ≤ cap_j · |G|` in the same floating-point form as
+/// the bucketizer's combinability check, so a bucket partition accepted by
+/// `DPpartition` always yields an eligible root.
+#[derive(Debug, Clone)]
+pub struct BetaEligibility {
+    caps: Vec<f64>,
+}
+
+impl BetaEligibility {
+    /// Builds the checker from the bucketizer's output.
+    pub fn from_buckets(buckets: &[SaBucket]) -> Self {
+        BetaEligibility {
+            caps: buckets.iter().map(|b| b.cap).collect(),
+        }
+    }
+
+    /// Builds the checker from raw caps (used by tests and ablations).
+    pub fn from_caps(caps: Vec<f64>) -> Self {
+        BetaEligibility { caps }
+    }
+}
+
+impl Eligibility for BetaEligibility {
+    fn eligible(&self, counts: &[u64]) -> bool {
+        debug_assert_eq!(counts.len(), self.caps.len());
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return false;
+        }
+        let total = total as f64;
+        counts
+            .iter()
+            .zip(&self.caps)
+            .all(|(&x, &cap)| x as f64 <= cap * total)
+    }
+}
+
+/// A leaf of the ECTree: how many tuples the EC draws from each bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EcTemplate {
+    /// Per-bucket draw counts.
+    pub counts: Vec<u64>,
+}
+
+impl EcTemplate {
+    /// Total EC size.
+    pub fn size(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Grows the ECTree from the root `bucket_sizes` and returns its leaves
+/// (the paper's `biSplit`).
+///
+/// Returns `None` if the root itself is not eligible — with a bucket
+/// partition from `DPpartition` this cannot happen and callers treat it as
+/// an internal error.
+pub fn bi_split(bucket_sizes: &[u64], eligibility: &impl Eligibility) -> Option<Vec<EcTemplate>> {
+    let root = EcTemplate {
+        counts: bucket_sizes.to_vec(),
+    };
+    if root.size() == 0 || !eligibility.eligible(&root.counts) {
+        return None;
+    }
+    let mut leaves = Vec::new();
+    // Explicit stack: EC counts can produce deep trees on large tables and
+    // recursion depth is O(log |DB|) anyway, but the stack keeps it robust.
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        match try_split(&node, eligibility) {
+            Some((left, right)) => {
+                stack.push(left);
+                stack.push(right);
+            }
+            None => leaves.push(node),
+        }
+    }
+    // Deterministic output order (stack traversal reverses); sort by
+    // nothing fancy — restore a stable order by size-then-counts.
+    leaves.reverse();
+    Some(leaves)
+}
+
+/// Attempts the paper's halving split; returns the two children if both are
+/// non-empty and eligible.
+fn try_split(node: &EcTemplate, eligibility: &impl Eligibility) -> Option<(EcTemplate, EcTemplate)> {
+    let mut left = Vec::with_capacity(node.counts.len());
+    let mut right = Vec::with_capacity(node.counts.len());
+    for &c in &node.counts {
+        let l = c / 2;
+        left.push(l);
+        right.push(c - l);
+    }
+    let left = EcTemplate { counts: left };
+    let right = EcTemplate { counts: right };
+    if left.size() == 0 || right.size() == 0 {
+        return None;
+    }
+    if eligibility.eligible(&left.counts) && eligibility.eligible(&right.counts) {
+        Some((left, right))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The Example 2 setup: buckets of sizes (5, 6, 8) over a 19-tuple
+    /// table, caps f(2/19), f(3/19), f(4/19) with β = 2.
+    fn example2() -> (Vec<u64>, BetaEligibility) {
+        let model = crate::model::BetaLikeness::new(2.0).unwrap();
+        let caps = vec![
+            model.max_ec_freq(2.0 / 19.0),
+            model.max_ec_freq(3.0 / 19.0),
+            model.max_ec_freq(4.0 / 19.0),
+        ];
+        (vec![5, 6, 8], BetaEligibility::from_caps(caps))
+    }
+
+    #[test]
+    fn example2_tree_matches_paper() {
+        // Figure 3: [5,6,8] splits into [2,3,4] and [3,3,4]; [2,3,4] splits
+        // into [1,1,2] and [1,2,2]; [3,3,4] cannot split (child [2,2,2]
+        // would put 2/6 > f(2/19) ≈ 0.316 in bucket 1).
+        let (sizes, elig) = example2();
+        let leaves = bi_split(&sizes, &elig).unwrap();
+        let mut got: Vec<Vec<u64>> = leaves.iter().map(|l| l.counts.clone()).collect();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![vec![1, 1, 2], vec![1, 2, 2], vec![3, 3, 4]],
+            "leaves must match the paper's Figure 3"
+        );
+    }
+
+    #[test]
+    fn example2_intermediate_checks() {
+        let (_, elig) = example2();
+        // The specific eligibility calls the paper walks through.
+        assert!(elig.eligible(&[5, 6, 8]));
+        assert!(elig.eligible(&[2, 3, 4]));
+        assert!(elig.eligible(&[3, 3, 4]));
+        assert!(elig.eligible(&[1, 1, 2]));
+        assert!(elig.eligible(&[1, 2, 2]));
+        assert!(!elig.eligible(&[2, 2, 2]), "2/6 > f(2/19): the rejected split");
+    }
+
+    #[test]
+    fn leaves_conserve_bucket_totals() {
+        let (sizes, elig) = example2();
+        let leaves = bi_split(&sizes, &elig).unwrap();
+        for (j, &expected) in sizes.iter().enumerate() {
+            let sum: u64 = leaves.iter().map(|l| l.counts[j]).sum();
+            assert_eq!(sum, expected, "bucket {j} totals must be conserved");
+        }
+    }
+
+    #[test]
+    fn ineligible_root_returns_none() {
+        let elig = BetaEligibility::from_caps(vec![0.1, 0.1]);
+        assert!(bi_split(&[5, 5], &elig).is_none());
+        // Empty root too.
+        let ok = BetaEligibility::from_caps(vec![1.0, 1.0]);
+        assert!(bi_split(&[0, 0], &ok).is_none());
+    }
+
+    #[test]
+    fn permissive_caps_split_to_singletons() {
+        // cap = 1 allows any composition: the tree splits all the way down
+        // to single-tuple ECs.
+        let elig = BetaEligibility::from_caps(vec![1.0]);
+        let leaves = bi_split(&[9], &elig).unwrap();
+        assert_eq!(leaves.len(), 9);
+        assert!(leaves.iter().all(|l| l.size() == 1));
+    }
+
+    #[test]
+    fn zero_count_buckets_allowed_in_templates() {
+        // A bucket can contribute 0 tuples to an EC ("In the general case,
+        // an EC could also draw 0 tuples from some bucket").
+        let elig = BetaEligibility::from_caps(vec![0.6, 0.6]);
+        let leaves = bi_split(&[1, 1], &elig).unwrap();
+        // [1,1] halves into [0,1]? No: ⌊1/2⌋ = 0 for both, children [0,0]
+        // and [1,1] — empty child, so no split: single leaf [1,1].
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(leaves[0].counts, vec![1, 1]);
+        // [2,1] under caps 0.7: root shares (2/3, 1/3) pass; children
+        // [1,0] (share 1/1 in bucket 0 > 0.7) and [1,1] — the [1,0] child
+        // is ineligible, so the split is rejected.
+        let elig7 = BetaEligibility::from_caps(vec![0.7, 0.7]);
+        let leaves2 = bi_split(&[2, 1], &elig7).unwrap();
+        assert_eq!(leaves2.len(), 1, "split rejected by the cap");
+    }
+
+    #[test]
+    fn eligibility_rejects_empty_ec() {
+        let elig = BetaEligibility::from_caps(vec![1.0]);
+        assert!(!elig.eligible(&[0]));
+    }
+
+    proptest! {
+        #[test]
+        fn leaves_always_eligible_and_conserving(
+            spec in proptest::collection::vec((0u64..64, 5u32..100), 1..6),
+        ) {
+            let sizes: Vec<u64> = spec.iter().map(|&(s, _)| s).collect();
+            let total: u64 = sizes.iter().sum();
+            prop_assume!(total > 0);
+            let caps: Vec<f64> = spec.iter().map(|&(_, c)| c as f64 / 100.0).collect();
+            let elig = BetaEligibility::from_caps(caps);
+            if let Some(leaves) = bi_split(&sizes, &elig) {
+                for leaf in &leaves {
+                    prop_assert!(elig.eligible(&leaf.counts), "leaf {:?}", leaf.counts);
+                    prop_assert!(leaf.size() > 0);
+                }
+                for (j, &expected) in sizes.iter().enumerate() {
+                    let sum: u64 = leaves.iter().map(|l| l.counts[j]).sum();
+                    prop_assert_eq!(sum, expected);
+                }
+            } else {
+                // Root must genuinely be ineligible.
+                prop_assert!(!elig.eligible(&sizes));
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Minimal dense linear algebra for the perturbation scheme.
+//!
+//! The data recipient reconstructs original SA counts by solving
+//! `PM × N = E′` (Section 5 of the paper). `PM` is small (m ≤ a few hundred
+//! SA values), so an LU decomposition with partial pivoting is ample; for
+//! the structured `PM = diag(X_j − Y_j) + 1·yᵀ` produced by uniform
+//! perturbation we also provide a Sherman–Morrison O(m²) fast path (see
+//! [`mod@crate::perturb`]).
+
+use crate::error::{Error, Result};
+
+/// A dense row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Creates the identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data.len() == n * n`.
+    pub fn from_rows(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "row-major data must be n*n");
+        Matrix { n, data }
+    }
+
+    /// Matrix order.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x.len() == n`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "vector length mismatch");
+        let mut out = vec![0.0; self.n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            *o = row.iter().zip(x).map(|(&a, &b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Solves `A·x = b` by LU decomposition with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] if a pivot is (numerically) zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `b.len() == n`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let n = self.n;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column at/below the
+            // diagonal.
+            let mut pivot_row = col;
+            let mut pivot_mag = a[perm[col] * n + col].abs();
+            for (r, &pr) in perm.iter().enumerate().skip(col + 1) {
+                let mag = a[pr * n + col].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < 1e-300 {
+                return Err(Error::SingularMatrix);
+            }
+            perm.swap(col, pivot_row);
+            let prow = perm[col];
+            let pivot = a[prow * n + col];
+            for &r in perm.iter().skip(col + 1) {
+                let factor = a[r * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[r * n + col] = 0.0;
+                for k in col + 1..n {
+                    a[r * n + k] -= factor * a[prow * n + k];
+                }
+                // Apply the same operation to the RHS, tracked via the
+                // permuted indices.
+                let (bi, bp) = (r, prow);
+                let delta = factor * x[bp];
+                x[bi] -= delta;
+            }
+        }
+
+        // Back substitution on the permuted triangular system.
+        let mut out = vec![0.0; n];
+        for col in (0..n).rev() {
+            let prow = perm[col];
+            let mut acc = x[prow];
+            for k in col + 1..n {
+                acc -= a[prow * n + k] * out[k];
+            }
+            out[col] = acc / a[prow * n + col];
+        }
+        Ok(out)
+    }
+
+    /// Full inverse via `n` solves against identity columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] for singular input.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.n;
+        let mut inv = Matrix::zeros(n);
+        let mut e = vec![0.0; n];
+        for col in 0..n {
+            e[col] = 1.0;
+            let x = self.solve(&e)?;
+            for row in 0..n {
+                inv[(row, col)] = x[row];
+            }
+            e[col] = 0.0;
+        }
+        Ok(inv)
+    }
+
+    /// Maximum absolute entry difference to another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the orders differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.n, other.n, "matrix order mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.n + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.n + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solve_small_system() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1; 3].
+        let a = Matrix::from_rows(2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[3.0, 4.0]).unwrap();
+        assert!((x[0] - 4.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(a.solve(&[1.0, 2.0]), Err(Error::SingularMatrix));
+        assert!(a.inverse().is_err());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(3, vec![4.0, 7.0, 2.0, 3.0, 6.0, 1.0, 2.0, 5.0, 3.0]);
+        let inv = a.inverse().unwrap();
+        // A * A^{-1} ≈ I.
+        let mut prod = Matrix::zeros(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += a[(i, k)] * inv[(k, j)];
+                }
+                prod[(i, j)] = s;
+            }
+        }
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn identity_solves_trivially() {
+        let i5 = Matrix::identity(5);
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(i5.solve(&b).unwrap(), b.to_vec());
+        assert!((i5.mul_vec(&b)[3] - 4.0).abs() < 1e-15);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_multiply_recovers_rhs(
+            seedvals in proptest::collection::vec(-5.0f64..5.0, 16),
+            b in proptest::collection::vec(-10.0f64..10.0, 4),
+        ) {
+            // Diagonally dominate to keep the matrix comfortably regular.
+            let mut a = Matrix::from_rows(4, seedvals);
+            for i in 0..4 {
+                a[(i, i)] += 25.0;
+            }
+            let x = a.solve(&b).unwrap();
+            let back = a.mul_vec(&x);
+            for (got, want) in back.iter().zip(&b) {
+                prop_assert!((got - want).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Model-free privacy auditors.
+//!
+//! Given an original table and a published [`Partition`], these functions
+//! measure what each predecessor privacy model would say about the
+//! publication: the β actually achieved (max relative gain over all ECs),
+//! the t-closeness (max/avg EMD), the ℓ-diversity (distinct and
+//! inverse-max-frequency readings), and δ-disclosure. Figure 4 and the
+//! Section 7 table of the paper are exactly such cross-model audits.
+
+use crate::distance::{emd_equal, emd_ordered, max_relative_gain};
+use crate::partition::Partition;
+use betalike_microdata::{SaDistribution, Table};
+
+/// Which ground distance the closeness audit uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClosenessMetric {
+    /// Unit distance between distinct values (EMD = total variation). The
+    /// workspace default, matching t-closeness for categorical SAs.
+    #[default]
+    EqualDistance,
+    /// `|i − j|/(m−1)` ground distance for ordinal domains.
+    OrderedDistance,
+}
+
+impl ClosenessMetric {
+    /// Distance between two frequency vectors under this metric.
+    pub fn distance(self, p: &[f64], q: &[f64]) -> f64 {
+        match self {
+            ClosenessMetric::EqualDistance => emd_equal(p, q),
+            ClosenessMetric::OrderedDistance => emd_ordered(p, q),
+        }
+    }
+}
+
+/// δ-disclosure reading of one EC against the table distribution:
+/// `max_i |ln(q_i / p_i)|` over values with `p_i > 0`.
+///
+/// Returns `+∞` if any value present in the table is absent from the EC —
+/// δ-disclosure-privacy strictly requires every SA value in every EC, one of
+/// the rigidities Section 2 of the paper criticizes.
+pub fn delta_disclosure(p: &SaDistribution, q: &SaDistribution) -> f64 {
+    assert_eq!(p.m(), q.m(), "distributions over different domains");
+    let mut worst: f64 = 0.0;
+    for (pi, qi) in p.freqs().iter().zip(q.freqs()) {
+        if *pi > 0.0 {
+            if *qi <= 0.0 {
+                return f64::INFINITY;
+            }
+            worst = worst.max((qi / pi).ln().abs());
+        }
+    }
+    worst
+}
+
+/// ℓ-diversity reading of an EC as the count of distinct SA values.
+pub fn distinct_l(q: &SaDistribution) -> usize {
+    q.support_size()
+}
+
+/// ℓ-diversity reading of an EC as `1 / max_i q_i` (an EC satisfies
+/// "probabilistic" ℓ-diversity iff its most frequent value has frequency at
+/// most `1/ℓ`). Returns 0 for an empty EC.
+pub fn inverse_max_freq_l(q: &SaDistribution) -> f64 {
+    let m = q.max_freq();
+    if m > 0.0 {
+        1.0 / m
+    } else {
+        0.0
+    }
+}
+
+/// Everything Figure 4 and the Section 7 table report about a publication,
+/// gathered in one pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionAudit {
+    /// Max over ECs of the max relative gain — the "real β" of Figure 4.
+    pub max_beta: f64,
+    /// Average over ECs of their max relative gain.
+    pub avg_beta: f64,
+    /// Max over ECs of the EMD from the table distribution — the "t" column
+    /// of the Section 7 table.
+    pub max_closeness: f64,
+    /// Size-unweighted average EMD — the "Avg t" column.
+    pub avg_closeness: f64,
+    /// Min over ECs of distinct SA values — the "ℓ" column.
+    pub min_distinct_l: usize,
+    /// Average distinct SA values — the "Avg ℓ" column.
+    pub avg_distinct_l: f64,
+    /// Min over ECs of `1/max q_i` (probabilistic ℓ-diversity).
+    pub min_inv_max_freq_l: f64,
+    /// Max over ECs of the δ-disclosure reading.
+    pub max_delta: f64,
+    /// Smallest EC (the incidental k-anonymity).
+    pub min_ec_size: usize,
+    /// Number of ECs.
+    pub num_ecs: usize,
+}
+
+/// The "real β" of a publication: max over ECs of `max_i (q_i − p_i)/p_i`.
+pub fn achieved_beta(table: &Table, partition: &Partition) -> f64 {
+    let p = table.sa_distribution(partition.sa());
+    partition
+        .ec_distributions(table)
+        .iter()
+        .map(|q| max_relative_gain(p.freqs(), q.freqs()))
+        .fold(0.0, f64::max)
+}
+
+/// The closeness of a publication under `metric`: `(max, avg)` over ECs.
+pub fn achieved_closeness(
+    table: &Table,
+    partition: &Partition,
+    metric: ClosenessMetric,
+) -> (f64, f64) {
+    let p = table.sa_distribution(partition.sa());
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    let dists = partition.ec_distributions(table);
+    for q in &dists {
+        let d = metric.distance(p.freqs(), q.freqs());
+        max = max.max(d);
+        sum += d;
+    }
+    let avg = if dists.is_empty() {
+        0.0
+    } else {
+        sum / dists.len() as f64
+    };
+    (max, avg)
+}
+
+/// Runs the full audit in a single pass over the ECs.
+pub fn audit_partition(table: &Table, partition: &Partition, metric: ClosenessMetric) -> PartitionAudit {
+    let p = table.sa_distribution(partition.sa());
+    let mut out = PartitionAudit {
+        max_beta: 0.0,
+        avg_beta: 0.0,
+        max_closeness: 0.0,
+        avg_closeness: 0.0,
+        min_distinct_l: usize::MAX,
+        avg_distinct_l: 0.0,
+        min_inv_max_freq_l: f64::INFINITY,
+        max_delta: 0.0,
+        min_ec_size: usize::MAX,
+        num_ecs: partition.num_ecs(),
+    };
+    if partition.num_ecs() == 0 {
+        out.min_distinct_l = 0;
+        out.min_inv_max_freq_l = 0.0;
+        out.min_ec_size = 0;
+        return out;
+    }
+    for (i, ec) in partition.ecs().iter().enumerate() {
+        let q = partition.ec_distribution(table, i);
+        let beta = max_relative_gain(p.freqs(), q.freqs());
+        out.max_beta = out.max_beta.max(beta);
+        out.avg_beta += beta;
+        let t = metric.distance(p.freqs(), q.freqs());
+        out.max_closeness = out.max_closeness.max(t);
+        out.avg_closeness += t;
+        let dl = distinct_l(&q);
+        out.min_distinct_l = out.min_distinct_l.min(dl);
+        out.avg_distinct_l += dl as f64;
+        out.min_inv_max_freq_l = out.min_inv_max_freq_l.min(inverse_max_freq_l(&q));
+        out.max_delta = out.max_delta.max(delta_disclosure(&p, &q));
+        out.min_ec_size = out.min_ec_size.min(ec.len());
+    }
+    let n = partition.num_ecs() as f64;
+    out.avg_beta /= n;
+    out.avg_closeness /= n;
+    out.avg_distinct_l /= n;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betalike_microdata::patients::{self, patients_table};
+
+    fn nervous_split() -> (Table, Partition) {
+        let t = patients_table();
+        let p = Partition::new(
+            vec![patients::attr::WEIGHT, patients::attr::AGE],
+            patients::attr::DISEASE,
+            vec![vec![0, 1, 2], vec![3, 4, 5]],
+        );
+        (t, p)
+    }
+
+    #[test]
+    fn achieved_beta_on_table1_split() {
+        // P is uniform 1/6; each EC concentrates 3 values at 1/3 each:
+        // relative gain (1/3 − 1/6)/(1/6) = 1.
+        let (t, p) = nervous_split();
+        let beta = achieved_beta(&t, &p);
+        assert!((beta - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn achieved_closeness_on_table1_split() {
+        let (t, p) = nervous_split();
+        let (max_t, avg_t) = achieved_closeness(&t, &p, ClosenessMetric::EqualDistance);
+        // ½ (3·|1/3−1/6| + 3·|0−1/6|) = ½ (1/2 + 1/2) = 1/2 per EC.
+        assert!((max_t - 0.5).abs() < 1e-12);
+        assert!((avg_t - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_ec_publication_is_perfectly_private() {
+        let t = patients_table();
+        let p = Partition::new(
+            vec![patients::attr::WEIGHT],
+            patients::attr::DISEASE,
+            vec![vec![0, 1, 2, 3, 4, 5]],
+        );
+        let audit = audit_partition(&t, &p, ClosenessMetric::EqualDistance);
+        assert_eq!(audit.max_beta, 0.0);
+        assert_eq!(audit.max_closeness, 0.0);
+        assert_eq!(audit.min_distinct_l, 6);
+        assert_eq!(audit.max_delta, 0.0);
+        assert_eq!(audit.min_ec_size, 6);
+        assert_eq!(audit.num_ecs, 1);
+    }
+
+    #[test]
+    fn full_audit_on_table1_split() {
+        let (t, p) = nervous_split();
+        let audit = audit_partition(&t, &p, ClosenessMetric::EqualDistance);
+        assert!((audit.max_beta - 1.0).abs() < 1e-12);
+        assert!((audit.avg_beta - 1.0).abs() < 1e-12);
+        assert_eq!(audit.min_distinct_l, 3);
+        assert!((audit.avg_distinct_l - 3.0).abs() < 1e-12);
+        // max q in each EC is 1/3, so probabilistic ℓ = 3.
+        assert!((audit.min_inv_max_freq_l - 3.0).abs() < 1e-12);
+        // Each EC misses 3 of 6 table values -> δ-disclosure infinite.
+        assert_eq!(audit.max_delta, f64::INFINITY);
+        assert_eq!(audit.min_ec_size, 3);
+        assert_eq!(audit.num_ecs, 2);
+    }
+
+    #[test]
+    fn delta_disclosure_finite_case() {
+        let p = SaDistribution::from_counts(vec![2, 2]);
+        let q = SaDistribution::from_counts(vec![3, 1]);
+        // The dominant term is the *under*-represented value:
+        // |ln(0.25/0.5)| = ln 2 > |ln(0.75/0.5)| = ln 1.5 — δ-disclosure
+        // penalizes negative gain too, which β-likeness deliberately does
+        // not (Section 3 of the paper).
+        let d = delta_disclosure(&p, &q);
+        assert!((d - 2.0f64.ln()).abs() < 1e-12);
+        // A milder EC: counts (3, 2) -> freqs (0.6, 0.4);
+        // max(|ln 1.2|, |ln 0.8|) = ln 1.25.
+        let q2 = SaDistribution::from_counts(vec![3, 2]);
+        assert!((delta_disclosure(&p, &q2) - 1.25f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l_diversity_readings() {
+        let q = SaDistribution::from_counts(vec![4, 1, 1, 0]);
+        assert_eq!(distinct_l(&q), 3);
+        assert!((inverse_max_freq_l(&q) - 1.5).abs() < 1e-12);
+        let empty = SaDistribution::from_counts(vec![0, 0]);
+        assert_eq!(inverse_max_freq_l(&empty), 0.0);
+    }
+
+    #[test]
+    fn ordered_metric_differs_from_equal() {
+        let t = patients_table();
+        let p = Partition::new(
+            vec![patients::attr::WEIGHT],
+            patients::attr::DISEASE,
+            vec![vec![0, 1], vec![2, 3], vec![4, 5]],
+        );
+        let (eq_max, _) = achieved_closeness(&t, &p, ClosenessMetric::EqualDistance);
+        let (ord_max, _) = achieved_closeness(&t, &p, ClosenessMetric::OrderedDistance);
+        assert!(ord_max <= eq_max + 1e-12);
+        assert!(ord_max > 0.0);
+    }
+}

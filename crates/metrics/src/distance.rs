@@ -1,0 +1,223 @@
+//! Distribution distances.
+//!
+//! These are the cumulative-difference measures that Section 2 of the paper
+//! argues are *insufficient* privacy criteria — we implement them both to
+//! drive the t-closeness baselines (tMondrian, SABRE) and to reproduce the
+//! paper's numerical arguments (the `0.1-closeness` example, the K-L/J-S
+//! counterexample).
+//!
+//! All functions take frequency slices (`Σ = 1` for non-degenerate input)
+//! and are symmetric in domain: the two slices must have equal length.
+
+/// Equal-distance Earth Mover's Distance between two distributions over the
+/// same categorical domain: with unit ground distance between any two
+/// distinct values, EMD reduces to total variation, `½ Σ |p_i − q_i|`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn emd_equal(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions over different domains");
+    0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Ordered-distance Earth Mover's Distance for ordinal domains (the variant
+/// the t-closeness paper uses for numeric SAs): with ground distance
+/// `|i − j| / (m − 1)`, EMD equals `Σ_i |Σ_{j ≤ i} (p_j − q_j)| / (m − 1)`.
+///
+/// Returns 0 for singleton domains.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn emd_ordered(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions over different domains");
+    assert!(!p.is_empty(), "empty domain");
+    if p.len() == 1 {
+        return 0.0;
+    }
+    let mut cum = 0.0;
+    let mut total = 0.0;
+    for (&a, &b) in p.iter().zip(q) {
+        cum += a - b;
+        total += cum.abs();
+    }
+    // The final cumulative term is ~0 for proper distributions and is
+    // included by the formula; dividing by (m-1) normalizes to [0, 1].
+    (total - cum.abs()) / (p.len() - 1) as f64
+}
+
+/// Kullback–Leibler divergence `KL(q ‖ p) = Σ q_i ln(q_i / p_i)` in nats.
+///
+/// Terms with `q_i = 0` contribute 0; a term with `q_i > 0, p_i = 0` makes
+/// the divergence infinite.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn kl_divergence(q: &[f64], p: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions over different domains");
+    let mut sum = 0.0;
+    for (&qi, &pi) in q.iter().zip(p) {
+        if qi > 0.0 {
+            if pi <= 0.0 {
+                return f64::INFINITY;
+            }
+            sum += qi * (qi / pi).ln();
+        }
+    }
+    sum
+}
+
+/// Jensen–Shannon divergence in nats: `½ KL(p ‖ m) + ½ KL(q ‖ m)` with
+/// `m = (p + q)/2`. Always finite and symmetric, bounded by `ln 2`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions over different domains");
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)
+}
+
+/// Maximum relative gain `max_i (q_i − p_i) / p_i` over values with
+/// `q_i > p_i` — the quantity β-likeness bounds.
+///
+/// Returns 0 when no value gains; `+∞` if some `q_i > 0` has `p_i = 0`
+/// (a value absent from the original table appearing in an EC).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_relative_gain(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions over different domains");
+    let mut worst: f64 = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if qi > pi {
+            if pi <= 0.0 {
+                return f64::INFINITY;
+            }
+            worst = worst.max((qi - pi) / pi);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn emd_equal_paper_example() {
+        // Section 2: P=(0.4,0.6) vs Q=(0.5,0.5) and P'=(0.01,0.99) vs
+        // Q'=(0.11,0.89) both have EMD 0.1 — yet wildly different relative
+        // gains. This is the paper's core argument against t-closeness.
+        let p = [0.4, 0.6];
+        let q = [0.5, 0.5];
+        let p2 = [0.01, 0.99];
+        let q2 = [0.11, 0.89];
+        assert!((emd_equal(&p, &q) - 0.1).abs() < EPS);
+        assert!((emd_equal(&p2, &q2) - 0.1).abs() < EPS);
+        // Relative gain differs by a factor 40: 25% vs 1000%.
+        assert!((max_relative_gain(&p, &q) - 0.25).abs() < EPS);
+        assert!((max_relative_gain(&p2, &q2) - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn kl_js_paper_example() {
+        // Section 2: K-L(J-S) rank the 25%-gain case as *less* private than
+        // the 200%-gain case — the paper's argument that divergences miss
+        // relative gains. The paper reports KL(P‖Q) 0.0290 vs 0.0133 and
+        // JS 0.0073 vs 0.0038, in bits (log base 2); our functions use nats,
+        // so we convert.
+        const LN2: f64 = std::f64::consts::LN_2;
+        let p = [0.4, 0.6];
+        let q = [0.5, 0.5];
+        let pt = [0.01, 0.99];
+        let qt = [0.03, 0.97];
+        let kl1 = kl_divergence(&p, &q) / LN2;
+        let kl2 = kl_divergence(&pt, &qt) / LN2;
+        assert!((kl1 - 0.0290).abs() < 5e-4, "kl1 = {kl1}");
+        assert!((kl2 - 0.0133).abs() < 5e-4, "kl2 = {kl2}");
+        assert!(kl1 > kl2);
+        let js1 = js_divergence(&p, &q) / LN2;
+        let js2 = js_divergence(&pt, &qt) / LN2;
+        assert!((js1 - 0.0073).abs() < 5e-4, "js1 = {js1}");
+        assert!((js2 - 0.0038).abs() < 5e-4, "js2 = {js2}");
+        assert!(js1 > js2);
+        // ...but the relative gain ranks them the other way around: the
+        // HIV-confidence rises 200% in the second case, 25% in the first.
+        assert!(max_relative_gain(&pt, &qt) > max_relative_gain(&p, &q));
+        assert!((max_relative_gain(&pt, &qt) - 2.0).abs() < EPS);
+        assert!((max_relative_gain(&p, &q) - 0.25).abs() < EPS);
+    }
+
+    #[test]
+    fn emd_identical_distributions_is_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert_eq!(emd_equal(&p, &p), 0.0);
+        assert!(emd_ordered(&p, &p).abs() < EPS);
+        assert!(js_divergence(&p, &p).abs() < EPS);
+        assert!(kl_divergence(&p, &p).abs() < EPS);
+        assert_eq!(max_relative_gain(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn emd_ordered_weighs_displacement() {
+        // Moving mass one step vs across the domain.
+        let p = [1.0, 0.0, 0.0];
+        let near = [0.0, 1.0, 0.0];
+        let far = [0.0, 0.0, 1.0];
+        let d_near = emd_ordered(&p, &near);
+        let d_far = emd_ordered(&p, &far);
+        assert!((d_near - 0.5).abs() < EPS);
+        assert!((d_far - 1.0).abs() < EPS);
+        // Equal-distance EMD cannot tell them apart.
+        assert!((emd_equal(&p, &near) - emd_equal(&p, &far)).abs() < EPS);
+    }
+
+    #[test]
+    fn emd_ordered_upper_bounded_by_equal() {
+        // |cum_i| <= ½ L1 for all i, so ordered EMD <= equal EMD; the SABRE
+        // baseline relies on this to transfer guarantees.
+        let cases: [(&[f64], &[f64]); 3] = [
+            (&[0.2, 0.3, 0.5], &[0.5, 0.3, 0.2]),
+            (&[0.1, 0.1, 0.1, 0.7], &[0.25, 0.25, 0.25, 0.25]),
+            (&[0.0, 1.0], &[1.0, 0.0]),
+        ];
+        for (p, q) in cases {
+            assert!(emd_ordered(p, q) <= emd_equal(p, q) + EPS);
+        }
+    }
+
+    #[test]
+    fn singleton_domain() {
+        assert_eq!(emd_ordered(&[1.0], &[1.0]), 0.0);
+        assert_eq!(emd_equal(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn kl_infinite_off_support() {
+        assert_eq!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]), f64::INFINITY);
+        // JS stays finite even off-support.
+        assert!(js_divergence(&[1.0, 0.0], &[0.0, 1.0]).is_finite());
+        assert!((js_divergence(&[1.0, 0.0], &[0.0, 1.0]) - (2.0f64).ln()).abs() < EPS);
+    }
+
+    #[test]
+    fn max_relative_gain_off_support_is_infinite() {
+        assert_eq!(max_relative_gain(&[0.0, 1.0], &[0.5, 0.5]), f64::INFINITY);
+        // Losing mass is not a (positive) gain: only the second value gains,
+        // by (0.5 − 0.4)/0.4 = 25%.
+        assert!((max_relative_gain(&[0.6, 0.4], &[0.5, 0.5]) - 0.25).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "different domains")]
+    fn mismatched_domains_panic() {
+        emd_equal(&[1.0], &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Rendering a generalized publication the way a recipient receives it.
+//!
+//! A generalization-based release ships one row per tuple: generalized QI
+//! values (a range for numeric attributes, a hierarchy-node label for
+//! categorical ones) plus the exact SA value. This module renders a
+//! [`Partition`] in that form — as display strings or as CSV — which is
+//! also what the paper's Table 1/Example 1 pictures show.
+
+use crate::partition::Partition;
+use betalike_microdata::{AttrKind, Table};
+use std::io::{BufWriter, Write};
+
+/// The published (generalized) value of attribute `attr` for EC `ec`.
+///
+/// Numeric attributes render as `lo~hi` (or the single value); categorical
+/// attributes render as the label of the LCA their extent generalizes to.
+pub fn generalized_label(table: &Table, partition: &Partition, ec: usize, attr: usize) -> String {
+    let pos = partition
+        .qi()
+        .iter()
+        .position(|&a| a == attr)
+        .expect("attribute must be in the QI set");
+    let (lo, hi) = partition.ec_extent(table, ec)[pos];
+    let a = table.schema().attr(attr);
+    match a.kind() {
+        AttrKind::Numeric { .. } => {
+            if lo == hi {
+                a.label(lo)
+            } else {
+                format!("{}~{}", a.label(lo), a.label(hi))
+            }
+        }
+        AttrKind::Categorical { hierarchy } => {
+            let lca = hierarchy.lca_of_leaves(lo, hi);
+            hierarchy.label(lca).to_string()
+        }
+    }
+}
+
+/// Writes the publication as CSV: header `ec,<QI names...>,<SA name>`, one
+/// row per tuple, with generalized QI values and exact SA labels.
+///
+/// # Errors
+///
+/// Propagates I/O failures (stringified).
+pub fn write_generalized_csv(
+    table: &Table,
+    partition: &Partition,
+    sink: impl Write,
+) -> std::io::Result<()> {
+    let mut out = BufWriter::new(sink);
+    write!(out, "ec")?;
+    for &a in partition.qi() {
+        write!(out, ",{}", table.schema().attr(a).name())?;
+    }
+    writeln!(out, ",{}", table.schema().attr(partition.sa()).name())?;
+
+    for ec in 0..partition.num_ecs() {
+        // Render the EC's generalized QI values once.
+        let qi_cells: Vec<String> = partition
+            .qi()
+            .iter()
+            .map(|&a| generalized_label(table, partition, ec, a))
+            .collect();
+        for &row in &partition.ecs()[ec] {
+            write!(out, "{ec}")?;
+            for cell in &qi_cells {
+                write!(out, ",{cell}")?;
+            }
+            writeln!(
+                out,
+                ",{}",
+                table.schema().attr(partition.sa()).label(table.value(row, partition.sa()))
+            )?;
+        }
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betalike_microdata::patients::{self, patients_table};
+
+    fn split() -> (Table, Partition) {
+        let t = patients_table();
+        let p = Partition::new(
+            vec![patients::attr::WEIGHT, patients::attr::AGE],
+            patients::attr::DISEASE,
+            vec![vec![0, 1, 2], vec![3, 4, 5]],
+        );
+        (t, p)
+    }
+
+    #[test]
+    fn numeric_labels_render_ranges() {
+        let (t, p) = split();
+        // EC 0 holds weights {70, 60, 50} and ages {40, 60, 50}.
+        assert_eq!(generalized_label(&t, &p, 0, patients::attr::WEIGHT), "50~70");
+        assert_eq!(generalized_label(&t, &p, 0, patients::attr::AGE), "40~60");
+    }
+
+    #[test]
+    fn categorical_labels_render_lca() {
+        let t = patients_table();
+        // Use Disease as a QI for rendering purposes.
+        let p = Partition::new(
+            vec![patients::attr::DISEASE],
+            patients::attr::WEIGHT,
+            vec![vec![0, 1, 2], vec![3, 4, 5]],
+        );
+        assert_eq!(
+            generalized_label(&t, &p, 0, patients::attr::DISEASE),
+            "nervous diseases"
+        );
+        assert_eq!(
+            generalized_label(&t, &p, 1, patients::attr::DISEASE),
+            "circulatory diseases"
+        );
+        // A single-value EC renders the leaf itself.
+        let single = Partition::new(
+            vec![patients::attr::DISEASE],
+            patients::attr::WEIGHT,
+            vec![vec![0], vec![1, 2, 3, 4, 5]],
+        );
+        assert_eq!(
+            generalized_label(&t, &single, 0, patients::attr::DISEASE),
+            "headache"
+        );
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let (t, p) = split();
+        let mut buf = Vec::new();
+        write_generalized_csv(&t, &p, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "ec,Weight,Age,Disease");
+        assert_eq!(lines.len(), 7, "header + six tuples");
+        // Every tuple of EC 0 shares the generalized QI but keeps its own
+        // disease.
+        assert_eq!(lines[1], "0,50~70,40~60,headache");
+        assert_eq!(lines[2], "0,50~70,40~60,epilepsy");
+        assert!(lines[4].starts_with("1,"));
+    }
+}

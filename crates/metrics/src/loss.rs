@@ -1,0 +1,157 @@
+//! Information-loss metrics (Section 4.1 of the paper).
+//!
+//! * Numeric attribute loss (Equation 2): the generalized value range over
+//!   the domain range.
+//! * Categorical attribute loss (Equation 3): the leaf count under the LCA
+//!   of the EC's values over the total leaf count (0 for a single value).
+//! * EC loss (Equation 4): the weighted sum over QI attributes; the paper
+//!   (and our default) weighs attributes equally, `w_i = 1/d`.
+//! * AIL (Equation 5): the size-weighted average of EC losses over the
+//!   published table — the utility axis of Figures 5–7.
+
+use crate::partition::Partition;
+use betalike_microdata::{RowId, Table};
+
+/// Information loss of a single attribute over a row set: Equation 2 for
+/// numeric attributes, Equation 3 for categorical ones.
+///
+/// Returns 0 for an empty row set (an empty EC loses nothing, though
+/// anonymizers never emit one).
+pub fn attribute_loss(table: &Table, attr: usize, rows: &[RowId]) -> f64 {
+    match table.code_extent(attr, rows) {
+        None => 0.0,
+        Some((lo, hi)) => table.schema().attr(attr).normalized_span(lo, hi),
+    }
+}
+
+/// Information loss of an EC over the QI attributes with explicit weights
+/// (Equation 4).
+///
+/// # Panics
+///
+/// Panics if `weights.len() != qi.len()`.
+pub fn ec_loss_weighted(table: &Table, qi: &[usize], weights: &[f64], rows: &[RowId]) -> f64 {
+    assert_eq!(qi.len(), weights.len(), "one weight per QI attribute");
+    qi.iter()
+        .zip(weights)
+        .map(|(&a, &w)| w * attribute_loss(table, a, rows))
+        .sum()
+}
+
+/// Information loss of an EC with the paper's default equal weights
+/// `w_i = 1/d`.
+pub fn ec_loss(table: &Table, qi: &[usize], rows: &[RowId]) -> f64 {
+    if qi.is_empty() {
+        return 0.0;
+    }
+    let w = 1.0 / qi.len() as f64;
+    qi.iter().map(|&a| w * attribute_loss(table, a, rows)).sum()
+}
+
+/// Average information loss of a published partition (Equation 5):
+/// `AIL = Σ_G |G| · IL(G) / |DB|`.
+///
+/// Returns 0 for an empty partition.
+pub fn average_information_loss(table: &Table, partition: &Partition) -> f64 {
+    let total: usize = partition.num_rows();
+    if total == 0 {
+        return 0.0;
+    }
+    let sum: f64 = partition
+        .ecs()
+        .iter()
+        .map(|ec| ec.len() as f64 * ec_loss(table, partition.qi(), ec))
+        .sum();
+    sum / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betalike_microdata::patients::{self, patients_table};
+
+    const W: usize = patients::attr::WEIGHT;
+    const A: usize = patients::attr::AGE;
+    const D: usize = patients::attr::DISEASE;
+
+    #[test]
+    fn numeric_attribute_loss() {
+        let t = patients_table();
+        // Weights {70, 60, 50} span 20 of the 30-wide domain [50, 80].
+        let il = attribute_loss(&t, W, &[0, 1, 2]);
+        assert!((il - 20.0 / 30.0).abs() < 1e-12);
+        // A single row loses nothing.
+        assert_eq!(attribute_loss(&t, W, &[0]), 0.0);
+        assert_eq!(attribute_loss(&t, W, &[]), 0.0);
+    }
+
+    #[test]
+    fn categorical_attribute_loss() {
+        let t = patients_table();
+        // Rows 0..=2 carry the three nervous diseases: LCA covers 3 of 6
+        // leaves.
+        let il = attribute_loss(&t, D, &[0, 1, 2]);
+        assert!((il - 0.5).abs() < 1e-12);
+        // One disease: zero.
+        assert_eq!(attribute_loss(&t, D, &[4]), 0.0);
+        // Nervous + circulatory: the root, 6/6.
+        assert!((attribute_loss(&t, D, &[0, 3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ec_loss_averages_attributes() {
+        let t = patients_table();
+        let rows = [0, 1, 2];
+        let weight_il = attribute_loss(&t, W, &rows);
+        let age_il = attribute_loss(&t, A, &rows);
+        let combined = ec_loss(&t, &[W, A], &rows);
+        assert!((combined - 0.5 * (weight_il + age_il)).abs() < 1e-12);
+        assert_eq!(ec_loss(&t, &[], &rows), 0.0);
+    }
+
+    #[test]
+    fn weighted_loss_respects_weights() {
+        let t = patients_table();
+        let rows = [0, 1, 2];
+        let only_weight = ec_loss_weighted(&t, &[W, A], &[1.0, 0.0], &rows);
+        assert!((only_weight - attribute_loss(&t, W, &rows)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per QI attribute")]
+    fn weighted_loss_arity_check() {
+        let t = patients_table();
+        ec_loss_weighted(&t, &[W, A], &[1.0], &[0]);
+    }
+
+    #[test]
+    fn ail_is_size_weighted() {
+        let t = patients_table();
+        // Example-1-style split: two ECs of 3 tuples.
+        let p = Partition::new(vec![W, A], D, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        let il0 = ec_loss(&t, &[W, A], &[0, 1, 2]);
+        let il1 = ec_loss(&t, &[W, A], &[3, 4, 5]);
+        let ail = average_information_loss(&t, &p);
+        assert!((ail - (3.0 * il0 + 3.0 * il1) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_ec_partition_has_full_spread_loss() {
+        let t = patients_table();
+        let p = Partition::new(vec![W, A], D, vec![vec![0, 1, 2, 3, 4, 5]]);
+        // The single EC spans the full weight and age extents present in the
+        // data: weight [50,80] = full domain, age [40,70] = full domain.
+        assert!((average_information_loss(&t, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_ecs_lose_less() {
+        let t = patients_table();
+        let coarse = Partition::new(vec![W, A], D, vec![vec![0, 1, 2, 3, 4, 5]]);
+        let fine = Partition::new(vec![W, A], D, vec![vec![0, 3], vec![1, 5], vec![2, 4]]);
+        assert!(
+            average_information_loss(&t, &fine) < average_information_loss(&t, &coarse),
+            "finer partitions must not lose more information"
+        );
+    }
+}

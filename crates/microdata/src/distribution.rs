@@ -1,0 +1,302 @@
+//! Sensitive-attribute distributions.
+//!
+//! [`SaDistribution`] is the `P = (p_1, …, p_m)` of the paper (Table 2): the
+//! histogram of SA values over a table or an equivalence class. All privacy
+//! models in the workspace (β-likeness, t-closeness, ℓ-diversity,
+//! δ-disclosure) are stated in terms of such distributions.
+
+/// A histogram over an SA domain of cardinality `m`, with cached
+/// frequencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaDistribution {
+    counts: Vec<u64>,
+    total: u64,
+    freqs: Vec<f64>,
+}
+
+impl SaDistribution {
+    /// Builds a distribution from raw counts.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        let total: u64 = counts.iter().sum();
+        let freqs = if total == 0 {
+            vec![0.0; counts.len()]
+        } else {
+            counts.iter().map(|&c| c as f64 / total as f64).collect()
+        };
+        SaDistribution {
+            counts,
+            total,
+            freqs,
+        }
+    }
+
+    /// Builds a distribution from a slice of value codes.
+    pub fn from_codes(codes: &[u32], cardinality: usize) -> Self {
+        Self::from_iter(codes.iter().copied(), cardinality)
+    }
+
+    /// Builds a distribution from an iterator of value codes.
+    pub fn from_iter(codes: impl Iterator<Item = u32>, cardinality: usize) -> Self {
+        let mut counts = vec![0u64; cardinality];
+        for c in codes {
+            counts[c as usize] += 1;
+        }
+        Self::from_counts(counts)
+    }
+
+    /// Domain cardinality `m` (including zero-count values).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of observations.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw counts `N_i`.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of a single value.
+    #[inline]
+    pub fn count(&self, v: u32) -> u64 {
+        self.counts[v as usize]
+    }
+
+    /// Frequencies `p_i = N_i / |DB|`.
+    #[inline]
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Frequency of a single value.
+    #[inline]
+    pub fn freq(&self, v: u32) -> f64 {
+        self.freqs[v as usize]
+    }
+
+    /// Number of values with a non-zero count (the "distinct ℓ" of
+    /// ℓ-diversity).
+    pub fn support_size(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Iterator over `(value, count)` pairs with non-zero counts.
+    pub fn support(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u32, c))
+    }
+
+    /// The maximum frequency over the domain (`max_i q_i`).
+    pub fn max_freq(&self) -> f64 {
+        self.freqs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The minimum *non-zero* frequency, or `None` for an empty histogram.
+    pub fn min_support_freq(&self) -> Option<f64> {
+        self.freqs
+            .iter()
+            .copied()
+            .filter(|&f| f > 0.0)
+            .fold(None, |acc, f| {
+                Some(acc.map_or(f, |a: f64| a.min(f)))
+            })
+    }
+
+    /// Values sorted by ascending frequency, ties broken by value code.
+    ///
+    /// This is the ordering `p_1 ≤ p_2 ≤ … ≤ p_m` required by the
+    /// `DPpartition` bucketizer (Section 4.3 of the paper). Zero-frequency
+    /// values are *excluded*: they cannot occur in any EC.
+    pub fn values_by_ascending_freq(&self) -> Vec<u32> {
+        let mut vals: Vec<u32> = self.support().map(|(v, _)| v).collect();
+        vals.sort_by(|&a, &b| {
+            self.counts[a as usize]
+                .cmp(&self.counts[b as usize])
+                .then(a.cmp(&b))
+        });
+        vals
+    }
+
+    /// Adds another histogram into this one (EC union).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cardinalities differ.
+    pub fn merge(&mut self, other: &SaDistribution) {
+        assert_eq!(self.m(), other.m(), "cannot merge distributions over different domains");
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        *self = SaDistribution::from_counts(std::mem::take(&mut self.counts));
+    }
+
+    /// Entropy in nats; 0 for an empty histogram.
+    pub fn entropy(&self) -> f64 {
+        self.freqs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum()
+    }
+}
+
+/// Splits `total` units over `weights` proportionally using the
+/// largest-remainder (Hamilton) method, so that the result sums to exactly
+/// `total` and each share differs from the exact proportion by less than 1.
+///
+/// Used by the CENSUS generator (exact SA marginals) and by proportional
+/// in-bucket drawing in the SABRE baseline.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or contains a negative/non-finite weight, or
+/// if all weights are zero while `total > 0`.
+pub fn largest_remainder_apportion(total: u64, weights: &[f64]) -> Vec<u64> {
+    assert!(!weights.is_empty(), "apportionment needs at least one weight");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let sum: f64 = weights.iter().sum();
+    if total == 0 {
+        return vec![0; weights.len()];
+    }
+    assert!(sum > 0.0, "cannot apportion {total} units over zero weights");
+    let mut out = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned: u64 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = total as f64 * w / sum;
+        let fl = exact.floor() as u64;
+        out.push(fl);
+        assigned += fl;
+        remainders.push((exact - fl as f64, i));
+    }
+    let mut leftover = total - assigned;
+    // Hand out the leftover units to the largest remainders (ties by index
+    // for determinism).
+    remainders.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in remainders.iter() {
+        if leftover == 0 {
+            break;
+        }
+        out[i] += 1;
+        leftover -= 1;
+    }
+    debug_assert_eq!(out.iter().sum::<u64>(), total);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_freqs() {
+        let d = SaDistribution::from_codes(&[0, 1, 1, 2, 2, 2], 4);
+        assert_eq!(d.m(), 4);
+        assert_eq!(d.total(), 6);
+        assert_eq!(d.counts(), &[1, 2, 3, 0]);
+        assert!((d.freq(2) - 0.5).abs() < 1e-12);
+        assert_eq!(d.freq(3), 0.0);
+        assert_eq!(d.support_size(), 3);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let d = SaDistribution::from_counts(vec![0, 0]);
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.freqs(), &[0.0, 0.0]);
+        assert_eq!(d.max_freq(), 0.0);
+        assert_eq!(d.min_support_freq(), None);
+        assert_eq!(d.entropy(), 0.0);
+        assert!(d.values_by_ascending_freq().is_empty());
+    }
+
+    #[test]
+    fn ascending_freq_order_excludes_zeros() {
+        let d = SaDistribution::from_counts(vec![5, 0, 2, 2, 9]);
+        assert_eq!(d.values_by_ascending_freq(), vec![2, 3, 0, 4]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SaDistribution::from_counts(vec![1, 0, 2]);
+        let b = SaDistribution::from_counts(vec![0, 3, 1]);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 3, 3]);
+        assert_eq!(a.total(), 7);
+        assert!((a.freq(1) - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different domains")]
+    fn merge_domain_mismatch_panics() {
+        let mut a = SaDistribution::from_counts(vec![1]);
+        let b = SaDistribution::from_counts(vec![1, 2]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn entropy_uniform_is_ln_m() {
+        let d = SaDistribution::from_counts(vec![3, 3, 3, 3]);
+        assert!((d.entropy() - (4.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_support_freq() {
+        let d = SaDistribution::from_counts(vec![1, 0, 99]);
+        assert!((d.min_support_freq().unwrap() - 0.01).abs() < 1e-12);
+        assert!((d.max_freq() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apportion_sums_to_total() {
+        let got = largest_remainder_apportion(10, &[1.0, 1.0, 1.0]);
+        assert_eq!(got.iter().sum::<u64>(), 10);
+        // 10/3 = 3.33 each; one value (the lowest index on ties) gets 4.
+        assert_eq!(got, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn apportion_exact_proportions() {
+        assert_eq!(
+            largest_remainder_apportion(100, &[0.5, 0.3, 0.2]),
+            vec![50, 30, 20]
+        );
+    }
+
+    #[test]
+    fn apportion_zero_total_and_zero_weights() {
+        assert_eq!(largest_remainder_apportion(0, &[0.0, 0.0]), vec![0, 0]);
+        let got = largest_remainder_apportion(7, &[0.0, 2.0, 0.0]);
+        assert_eq!(got, vec![0, 7, 0]);
+    }
+
+    #[test]
+    fn apportion_error_below_one() {
+        let weights = [0.123, 0.456, 0.789, 0.001, 0.031];
+        let total = 12_345u64;
+        let got = largest_remainder_apportion(total, &weights);
+        let sum: f64 = weights.iter().sum();
+        for (g, w) in got.iter().zip(&weights) {
+            let exact = total as f64 * w / sum;
+            assert!((*g as f64 - exact).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn apportion_rejects_empty() {
+        largest_remainder_apportion(1, &[]);
+    }
+}

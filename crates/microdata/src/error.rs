@@ -1,0 +1,113 @@
+//! Error handling for the microdata substrate.
+
+use std::fmt;
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while constructing or manipulating microdata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An attribute index was out of bounds for the schema.
+    AttributeOutOfBounds {
+        /// The offending attribute index.
+        index: usize,
+        /// Number of attributes in the schema.
+        len: usize,
+    },
+    /// A value code was outside the attribute's domain.
+    ValueOutOfDomain {
+        /// Attribute name.
+        attribute: String,
+        /// The offending code.
+        code: u32,
+        /// Domain cardinality.
+        cardinality: usize,
+    },
+    /// A label could not be resolved against an attribute domain.
+    UnknownLabel {
+        /// Attribute name.
+        attribute: String,
+        /// The unresolvable label.
+        label: String,
+    },
+    /// Row data did not match the schema arity.
+    ArityMismatch {
+        /// Values provided.
+        got: usize,
+        /// Values expected (schema arity).
+        expected: usize,
+    },
+    /// A hierarchy specification was structurally invalid.
+    InvalidHierarchy(String),
+    /// A schema-level invariant was violated (e.g. empty domain).
+    InvalidSchema(String),
+    /// The operation needs a non-empty table.
+    EmptyTable,
+    /// CSV parsing failed.
+    Csv(String),
+    /// Underlying I/O failure (stringified to keep the error `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::AttributeOutOfBounds { index, len } => {
+                write!(f, "attribute index {index} out of bounds (schema has {len})")
+            }
+            Error::ValueOutOfDomain { attribute, code, cardinality } => write!(
+                f,
+                "value code {code} outside domain of attribute `{attribute}` (cardinality {cardinality})"
+            ),
+            Error::UnknownLabel { attribute, label } => {
+                write!(f, "label `{label}` not found in domain of attribute `{attribute}`")
+            }
+            Error::ArityMismatch { got, expected } => {
+                write!(f, "row has {got} values but schema expects {expected}")
+            }
+            Error::InvalidHierarchy(msg) => write!(f, "invalid hierarchy: {msg}"),
+            Error::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            Error::EmptyTable => write!(f, "operation requires a non-empty table"),
+            Error::Csv(msg) => write!(f, "csv error: {msg}"),
+            Error::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::ValueOutOfDomain {
+            attribute: "Age".into(),
+            code: 99,
+            cardinality: 79,
+        };
+        let s = e.to_string();
+        assert!(s.contains("Age") && s.contains("99") && s.contains("79"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::EmptyTable, Error::EmptyTable);
+        assert_ne!(Error::EmptyTable, Error::Csv("x".into()));
+    }
+}

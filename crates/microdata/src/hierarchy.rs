@@ -1,0 +1,460 @@
+//! Generalization hierarchies for categorical attributes.
+//!
+//! A hierarchy is a rooted tree whose leaves are the attribute's domain
+//! values (Figure 1 of the paper shows the disease hierarchy). Generalization
+//! replaces a set of leaf values by their lowest common ancestor (LCA); the
+//! information loss of that replacement is `|leaves(a)| / |leaves(H)|`
+//! (Equation 3 of the paper).
+//!
+//! The tree is stored flattened in **pre-order**, which yields two useful
+//! properties exploited throughout the workspace:
+//!
+//! 1. Leaf codes `0..num_leaves()` enumerate leaves left-to-right, so each
+//!    node covers a *contiguous* leaf-code range `[leaf_lo, leaf_hi]`.
+//! 2. The LCA of any set of leaves equals the LCA of the minimum and maximum
+//!    leaf codes in the set, computable in O(height) by walking parents.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// Index of a node inside a [`Hierarchy`] (pre-order position; 0 = root).
+pub type NodeId = usize;
+
+/// Declarative specification of a hierarchy, consumed by
+/// [`Hierarchy::from_spec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeSpec {
+    /// A leaf node carrying a domain value label.
+    Leaf(String),
+    /// An internal node with a label and at least one child.
+    Internal(String, Vec<NodeSpec>),
+}
+
+impl NodeSpec {
+    /// Convenience constructor for a leaf.
+    pub fn leaf(label: impl Into<String>) -> Self {
+        NodeSpec::Leaf(label.into())
+    }
+
+    /// Convenience constructor for an internal node.
+    pub fn internal(label: impl Into<String>, children: Vec<NodeSpec>) -> Self {
+        NodeSpec::Internal(label.into(), children)
+    }
+}
+
+/// A generalization hierarchy over a categorical domain.
+///
+/// Immutable after construction. See the module docs for the storage scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hierarchy {
+    /// Node labels in pre-order.
+    labels: Vec<String>,
+    /// Parent of each node (`usize::MAX` for the root).
+    parent: Vec<usize>,
+    /// Depth of each node (root = 0).
+    depth: Vec<u32>,
+    /// Inclusive leaf-code range covered by each node.
+    leaf_lo: Vec<u32>,
+    leaf_hi: Vec<u32>,
+    /// Leaf code -> node id.
+    leaf_nodes: Vec<NodeId>,
+    /// Maximum depth of any leaf (the hierarchy "height" as in Table 3).
+    height: u32,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from a declarative [`NodeSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHierarchy`] if the root is a leaf with no
+    /// siblings making the domain empty, if an internal node has no children,
+    /// or if two leaves share a label.
+    pub fn from_spec(spec: &NodeSpec) -> Result<Self> {
+        let mut h = Hierarchy {
+            labels: Vec::new(),
+            parent: Vec::new(),
+            depth: Vec::new(),
+            leaf_lo: Vec::new(),
+            leaf_hi: Vec::new(),
+            leaf_nodes: Vec::new(),
+            height: 0,
+        };
+        h.push_subtree(spec, usize::MAX, 0)?;
+        if h.leaf_nodes.is_empty() {
+            return Err(Error::InvalidHierarchy("hierarchy has no leaves".into()));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for &node in &h.leaf_nodes {
+            if !seen.insert(h.labels[node].clone()) {
+                return Err(Error::InvalidHierarchy(format!(
+                    "duplicate leaf label `{}`",
+                    h.labels[node]
+                )));
+            }
+        }
+        Ok(h)
+    }
+
+    /// Builds a flat hierarchy of height 1: a root with one leaf per label.
+    ///
+    /// This is the natural hierarchy for categorical attributes without
+    /// domain semantics (e.g. *gender* in Table 3 of the paper).
+    pub fn flat(root_label: impl Into<String>, leaf_labels: &[&str]) -> Result<Self> {
+        let children = leaf_labels.iter().map(|l| NodeSpec::leaf(*l)).collect();
+        Hierarchy::from_spec(&NodeSpec::internal(root_label, children))
+    }
+
+    fn push_subtree(&mut self, spec: &NodeSpec, parent: usize, depth: u32) -> Result<NodeId> {
+        let id = self.labels.len();
+        match spec {
+            NodeSpec::Leaf(label) => {
+                self.labels.push(label.clone());
+                self.parent.push(parent);
+                self.depth.push(depth);
+                let code = self.leaf_nodes.len() as u32;
+                self.leaf_lo.push(code);
+                self.leaf_hi.push(code);
+                self.leaf_nodes.push(id);
+                self.height = self.height.max(depth);
+            }
+            NodeSpec::Internal(label, children) => {
+                if children.is_empty() {
+                    return Err(Error::InvalidHierarchy(format!(
+                        "internal node `{label}` has no children"
+                    )));
+                }
+                self.labels.push(label.clone());
+                self.parent.push(parent);
+                self.depth.push(depth);
+                // Placeholders patched after the children are laid out.
+                self.leaf_lo.push(u32::MAX);
+                self.leaf_hi.push(0);
+                for child in children {
+                    self.push_subtree(child, id, depth + 1)?;
+                }
+                let lo = self.leaf_lo[id + 1..]
+                    .iter()
+                    .zip(&self.parent[id + 1..])
+                    .filter(|&(_, &p)| p == id)
+                    .map(|(&l, _)| l)
+                    .min()
+                    .unwrap_or(u32::MAX);
+                // Children already carry correct ranges; this node covers the
+                // union, which in pre-order is simply [first child's lo, last
+                // child's hi].
+                let _ = lo;
+                self.leaf_lo[id] = self.leaf_lo[id + 1];
+                self.leaf_hi[id] = *self.leaf_hi.last().expect("children exist");
+            }
+        }
+        Ok(id)
+    }
+
+    /// Number of leaves, i.e. the cardinality of the attribute domain.
+    #[inline]
+    pub fn num_leaves(&self) -> usize {
+        self.leaf_nodes.len()
+    }
+
+    /// Number of nodes (internal + leaves).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Maximum leaf depth — the hierarchy "height" reported in Table 3.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Node id of the root (always 0).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// The node storing a leaf code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is outside the domain.
+    #[inline]
+    pub fn leaf_node(&self, code: u32) -> NodeId {
+        self.leaf_nodes[code as usize]
+    }
+
+    /// Label of a node.
+    #[inline]
+    pub fn label(&self, node: NodeId) -> &str {
+        &self.labels[node]
+    }
+
+    /// Label of a leaf code.
+    #[inline]
+    pub fn leaf_label(&self, code: u32) -> &str {
+        self.label(self.leaf_node(code))
+    }
+
+    /// Resolves a leaf label to its code, if present.
+    pub fn leaf_code(&self, label: &str) -> Option<u32> {
+        self.leaf_nodes
+            .iter()
+            .position(|&n| self.labels[n] == label)
+            .map(|c| c as u32)
+    }
+
+    /// Depth of a node (root = 0).
+    #[inline]
+    pub fn node_depth(&self, node: NodeId) -> u32 {
+        self.depth[node]
+    }
+
+    /// Parent of a node, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        let p = self.parent[node];
+        (p != usize::MAX).then_some(p)
+    }
+
+    /// Whether the node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.leaf_lo[node] == self.leaf_hi[node]
+            && self.leaf_nodes[self.leaf_lo[node] as usize] == node
+    }
+
+    /// Number of leaves under a node (`|leaves(a)|` in Equation 3).
+    #[inline]
+    pub fn leaves_under(&self, node: NodeId) -> usize {
+        (self.leaf_hi[node] - self.leaf_lo[node] + 1) as usize
+    }
+
+    /// Inclusive leaf-code range covered by a node.
+    #[inline]
+    pub fn leaf_range(&self, node: NodeId) -> (u32, u32) {
+        (self.leaf_lo[node], self.leaf_hi[node])
+    }
+
+    /// Lowest common ancestor of two leaf codes.
+    ///
+    /// Because the set of leaves between `lo` and `hi` in pre-order is
+    /// exactly the set of leaves under `lca(lo, hi)`, this is also the LCA of
+    /// *any* leaf set with these extremes — the workhorse of Equation 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either code is outside the domain.
+    pub fn lca_of_leaves(&self, a: u32, b: u32) -> NodeId {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut node = self.leaf_node(lo);
+        while self.leaf_hi[node] < hi {
+            node = self.parent[node];
+            debug_assert_ne!(node, usize::MAX, "root covers all leaves");
+        }
+        node
+    }
+
+    /// Information loss of generalizing the leaf-code range `[lo, hi]` to its
+    /// LCA, per Equation 3 of the paper: 0 if a single leaf, otherwise
+    /// `|leaves(lca)| / |leaves(H)|`.
+    pub fn range_loss(&self, lo: u32, hi: u32) -> f64 {
+        let lca = self.lca_of_leaves(lo, hi);
+        let covered = self.leaves_under(lca);
+        if covered == 1 {
+            0.0
+        } else {
+            covered as f64 / self.num_leaves() as f64
+        }
+    }
+
+    /// All ancestors of a node from its parent up to the root.
+    pub fn ancestors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.depth[node] as usize);
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// Iterator over leaf codes `0..num_leaves()`.
+    pub fn leaf_codes(&self) -> impl Iterator<Item = u32> {
+        0..self.num_leaves() as u32
+    }
+}
+
+impl fmt::Display for Hierarchy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for node in 0..self.num_nodes() {
+            let indent = "  ".repeat(self.depth[node] as usize);
+            let marker = if self.is_leaf(node) { "-" } else { "+" };
+            writeln!(f, "{indent}{marker} {}", self.labels[node])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The disease hierarchy of Figure 1 in the paper.
+    fn diseases() -> Hierarchy {
+        Hierarchy::from_spec(&NodeSpec::internal(
+            "nervous and circulatory diseases",
+            vec![
+                NodeSpec::internal(
+                    "nervous diseases",
+                    vec![
+                        NodeSpec::leaf("headache"),
+                        NodeSpec::leaf("epilepsy"),
+                        NodeSpec::leaf("brain tumors"),
+                    ],
+                ),
+                NodeSpec::internal(
+                    "circulatory diseases",
+                    vec![
+                        NodeSpec::leaf("anemia"),
+                        NodeSpec::leaf("angina"),
+                        NodeSpec::leaf("heart murmur"),
+                    ],
+                ),
+            ],
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_structure() {
+        let h = diseases();
+        assert_eq!(h.num_leaves(), 6);
+        assert_eq!(h.num_nodes(), 9);
+        assert_eq!(h.height(), 2);
+        assert_eq!(h.leaf_label(0), "headache");
+        assert_eq!(h.leaf_label(5), "heart murmur");
+        assert_eq!(h.leaf_code("angina"), Some(4));
+        assert_eq!(h.leaf_code("flu"), None);
+    }
+
+    #[test]
+    fn lca_within_subtree() {
+        let h = diseases();
+        // headache(0) and brain tumors(2) meet at "nervous diseases".
+        let lca = h.lca_of_leaves(0, 2);
+        assert_eq!(h.label(lca), "nervous diseases");
+        assert_eq!(h.leaves_under(lca), 3);
+    }
+
+    #[test]
+    fn lca_across_subtrees_is_root() {
+        let h = diseases();
+        let lca = h.lca_of_leaves(2, 3);
+        assert_eq!(lca, h.root());
+        assert_eq!(h.leaves_under(lca), 6);
+    }
+
+    #[test]
+    fn lca_is_symmetric_and_idempotent() {
+        let h = diseases();
+        assert_eq!(h.lca_of_leaves(1, 4), h.lca_of_leaves(4, 1));
+        let leaf = h.lca_of_leaves(3, 3);
+        assert!(h.is_leaf(leaf));
+        assert_eq!(h.label(leaf), "anemia");
+    }
+
+    #[test]
+    fn range_loss_matches_equation3() {
+        let h = diseases();
+        // Single value: zero loss.
+        assert_eq!(h.range_loss(2, 2), 0.0);
+        // Within "nervous diseases": 3/6.
+        assert!((h.range_loss(0, 2) - 0.5).abs() < 1e-12);
+        // Across the root: 6/6 = 1.
+        assert!((h.range_loss(0, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_hierarchy() {
+        let h = Hierarchy::flat("person", &["male", "female"]).unwrap();
+        assert_eq!(h.height(), 1);
+        assert_eq!(h.num_leaves(), 2);
+        assert_eq!(h.lca_of_leaves(0, 1), h.root());
+        // Generalizing both genders covers the whole domain.
+        assert!((h.range_loss(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_empty_internal() {
+        let bad = NodeSpec::internal("root", vec![NodeSpec::internal("empty", vec![])]);
+        assert!(matches!(
+            Hierarchy::from_spec(&bad),
+            Err(Error::InvalidHierarchy(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_leaves() {
+        let bad = NodeSpec::internal(
+            "root",
+            vec![NodeSpec::leaf("x"), NodeSpec::leaf("x")],
+        );
+        assert!(matches!(
+            Hierarchy::from_spec(&bad),
+            Err(Error::InvalidHierarchy(_))
+        ));
+    }
+
+    #[test]
+    fn single_leaf_domain() {
+        let h = Hierarchy::from_spec(&NodeSpec::internal(
+            "root",
+            vec![NodeSpec::leaf("only")],
+        ))
+        .unwrap();
+        assert_eq!(h.num_leaves(), 1);
+        assert_eq!(h.range_loss(0, 0), 0.0);
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let h = diseases();
+        let leaf = h.leaf_node(4); // angina
+        let anc = h.ancestors(leaf);
+        assert_eq!(anc.len(), 2);
+        assert_eq!(h.label(anc[0]), "circulatory diseases");
+        assert_eq!(anc[1], h.root());
+        assert!(h.ancestors(h.root()).is_empty());
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let h = diseases();
+        let s = h.to_string();
+        assert!(s.contains("+ nervous diseases"));
+        assert!(s.contains("- angina"));
+    }
+
+    #[test]
+    fn deep_unbalanced_hierarchy() {
+        // root -> a -> b -> leaf1 ; root -> leaf2
+        let h = Hierarchy::from_spec(&NodeSpec::internal(
+            "root",
+            vec![
+                NodeSpec::internal(
+                    "a",
+                    vec![NodeSpec::internal("b", vec![NodeSpec::leaf("l1")])],
+                ),
+                NodeSpec::leaf("l2"),
+            ],
+        ))
+        .unwrap();
+        assert_eq!(h.height(), 3);
+        assert_eq!(h.num_leaves(), 2);
+        assert_eq!(h.lca_of_leaves(0, 1), h.root());
+        assert_eq!(h.node_depth(h.leaf_node(0)), 3);
+        assert_eq!(h.node_depth(h.leaf_node(1)), 1);
+    }
+}

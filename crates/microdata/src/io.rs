@@ -1,0 +1,180 @@
+//! CSV export/import of decoded tables.
+//!
+//! The experiment binaries use this to dump generated datasets and published
+//! tables for external inspection. The format is plain RFC-4180-ish CSV with
+//! a header row of attribute names; values are decoded labels (not codes),
+//! so files are human-readable and survive schema-compatible round-trips.
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::table::Table;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::sync::Arc;
+
+fn needs_quoting(field: &str) -> bool {
+    field.contains(',') || field.contains('"') || field.contains('\n')
+}
+
+fn write_field(out: &mut impl Write, field: &str) -> std::io::Result<()> {
+    if needs_quoting(field) {
+        write!(out, "\"{}\"", field.replace('"', "\"\""))
+    } else {
+        out.write_all(field.as_bytes())
+    }
+}
+
+/// Writes a table as CSV with a header of attribute names.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_csv(table: &Table, sink: impl Write) -> Result<()> {
+    let mut out = BufWriter::new(sink);
+    let schema = table.schema();
+    for (i, a) in schema.attributes().iter().enumerate() {
+        if i > 0 {
+            out.write_all(b",")?;
+        }
+        write_field(&mut out, a.name())?;
+    }
+    out.write_all(b"\n")?;
+    for row in 0..table.num_rows() {
+        for (i, label) in table.decode_row(row).iter().enumerate() {
+            if i > 0 {
+                out.write_all(b",")?;
+            }
+            write_field(&mut out, label)?;
+        }
+        out.write_all(b"\n")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Splits one CSV line into fields, honoring double-quote escaping.
+fn split_csv_line(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    cur.push('"');
+                    chars.next();
+                }
+                '"' => in_quotes = false,
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' if cur.is_empty() => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::Csv(format!("unterminated quote in line: {line}")));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Reads a CSV previously produced by [`write_csv`] back into a table,
+/// validating the header against `schema` and encoding labels.
+///
+/// # Errors
+///
+/// Fails on header mismatch, unknown labels, or malformed CSV.
+pub fn read_csv(schema: Arc<Schema>, source: impl Read) -> Result<Table> {
+    let mut reader = BufReader::new(source);
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Err(Error::Csv("missing header row".into()));
+    }
+    let names = split_csv_line(header.trim_end_matches(['\r', '\n']))?;
+    if names.len() != schema.arity() {
+        return Err(Error::ArityMismatch {
+            got: names.len(),
+            expected: schema.arity(),
+        });
+    }
+    for (i, name) in names.iter().enumerate() {
+        if schema.attr(i).name() != name {
+            return Err(Error::Csv(format!(
+                "header column {i} is `{name}`, schema expects `{}`",
+                schema.attr(i).name()
+            )));
+        }
+    }
+    let mut builder = Table::builder(schema);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields = split_csv_line(trimmed)?;
+        let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        builder.push_labels(&refs)?;
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patients::{patients_schema, patients_table};
+
+    #[test]
+    fn roundtrip_patients() {
+        let t = patients_table();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("Weight,Age,Disease\n"));
+        assert!(text.contains("70,40,headache"));
+        let back = read_csv(patients_schema(), buf.as_slice()).unwrap();
+        assert_eq!(back.num_rows(), t.num_rows());
+        for r in 0..t.num_rows() {
+            assert_eq!(back.decode_row(r), t.decode_row(r));
+        }
+    }
+
+    #[test]
+    fn quoting_roundtrip() {
+        assert_eq!(
+            split_csv_line("a,\"b,c\",\"d\"\"e\"").unwrap(),
+            vec!["a", "b,c", "d\"e"]
+        );
+        assert!(split_csv_line("\"oops").is_err());
+    }
+
+    #[test]
+    fn header_validation() {
+        let csv = b"Weight,Age,Illness\n70,40,headache\n";
+        assert!(read_csv(patients_schema(), csv.as_slice()).is_err());
+        let short = b"Weight,Age\n";
+        assert!(matches!(
+            read_csv(patients_schema(), short.as_slice()),
+            Err(Error::ArityMismatch { .. })
+        ));
+        let empty = b"";
+        assert!(read_csv(patients_schema(), empty.as_slice()).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines_rejects_bad_labels() {
+        let csv = b"Weight,Age,Disease\n70,40,headache\n\n60,60,epilepsy\n";
+        let t = read_csv(patients_schema(), csv.as_slice()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        let bad = b"Weight,Age,Disease\n70,40,plague\n";
+        assert!(read_csv(patients_schema(), bad.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! The running example of the paper: Table 1 (six patient records) with the
+//! disease hierarchy of Figure 1.
+//!
+//! Used by unit tests, the `model_tour` example, and the documentation; it is
+//! small enough to verify the paper's worked examples by hand (Examples 1
+//! and 2, the similarity-attack discussion in Section 2).
+
+use crate::hierarchy::{Hierarchy, NodeSpec};
+use crate::schema::{Attribute, Schema};
+use crate::table::Table;
+use std::sync::Arc;
+
+/// Attribute indices of the patients schema.
+pub mod attr {
+    /// Weight (numeric).
+    pub const WEIGHT: usize = 0;
+    /// Age (numeric).
+    pub const AGE: usize = 1;
+    /// Disease — the sensitive attribute.
+    pub const DISEASE: usize = 2;
+}
+
+/// The disease generalization hierarchy of Figure 1.
+///
+/// ```text
+/// nervous and circulatory diseases
+/// ├── nervous diseases:     headache, epilepsy, brain tumors
+/// └── circulatory diseases: anemia, angina, heart murmur
+/// ```
+pub fn disease_hierarchy() -> Hierarchy {
+    Hierarchy::from_spec(&NodeSpec::internal(
+        "nervous and circulatory diseases",
+        vec![
+            NodeSpec::internal(
+                "nervous diseases",
+                vec![
+                    NodeSpec::leaf("headache"),
+                    NodeSpec::leaf("epilepsy"),
+                    NodeSpec::leaf("brain tumors"),
+                ],
+            ),
+            NodeSpec::internal(
+                "circulatory diseases",
+                vec![
+                    NodeSpec::leaf("anemia"),
+                    NodeSpec::leaf("angina"),
+                    NodeSpec::leaf("heart murmur"),
+                ],
+            ),
+        ],
+    ))
+    .expect("static hierarchy is valid")
+}
+
+/// Schema of Table 1: QI = {weight, age}, SA = disease.
+pub fn patients_schema() -> Arc<Schema> {
+    let weight = Attribute::numeric_range("Weight", 50, 80).expect("static domain");
+    let age = Attribute::numeric_range("Age", 40, 70).expect("static domain");
+    let disease = Attribute::categorical("Disease", disease_hierarchy());
+    Arc::new(Schema::new(vec![weight, age, disease], attr::DISEASE).expect("static schema"))
+}
+
+/// The six patient records of Table 1 (identifiers dropped, as the paper
+/// assumes de-identified input).
+///
+/// | Weight | Age | Disease      |
+/// |--------|-----|--------------|
+/// | 70     | 40  | headache     |
+/// | 60     | 60  | epilepsy     |
+/// | 50     | 50  | brain tumors |
+/// | 70     | 50  | heart murmur |
+/// | 80     | 50  | anemia       |
+/// | 60     | 70  | angina       |
+pub fn patients_table() -> Table {
+    let schema = patients_schema();
+    let mut b = Table::builder(schema);
+    for row in [
+        ["70", "40", "headache"],
+        ["60", "60", "epilepsy"],
+        ["50", "50", "brain tumors"],
+        ["70", "50", "heart murmur"],
+        ["80", "50", "anemia"],
+        ["60", "70", "angina"],
+    ] {
+        b.push_labels(&row).expect("static rows are valid");
+    }
+    b.build()
+}
+
+/// The table of Example 2 in the paper: 19 tuples whose disease counts are
+/// 2 × headache, 3 × epilepsy, 3 × brain tumors, 3 × anemia, 4 × angina,
+/// 4 × heart murmur (QI values are synthesized on a small grid; Example 2
+/// only reasons about the SA histogram).
+pub fn example2_table() -> Table {
+    let schema = patients_schema();
+    let diseases = [
+        ("headache", 2),
+        ("epilepsy", 3),
+        ("brain tumors", 3),
+        ("anemia", 3),
+        ("angina", 4),
+        ("heart murmur", 4),
+    ];
+    let mut b = Table::builder(schema);
+    let mut i = 0u32;
+    for (name, count) in diseases {
+        for _ in 0..count {
+            let weight = 50 + 5 * (i % 7);
+            let age = 40 + 2 * (i % 16);
+            b.push_labels(&[&weight.to_string(), &age.to_string(), name])
+                .expect("static rows are valid");
+            i += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let t = patients_table();
+        assert_eq!(t.num_rows(), 6);
+        assert_eq!(t.schema().arity(), 3);
+        assert_eq!(t.decode_row(2), vec!["50", "50", "brain tumors"]);
+        // Every disease occurs exactly once.
+        let d = t.sa_distribution(attr::DISEASE);
+        assert!(d.counts().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn example2_histogram() {
+        let t = example2_table();
+        assert_eq!(t.num_rows(), 19);
+        let d = t.sa_distribution(attr::DISEASE);
+        assert_eq!(d.counts(), &[2, 3, 3, 3, 4, 4]);
+        // Matches the paper's P = (2/19, 3/19, 3/19, 3/19, 4/19, 4/19).
+        assert!((d.freq(0) - 2.0 / 19.0).abs() < 1e-12);
+        assert!((d.freq(5) - 4.0 / 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_attack_structure() {
+        // The first three tuples of Table 1 all carry nervous diseases: a
+        // 3-diverse EC over them still leaks the disease category (the
+        // similarity attack of Section 2).
+        let t = patients_table();
+        let h = disease_hierarchy();
+        let (lo, hi) = t.code_extent(attr::DISEASE, &[0, 1, 2]).unwrap();
+        let lca = h.lca_of_leaves(lo, hi);
+        assert_eq!(h.label(lca), "nervous diseases");
+    }
+}

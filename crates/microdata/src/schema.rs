@@ -1,0 +1,382 @@
+//! Attribute and schema descriptions.
+//!
+//! A [`Schema`] is an ordered list of [`Attribute`]s. Attributes are either
+//! numeric (a sorted list of domain values; generalization produces value
+//! ranges, Equation 2 of the paper) or categorical (a generalization
+//! [`Hierarchy`]; generalization produces subtree ranges, Equation 3).
+//!
+//! The schema does not hard-wire which attributes are QIs and which is the
+//! SA: the paper's experiments vary the QI set (Figures 6, 8c, 9c), so the
+//! anonymization APIs take the QI indices and SA index as parameters. The
+//! schema records a *default* SA index for convenience.
+
+use crate::error::{Error, Result};
+use crate::hierarchy::Hierarchy;
+use crate::Value;
+
+/// The typed domain of an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrKind {
+    /// A numeric attribute; `values` is the sorted domain. Code `i` encodes
+    /// `values[i]`.
+    Numeric {
+        /// Sorted distinct domain values.
+        values: Vec<f64>,
+    },
+    /// A categorical attribute with a generalization hierarchy. Code `i`
+    /// encodes the `i`-th leaf in pre-order.
+    Categorical {
+        /// The generalization hierarchy over the domain.
+        hierarchy: Hierarchy,
+    },
+}
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    name: String,
+    kind: AttrKind,
+}
+
+impl Attribute {
+    /// Creates a numeric attribute over an integer range `lo..=hi`
+    /// (inclusive), the common case for CENSUS attributes such as *age*.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSchema`] if `lo > hi`.
+    pub fn numeric_range(name: impl Into<String>, lo: i64, hi: i64) -> Result<Self> {
+        if lo > hi {
+            return Err(Error::InvalidSchema(format!(
+                "numeric range {lo}..={hi} is empty"
+            )));
+        }
+        let values = (lo..=hi).map(|v| v as f64).collect();
+        Ok(Attribute {
+            name: name.into(),
+            kind: AttrKind::Numeric { values },
+        })
+    }
+
+    /// Creates a numeric attribute from explicit domain values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSchema`] if `values` is empty, unsorted, or
+    /// contains duplicates / non-finite entries.
+    pub fn numeric(name: impl Into<String>, values: Vec<f64>) -> Result<Self> {
+        if values.is_empty() {
+            return Err(Error::InvalidSchema("numeric domain is empty".into()));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(Error::InvalidSchema("numeric domain has non-finite values".into()));
+        }
+        if values.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::InvalidSchema(
+                "numeric domain must be strictly ascending".into(),
+            ));
+        }
+        Ok(Attribute {
+            name: name.into(),
+            kind: AttrKind::Numeric { values },
+        })
+    }
+
+    /// Creates a categorical attribute from a hierarchy.
+    pub fn categorical(name: impl Into<String>, hierarchy: Hierarchy) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Categorical { hierarchy },
+        }
+    }
+
+    /// Attribute name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attribute kind (numeric or categorical).
+    #[inline]
+    pub fn kind(&self) -> &AttrKind {
+        &self.kind
+    }
+
+    /// Domain cardinality.
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        match &self.kind {
+            AttrKind::Numeric { values } => values.len(),
+            AttrKind::Categorical { hierarchy } => hierarchy.num_leaves(),
+        }
+    }
+
+    /// Whether the attribute is numeric.
+    #[inline]
+    pub fn is_numeric(&self) -> bool {
+        matches!(self.kind, AttrKind::Numeric { .. })
+    }
+
+    /// The hierarchy of a categorical attribute, if any.
+    #[inline]
+    pub fn hierarchy(&self) -> Option<&Hierarchy> {
+        match &self.kind {
+            AttrKind::Categorical { hierarchy } => Some(hierarchy),
+            AttrKind::Numeric { .. } => None,
+        }
+    }
+
+    /// Decodes a value code to its numeric domain value (numeric attributes
+    /// only).
+    #[inline]
+    pub fn numeric_value(&self, code: Value) -> Option<f64> {
+        match &self.kind {
+            AttrKind::Numeric { values } => values.get(code as usize).copied(),
+            AttrKind::Categorical { .. } => None,
+        }
+    }
+
+    /// Human-readable label for a value code.
+    pub fn label(&self, code: Value) -> String {
+        match &self.kind {
+            AttrKind::Numeric { values } => values
+                .get(code as usize)
+                .map(|v| {
+                    if v.fract() == 0.0 {
+                        format!("{}", *v as i64)
+                    } else {
+                        format!("{v}")
+                    }
+                })
+                .unwrap_or_else(|| format!("<bad:{code}>")),
+            AttrKind::Categorical { hierarchy } => {
+                if (code as usize) < hierarchy.num_leaves() {
+                    hierarchy.leaf_label(code).to_string()
+                } else {
+                    format!("<bad:{code}>")
+                }
+            }
+        }
+    }
+
+    /// Resolves a label (or numeric literal) to a value code.
+    pub fn code_of(&self, label: &str) -> Result<Value> {
+        match &self.kind {
+            AttrKind::Numeric { values } => {
+                let v: f64 = label.trim().parse().map_err(|_| Error::UnknownLabel {
+                    attribute: self.name.clone(),
+                    label: label.to_string(),
+                })?;
+                values
+                    .iter()
+                    .position(|&x| (x - v).abs() < 1e-9)
+                    .map(|i| i as Value)
+                    .ok_or_else(|| Error::UnknownLabel {
+                        attribute: self.name.clone(),
+                        label: label.to_string(),
+                    })
+            }
+            AttrKind::Categorical { hierarchy } => {
+                hierarchy.leaf_code(label).ok_or_else(|| Error::UnknownLabel {
+                    attribute: self.name.clone(),
+                    label: label.to_string(),
+                })
+            }
+        }
+    }
+
+    /// Normalized width of the code range `[lo, hi]` relative to the full
+    /// domain, used by the information-loss metric:
+    ///
+    /// * numeric: `(v[hi] − v[lo]) / (v[max] − v[min])` (Equation 2);
+    /// * categorical: `|leaves(lca(lo, hi))| / |leaves(H)|`, 0 for a single
+    ///   value (Equation 3).
+    pub fn normalized_span(&self, lo: Value, hi: Value) -> f64 {
+        debug_assert!(lo <= hi);
+        match &self.kind {
+            AttrKind::Numeric { values } => {
+                let full = values[values.len() - 1] - values[0];
+                if full == 0.0 {
+                    0.0
+                } else {
+                    (values[hi as usize] - values[lo as usize]) / full
+                }
+            }
+            AttrKind::Categorical { hierarchy } => hierarchy.range_loss(lo, hi),
+        }
+    }
+}
+
+/// An ordered collection of attributes with a default sensitive attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    default_sa: usize,
+}
+
+impl Schema {
+    /// Creates a schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSchema`] if `attributes` is empty, names
+    /// collide, or `default_sa` is out of bounds.
+    pub fn new(attributes: Vec<Attribute>, default_sa: usize) -> Result<Self> {
+        if attributes.is_empty() {
+            return Err(Error::InvalidSchema("schema has no attributes".into()));
+        }
+        if default_sa >= attributes.len() {
+            return Err(Error::InvalidSchema(format!(
+                "default SA index {default_sa} out of bounds ({} attributes)",
+                attributes.len()
+            )));
+        }
+        let mut names = std::collections::BTreeSet::new();
+        for a in &attributes {
+            if !names.insert(a.name().to_string()) {
+                return Err(Error::InvalidSchema(format!(
+                    "duplicate attribute name `{}`",
+                    a.name()
+                )));
+            }
+        }
+        Ok(Schema {
+            attributes,
+            default_sa,
+        })
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// All attributes in order.
+    #[inline]
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Attribute at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AttributeOutOfBounds`] if the index is invalid.
+    pub fn attribute(&self, index: usize) -> Result<&Attribute> {
+        self.attributes
+            .get(index)
+            .ok_or(Error::AttributeOutOfBounds {
+                index,
+                len: self.attributes.len(),
+            })
+    }
+
+    /// Attribute at `index` without bounds diagnostics (panics on misuse).
+    #[inline]
+    pub fn attr(&self, index: usize) -> &Attribute {
+        &self.attributes[index]
+    }
+
+    /// Position of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name() == name)
+    }
+
+    /// The schema's default sensitive-attribute index.
+    #[inline]
+    pub fn default_sa(&self) -> usize {
+        self.default_sa
+    }
+
+    /// All indices except the default SA — the candidate QI attributes.
+    pub fn default_qi(&self) -> Vec<usize> {
+        (0..self.arity()).filter(|&i| i != self.default_sa).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::NodeSpec;
+
+    fn gender() -> Attribute {
+        Attribute::categorical("Gender", Hierarchy::flat("person", &["male", "female"]).unwrap())
+    }
+
+    #[test]
+    fn numeric_range_domain() {
+        let age = Attribute::numeric_range("Age", 16, 94).unwrap();
+        assert_eq!(age.cardinality(), 79);
+        assert_eq!(age.numeric_value(0), Some(16.0));
+        assert_eq!(age.numeric_value(78), Some(94.0));
+        assert_eq!(age.label(3), "19");
+        assert_eq!(age.code_of("94").unwrap(), 78);
+        assert!(age.code_of("95").is_err());
+    }
+
+    #[test]
+    fn numeric_rejects_bad_domains() {
+        assert!(Attribute::numeric_range("x", 5, 4).is_err());
+        assert!(Attribute::numeric("x", vec![]).is_err());
+        assert!(Attribute::numeric("x", vec![1.0, 1.0]).is_err());
+        assert!(Attribute::numeric("x", vec![2.0, 1.0]).is_err());
+        assert!(Attribute::numeric("x", vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn normalized_span_numeric_matches_eq2() {
+        let age = Attribute::numeric_range("Age", 16, 94).unwrap();
+        // Full domain -> 1.
+        assert!((age.normalized_span(0, 78) - 1.0).abs() < 1e-12);
+        // [20, 32] as in the paper's generalization example: (32-20)/(94-16).
+        let lo = age.code_of("20").unwrap();
+        let hi = age.code_of("32").unwrap();
+        assert!((age.normalized_span(lo, hi) - 12.0 / 78.0).abs() < 1e-12);
+        // Single value -> 0.
+        assert_eq!(age.normalized_span(5, 5), 0.0);
+    }
+
+    #[test]
+    fn normalized_span_categorical_matches_eq3() {
+        let h = Hierarchy::from_spec(&NodeSpec::internal(
+            "root",
+            vec![
+                NodeSpec::internal("a", vec![NodeSpec::leaf("x"), NodeSpec::leaf("y")]),
+                NodeSpec::leaf("z"),
+            ],
+        ))
+        .unwrap();
+        let attr = Attribute::categorical("C", h);
+        assert_eq!(attr.normalized_span(0, 0), 0.0);
+        assert!((attr.normalized_span(0, 1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((attr.normalized_span(0, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schema_validation() {
+        let a = Attribute::numeric_range("Age", 0, 9).unwrap();
+        let g = gender();
+        assert!(Schema::new(vec![], 0).is_err());
+        assert!(Schema::new(vec![a.clone()], 5).is_err());
+        let dup = Schema::new(vec![a.clone(), a.clone()], 0);
+        assert!(dup.is_err());
+        let ok = Schema::new(vec![a, g], 1).unwrap();
+        assert_eq!(ok.arity(), 2);
+        assert_eq!(ok.default_sa(), 1);
+        assert_eq!(ok.default_qi(), vec![0]);
+        assert_eq!(ok.index_of("Gender"), Some(1));
+        assert_eq!(ok.index_of("Nope"), None);
+        assert!(ok.attribute(7).is_err());
+    }
+
+    #[test]
+    fn categorical_labels_roundtrip() {
+        let g = gender();
+        assert_eq!(g.label(1), "female");
+        assert_eq!(g.code_of("female").unwrap(), 1);
+        assert!(g.code_of("other").is_err());
+        assert!(g.hierarchy().is_some());
+        assert!(g.numeric_value(0).is_none());
+    }
+}

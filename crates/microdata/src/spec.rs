@@ -1,0 +1,283 @@
+//! Durable schema descriptors (JSON) for the release tooling.
+//!
+//! A [`SchemaSpec`] is the interchange form of a [`Schema`]: attribute
+//! names, numeric domains and categorical hierarchies, plus which attribute
+//! is sensitive. The `anonymize` CLI reads one next to the input CSV, and
+//! publication bundles embed one so recipients can decode the release
+//! without the producing binary.
+//!
+//! ```json
+//! {
+//!   "attributes": [
+//!     { "type": "numeric_range", "name": "Age", "min": 16, "max": 94 },
+//!     { "type": "categorical", "name": "Gender",
+//!       "hierarchy": { "label": "person",
+//!                      "children": [ { "label": "male" }, { "label": "female" } ] } }
+//!   ],
+//!   "sensitive": "Age"
+//! }
+//! ```
+
+use crate::error::{Error, Result};
+use crate::hierarchy::{Hierarchy, NodeSpec};
+use crate::schema::{AttrKind, Attribute, Schema};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Serializable hierarchy node: a label plus optional children (absent or
+/// empty children ⇒ leaf).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSpecJson {
+    /// Node label (leaf labels are the domain values).
+    pub label: String,
+    /// Child nodes; a leaf omits this field.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub children: Vec<NodeSpecJson>,
+}
+
+impl NodeSpecJson {
+    fn to_node_spec(&self) -> NodeSpec {
+        if self.children.is_empty() {
+            NodeSpec::leaf(self.label.clone())
+        } else {
+            NodeSpec::internal(
+                self.label.clone(),
+                self.children.iter().map(Self::to_node_spec).collect(),
+            )
+        }
+    }
+
+    fn from_hierarchy(h: &Hierarchy, node: usize) -> Self {
+        let children = (node + 1..h.num_nodes())
+            .filter(|&c| h.parent(c) == Some(node))
+            .map(|c| Self::from_hierarchy(h, c))
+            .collect();
+        NodeSpecJson {
+            label: h.label(node).to_string(),
+            children,
+        }
+    }
+}
+
+/// Serializable attribute descriptor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum AttrSpec {
+    /// Numeric attribute over an inclusive integer range.
+    NumericRange {
+        /// Attribute name.
+        name: String,
+        /// Smallest domain value.
+        min: i64,
+        /// Largest domain value.
+        max: i64,
+    },
+    /// Numeric attribute over explicit ascending values.
+    NumericValues {
+        /// Attribute name.
+        name: String,
+        /// Ascending distinct domain values.
+        values: Vec<f64>,
+    },
+    /// Categorical attribute with a generalization hierarchy.
+    Categorical {
+        /// Attribute name.
+        name: String,
+        /// The hierarchy (root node).
+        hierarchy: NodeSpecJson,
+    },
+}
+
+impl AttrSpec {
+    fn name(&self) -> &str {
+        match self {
+            AttrSpec::NumericRange { name, .. }
+            | AttrSpec::NumericValues { name, .. }
+            | AttrSpec::Categorical { name, .. } => name,
+        }
+    }
+
+    fn to_attribute(&self) -> Result<Attribute> {
+        match self {
+            AttrSpec::NumericRange { name, min, max } => Attribute::numeric_range(name, *min, *max),
+            AttrSpec::NumericValues { name, values } => Attribute::numeric(name, values.clone()),
+            AttrSpec::Categorical { name, hierarchy } => Ok(Attribute::categorical(
+                name,
+                Hierarchy::from_spec(&hierarchy.to_node_spec())?,
+            )),
+        }
+    }
+
+    fn from_attribute(attr: &Attribute) -> Self {
+        match attr.kind() {
+            AttrKind::Numeric { values } => {
+                // Compact integer ranges back to the range form.
+                let is_int_range = values
+                    .windows(2)
+                    .all(|w| (w[1] - w[0] - 1.0).abs() < 1e-9)
+                    && values.iter().all(|v| v.fract() == 0.0);
+                if is_int_range {
+                    AttrSpec::NumericRange {
+                        name: attr.name().to_string(),
+                        min: values[0] as i64,
+                        max: values[values.len() - 1] as i64,
+                    }
+                } else {
+                    AttrSpec::NumericValues {
+                        name: attr.name().to_string(),
+                        values: values.clone(),
+                    }
+                }
+            }
+            AttrKind::Categorical { hierarchy } => AttrSpec::Categorical {
+                name: attr.name().to_string(),
+                hierarchy: NodeSpecJson::from_hierarchy(hierarchy, hierarchy.root()),
+            },
+        }
+    }
+}
+
+/// A serializable schema: attributes plus the sensitive attribute's name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemaSpec {
+    /// Attribute descriptors in column order.
+    pub attributes: Vec<AttrSpec>,
+    /// Name of the sensitive attribute.
+    pub sensitive: String,
+}
+
+impl SchemaSpec {
+    /// Captures an existing schema.
+    pub fn from_schema(schema: &Schema) -> Self {
+        SchemaSpec {
+            attributes: schema
+                .attributes()
+                .iter()
+                .map(AttrSpec::from_attribute)
+                .collect(),
+            sensitive: schema.attr(schema.default_sa()).name().to_string(),
+        }
+    }
+
+    /// Materializes the runtime schema.
+    ///
+    /// # Errors
+    ///
+    /// Propagates domain/hierarchy validation errors; fails if `sensitive`
+    /// names no attribute.
+    pub fn to_schema(&self) -> Result<Arc<Schema>> {
+        let attrs: Result<Vec<Attribute>> =
+            self.attributes.iter().map(AttrSpec::to_attribute).collect();
+        let attrs = attrs?;
+        let sa = attrs
+            .iter()
+            .position(|a| a.name() == self.sensitive)
+            .ok_or_else(|| Error::InvalidSchema(format!(
+                "sensitive attribute `{}` not among the declared attributes",
+                self.sensitive
+            )))?;
+        Ok(Arc::new(Schema::new(attrs, sa)?))
+    }
+
+    /// Parses the JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Csv`]-style parse diagnostics wrapped as
+    /// [`Error::InvalidSchema`].
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| Error::InvalidSchema(format!("schema JSON: {e}")))
+    }
+
+    /// Renders pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("schema specs always serialize")
+    }
+
+    /// Name of an attribute by position.
+    pub fn attribute_name(&self, index: usize) -> Option<&str> {
+        self.attributes.get(index).map(AttrSpec::name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::census_schema;
+    use crate::patients::patients_schema;
+
+    #[test]
+    fn census_schema_roundtrips() {
+        let schema = census_schema();
+        let spec = SchemaSpec::from_schema(&schema);
+        let json = spec.to_json();
+        let parsed = SchemaSpec::from_json(&json).unwrap();
+        assert_eq!(parsed, spec);
+        let back = parsed.to_schema().unwrap();
+        assert_eq!(back.arity(), schema.arity());
+        assert_eq!(back.default_sa(), schema.default_sa());
+        for i in 0..schema.arity() {
+            assert_eq!(back.attr(i).name(), schema.attr(i).name());
+            assert_eq!(back.attr(i).cardinality(), schema.attr(i).cardinality());
+        }
+        // Hierarchy structure survives: work class height 3.
+        assert_eq!(back.attr(4).hierarchy().unwrap().height(), 3);
+    }
+
+    #[test]
+    fn patients_schema_roundtrips() {
+        let schema = patients_schema();
+        let spec = SchemaSpec::from_schema(&schema);
+        let back = SchemaSpec::from_json(&spec.to_json())
+            .unwrap()
+            .to_schema()
+            .unwrap();
+        assert_eq!(
+            back.attr(2).hierarchy().unwrap().leaf_label(0),
+            "headache"
+        );
+        assert_eq!(back.default_sa(), 2);
+    }
+
+    #[test]
+    fn json_form_is_stable_and_readable() {
+        let schema = patients_schema();
+        let json = SchemaSpec::from_schema(&schema).to_json();
+        assert!(json.contains("\"type\": \"numeric_range\""));
+        assert!(json.contains("\"sensitive\": \"Disease\""));
+        assert!(json.contains("\"label\": \"nervous diseases\""));
+    }
+
+    #[test]
+    fn unknown_sensitive_rejected() {
+        let spec = SchemaSpec {
+            attributes: vec![AttrSpec::NumericRange {
+                name: "a".into(),
+                min: 0,
+                max: 4,
+            }],
+            sensitive: "missing".into(),
+        };
+        assert!(matches!(
+            spec.to_schema(),
+            Err(Error::InvalidSchema(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(SchemaSpec::from_json("{not json").is_err());
+        assert!(SchemaSpec::from_json("{\"attributes\": []}").is_err());
+    }
+
+    #[test]
+    fn non_integer_domains_use_values_form() {
+        let attr = Attribute::numeric("score", vec![0.5, 1.5, 4.0]).unwrap();
+        let spec = AttrSpec::from_attribute(&attr);
+        assert!(matches!(spec, AttrSpec::NumericValues { .. }));
+        let back = spec.to_attribute().unwrap();
+        assert_eq!(back.cardinality(), 3);
+        assert_eq!(back.numeric_value(2), Some(4.0));
+    }
+}

@@ -1,0 +1,196 @@
+//! Small random tables for tests, property checks and micro-benchmarks.
+//!
+//! Unlike [`crate::census`], these generators make no attempt at realism;
+//! they let tests sweep domain shapes (uniform / Zipf-skewed SA, arbitrary
+//! QI counts) quickly and deterministically.
+
+use crate::hierarchy::Hierarchy;
+use crate::schema::{Attribute, Schema};
+use crate::table::Table;
+use crate::Value;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Shape of the synthetic SA marginal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SaShape {
+    /// All SA values equally likely.
+    Uniform,
+    /// Zipf-like skew with the given exponent (`s > 0`); value 0 is the most
+    /// frequent.
+    Zipf(f64),
+}
+
+/// Configuration for [`random_table`].
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of numeric QI attributes (each with domain `0..qi_cardinality`).
+    pub qi_attrs: usize,
+    /// Cardinality of every QI attribute.
+    pub qi_cardinality: usize,
+    /// Cardinality of the SA domain.
+    pub sa_cardinality: usize,
+    /// Marginal shape of the SA.
+    pub sa_shape: SaShape,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            rows: 1_000,
+            qi_attrs: 2,
+            qi_cardinality: 32,
+            sa_cardinality: 8,
+            sa_shape: SaShape::Zipf(1.0),
+            seed: 0,
+        }
+    }
+}
+
+/// Builds the schema used by [`random_table`]: `qi_attrs` numeric QIs named
+/// `q0, q1, …` plus one numeric SA named `sa` (SA generalization is never
+/// needed, so a numeric domain suffices).
+pub fn synthetic_schema(cfg: &SyntheticConfig) -> Arc<Schema> {
+    let mut attrs = Vec::with_capacity(cfg.qi_attrs + 1);
+    for i in 0..cfg.qi_attrs {
+        attrs.push(
+            Attribute::numeric_range(format!("q{i}"), 0, cfg.qi_cardinality as i64 - 1)
+                .expect("valid domain"),
+        );
+    }
+    attrs.push(
+        Attribute::numeric_range("sa", 0, cfg.sa_cardinality as i64 - 1).expect("valid domain"),
+    );
+    Arc::new(Schema::new(attrs, cfg.qi_attrs).expect("valid schema"))
+}
+
+/// Generates a random table per the configuration. QI values are uniform and
+/// independent; the SA marginal follows `cfg.sa_shape`.
+///
+/// # Panics
+///
+/// Panics if any cardinality or the row count is zero.
+pub fn random_table(cfg: &SyntheticConfig) -> Table {
+    assert!(cfg.rows > 0 && cfg.qi_cardinality > 0 && cfg.sa_cardinality > 0);
+    let schema = synthetic_schema(cfg);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    let weights: Vec<f64> = match cfg.sa_shape {
+        SaShape::Uniform => vec![1.0; cfg.sa_cardinality],
+        SaShape::Zipf(s) => (0..cfg.sa_cardinality)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(s))
+            .collect(),
+    };
+    let cum: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, &w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let total = *cum.last().expect("non-empty weights");
+
+    let mut columns: Vec<Vec<Value>> = vec![Vec::with_capacity(cfg.rows); cfg.qi_attrs + 1];
+    for _ in 0..cfg.rows {
+        for col in columns.iter_mut().take(cfg.qi_attrs) {
+            col.push(rng.gen_range(0..cfg.qi_cardinality as u32));
+        }
+        let x = rng.gen::<f64>() * total;
+        let sa = cum.partition_point(|&c| c < x).min(cfg.sa_cardinality - 1);
+        columns[cfg.qi_attrs].push(sa as Value);
+    }
+    Table::from_columns(schema, columns).expect("generated columns conform to the schema")
+}
+
+/// A tiny categorical-SA table for hierarchy-aware tests: two numeric QIs
+/// and an SA with a two-level hierarchy of `groups × per_group` leaves.
+pub fn random_categorical_sa_table(
+    rows: usize,
+    groups: usize,
+    per_group: usize,
+    seed: u64,
+) -> Table {
+    use crate::hierarchy::NodeSpec;
+    assert!(rows > 0 && groups > 0 && per_group > 0);
+    let children = (0..groups)
+        .map(|g| {
+            NodeSpec::internal(
+                format!("g{g}"),
+                (0..per_group)
+                    .map(|l| NodeSpec::leaf(format!("v{g}_{l}")))
+                    .collect(),
+            )
+        })
+        .collect();
+    let h = Hierarchy::from_spec(&NodeSpec::internal("root", children)).expect("valid spec");
+    let sa_card = h.num_leaves();
+    let attrs = vec![
+        Attribute::numeric_range("q0", 0, 63).expect("valid domain"),
+        Attribute::numeric_range("q1", 0, 63).expect("valid domain"),
+        Attribute::categorical("sa", h),
+    ];
+    let schema = Arc::new(Schema::new(attrs, 2).expect("valid schema"));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut cols: Vec<Vec<Value>> = (0..3).map(|_| Vec::with_capacity(rows)).collect();
+    for _ in 0..rows {
+        cols[0].push(rng.gen_range(0..64));
+        cols[1].push(rng.gen_range(0..64));
+        cols[2].push(rng.gen_range(0..sa_card as u32));
+    }
+    Table::from_columns(schema, cols).expect("generated columns conform to the schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let cfg = SyntheticConfig {
+            rows: 500,
+            qi_attrs: 3,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = random_table(&cfg);
+        let b = random_table(&cfg);
+        assert_eq!(a.num_rows(), 500);
+        assert_eq!(a.schema().arity(), 4);
+        assert_eq!(a.schema().default_sa(), 3);
+        for i in 0..4 {
+            assert_eq!(a.column(i), b.column(i));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_uniform_is_not() {
+        let mut cfg = SyntheticConfig {
+            rows: 20_000,
+            sa_cardinality: 10,
+            sa_shape: SaShape::Zipf(1.2),
+            seed: 1,
+            ..Default::default()
+        };
+        let z = random_table(&cfg).sa_distribution(2);
+        assert!(z.freq(0) > 2.0 * z.freq(5), "zipf head should dominate");
+        cfg.sa_shape = SaShape::Uniform;
+        let u = random_table(&cfg).sa_distribution(2);
+        for v in 0..10u32 {
+            assert!((u.freq(v) - 0.1).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn categorical_sa_table_has_hierarchy() {
+        let t = random_categorical_sa_table(200, 3, 4, 2);
+        let h = t.schema().attr(2).hierarchy().unwrap();
+        assert_eq!(h.num_leaves(), 12);
+        assert_eq!(h.height(), 2);
+        assert_eq!(t.num_rows(), 200);
+    }
+}

@@ -1,0 +1,350 @@
+//! The columnar microdata [`Table`].
+//!
+//! Tables are immutable after construction and store one `Vec<u32>` of value
+//! codes per attribute. The schema is shared behind an [`Arc`] so derived
+//! tables (row subsets, prefixes) are cheap to create.
+
+use crate::distribution::SaDistribution;
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::{RowId, Value};
+use std::sync::Arc;
+
+/// An immutable columnar microdata table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Arc<Schema>,
+    columns: Vec<Vec<Value>>,
+    rows: usize,
+}
+
+impl Table {
+    /// Assembles a table from pre-encoded columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column count does not match the schema arity,
+    /// columns have differing lengths, or any code is outside its domain.
+    pub fn from_columns(schema: Arc<Schema>, columns: Vec<Vec<Value>>) -> Result<Self> {
+        if columns.len() != schema.arity() {
+            return Err(Error::ArityMismatch {
+                got: columns.len(),
+                expected: schema.arity(),
+            });
+        }
+        let rows = columns.first().map_or(0, Vec::len);
+        for (i, col) in columns.iter().enumerate() {
+            if col.len() != rows {
+                return Err(Error::InvalidSchema(format!(
+                    "column {i} has {} rows, expected {rows}",
+                    col.len()
+                )));
+            }
+            let card = schema.attr(i).cardinality() as Value;
+            if let Some(&bad) = col.iter().find(|&&v| v >= card) {
+                return Err(Error::ValueOutOfDomain {
+                    attribute: schema.attr(i).name().to_string(),
+                    code: bad,
+                    cardinality: card as usize,
+                });
+            }
+        }
+        Ok(Table {
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// Starts building a table row by row.
+    pub fn builder(schema: Arc<Schema>) -> TableBuilder {
+        TableBuilder {
+            columns: vec![Vec::new(); schema.arity()],
+            schema,
+        }
+    }
+
+    /// The table's schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Shared handle to the schema.
+    #[inline]
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the table has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The full column of an attribute.
+    #[inline]
+    pub fn column(&self, attr: usize) -> &[Value] {
+        &self.columns[attr]
+    }
+
+    /// A single cell.
+    #[inline]
+    pub fn value(&self, row: RowId, attr: usize) -> Value {
+        self.columns[attr][row]
+    }
+
+    /// Decodes an entire row into human-readable labels.
+    pub fn decode_row(&self, row: RowId) -> Vec<String> {
+        (0..self.schema.arity())
+            .map(|a| self.schema.attr(a).label(self.value(row, a)))
+            .collect()
+    }
+
+    /// Histogram of the sensitive attribute over the whole table.
+    pub fn sa_distribution(&self, sa: usize) -> SaDistribution {
+        SaDistribution::from_codes(self.column(sa), self.schema.attr(sa).cardinality())
+    }
+
+    /// Histogram of the sensitive attribute over a row subset.
+    pub fn sa_distribution_of(&self, sa: usize, rows: &[RowId]) -> SaDistribution {
+        let col = self.column(sa);
+        SaDistribution::from_iter(
+            rows.iter().map(|&r| col[r]),
+            self.schema.attr(sa).cardinality(),
+        )
+    }
+
+    /// Materializes a new table containing the given rows (in order).
+    pub fn select_rows(&self, rows: &[RowId]) -> Table {
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| rows.iter().map(|&r| col[r]).collect())
+            .collect();
+        Table {
+            schema: Arc::clone(&self.schema),
+            columns,
+            rows: rows.len(),
+        }
+    }
+
+    /// Materializes the first `n` rows (used by the dataset-size sweep of
+    /// Figure 7; the generator already shuffles rows, so a prefix is a
+    /// uniform sample).
+    pub fn prefix(&self, n: usize) -> Table {
+        let n = n.min(self.rows);
+        let columns = self.columns.iter().map(|col| col[..n].to_vec()).collect();
+        Table {
+            schema: Arc::clone(&self.schema),
+            columns,
+            rows: n,
+        }
+    }
+
+    /// Minimum and maximum code of `attr` over the given rows.
+    ///
+    /// Returns `None` when `rows` is empty.
+    pub fn code_extent(&self, attr: usize, rows: &[RowId]) -> Option<(Value, Value)> {
+        let col = self.column(attr);
+        let mut it = rows.iter().map(|&r| col[r]);
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for v in it {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        Some((lo, hi))
+    }
+}
+
+/// Row-oriented builder for [`Table`].
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: Arc<Schema>,
+    columns: Vec<Vec<Value>>,
+}
+
+impl TableBuilder {
+    /// Appends a row of pre-encoded value codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on arity mismatch or out-of-domain codes.
+    pub fn push_codes(&mut self, codes: &[Value]) -> Result<&mut Self> {
+        if codes.len() != self.schema.arity() {
+            return Err(Error::ArityMismatch {
+                got: codes.len(),
+                expected: self.schema.arity(),
+            });
+        }
+        for (i, &code) in codes.iter().enumerate() {
+            let card = self.schema.attr(i).cardinality();
+            if code as usize >= card {
+                return Err(Error::ValueOutOfDomain {
+                    attribute: self.schema.attr(i).name().to_string(),
+                    code,
+                    cardinality: card,
+                });
+            }
+        }
+        for (col, &code) in self.columns.iter_mut().zip(codes) {
+            col.push(code);
+        }
+        Ok(self)
+    }
+
+    /// Appends a row of human-readable labels, encoding them via the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on arity mismatch or unresolvable labels.
+    pub fn push_labels(&mut self, labels: &[&str]) -> Result<&mut Self> {
+        if labels.len() != self.schema.arity() {
+            return Err(Error::ArityMismatch {
+                got: labels.len(),
+                expected: self.schema.arity(),
+            });
+        }
+        let mut codes = Vec::with_capacity(labels.len());
+        for (i, label) in labels.iter().enumerate() {
+            codes.push(self.schema.attr(i).code_of(label)?);
+        }
+        self.push_codes(&codes)
+    }
+
+    /// Number of rows buffered so far.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Whether no rows have been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Table {
+        let rows = self.len();
+        Table {
+            schema: self.schema,
+            columns: self.columns,
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::Hierarchy;
+    use crate::schema::Attribute;
+
+    fn small_schema() -> Arc<Schema> {
+        let age = Attribute::numeric_range("Age", 20, 29).unwrap();
+        let gender =
+            Attribute::categorical("Gender", Hierarchy::flat("p", &["m", "f"]).unwrap());
+        let disease = Attribute::categorical(
+            "Disease",
+            Hierarchy::flat("any", &["flu", "hiv", "cold"]).unwrap(),
+        );
+        Arc::new(Schema::new(vec![age, gender, disease], 2).unwrap())
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let schema = small_schema();
+        let mut b = Table::builder(Arc::clone(&schema));
+        b.push_labels(&["25", "m", "flu"]).unwrap();
+        b.push_labels(&["21", "f", "hiv"]).unwrap();
+        b.push_codes(&[9, 0, 2]).unwrap();
+        let t = b.build();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.value(0, 0), 5); // age 25 -> code 5
+        assert_eq!(t.decode_row(1), vec!["21", "f", "hiv"]);
+        assert_eq!(t.decode_row(2), vec!["29", "m", "cold"]);
+    }
+
+    #[test]
+    fn builder_rejects_bad_rows() {
+        let schema = small_schema();
+        let mut b = Table::builder(schema);
+        assert!(b.push_codes(&[0, 0]).is_err()); // arity
+        assert!(b.push_codes(&[10, 0, 0]).is_err()); // age out of domain
+        assert!(b.push_labels(&["25", "x", "flu"]).is_err()); // unknown label
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn from_columns_validates() {
+        let schema = small_schema();
+        assert!(Table::from_columns(Arc::clone(&schema), vec![vec![0]; 2]).is_err());
+        assert!(
+            Table::from_columns(Arc::clone(&schema), vec![vec![0], vec![0, 1], vec![0]]).is_err()
+        );
+        assert!(Table::from_columns(
+            Arc::clone(&schema),
+            vec![vec![0], vec![5], vec![0]]
+        )
+        .is_err());
+        let t =
+            Table::from_columns(schema, vec![vec![0, 1], vec![1, 0], vec![2, 2]]).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn select_rows_and_prefix() {
+        let schema = small_schema();
+        let t = Table::from_columns(
+            schema,
+            vec![vec![0, 1, 2, 3], vec![0, 1, 0, 1], vec![0, 1, 2, 0]],
+        )
+        .unwrap();
+        let s = t.select_rows(&[3, 1]);
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.value(0, 0), 3);
+        assert_eq!(s.value(1, 2), 1);
+        let p = t.prefix(2);
+        assert_eq!(p.num_rows(), 2);
+        assert_eq!(p.value(1, 0), 1);
+        assert_eq!(t.prefix(100).num_rows(), 4);
+    }
+
+    #[test]
+    fn sa_distribution_counts() {
+        let schema = small_schema();
+        let t = Table::from_columns(
+            schema,
+            vec![vec![0, 1, 2, 3], vec![0, 1, 0, 1], vec![0, 1, 0, 2]],
+        )
+        .unwrap();
+        let d = t.sa_distribution(2);
+        assert_eq!(d.counts(), &[2, 1, 1]);
+        let sub = t.sa_distribution_of(2, &[0, 2]);
+        assert_eq!(sub.counts(), &[2, 0, 0]);
+    }
+
+    #[test]
+    fn code_extent() {
+        let schema = small_schema();
+        let t = Table::from_columns(
+            schema,
+            vec![vec![5, 1, 7], vec![0, 1, 0], vec![0, 1, 2]],
+        )
+        .unwrap();
+        assert_eq!(t.code_extent(0, &[0, 1, 2]), Some((1, 7)));
+        assert_eq!(t.code_extent(0, &[2]), Some((7, 7)));
+        assert_eq!(t.code_extent(0, &[]), None);
+    }
+}

@@ -1,0 +1,117 @@
+//! Cross-algorithm integration: every anonymizer in the workspace delivers
+//! the privacy model it promises, on the same data, measured by the same
+//! auditors.
+
+use betalike_bench::algos::{
+    run_burel, run_dmondrian, run_lmondrian, run_sabre, run_tmondrian, METRIC,
+};
+use betalike_metrics::audit::{achieved_beta, achieved_closeness, audit_partition};
+use betalike_microdata::census::{self, attr, CensusConfig};
+
+const ROWS: usize = 15_000;
+const QI: [usize; 3] = [0, 1, 2];
+
+fn census() -> betalike_microdata::Table {
+    census::generate(&CensusConfig::new(ROWS, 31337))
+}
+
+#[test]
+fn all_beta_algorithms_deliver_beta() {
+    let table = census();
+    for beta in [1.0, 3.0] {
+        for (name, partition) in [
+            ("BUREL", run_burel(&table, &QI, attr::SALARY, beta, 9).unwrap()),
+            ("LMondrian", run_lmondrian(&table, &QI, attr::SALARY, beta).unwrap()),
+            ("DMondrian", run_dmondrian(&table, &QI, attr::SALARY, beta).unwrap()),
+        ] {
+            partition.validate_cover(ROWS).unwrap();
+            let real = achieved_beta(&table, &partition);
+            assert!(
+                real <= beta + 1e-9,
+                "{name} at beta {beta} achieved {real}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_t_algorithms_deliver_t() {
+    let table = census();
+    for t in [0.15, 0.35] {
+        for (name, partition) in [
+            ("tMondrian", run_tmondrian(&table, &QI, attr::SALARY, t).unwrap()),
+            ("SABRE", run_sabre(&table, &QI, attr::SALARY, t, 9).unwrap()),
+        ] {
+            partition.validate_cover(ROWS).unwrap();
+            let (max_t, _) = achieved_closeness(&table, &partition, METRIC);
+            assert!(max_t <= t + 1e-9, "{name} at t {t} achieved {max_t}");
+        }
+    }
+}
+
+#[test]
+fn dmondrian_is_strictly_more_conservative_than_lmondrian() {
+    // δ-disclosure adds a lower bound on every value's frequency, so the
+    // same β budget must yield at most as many classes.
+    let table = census();
+    for beta in [2.0, 4.0] {
+        let l = run_lmondrian(&table, &QI, attr::SALARY, beta).unwrap();
+        let d = run_dmondrian(&table, &QI, attr::SALARY, beta).unwrap();
+        assert!(
+            d.num_ecs() <= l.num_ecs(),
+            "beta {beta}: DMondrian {} ECs vs LMondrian {}",
+            d.num_ecs(),
+            l.num_ecs()
+        );
+    }
+}
+
+#[test]
+fn t_closeness_schemes_do_not_deliver_beta_likeness() {
+    // The core Figure 4 observation: equal t-closeness does not imply
+    // comparable β-likeness — the t-calibrated schemes' real β explodes
+    // relative to BUREL's.
+    let table = census();
+    let beta = 3.0;
+    let burel_p = run_burel(&table, &QI, attr::SALARY, beta, 9).unwrap();
+    let (t_beta, _) = achieved_closeness(&table, &burel_p, METRIC);
+    let tm = run_tmondrian(&table, &QI, attr::SALARY, t_beta).unwrap();
+    let sb = run_sabre(&table, &QI, attr::SALARY, t_beta, 9).unwrap();
+    let burel_beta = achieved_beta(&table, &burel_p);
+    let tm_beta = achieved_beta(&table, &tm);
+    let sb_beta = achieved_beta(&table, &sb);
+    assert!(burel_beta <= beta + 1e-9);
+    assert!(
+        tm_beta > 2.0 * burel_beta,
+        "tMondrian real beta {tm_beta} vs BUREL {burel_beta}"
+    );
+    assert!(
+        sb_beta > 2.0 * burel_beta,
+        "SABRE real beta {sb_beta} vs BUREL {burel_beta}"
+    );
+}
+
+#[test]
+fn audits_agree_across_publication_structures() {
+    // Whatever the EC geometry, the audit invariants hold for every
+    // algorithm's output.
+    let table = census();
+    let partitions = vec![
+        run_burel(&table, &QI, attr::SALARY, 2.0, 9).unwrap(),
+        run_lmondrian(&table, &QI, attr::SALARY, 2.0).unwrap(),
+        run_tmondrian(&table, &QI, attr::SALARY, 0.3).unwrap(),
+        run_sabre(&table, &QI, attr::SALARY, 0.3, 9).unwrap(),
+    ];
+    for p in &partitions {
+        let audit = audit_partition(&table, p, METRIC);
+        assert!(audit.avg_beta <= audit.max_beta + 1e-12);
+        assert!(audit.avg_closeness <= audit.max_closeness + 1e-12);
+        assert!(audit.max_closeness <= 1.0 + 1e-12, "EMD is normalized");
+        assert!(audit.min_ec_size >= 1);
+        assert_eq!(
+            p.num_rows(),
+            ROWS,
+            "publications cover the table exactly"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end integration: CENSUS generation → BUREL → verification →
+//! audit → query answering, across every crate in the workspace.
+
+use betalike::model::{verify, BetaLikeness};
+use betalike::{burel, BurelConfig};
+use betalike_bench::algos::METRIC;
+use betalike_metrics::audit::{achieved_beta, audit_partition};
+use betalike_metrics::loss::average_information_loss;
+use betalike_microdata::census::{self, attr, CensusConfig};
+use betalike_query::{
+    exact_count, generate_workload, median_relative_error, relative_error, GeneralizedView,
+    WorkloadConfig,
+};
+
+const ROWS: usize = 20_000;
+const QI: [usize; 3] = [attr::AGE, attr::GENDER, attr::EDUCATION];
+
+fn census() -> betalike_microdata::Table {
+    census::generate(&CensusConfig::new(ROWS, 4242))
+}
+
+#[test]
+fn pipeline_produces_valid_guaranteed_publication() {
+    let table = census();
+    let beta = 3.0;
+    let published = burel(&table, &QI, attr::SALARY, &BurelConfig::new(beta)).unwrap();
+
+    // Structural validity: every row in exactly one EC.
+    published.validate_cover(ROWS).unwrap();
+
+    // The guarantee, checked against the definition.
+    let model = BetaLikeness::new(beta).unwrap();
+    verify(&table, &published, &model).unwrap();
+    assert!(achieved_beta(&table, &published) <= beta + 1e-9);
+
+    // The publication is an actual partition with nontrivial utility.
+    assert!(published.num_ecs() > 10);
+    let ail = average_information_loss(&table, &published);
+    assert!(ail > 0.0 && ail < 0.9, "AIL = {ail}");
+}
+
+#[test]
+fn audits_are_mutually_consistent() {
+    let table = census();
+    let published = burel(&table, &QI, attr::SALARY, &BurelConfig::new(2.0)).unwrap();
+    let audit = audit_partition(&table, &published, METRIC);
+    // avg ≤ max for every paired statistic.
+    assert!(audit.avg_beta <= audit.max_beta + 1e-12);
+    assert!(audit.avg_closeness <= audit.max_closeness + 1e-12);
+    assert!(audit.min_distinct_l as f64 <= audit.avg_distinct_l + 1e-12);
+    // The distinct-l reading can never exceed the SA domain size.
+    assert!(audit.avg_distinct_l <= 50.0);
+    // The incidental k-anonymity is at least 2 (singleton ECs would make a
+    // single value's frequency 1, above any cap at these betas).
+    assert!(audit.min_ec_size >= 2);
+}
+
+#[test]
+fn published_view_answers_queries() {
+    let table = census();
+    let published = burel(&table, &QI, attr::SALARY, &BurelConfig::new(4.0)).unwrap();
+    let view = GeneralizedView::new(&table, &published);
+    let workload = generate_workload(
+        &table,
+        &WorkloadConfig {
+            qi_pool: QI.to_vec(),
+            sa: attr::SALARY,
+            lambda: 2,
+            theta: 0.15,
+            num_queries: 200,
+            seed: 7,
+        },
+    );
+    let errors = workload
+        .iter()
+        .map(|q| relative_error(view.estimate(q), exact_count(&table, q) as f64));
+    let median = median_relative_error(errors).expect("non-degenerate workload");
+    assert!(
+        median < 80.0,
+        "generalized answers unusable: median error {median}%"
+    );
+    // Estimates must conserve overall mass approximately: the full-domain
+    // query is answered exactly (boxes fully covered).
+    let full = betalike_query::AggQuery {
+        qi_preds: vec![betalike_query::RangePred { attr: attr::AGE, lo: 0, hi: 78 }],
+        sa_pred: betalike_query::RangePred { attr: attr::SALARY, lo: 0, hi: 49 },
+    };
+    let est = view.estimate(&full);
+    assert!((est - ROWS as f64).abs() < 1e-6);
+}
+
+#[test]
+fn seeds_change_tuples_not_guarantees() {
+    let table = census();
+    let a = burel(&table, &QI, attr::SALARY, &BurelConfig::new(2.0).with_seed(1)).unwrap();
+    let b = burel(&table, &QI, attr::SALARY, &BurelConfig::new(2.0).with_seed(2)).unwrap();
+    assert_ne!(a.ecs(), b.ecs(), "different seeds place tuples differently");
+    let model = BetaLikeness::new(2.0).unwrap();
+    verify(&table, &a, &model).unwrap();
+    verify(&table, &b, &model).unwrap();
+    // EC-size profile is identical: templates do not depend on the seed.
+    let mut sa: Vec<usize> = a.ecs().iter().map(Vec::len).collect();
+    let mut sb: Vec<usize> = b.ecs().iter().map(Vec::len).collect();
+    sa.sort_unstable();
+    sb.sort_unstable();
+    assert_eq!(sa, sb);
+}
+
+#[test]
+fn tighter_beta_never_relaxes_real_beta() {
+    let table = census();
+    let mut last = f64::INFINITY;
+    for beta in [4.0, 2.0, 1.0, 0.5] {
+        let p = burel(&table, &QI, attr::SALARY, &BurelConfig::new(beta)).unwrap();
+        let real = achieved_beta(&table, &p);
+        assert!(real <= beta + 1e-9);
+        assert!(
+            real <= last + 0.5,
+            "real beta should broadly shrink with beta (got {real} after {last})"
+        );
+        last = real;
+    }
+}

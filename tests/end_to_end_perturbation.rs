@@ -1,0 +1,134 @@
+//! End-to-end integration for the Section 5 pipeline: CENSUS → perturbation
+//! plan → randomized release → posterior bounds → count reconstruction →
+//! query answering.
+
+use betalike::model::BetaLikeness;
+use betalike::perturb::{perturb, PerturbationPlan};
+use betalike_baselines::anatomy::AnatomyBaseline;
+use betalike_microdata::census::{self, attr, CensusConfig};
+use betalike_query::{
+    estimate_anatomy, estimate_perturbed, exact_count, generate_workload,
+    median_relative_error, relative_error, WorkloadConfig,
+};
+
+const ROWS: usize = 20_000;
+
+fn census() -> betalike_microdata::Table {
+    census::generate(&CensusConfig::new(ROWS, 777))
+}
+
+#[test]
+fn plan_satisfies_definition6_on_census() {
+    let table = census();
+    let dist = table.sa_distribution(attr::SALARY);
+    for beta in [1.0, 2.0, 4.0] {
+        let model = BetaLikeness::new(beta).unwrap();
+        let plan = PerturbationPlan::new(&dist, &model).unwrap();
+        let m = plan.m();
+        assert_eq!(m, 50, "all salary classes have support");
+        // Exact posterior check over every (true value, observed value)
+        // pair — Definition 6.
+        for v in 0..m {
+            let seen: f64 = (0..m)
+                .map(|j| plan.priors()[j] * plan.transition(j, v))
+                .sum();
+            for i in 0..m {
+                let posterior = plan.priors()[i] * plan.transition(i, v) / seen;
+                assert!(
+                    posterior <= plan.caps()[i] + 1e-9,
+                    "beta {beta}: posterior({i}|{v}) = {posterior} > {}",
+                    plan.caps()[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn release_preserves_qi_and_randomizes_sa() {
+    let table = census();
+    let model = BetaLikeness::new(4.0).unwrap();
+    let out = perturb(&table, attr::SALARY, &model, 5).unwrap();
+    for a in 0..5 {
+        assert_eq!(out.table.column(a), table.column(a), "QI column {a} intact");
+    }
+    let changed = table
+        .column(attr::SALARY)
+        .iter()
+        .zip(out.table.column(attr::SALARY))
+        .filter(|(a, b)| a != b)
+        .count();
+    // At beta = 4, m = 50, retention is ~7%: the vast majority of values
+    // change.
+    assert!(
+        changed > ROWS / 2,
+        "perturbation barely changed anything ({changed}/{ROWS})"
+    );
+}
+
+#[test]
+fn reconstruction_conserves_mass_and_tracks_ranges() {
+    let table = census();
+    let model = BetaLikeness::new(4.0).unwrap();
+    let out = perturb(&table, attr::SALARY, &model, 5).unwrap();
+    let rows: Vec<usize> = (0..ROWS).collect();
+    let recon = out.reconstruct_counts(&rows).unwrap();
+    // Mass conservation is exact: PM is column-stochastic.
+    let total: f64 = recon.iter().sum();
+    assert!((total - ROWS as f64).abs() < 1e-6);
+    // Wide-range aggregates reconstruct within ~10% at this scale.
+    let truth = table.sa_distribution(attr::SALARY);
+    let est: f64 = (5..45).map(|i| recon[i]).sum();
+    let real: f64 = (5..45u32).map(|v| truth.count(v) as f64).sum();
+    let rel = (est - real).abs() / real;
+    assert!(rel < 0.10, "wide-range reconstruction off by {rel}");
+}
+
+#[test]
+fn workload_errors_finite_and_baseline_comparable() {
+    let table = census();
+    let model = BetaLikeness::new(4.0).unwrap();
+    let published = perturb(&table, attr::SALARY, &model, 5).unwrap();
+    let baseline = AnatomyBaseline::publish(&table, attr::SALARY);
+    let workload = generate_workload(
+        &table,
+        &WorkloadConfig {
+            qi_pool: vec![0, 1, 2, 3, 4],
+            sa: attr::SALARY,
+            lambda: 3,
+            theta: 0.15,
+            num_queries: 100,
+            seed: 6,
+        },
+    );
+    let mut pert = Vec::new();
+    let mut base = Vec::new();
+    for q in &workload {
+        let exact = exact_count(&table, q) as f64;
+        pert.push(relative_error(
+            estimate_perturbed(&published, q).unwrap(),
+            exact,
+        ));
+        base.push(relative_error(estimate_anatomy(&baseline, &table, q), exact));
+    }
+    let pm = median_relative_error(pert).unwrap();
+    let bm = median_relative_error(base).unwrap();
+    assert!(pm.is_finite() && bm.is_finite());
+    // At 20K rows reconstruction noise still dominates; just bound both to
+    // sane magnitudes here (the scale-crossover itself is asserted in the
+    // release-mode shape tests).
+    assert!(pm < 100.0, "perturbation median {pm}%");
+    assert!(bm < 100.0, "baseline median {bm}%");
+}
+
+#[test]
+fn different_seeds_decorrelate_noise() {
+    let table = census();
+    let model = BetaLikeness::new(2.0).unwrap();
+    let a = perturb(&table, attr::SALARY, &model, 1).unwrap();
+    let b = perturb(&table, attr::SALARY, &model, 2).unwrap();
+    assert_ne!(a.table.column(attr::SALARY), b.table.column(attr::SALARY));
+    // Plans are identical (they depend only on the distribution).
+    assert_eq!(a.plan.alphas(), b.plan.alphas());
+    assert_eq!(a.plan.matrix(), b.plan.matrix());
+}

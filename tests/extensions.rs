@@ -1,0 +1,146 @@
+//! Integration tests for the Section 7 extension features and the release
+//! tooling: grouped β-likeness, the two-sided model, schema descriptors,
+//! generalized CSV rendering, and the `PM` publication bundle.
+
+use betalike::grouped::SaGrouping;
+use betalike::model::BetaLikeness;
+use betalike::perturb::{perturb, PlanRelease};
+use betalike::{burel, burel_grouped, verify_grouped, verify_two_sided, BurelConfig};
+use betalike_metrics::export::write_generalized_csv;
+use betalike_microdata::census::{self, attr, CensusConfig};
+use betalike_microdata::io::read_csv;
+use betalike_microdata::{SaDistribution, SchemaSpec};
+
+#[test]
+fn grouped_likeness_on_census_work_class() {
+    // Treat the *work class* as the SA and demand grouped β-likeness at the
+    // sector level (depth 1 of its height-3 hierarchy): no EC may
+    // over-represent "employed" / "self-employed" / "not working" beyond
+    // the relative-gain bound, regardless of the leaf mix.
+    let table = census::generate(&CensusConfig::new(8_000, 55));
+    let sa = attr::WORK_CLASS;
+    let qi = [attr::AGE, attr::EDUCATION];
+    let cfg = BurelConfig::new(1.5);
+    let published = burel_grouped(&table, &qi, sa, &cfg, 1).unwrap();
+    published.validate_cover(table.num_rows()).unwrap();
+
+    let hierarchy = table.schema().attr(sa).hierarchy().unwrap();
+    let grouping = SaGrouping::at_depth(hierarchy, 1);
+    assert_eq!(grouping.num_groups(), 3);
+    let model = BetaLikeness::new(1.5).unwrap();
+    verify_grouped(&table, &published, &model, &grouping).unwrap();
+
+    // The plain (leaf-level) guarantee is *not* implied by the grouped one;
+    // the publication still must cap each *group's* share.
+    let table_grouped = grouping.grouped_distribution(&table.sa_distribution(sa));
+    for i in 0..published.num_ecs() {
+        let ec_grouped = grouping.grouped_distribution(&published.ec_distribution(&table, i));
+        for (g, (&p, &q)) in table_grouped
+            .freqs()
+            .iter()
+            .zip(ec_grouped.freqs())
+            .enumerate()
+        {
+            assert!(
+                q <= model.max_ec_freq(p) + 1e-9,
+                "EC {i} group {g}: {q} > cap of {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_sided_verification_is_strictly_stronger() {
+    let table = census::generate(&CensusConfig::new(6_000, 56));
+    let qi = [attr::AGE, attr::GENDER, attr::EDUCATION];
+    let published = burel(&table, &qi, attr::SALARY, &BurelConfig::new(2.0)).unwrap();
+    let model = BetaLikeness::new(2.0).unwrap();
+    // One-sided always holds for BUREL output...
+    betalike::verify(&table, &published, &model).unwrap();
+    // ...two-sided generally does not (BUREL only enforces the cap); the
+    // check must come back with a floor violation, not a cap violation.
+    match verify_two_sided(&table, &published, &model) {
+        Ok(()) => {} // possible in principle, but
+        Err(betalike::Error::Violation(v)) => {
+            assert!(
+                v.ec_freq < v.bound,
+                "two-sided failures on BUREL output are floor violations"
+            );
+        }
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+}
+
+#[test]
+fn release_bundle_supports_recipient_side_reconstruction() {
+    // Full recipient workflow: parse the plan JSON, rebuild the matrix,
+    // reconstruct counts from observed ones — without touching the
+    // producer's in-memory plan.
+    let table = census::generate(&CensusConfig::new(30_000, 57));
+    let model = BetaLikeness::new(4.0).unwrap();
+    let published = perturb(&table, attr::SALARY, &model, 3).unwrap();
+    let json = PlanRelease::from_plan(&published.plan).to_json();
+
+    let recipient = PlanRelease::from_json(&json).unwrap();
+    let matrix = recipient.matrix().unwrap();
+    let rows: Vec<usize> = (0..table.num_rows()).collect();
+    let observed = published.observed_counts(&rows);
+    let recon = matrix.solve(&observed).unwrap();
+    // Mass conservation, and agreement with the producer-side path.
+    assert!((recon.iter().sum::<f64>() - table.num_rows() as f64).abs() < 1e-6);
+    let producer = published.reconstruct_counts(&rows).unwrap();
+    for (a, b) in recon.iter().zip(&producer) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn generalized_csv_release_is_self_auditable() {
+    // Render a release, then re-derive the per-EC SA distributions from the
+    // CSV text alone and re-check β-likeness — the `audit` binary's logic.
+    let table = census::generate(&CensusConfig::new(4_000, 58));
+    let qi = [attr::AGE, attr::GENDER];
+    let beta = 2.0;
+    let published = burel(&table, &qi, attr::SALARY, &BurelConfig::new(beta)).unwrap();
+    let mut buf = Vec::new();
+    write_generalized_csv(&table, &published, &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+
+    let sa_attr = table.schema().attr(attr::SALARY);
+    let m = sa_attr.cardinality();
+    let mut per_ec: std::collections::BTreeMap<u64, Vec<u32>> = Default::default();
+    let mut all = Vec::new();
+    for line in text.lines().skip(1) {
+        let ec: u64 = line.split(',').next().unwrap().parse().unwrap();
+        let label = line.rsplit(',').next().unwrap();
+        let code = sa_attr.code_of(label).unwrap();
+        per_ec.entry(ec).or_default().push(code);
+        all.push(code);
+    }
+    assert_eq!(all.len(), table.num_rows());
+    let p = SaDistribution::from_codes(&all, m);
+    let model = BetaLikeness::new(beta).unwrap();
+    for codes in per_ec.values() {
+        let q = SaDistribution::from_codes(codes, m);
+        assert!(model.satisfies(&p, &q), "release fails its own audit");
+    }
+}
+
+#[test]
+fn schema_descriptor_roundtrips_through_csv_io() {
+    // Schema JSON -> runtime schema -> CSV write -> CSV read: the path the
+    // `anonymize` CLI exercises.
+    let table = census::generate(&CensusConfig::new(500, 59));
+    let spec = SchemaSpec::from_schema(table.schema());
+    let rebuilt = SchemaSpec::from_json(&spec.to_json())
+        .unwrap()
+        .to_schema()
+        .unwrap();
+    let mut buf = Vec::new();
+    betalike_microdata::io::write_csv(&table, &mut buf).unwrap();
+    let back = read_csv(rebuilt, buf.as_slice()).unwrap();
+    assert_eq!(back.num_rows(), table.num_rows());
+    for r in (0..table.num_rows()).step_by(97) {
+        assert_eq!(back.decode_row(r), table.decode_row(r));
+    }
+}

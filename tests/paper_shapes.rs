@@ -1,0 +1,176 @@
+//! Shape tests: the qualitative claims of the paper's evaluation, asserted
+//! at reduced scale. The heavyweight ones are release-only (marked
+//! `#[ignore]` under debug assertions) so `cargo test --workspace` stays
+//! fast in debug while `cargo test --workspace --release` checks the full
+//! set.
+
+use betalike::model::BetaLikeness;
+use betalike::perturb::perturb;
+use betalike_attacks::naive_bayes::naive_bayes_attack;
+use betalike_baselines::anatomy::AnatomyBaseline;
+use betalike_bench::algos::{run_burel, run_sabre, run_tmondrian, METRIC};
+use betalike_metrics::audit::{achieved_beta, achieved_closeness, audit_partition};
+use betalike_metrics::loss::average_information_loss;
+use betalike_microdata::census::{self, attr, CensusConfig};
+use betalike_query::{
+    estimate_anatomy, estimate_perturbed, exact_count, generate_workload,
+    median_relative_error, relative_error, WorkloadConfig,
+};
+
+const QI: [usize; 3] = [0, 1, 2];
+
+/// Figure 5(a): BUREL's information loss falls as β is relaxed.
+#[test]
+fn fig5_shape_ail_falls_with_beta() {
+    let table = census::generate(&CensusConfig::new(20_000, 1));
+    let tight = run_burel(&table, &QI, attr::SALARY, 1.0, 3).unwrap();
+    let loose = run_burel(&table, &QI, attr::SALARY, 5.0, 3).unwrap();
+    let ail_tight = average_information_loss(&table, &tight);
+    let ail_loose = average_information_loss(&table, &loose);
+    assert!(
+        ail_loose < ail_tight,
+        "AIL must fall with beta: {ail_loose} vs {ail_tight}"
+    );
+}
+
+/// Figure 6(a): information loss grows with QI dimensionality.
+#[test]
+fn fig6_shape_ail_grows_with_qi() {
+    let table = census::generate(&CensusConfig::new(20_000, 2));
+    let narrow = run_burel(&table, &[0], attr::SALARY, 4.0, 3).unwrap();
+    let wide = run_burel(&table, &[0, 1, 2, 3, 4], attr::SALARY, 4.0, 3).unwrap();
+    let ail_narrow = average_information_loss(&table, &narrow);
+    let ail_wide = average_information_loss(&table, &wide);
+    assert!(
+        ail_wide > ail_narrow,
+        "AIL must grow with QI size: {ail_wide} vs {ail_narrow}"
+    );
+}
+
+/// Figure 4(a): at matched closeness, the t-schemes' real β dwarfs BUREL's.
+#[test]
+fn fig4_shape_t_schemes_leak_relative_gain() {
+    let table = census::generate(&CensusConfig::new(20_000, 3));
+    let beta = 4.0;
+    let b = run_burel(&table, &QI, attr::SALARY, beta, 3).unwrap();
+    let (t_beta, _) = achieved_closeness(&table, &b, METRIC);
+    let tm = run_tmondrian(&table, &QI, attr::SALARY, t_beta).unwrap();
+    let sb = run_sabre(&table, &QI, attr::SALARY, t_beta, 3).unwrap();
+    let real_b = achieved_beta(&table, &b);
+    assert!(real_b <= beta + 1e-9);
+    assert!(achieved_beta(&table, &tm) > real_b);
+    assert!(achieved_beta(&table, &sb) > real_b);
+}
+
+/// Section 7 table shape: the ℓ-diversity reading of BUREL output falls as
+/// β is relaxed, and the closeness reading grows.
+#[test]
+fn sec7_shape_l_falls_t_grows_with_beta() {
+    let table = census::generate(&CensusConfig::new(20_000, 4));
+    let tight = run_burel(&table, &QI, attr::SALARY, 1.0, 3).unwrap();
+    let loose = run_burel(&table, &QI, attr::SALARY, 5.0, 3).unwrap();
+    let a_tight = audit_partition(&table, &tight, METRIC);
+    let a_loose = audit_partition(&table, &loose, METRIC);
+    assert!(
+        a_tight.avg_distinct_l >= a_loose.avg_distinct_l,
+        "avg l: {} -> {}",
+        a_tight.avg_distinct_l,
+        a_loose.avg_distinct_l
+    );
+    assert!(
+        a_tight.avg_closeness <= a_loose.avg_closeness + 1e-9,
+        "avg t: {} -> {}",
+        a_tight.avg_closeness,
+        a_loose.avg_closeness
+    );
+}
+
+/// Section 7 figure: the Naïve-Bayes attack's accuracy on BUREL output
+/// stays near the majority-class frequency.
+#[test]
+fn nb_attack_shape_collapses_to_majority() {
+    let table = census::generate(&CensusConfig::new(20_000, 5));
+    let p = run_burel(&table, &QI, attr::SALARY, 4.0, 3).unwrap();
+    let out = naive_bayes_attack(&table, &p);
+    assert!(
+        out.accuracy < 3.0 * out.majority_freq,
+        "attack accuracy {} vs majority {}",
+        out.accuracy,
+        out.majority_freq
+    );
+}
+
+/// Figure 9 shape: at full scale, the perturbation scheme beats the
+/// Anatomy baseline on median relative error. Release-only: the crossover
+/// needs 100K rows.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "needs 200K rows; run under --release")]
+fn fig9_shape_perturbation_beats_baseline_at_scale() {
+    // Reconstruction noise shrinks as 1/sqrt(|S_t|) while the baseline's
+    // correlation blindness is scale-invariant; 200K rows is safely past
+    // the crossover.
+    let table = census::generate(&CensusConfig::new(200_000, 6));
+    let model = BetaLikeness::new(4.0).unwrap();
+    let published = perturb(&table, attr::SALARY, &model, 8).unwrap();
+    let baseline = AnatomyBaseline::publish(&table, attr::SALARY);
+    let workload = generate_workload(
+        &table,
+        &WorkloadConfig {
+            qi_pool: vec![0, 1, 2, 3, 4],
+            sa: attr::SALARY,
+            lambda: 3,
+            theta: 0.1,
+            num_queries: 150,
+            seed: 9,
+        },
+    );
+    let mut pert = Vec::new();
+    let mut base = Vec::new();
+    for q in &workload {
+        let exact = exact_count(&table, q) as f64;
+        pert.push(relative_error(
+            estimate_perturbed(&published, q).unwrap(),
+            exact,
+        ));
+        base.push(relative_error(estimate_anatomy(&baseline, &table, q), exact));
+    }
+    let pm = median_relative_error(pert).unwrap();
+    let bm = median_relative_error(base).unwrap();
+    assert!(pm < bm, "perturbation {pm}% must beat baseline {bm}%");
+}
+
+/// Figure 9(b) shape: perturbation error falls as β is relaxed (larger
+/// retention probabilities). Release-only.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "needs 100K rows; run under --release")]
+fn fig9b_shape_error_falls_with_beta() {
+    let table = census::generate(&CensusConfig::new(100_000, 7));
+    let workload = generate_workload(
+        &table,
+        &WorkloadConfig {
+            qi_pool: vec![0, 1, 2, 3, 4],
+            sa: attr::SALARY,
+            lambda: 3,
+            theta: 0.1,
+            num_queries: 120,
+            seed: 10,
+        },
+    );
+    let med = |beta: f64| {
+        let model = BetaLikeness::new(beta).unwrap();
+        let published = perturb(&table, attr::SALARY, &model, 8).unwrap();
+        median_relative_error(workload.iter().map(|q| {
+            relative_error(
+                estimate_perturbed(&published, q).unwrap(),
+                exact_count(&table, q) as f64,
+            )
+        }))
+        .unwrap()
+    };
+    let tight = med(1.0);
+    let loose = med(5.0);
+    assert!(
+        loose < tight,
+        "error must fall with beta: beta=5 {loose}% vs beta=1 {tight}%"
+    );
+}
