@@ -102,7 +102,11 @@ pub fn corruption_attack_generalized(
     }
     CorruptionOutcome {
         corruption_rate,
-        mean_confidence: if victims > 0 { sum_conf / victims as f64 } else { 0.0 },
+        mean_confidence: if victims > 0 {
+            sum_conf / victims as f64
+        } else {
+            0.0
+        },
         pinned_fraction: if victims > 0 {
             pinned as f64 / victims as f64
         } else {
@@ -180,8 +184,7 @@ mod tests {
         let mid = corruption_attack_generalized(&t, &p, 0.5, 1);
         let high = corruption_attack_generalized(&t, &p, 0.98, 1);
         assert!(
-            low.mean_confidence < mid.mean_confidence
-                && mid.mean_confidence < high.mean_confidence,
+            low.mean_confidence < mid.mean_confidence && mid.mean_confidence < high.mean_confidence,
             "confidence must grow with corruption: {} {} {}",
             low.mean_confidence,
             mid.mean_confidence,

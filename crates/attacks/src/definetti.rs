@@ -116,8 +116,7 @@ pub fn definetti_attack(
             // Candidate (score, row, value-slot) triples; greedy: highest
             // confidence first.
             let mut prefs: Vec<(f64, usize, Value)> = Vec::new();
-            let distinct: std::collections::BTreeSet<Value> =
-                remaining.iter().copied().collect();
+            let distinct: std::collections::BTreeSet<Value> = remaining.iter().copied().collect();
             for &r in ec {
                 for &v in &distinct {
                     let vi = v as usize;
@@ -130,8 +129,7 @@ pub fn definetti_attack(
                 }
             }
             prefs.sort_by(|x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
-            let mut row_done: std::collections::BTreeSet<usize> =
-                std::collections::BTreeSet::new();
+            let mut row_done: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
             for (_, r, v) in prefs {
                 if row_done.contains(&r) {
                     continue;

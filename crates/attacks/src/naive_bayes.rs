@@ -110,7 +110,11 @@ pub fn naive_bayes_attack(table: &Table, partition: &Partition) -> NaiveBayesOut
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .expect("non-empty domain");
-        let prediction = if scores[best].is_finite() { best } else { majority };
+        let prediction = if scores[best].is_finite() {
+            best
+        } else {
+            majority
+        };
         if prediction == true_value as usize {
             hits += 1;
         }

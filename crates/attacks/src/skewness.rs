@@ -121,6 +121,8 @@ mod tests {
         let h = disease_hierarchy();
         let leaks = similarity_leaks(&t, &p, &h);
         // The singleton leaks the exact disease (a leaf node).
-        assert!(leaks.iter().any(|&(ec, label)| ec == 0 && label == "headache"));
+        assert!(leaks
+            .iter()
+            .any(|&(ec, label)| ec == 0 && label == "headache"));
     }
 }

@@ -220,9 +220,7 @@ mod tests {
         let all: Vec<usize> = (0..t.num_rows()).collect();
         assert!(c.acceptable(&t, 2, &all));
         // Any class missing some value is rejected regardless of δ.
-        let missing: Vec<usize> = (0..t.num_rows())
-            .filter(|&r| t.value(r, 2) != 0)
-            .collect();
+        let missing: Vec<usize> = (0..t.num_rows()).filter(|&r| t.value(r, 2) != 0).collect();
         assert!(!c.acceptable(&t, 2, &missing));
     }
 
@@ -233,9 +231,7 @@ mod tests {
         let tight = TClosenessConstraint::new(&t, 2, 1e-6, ClosenessMetric::EqualDistance);
         assert!(tight.acceptable(&t, 2, &all), "EMD(table, table) = 0");
         // Half the rows sharing value 0 has EMD > 0.2 for this Zipf data.
-        let conc: Vec<usize> = (0..t.num_rows())
-            .filter(|&r| t.value(r, 2) == 0)
-            .collect();
+        let conc: Vec<usize> = (0..t.num_rows()).filter(|&r| t.value(r, 2) == 0).collect();
         assert!(!tight.acceptable(&t, 2, &conc));
         let loose = TClosenessConstraint::new(&t, 2, 1.0, ClosenessMetric::EqualDistance);
         assert!(loose.acceptable(&t, 2, &conc));
@@ -268,9 +264,7 @@ mod tests {
         }
         // A class missing a supported value entirely fails two-sided but
         // can pass one-sided.
-        let missing: Vec<usize> = (0..t.num_rows())
-            .filter(|&r| t.value(r, 2) != 0)
-            .collect();
+        let missing: Vec<usize> = (0..t.num_rows()).filter(|&r| t.value(r, 2) != 0).collect();
         assert!(!two.acceptable(&t, 2, &missing));
     }
 

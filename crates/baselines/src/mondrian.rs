@@ -132,9 +132,7 @@ fn try_split<C: SplitConstraint>(
     let mut dims: Vec<(f64, usize)> = qi
         .iter()
         .map(|&a| {
-            let (lo, hi) = table
-                .code_extent(a, rows)
-                .expect("nodes are non-empty");
+            let (lo, hi) = table.code_extent(a, rows).expect("nodes are non-empty");
             (table.schema().attr(a).normalized_span(lo, hi), a)
         })
         .collect();
@@ -173,11 +171,7 @@ fn median_split(table: &Table, attr: usize, rows: &[RowId]) -> Option<(Vec<RowId
     // median; if none exists the dimension is unsplittable.
     let max_val = rows.iter().map(|&r| col[r]).max().expect("non-empty");
     let threshold = if median == max_val {
-        let below = rows
-            .iter()
-            .map(|&r| col[r])
-            .filter(|&v| v < median)
-            .max()?;
+        let below = rows.iter().map(|&r| col[r]).filter(|&v| v < median).max()?;
         below
     } else {
         median
@@ -264,8 +258,8 @@ mod tests {
     fn median_split_handles_ties() {
         // A column where 90% of rows share the maximum value: the split
         // threshold must back off below the median.
-        use betalike_microdata::{Schema, Table};
         use betalike_microdata::schema::Attribute;
+        use betalike_microdata::{Schema, Table};
         use std::sync::Arc;
         let schema = Arc::new(
             Schema::new(

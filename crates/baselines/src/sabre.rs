@@ -280,8 +280,7 @@ mod tests {
         for thr in [0.1, 0.2, 0.4] {
             let p = sabre(&t, &[0, 1], 2, &SabreConfig::new(thr)).unwrap();
             assert!(p.validate_cover(3_000).is_ok());
-            let (max_t, _) =
-                achieved_closeness(&t, &p, ClosenessMetric::EqualDistance);
+            let (max_t, _) = achieved_closeness(&t, &p, ClosenessMetric::EqualDistance);
             assert!(max_t <= thr + 1e-9, "t = {thr}: achieved {max_t}");
         }
     }

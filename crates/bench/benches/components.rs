@@ -80,8 +80,16 @@ fn bench_retrieve_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("retrieve_ablation");
     g.sample_size(10);
     for (name, strategy, seed_choice) in [
-        ("hilbert_random_seed", FillStrategy::HilbertNearest, SeedChoice::Random),
-        ("hilbert_sweep_seed", FillStrategy::HilbertNearest, SeedChoice::FirstAlive),
+        (
+            "hilbert_random_seed",
+            FillStrategy::HilbertNearest,
+            SeedChoice::Random,
+        ),
+        (
+            "hilbert_sweep_seed",
+            FillStrategy::HilbertNearest,
+            SeedChoice::FirstAlive,
+        ),
         ("arbitrary", FillStrategy::Arbitrary, SeedChoice::Random),
     ] {
         let mut cfg = BurelConfig::new(4.0);
@@ -103,7 +111,10 @@ fn bench_pm_inverse(c: &mut Criterion) {
     let observed: Vec<f64> = (0..plan.m()).map(|i| 100.0 + i as f64).collect();
     let mut g = c.benchmark_group("pm_inverse");
     g.bench_function("sherman_morrison_m50", |b| {
-        b.iter(|| plan.reconstruct_sherman_morrison(black_box(&observed)).unwrap())
+        b.iter(|| {
+            plan.reconstruct_sherman_morrison(black_box(&observed))
+                .unwrap()
+        })
     });
     g.bench_function("lu_m50", |b| {
         b.iter(|| plan.reconstruct_lu(black_box(&observed)).unwrap())
@@ -126,7 +137,9 @@ fn bench_audit_and_attack(c: &mut Criterion) {
 }
 
 fn bench_apportion(c: &mut Criterion) {
-    let weights: Vec<f64> = (0..50).map(|i| 1.0 + (i as f64 * 0.37).sin().abs()).collect();
+    let weights: Vec<f64> = (0..50)
+        .map(|i| 1.0 + (i as f64 * 0.37).sin().abs())
+        .collect();
     c.bench_function("largest_remainder_apportion_50", |b| {
         b.iter(|| {
             betalike_microdata::distribution::largest_remainder_apportion(

@@ -19,7 +19,13 @@ use betalike_microdata::Table;
 pub const METRIC: ClosenessMetric = ClosenessMetric::EqualDistance;
 
 /// BUREL at the paper's defaults (enhanced bound).
-pub fn run_burel(table: &Table, qi: &[usize], sa: usize, beta: f64, seed: u64) -> Result<Partition> {
+pub fn run_burel(
+    table: &Table,
+    qi: &[usize],
+    sa: usize,
+    beta: f64,
+    seed: u64,
+) -> Result<Partition> {
     burel(table, qi, sa, &BurelConfig::new(beta).with_seed(seed))
 }
 

@@ -108,8 +108,8 @@ fn load_table(args: &Args) -> (betalike_microdata::Table, usize) {
     let sa = schema.default_sa();
     let file =
         File::open(input_path).unwrap_or_else(|e| fail(&format!("opening {input_path}: {e}")));
-    let table = mio::read_csv(schema, file)
-        .unwrap_or_else(|e| fail(&format!("reading {input_path}: {e}")));
+    let table =
+        mio::read_csv(schema, file).unwrap_or_else(|e| fail(&format!("reading {input_path}: {e}")));
     if table.is_empty() {
         fail("input table is empty");
     }
@@ -165,8 +165,8 @@ fn main() {
         }
         "perturb" => {
             let (table, sa) = load_table(&args);
-            let model = BetaLikeness::new(args.beta)
-                .unwrap_or_else(|e| fail(&format!("bad beta: {e}")));
+            let model =
+                BetaLikeness::new(args.beta).unwrap_or_else(|e| fail(&format!("bad beta: {e}")));
             let published = perturb(&table, sa, &model, args.seed)
                 .unwrap_or_else(|e| fail(&format!("perturbation failed: {e}")));
             let out_path = format!("{}.csv", args.output);

@@ -44,12 +44,7 @@ fn main() {
 
     // SA frequency profile (the Section 6 prose).
     let dist = table.sa_distribution(SA);
-    let mut indexed: Vec<(usize, f64)> = dist
-        .freqs()
-        .iter()
-        .copied()
-        .enumerate()
-        .collect();
+    let mut indexed: Vec<(usize, f64)> = dist.freqs().iter().copied().enumerate().collect();
     indexed.sort_by(|a, b| a.1.total_cmp(&b.1));
     let (min_v, min_f) = indexed[0];
     let (max_v, max_f) = indexed[indexed.len() - 1];
@@ -66,14 +61,8 @@ fn main() {
                 format!("most frequent (class {max_v})"),
                 format!("{}%", f(max_f * 100.0, 4)),
             ],
-            vec![
-                "paper's least frequent".into(),
-                "0.2018%".into(),
-            ],
-            vec![
-                "paper's most frequent".into(),
-                "4.8402%".into(),
-            ],
+            vec!["paper's least frequent".into(), "0.2018%".into()],
+            vec!["paper's most frequent".into(), "4.8402%".into()],
             vec!["entropy (nats)".into(), f(dist.entropy(), 3)],
         ],
     );

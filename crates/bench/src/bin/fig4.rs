@@ -68,10 +68,7 @@ fn fig4a(table: &Table, qi: &[usize], seed: u64) {
             f(real_beta(table, &sb), 2),
         ]);
     }
-    print_table(
-        &["beta", "t_beta", "BUREL", "tMondrian", "SABRE"],
-        &rows,
-    );
+    print_table(&["beta", "t_beta", "BUREL", "tMondrian", "SABRE"], &rows);
     println!("\n(the paper's Fig. 4a shows BUREL at ~beta and the t-closeness\n schemes 1–3 orders of magnitude above; log-scale y-axis)");
 }
 
@@ -103,10 +100,7 @@ fn fig4b(table: &Table, qi: &[usize], seed: u64) {
             f(real_beta(table, &sb), 2),
         ]);
     }
-    print_table(
-        &["t", "beta_t", "BUREL", "tMondrian", "SABRE"],
-        &rows,
-    );
+    print_table(&["t", "beta_t", "BUREL", "tMondrian", "SABRE"], &rows);
 }
 
 fn fig4c(table: &Table, qi: &[usize], seed: u64) {

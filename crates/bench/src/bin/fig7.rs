@@ -30,8 +30,7 @@ fn main() {
     let mut time_rows = Vec::new();
     for &n in &sizes {
         let table = full.prefix(n);
-        let (b, tb) =
-            time_it(|| run_burel(&table, &qi, SA, args.beta, args.seed).expect("BUREL"));
+        let (b, tb) = time_it(|| run_burel(&table, &qi, SA, args.beta, args.seed).expect("BUREL"));
         let (l, tl) = time_it(|| run_lmondrian(&table, &qi, SA, args.beta).expect("LMondrian"));
         let (d, td) = time_it(|| run_dmondrian(&table, &qi, SA, args.beta).expect("DMondrian"));
         ail_rows.push(vec![

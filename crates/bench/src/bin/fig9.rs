@@ -20,8 +20,8 @@ use betalike_bench::tablefmt::{pct, print_table};
 use betalike_bench::{load_census, qi_set, SA};
 use betalike_microdata::Table;
 use betalike_query::{
-    estimate_anatomy, estimate_perturbed, exact_count, generate_workload,
-    median_relative_error, relative_error, WorkloadConfig,
+    estimate_anatomy, estimate_perturbed, exact_count, generate_workload, median_relative_error,
+    relative_error, WorkloadConfig,
 };
 
 fn main() {
@@ -127,7 +127,11 @@ fn row(
     }
     vec![
         label,
-        median_relative_error(pert).map(pct).unwrap_or_else(|| "n/a".into()),
-        median_relative_error(base).map(pct).unwrap_or_else(|| "n/a".into()),
+        median_relative_error(pert)
+            .map(pct)
+            .unwrap_or_else(|| "n/a".into()),
+        median_relative_error(base)
+            .map(pct)
+            .unwrap_or_else(|| "n/a".into()),
     ]
 }

@@ -136,8 +136,19 @@ mod tests {
     #[test]
     fn full_parse() {
         let a = parse(&[
-            "b", "--rows", "500000", "--seed", "7", "--queries", "10000", "--qi", "5", "--beta",
-            "2.5", "--theta", "0.2",
+            "b",
+            "--rows",
+            "500000",
+            "--seed",
+            "7",
+            "--queries",
+            "10000",
+            "--qi",
+            "5",
+            "--beta",
+            "2.5",
+            "--theta",
+            "0.2",
         ])
         .unwrap();
         assert_eq!(a.sub.as_deref(), Some("b"));

@@ -99,8 +99,7 @@ mod tests {
     #[test]
     fn tolerates_step_functions() {
         // A step measurement (like AIL over discrete EC structures).
-        let got = max_param_below(0.0, 8.0, 1.0, 30, |x| if x < 5.0 { 0.5 } else { 2.0 })
-            .unwrap();
+        let got = max_param_below(0.0, 8.0, 1.0, 30, |x| if x < 5.0 { 0.5 } else { 2.0 }).unwrap();
         assert!((4.9..5.0).contains(&got), "got {got}");
     }
 }

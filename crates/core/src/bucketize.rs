@@ -88,9 +88,8 @@ pub fn dp_partition(
     // A singleton is always a valid bucket (Lemma 2 holds trivially:
     // p ≤ f(p)); multi-value buckets must fit strictly under the reserved
     // cap, per the paper's strict Combinable.
-    let combinable = |b: usize, e: usize| -> bool {
-        b == e || ((prefix[e + 1] - prefix[b]) as f64) < caps[b]
-    };
+    let combinable =
+        |b: usize, e: usize| -> bool { b == e || ((prefix[e + 1] - prefix[b]) as f64) < caps[b] };
 
     // n[e] = min #buckets covering values[0..e]; split[e] = start of the
     // last bucket in an optimal cover of values[0..e].

@@ -24,8 +24,8 @@ use crate::model::{verify, BetaLikeness, BoundKind};
 use crate::retrieve::{hilbert_keys, FillStrategy, Materializer, SeedChoice};
 use betalike_metrics::Partition;
 use betalike_microdata::{RowId, Table};
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Configuration for [`burel`].
 #[derive(Debug, Clone)]
@@ -104,7 +104,9 @@ pub(crate) fn validate_attrs(table: &Table, qi: &[usize], sa: usize) -> Result<(
     let mut seen = std::collections::BTreeSet::new();
     for &a in qi {
         if a >= arity {
-            return Err(Error::BadQi(format!("attribute {a} out of bounds ({arity})")));
+            return Err(Error::BadQi(format!(
+                "attribute {a} out of bounds ({arity})"
+            )));
         }
         if a == sa {
             return Err(Error::BadQi(format!("attribute {a} is the SA")));
@@ -126,7 +128,10 @@ fn rows_per_bucket(table: &Table, sa: usize, buckets: &[SaBucket]) -> Vec<Vec<Ro
             value_bucket[v as usize] = j;
         }
     }
-    let mut rows: Vec<Vec<RowId>> = buckets.iter().map(|b| Vec::with_capacity(b.count as usize)).collect();
+    let mut rows: Vec<Vec<RowId>> = buckets
+        .iter()
+        .map(|b| Vec::with_capacity(b.count as usize))
+        .collect();
     for (r, &v) in table.column(sa).iter().enumerate() {
         let j = value_bucket[v as usize];
         debug_assert_ne!(j, usize::MAX, "every present value belongs to a bucket");
@@ -198,22 +203,13 @@ mod tests {
     fn input_validation() {
         let t = example2_table();
         let cfg = BurelConfig::new(2.0);
-        assert!(matches!(
-            burel(&t, &[], 2, &cfg),
-            Err(Error::BadQi(_))
-        ));
+        assert!(matches!(burel(&t, &[], 2, &cfg), Err(Error::BadQi(_))));
         assert!(matches!(
             burel(&t, &[0, 1], 9, &cfg),
             Err(Error::BadSa { .. })
         ));
-        assert!(matches!(
-            burel(&t, &[0, 2], 2, &cfg),
-            Err(Error::BadQi(_))
-        ));
-        assert!(matches!(
-            burel(&t, &[0, 0], 2, &cfg),
-            Err(Error::BadQi(_))
-        ));
+        assert!(matches!(burel(&t, &[0, 2], 2, &cfg), Err(Error::BadQi(_))));
+        assert!(matches!(burel(&t, &[0, 0], 2, &cfg), Err(Error::BadQi(_))));
         let bad_beta = BurelConfig::new(-1.0);
         assert!(matches!(
             burel(&t, &[0, 1], 2, &bad_beta),
@@ -308,10 +304,7 @@ mod tests {
         .unwrap();
         let ail_h = average_information_loss(&t, &hil);
         let ail_a = average_information_loss(&t, &arb);
-        assert!(
-            ail_h < ail_a,
-            "hilbert {ail_h} must beat arbitrary {ail_a}"
-        );
+        assert!(ail_h < ail_a, "hilbert {ail_h} must beat arbitrary {ail_a}");
     }
 
     #[test]

@@ -113,7 +113,10 @@ pub fn bi_split(bucket_sizes: &[u64], eligibility: &impl Eligibility) -> Option<
 
 /// Attempts the paper's halving split; returns the two children if both are
 /// non-empty and eligible.
-fn try_split(node: &EcTemplate, eligibility: &impl Eligibility) -> Option<(EcTemplate, EcTemplate)> {
+fn try_split(
+    node: &EcTemplate,
+    eligibility: &impl Eligibility,
+) -> Option<(EcTemplate, EcTemplate)> {
     let mut left = Vec::with_capacity(node.counts.len());
     let mut right = Vec::with_capacity(node.counts.len());
     for &c in &node.counts {
@@ -175,7 +178,10 @@ mod tests {
         assert!(elig.eligible(&[3, 3, 4]));
         assert!(elig.eligible(&[1, 1, 2]));
         assert!(elig.eligible(&[1, 2, 2]));
-        assert!(!elig.eligible(&[2, 2, 2]), "2/6 > f(2/19): the rejected split");
+        assert!(
+            !elig.eligible(&[2, 2, 2]),
+            "2/6 > f(2/19): the rejected split"
+        );
     }
 
     #[test]

@@ -156,18 +156,15 @@ pub fn burel_grouped(
     // Build a shadow table whose SA column carries group codes; QI columns
     // are shared so Hilbert keys and extents are identical.
     let grouped_col = grouping.grouped_codes(table.column(sa));
-    let mut attrs: Vec<betalike_microdata::Attribute> =
-        table.schema().attributes().to_vec();
+    let mut attrs: Vec<betalike_microdata::Attribute> = table.schema().attributes().to_vec();
     attrs[sa] = betalike_microdata::Attribute::numeric(
         format!("{}_group", table.schema().attr(sa).name()),
         (0..grouping.num_groups()).map(|g| g as f64).collect(),
     )
     .expect("group domain is valid");
-    let shadow_schema = Arc::new(
-        betalike_microdata::Schema::new(attrs, sa).expect("shadow schema is valid"),
-    );
-    let mut columns: Vec<Vec<Value>> =
-        (0..arity).map(|a| table.column(a).to_vec()).collect();
+    let shadow_schema =
+        Arc::new(betalike_microdata::Schema::new(attrs, sa).expect("shadow schema is valid"));
+    let mut columns: Vec<Vec<Value>> = (0..arity).map(|a| table.column(a).to_vec()).collect();
     columns[sa] = grouped_col;
     let shadow = Table::from_columns(shadow_schema, columns)
         .expect("shadow columns conform to the shadow schema");
@@ -255,14 +252,7 @@ mod tests {
         let t = example2_table();
         let qi = [patients::attr::WEIGHT, patients::attr::AGE];
         let model = BetaLikeness::new(1.0).unwrap();
-        let p = burel_grouped(
-            &t,
-            &qi,
-            patients::attr::DISEASE,
-            &BurelConfig::new(1.0),
-            1,
-        )
-        .unwrap();
+        let p = burel_grouped(&t, &qi, patients::attr::DISEASE, &BurelConfig::new(1.0), 1).unwrap();
         assert!(p.validate_cover(t.num_rows()).is_ok());
         let h = disease_hierarchy();
         let grouping = SaGrouping::at_depth(&h, 1);

@@ -252,5 +252,38 @@ mod tests {
                 prop_assert!((got - want).abs() < 1e-8);
             }
         }
+
+        /// The reconstruction path of the perturbation scheme
+        /// (`N′ = PM⁻¹ × E′`): inverting a well-conditioned matrix and
+        /// multiplying by the observed vector must recover the original
+        /// counts it was built from.
+        #[test]
+        fn inverse_roundtrips_reconstruction(
+            seedvals in proptest::collection::vec(-5.0f64..5.0, 16),
+            counts in proptest::collection::vec(0.0f64..1000.0, 4),
+        ) {
+            let mut pm = Matrix::from_rows(4, seedvals);
+            for i in 0..4 {
+                pm[(i, i)] += 25.0;
+            }
+            let inv = pm.inverse().unwrap();
+            // A · A⁻¹ ≈ I.
+            for i in 0..4 {
+                for j in 0..4 {
+                    let mut s = 0.0;
+                    for k in 0..4 {
+                        s += pm[(i, k)] * inv[(k, j)];
+                    }
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    prop_assert!((s - expect).abs() < 1e-10);
+                }
+            }
+            // N′ = PM⁻¹ × E′ recovers N when E′ = PM × N.
+            let observed = pm.mul_vec(&counts);
+            let recon = inv.mul_vec(&observed);
+            for (got, want) in recon.iter().zip(&counts) {
+                prop_assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+            }
+        }
     }
 }

@@ -413,7 +413,10 @@ mod tests {
         // floors: 0.1, 0.208...; q0 = 0.05 < 0.1 -> floor violation.
         let p3 = SaDistribution::from_counts(vec![20, 40, 40]);
         let q3 = SaDistribution::from_counts(vec![5, 50, 45]);
-        assert!(m.check_distribution(&p3, &q3, 0).is_ok(), "one-sided passes");
+        assert!(
+            m.check_distribution(&p3, &q3, 0).is_ok(),
+            "one-sided passes"
+        );
         let v3 = m.check_two_sided(&p3, &q3, 0).unwrap_err();
         assert_eq!(v3.value, 0);
         assert!(v3.ec_freq < v3.bound);

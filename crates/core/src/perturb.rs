@@ -29,9 +29,10 @@
 use crate::error::{Error, Result};
 use crate::linalg::Matrix;
 use crate::model::BetaLikeness;
+use betalike_microdata::json::Json;
 use betalike_microdata::{SaDistribution, Table, Value};
-use rand_chacha::ChaCha8Rng;
 use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
 
 /// How a perturbation plan bounds adversarial posteriors. Holds everything a
@@ -333,7 +334,12 @@ impl PerturbedTable {
 /// # Errors
 ///
 /// Propagates plan-construction errors; see [`PerturbationPlan::new`].
-pub fn perturb(table: &Table, sa: usize, model: &BetaLikeness, seed: u64) -> Result<PerturbedTable> {
+pub fn perturb(
+    table: &Table,
+    sa: usize,
+    model: &BetaLikeness,
+    seed: u64,
+) -> Result<PerturbedTable> {
     let arity = table.schema().arity();
     if sa >= arity {
         return Err(Error::BadSa { index: sa, arity });
@@ -348,7 +354,9 @@ pub fn perturb(table: &Table, sa: usize, model: &BetaLikeness, seed: u64) -> Res
 
     let mut new_sa = Vec::with_capacity(table.num_rows());
     for &v in table.column(sa) {
-        let i = plan.dense_index(v).expect("table values are in the support");
+        let i = plan
+            .dense_index(v)
+            .expect("table values are in the support");
         let keep = rng.gen::<f64>() < plan.alphas()[i];
         if keep {
             new_sa.push(v);
@@ -410,7 +418,10 @@ mod tests {
         assert_eq!(m, 4);
         for j in 0..m {
             let col_sum: f64 = (0..m).map(|i| plan.matrix()[(i, j)]).sum();
-            assert!((col_sum - 1.0).abs() < 1e-12, "column {j} sums to {col_sum}");
+            assert!(
+                (col_sum - 1.0).abs() < 1e-12,
+                "column {j} sums to {col_sum}"
+            );
             for i in 0..m {
                 assert!(plan.matrix()[(i, j)] >= 0.0);
             }
@@ -596,7 +607,7 @@ mod tests {
 /// to release alongside the randomized data: the SA support, the original
 /// global distribution `P`, the posterior caps, and the matrix `PM` (row
 /// major, `pm[i][j] = Pr(v_j → v_i)`).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlanRelease {
     /// SA codes with support, ascending.
     pub support: Vec<u32>,
@@ -629,7 +640,21 @@ impl PlanRelease {
 
     /// Renders pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("plan releases always serialize")
+        let nums = |xs: &[f64]| Json::Arr(xs.iter().map(|&x| Json::Num(x)).collect());
+        Json::Obj(vec![
+            (
+                "support".to_string(),
+                Json::Arr(self.support.iter().map(|&v| Json::Num(v as f64)).collect()),
+            ),
+            ("priors".to_string(), nums(&self.priors)),
+            ("caps".to_string(), nums(&self.caps)),
+            ("alphas".to_string(), nums(&self.alphas)),
+            (
+                "pm".to_string(),
+                Json::Arr(self.pm.iter().map(|row| nums(row)).collect()),
+            ),
+        ])
+        .pretty()
     }
 
     /// Parses the JSON form.
@@ -638,7 +663,49 @@ impl PlanRelease {
     ///
     /// Returns [`Error::BadQi`]-style diagnostics for malformed input.
     pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json).map_err(|e| Error::BadQi(format!("plan JSON: {e}")))
+        let bad = |msg: &dyn std::fmt::Display| Error::BadQi(format!("plan JSON: {msg}"));
+        let doc = Json::parse(json).map_err(|e| bad(&e))?;
+        let floats = |key: &str| -> Result<Vec<f64>> {
+            doc.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad(&format!("missing array `{key}`")))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| bad(&format!("`{key}` must be numbers")))
+                })
+                .collect()
+        };
+        let support = doc
+            .get("support")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad(&"missing array `support`"))?
+            .iter()
+            .map(|v| match v.as_f64() {
+                Some(n) if n.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&n) => Ok(n as u32),
+                _ => Err(bad(&"`support` must be u32 codes")),
+            })
+            .collect::<Result<_>>()?;
+        let pm = doc
+            .get("pm")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad(&"missing array `pm`"))?
+            .iter()
+            .map(|row| {
+                row.as_arr()
+                    .ok_or_else(|| bad(&"`pm` rows must be arrays"))?
+                    .iter()
+                    .map(|v| v.as_f64().ok_or_else(|| bad(&"`pm` must be numbers")))
+                    .collect::<Result<Vec<f64>>>()
+            })
+            .collect::<Result<_>>()?;
+        Ok(PlanRelease {
+            support,
+            priors: floats("priors")?,
+            caps: floats("caps")?,
+            alphas: floats("alphas")?,
+            pm,
+        })
     }
 
     /// Rebuilds a reconstruction-capable matrix from the released rows.
@@ -672,9 +739,7 @@ mod release_tests {
         let release = PlanRelease::from_plan(&plan);
         let parsed = PlanRelease::from_json(&release.to_json()).unwrap();
         assert_eq!(parsed.support, release.support);
-        let close = |a: &[f64], b: &[f64]| {
-            a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-12)
-        };
+        let close = |a: &[f64], b: &[f64]| a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-12);
         assert!(close(&parsed.priors, &release.priors));
         assert!(close(&parsed.caps, &release.caps));
         assert!(close(&parsed.alphas, &release.alphas));

@@ -223,7 +223,11 @@ impl BucketStore {
             } else {
                 out.push(self.rows[left]);
                 self.kill(left);
-                left = if left == 0 { n } else { self.find_prev(left - 1) };
+                left = if left == 0 {
+                    n
+                } else {
+                    self.find_prev(left - 1)
+                };
             }
         }
     }
@@ -318,7 +322,11 @@ impl Materializer {
     /// Panics if the template is empty or over-draws a bucket (both are
     /// internal errors: `biSplit` conserves bucket totals).
     pub fn fill(&mut self, template: &[u64], rng: &mut impl Rng) -> Vec<RowId> {
-        assert_eq!(template.len(), self.buckets.len(), "template arity mismatch");
+        assert_eq!(
+            template.len(),
+            self.buckets.len(),
+            "template arity mismatch"
+        );
         let size: u64 = template.iter().sum();
         assert!(size > 0, "template materializes an empty EC");
         let mut out = Vec::with_capacity(size as usize);
@@ -360,8 +368,8 @@ impl Materializer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand_chacha::ChaCha8Rng;
     use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
 
     fn store(keys: &[u128]) -> BucketStore {
         BucketStore::new(keys.iter().enumerate().map(|(i, &k)| (k, i)).collect())

@@ -10,8 +10,13 @@
 //! The implementation follows John Skilling's transpose algorithm
 //! (*Programming the Hilbert curve*, AIP Conf. Proc. 707, 2004): coordinates
 //! are transformed in place between axes form and "transpose" form, and the
-//! transpose form is bit-interleaved into a single `u128` key. It supports
-//! up to 16 dimensions × 16 bits (any `dims × bits ≤ 128`).
+//! transpose form is bit-interleaved into a single `u128` key.
+//!
+//! **Limits.** A curve needs `dims ≥ 1` and `bits` in `1..=32`, and the key
+//! must fit its `u128` carrier: `dims × bits ≤ 128`. So 16 dimensions are
+//! possible at up to 8 bits each, and the full 32 bits are possible up to 4
+//! dimensions ([`HilbertCurve::new`] returns [`HilbertError::BadBits`] /
+//! [`HilbertError::KeyOverflow`] otherwise).
 //!
 //! ```
 //! use betalike_hilbert::HilbertCurve;
@@ -160,7 +165,11 @@ impl HilbertCurve {
     /// Panics if `index` exceeds [`Self::max_index`] or the buffer length is
     /// not `dims`.
     pub fn point_into(&self, index: u128, out: &mut [u32]) {
-        assert_eq!(out.len(), self.dims, "output buffer has wrong dimensionality");
+        assert_eq!(
+            out.len(),
+            self.dims,
+            "output buffer has wrong dimensionality"
+        );
         assert!(index <= self.max_index(), "index beyond the curve");
         self.deinterleave(index, out);
         self.transpose_to_axes(out);
@@ -170,12 +179,11 @@ impl HilbertCurve {
     /// representation of the Hilbert index.
     fn axes_to_transpose(&self, x: &mut [u32]) {
         let n = x.len();
-        if self.bits < 2
-            && n == 1 {
-                return;
-            }
-            // With one bit per dimension only the Gray-code step applies;
-            // fall through: the loop below is skipped since m == 1.
+        if self.bits < 2 && n == 1 {
+            return;
+        }
+        // With one bit per dimension only the Gray-code step applies;
+        // fall through: the loop below is skipped since m == 1.
         let m = 1u32 << (self.bits - 1);
         // Inverse undo.
         let mut q = m;
@@ -326,6 +334,34 @@ mod tests {
         );
         assert!(HilbertCurve::new(4, 32).is_ok());
         assert!(HilbertCurve::new(16, 8).is_ok());
+    }
+
+    /// The documented contract exactly: `bits` in `1..=32`, `dims ≥ 1`,
+    /// `dims × bits ≤ 128` — probed at each boundary.
+    #[test]
+    fn constructor_boundaries() {
+        // bits boundaries.
+        assert!(HilbertCurve::new(1, 1).is_ok());
+        assert!(HilbertCurve::new(1, 32).is_ok());
+        assert_eq!(HilbertCurve::new(1, 33), Err(HilbertError::BadBits(33)));
+        // Key-width boundary: 128 bits exactly is fine, 129 is not.
+        assert!(HilbertCurve::new(128, 1).is_ok());
+        assert_eq!(
+            HilbertCurve::new(129, 1),
+            Err(HilbertError::KeyOverflow { dims: 129, bits: 1 })
+        );
+        assert!(HilbertCurve::new(8, 16).is_ok());
+        assert_eq!(
+            HilbertCurve::new(9, 15),
+            Err(HilbertError::KeyOverflow { dims: 9, bits: 15 })
+        );
+        // BadBits is reported before KeyOverflow when both would apply.
+        assert_eq!(HilbertCurve::new(100, 0), Err(HilbertError::BadBits(0)));
+        assert_eq!(HilbertCurve::new(100, 40), Err(HilbertError::BadBits(40)));
+        // A maximal curve round-trips.
+        let curve = HilbertCurve::new(128, 1).unwrap();
+        let p: Vec<u32> = (0..128).map(|i| (i % 2) as u32).collect();
+        assert_eq!(curve.point(curve.index(&p)), p);
     }
 
     #[test]

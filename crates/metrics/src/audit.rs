@@ -130,7 +130,11 @@ pub fn achieved_closeness(
 }
 
 /// Runs the full audit in a single pass over the ECs.
-pub fn audit_partition(table: &Table, partition: &Partition, metric: ClosenessMetric) -> PartitionAudit {
+pub fn audit_partition(
+    table: &Table,
+    partition: &Partition,
+    metric: ClosenessMetric,
+) -> PartitionAudit {
     let p = table.sa_distribution(partition.sa());
     let mut out = PartitionAudit {
         max_beta: 0.0,

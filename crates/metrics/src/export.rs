@@ -70,7 +70,10 @@ pub fn write_generalized_csv(
             writeln!(
                 out,
                 ",{}",
-                table.schema().attr(partition.sa()).label(table.value(row, partition.sa()))
+                table
+                    .schema()
+                    .attr(partition.sa())
+                    .label(table.value(row, partition.sa()))
             )?;
         }
     }
@@ -96,7 +99,10 @@ mod tests {
     fn numeric_labels_render_ranges() {
         let (t, p) = split();
         // EC 0 holds weights {70, 60, 50} and ages {40, 60, 50}.
-        assert_eq!(generalized_label(&t, &p, 0, patients::attr::WEIGHT), "50~70");
+        assert_eq!(
+            generalized_label(&t, &p, 0, patients::attr::WEIGHT),
+            "50~70"
+        );
         assert_eq!(generalized_label(&t, &p, 0, patients::attr::AGE), "40~60");
     }
 

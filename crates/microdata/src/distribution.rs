@@ -106,9 +106,7 @@ impl SaDistribution {
             .iter()
             .copied()
             .filter(|&f| f > 0.0)
-            .fold(None, |acc, f| {
-                Some(acc.map_or(f, |a: f64| a.min(f)))
-            })
+            .fold(None, |acc, f| Some(acc.map_or(f, |a: f64| a.min(f))))
     }
 
     /// Values sorted by ascending frequency, ties broken by value code.
@@ -132,7 +130,11 @@ impl SaDistribution {
     ///
     /// Panics if the cardinalities differ.
     pub fn merge(&mut self, other: &SaDistribution) {
-        assert_eq!(self.m(), other.m(), "cannot merge distributions over different domains");
+        assert_eq!(
+            self.m(),
+            other.m(),
+            "cannot merge distributions over different domains"
+        );
         for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
             *c += o;
         }
@@ -161,7 +163,10 @@ impl SaDistribution {
 /// Panics if `weights` is empty or contains a negative/non-finite weight, or
 /// if all weights are zero while `total > 0`.
 pub fn largest_remainder_apportion(total: u64, weights: &[f64]) -> Vec<u64> {
-    assert!(!weights.is_empty(), "apportionment needs at least one weight");
+    assert!(
+        !weights.is_empty(),
+        "apportionment needs at least one weight"
+    );
     assert!(
         weights.iter().all(|w| w.is_finite() && *w >= 0.0),
         "weights must be finite and non-negative"
@@ -170,7 +175,10 @@ pub fn largest_remainder_apportion(total: u64, weights: &[f64]) -> Vec<u64> {
     if total == 0 {
         return vec![0; weights.len()];
     }
-    assert!(sum > 0.0, "cannot apportion {total} units over zero weights");
+    assert!(
+        sum > 0.0,
+        "cannot apportion {total} units over zero weights"
+    );
     let mut out = Vec::with_capacity(weights.len());
     let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(weights.len());
     let mut assigned: u64 = 0;

@@ -397,10 +397,7 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_leaves() {
-        let bad = NodeSpec::internal(
-            "root",
-            vec![NodeSpec::leaf("x"), NodeSpec::leaf("x")],
-        );
+        let bad = NodeSpec::internal("root", vec![NodeSpec::leaf("x"), NodeSpec::leaf("x")]);
         assert!(matches!(
             Hierarchy::from_spec(&bad),
             Err(Error::InvalidHierarchy(_))
@@ -409,11 +406,8 @@ mod tests {
 
     #[test]
     fn single_leaf_domain() {
-        let h = Hierarchy::from_spec(&NodeSpec::internal(
-            "root",
-            vec![NodeSpec::leaf("only")],
-        ))
-        .unwrap();
+        let h = Hierarchy::from_spec(&NodeSpec::internal("root", vec![NodeSpec::leaf("only")]))
+            .unwrap();
         assert_eq!(h.num_leaves(), 1);
         assert_eq!(h.range_loss(0, 0), 0.0);
     }

@@ -25,6 +25,8 @@
 //! * [`patients`] — the six-tuple patient example (Table 1 + Figure 1).
 //! * [`synthetic`] — small random tables for tests and property checks.
 //! * [`io`] — CSV export/import of decoded tables.
+//! * [`json`] — a small JSON kernel backing [`spec`] and the perturbation
+//!   plan release (the build is offline, so no `serde`).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -34,6 +36,7 @@ pub mod distribution;
 pub mod error;
 pub mod hierarchy;
 pub mod io;
+pub mod json;
 pub mod patients;
 pub mod schema;
 pub mod spec;

@@ -69,7 +69,9 @@ impl Attribute {
             return Err(Error::InvalidSchema("numeric domain is empty".into()));
         }
         if values.iter().any(|v| !v.is_finite()) {
-            return Err(Error::InvalidSchema("numeric domain has non-finite values".into()));
+            return Err(Error::InvalidSchema(
+                "numeric domain has non-finite values".into(),
+            ));
         }
         if values.windows(2).any(|w| w[0] >= w[1]) {
             return Err(Error::InvalidSchema(
@@ -177,10 +179,12 @@ impl Attribute {
                     })
             }
             AttrKind::Categorical { hierarchy } => {
-                hierarchy.leaf_code(label).ok_or_else(|| Error::UnknownLabel {
-                    attribute: self.name.clone(),
-                    label: label.to_string(),
-                })
+                hierarchy
+                    .leaf_code(label)
+                    .ok_or_else(|| Error::UnknownLabel {
+                        attribute: self.name.clone(),
+                        label: label.to_string(),
+                    })
             }
         }
     }
@@ -291,7 +295,9 @@ impl Schema {
 
     /// All indices except the default SA — the candidate QI attributes.
     pub fn default_qi(&self) -> Vec<usize> {
-        (0..self.arity()).filter(|&i| i != self.default_sa).collect()
+        (0..self.arity())
+            .filter(|&i| i != self.default_sa)
+            .collect()
     }
 }
 
@@ -301,7 +307,10 @@ mod tests {
     use crate::hierarchy::NodeSpec;
 
     fn gender() -> Attribute {
-        Attribute::categorical("Gender", Hierarchy::flat("person", &["male", "female"]).unwrap())
+        Attribute::categorical(
+            "Gender",
+            Hierarchy::flat("person", &["male", "female"]).unwrap(),
+        )
     }
 
     #[test]

@@ -20,18 +20,17 @@
 
 use crate::error::{Error, Result};
 use crate::hierarchy::{Hierarchy, NodeSpec};
+use crate::json::Json;
 use crate::schema::{AttrKind, Attribute, Schema};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Serializable hierarchy node: a label plus optional children (absent or
 /// empty children ⇒ leaf).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeSpecJson {
     /// Node label (leaf labels are the domain values).
     pub label: String,
     /// Child nodes; a leaf omits this field.
-    #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub children: Vec<NodeSpecJson>,
 }
 
@@ -57,11 +56,68 @@ impl NodeSpecJson {
             children,
         }
     }
+
+    fn to_value(&self) -> Json {
+        let mut members = vec![("label".to_string(), Json::from(self.label.as_str()))];
+        if !self.children.is_empty() {
+            members.push((
+                "children".to_string(),
+                Json::Arr(self.children.iter().map(Self::to_value).collect()),
+            ));
+        }
+        Json::Obj(members)
+    }
+
+    fn from_value(value: &Json) -> Result<Self> {
+        let label = value
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("hierarchy node needs a string `label`"))?
+            .to_string();
+        let children = match value.get("children") {
+            None => Vec::new(),
+            Some(c) => c
+                .as_arr()
+                .ok_or_else(|| bad("`children` must be an array"))?
+                .iter()
+                .map(Self::from_value)
+                .collect::<Result<_>>()?,
+        };
+        Ok(NodeSpecJson { label, children })
+    }
 }
 
-/// Serializable attribute descriptor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case")]
+fn bad(msg: impl std::fmt::Display) -> Error {
+    Error::InvalidSchema(format!("schema JSON: {msg}"))
+}
+
+fn field<'a>(value: &'a Json, key: &str) -> Result<&'a Json> {
+    value
+        .get(key)
+        .ok_or_else(|| bad(format!("missing field `{key}`")))
+}
+
+fn str_field(value: &Json, key: &str) -> Result<String> {
+    field(value, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("field `{key}` must be a string")))
+}
+
+fn int_field(value: &Json, key: &str) -> Result<i64> {
+    let n = field(value, key)?
+        .as_f64()
+        .ok_or_else(|| bad(format!("field `{key}` must be a number")))?;
+    if n.fract() != 0.0 || !(i64::MIN as f64..=i64::MAX as f64).contains(&n) {
+        return Err(bad(format!("field `{key}` must be an integer")));
+    }
+    Ok(n as i64)
+}
+
+/// Serializable attribute descriptor. The JSON form is internally tagged:
+/// a `"type"` member of `"numeric_range"`, `"numeric_values"` or
+/// `"categorical"` selects the variant.
+#[derive(Debug, Clone, PartialEq)]
 pub enum AttrSpec {
     /// Numeric attribute over an inclusive integer range.
     NumericRange {
@@ -112,9 +168,7 @@ impl AttrSpec {
         match attr.kind() {
             AttrKind::Numeric { values } => {
                 // Compact integer ranges back to the range form.
-                let is_int_range = values
-                    .windows(2)
-                    .all(|w| (w[1] - w[0] - 1.0).abs() < 1e-9)
+                let is_int_range = values.windows(2).all(|w| (w[1] - w[0] - 1.0).abs() < 1e-9)
                     && values.iter().all(|v| v.fract() == 0.0);
                 if is_int_range {
                     AttrSpec::NumericRange {
@@ -135,10 +189,62 @@ impl AttrSpec {
             },
         }
     }
+
+    fn to_value(&self) -> Json {
+        match self {
+            AttrSpec::NumericRange { name, min, max } => Json::Obj(vec![
+                ("type".to_string(), Json::from("numeric_range")),
+                ("name".to_string(), Json::from(name.as_str())),
+                ("min".to_string(), Json::Num(*min as f64)),
+                ("max".to_string(), Json::Num(*max as f64)),
+            ]),
+            AttrSpec::NumericValues { name, values } => Json::Obj(vec![
+                ("type".to_string(), Json::from("numeric_values")),
+                ("name".to_string(), Json::from(name.as_str())),
+                (
+                    "values".to_string(),
+                    Json::Arr(values.iter().map(|&v| Json::Num(v)).collect()),
+                ),
+            ]),
+            AttrSpec::Categorical { name, hierarchy } => Json::Obj(vec![
+                ("type".to_string(), Json::from("categorical")),
+                ("name".to_string(), Json::from(name.as_str())),
+                ("hierarchy".to_string(), hierarchy.to_value()),
+            ]),
+        }
+    }
+
+    fn from_value(value: &Json) -> Result<Self> {
+        let tag = str_field(value, "type")?;
+        match tag.as_str() {
+            "numeric_range" => Ok(AttrSpec::NumericRange {
+                name: str_field(value, "name")?,
+                min: int_field(value, "min")?,
+                max: int_field(value, "max")?,
+            }),
+            "numeric_values" => {
+                let values = field(value, "values")?
+                    .as_arr()
+                    .ok_or_else(|| bad("`values` must be an array"))?
+                    .iter()
+                    .map(|v| v.as_f64().ok_or_else(|| bad("`values` must be numbers")))
+                    .collect::<Result<_>>()?;
+                Ok(AttrSpec::NumericValues {
+                    name: str_field(value, "name")?,
+                    values,
+                })
+            }
+            "categorical" => Ok(AttrSpec::Categorical {
+                name: str_field(value, "name")?,
+                hierarchy: NodeSpecJson::from_value(field(value, "hierarchy")?)?,
+            }),
+            other => Err(bad(format!("unknown attribute type `{other}`"))),
+        }
+    }
 }
 
 /// A serializable schema: attributes plus the sensitive attribute's name.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchemaSpec {
     /// Attribute descriptors in column order.
     pub attributes: Vec<AttrSpec>,
@@ -172,10 +278,12 @@ impl SchemaSpec {
         let sa = attrs
             .iter()
             .position(|a| a.name() == self.sensitive)
-            .ok_or_else(|| Error::InvalidSchema(format!(
-                "sensitive attribute `{}` not among the declared attributes",
-                self.sensitive
-            )))?;
+            .ok_or_else(|| {
+                Error::InvalidSchema(format!(
+                    "sensitive attribute `{}` not among the declared attributes",
+                    self.sensitive
+                ))
+            })?;
         Ok(Arc::new(Schema::new(attrs, sa)?))
     }
 
@@ -183,16 +291,31 @@ impl SchemaSpec {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Csv`]-style parse diagnostics wrapped as
-    /// [`Error::InvalidSchema`].
+    /// Returns parse diagnostics wrapped as [`Error::InvalidSchema`].
     pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json)
-            .map_err(|e| Error::InvalidSchema(format!("schema JSON: {e}")))
+        let doc = Json::parse(json).map_err(|e| bad(e.to_string()))?;
+        let attributes = field(&doc, "attributes")?
+            .as_arr()
+            .ok_or_else(|| bad("`attributes` must be an array"))?
+            .iter()
+            .map(AttrSpec::from_value)
+            .collect::<Result<_>>()?;
+        Ok(SchemaSpec {
+            attributes,
+            sensitive: str_field(&doc, "sensitive")?,
+        })
     }
 
     /// Renders pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("schema specs always serialize")
+        Json::Obj(vec![
+            (
+                "attributes".to_string(),
+                Json::Arr(self.attributes.iter().map(AttrSpec::to_value).collect()),
+            ),
+            ("sensitive".to_string(), Json::from(self.sensitive.as_str())),
+        ])
+        .pretty()
     }
 
     /// Name of an attribute by position.
@@ -233,10 +356,7 @@ mod tests {
             .unwrap()
             .to_schema()
             .unwrap();
-        assert_eq!(
-            back.attr(2).hierarchy().unwrap().leaf_label(0),
-            "headache"
-        );
+        assert_eq!(back.attr(2).hierarchy().unwrap().leaf_label(0), "headache");
         assert_eq!(back.default_sa(), 2);
     }
 
@@ -259,10 +379,7 @@ mod tests {
             }],
             sensitive: "missing".into(),
         };
-        assert!(matches!(
-            spec.to_schema(),
-            Err(Error::InvalidSchema(_))
-        ));
+        assert!(matches!(spec.to_schema(), Err(Error::InvalidSchema(_))));
     }
 
     #[test]

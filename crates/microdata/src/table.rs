@@ -253,8 +253,7 @@ mod tests {
 
     fn small_schema() -> Arc<Schema> {
         let age = Attribute::numeric_range("Age", 20, 29).unwrap();
-        let gender =
-            Attribute::categorical("Gender", Hierarchy::flat("p", &["m", "f"]).unwrap());
+        let gender = Attribute::categorical("Gender", Hierarchy::flat("p", &["m", "f"]).unwrap());
         let disease = Attribute::categorical(
             "Disease",
             Hierarchy::flat("any", &["flu", "hiv", "cold"]).unwrap(),
@@ -293,13 +292,8 @@ mod tests {
         assert!(
             Table::from_columns(Arc::clone(&schema), vec![vec![0], vec![0, 1], vec![0]]).is_err()
         );
-        assert!(Table::from_columns(
-            Arc::clone(&schema),
-            vec![vec![0], vec![5], vec![0]]
-        )
-        .is_err());
-        let t =
-            Table::from_columns(schema, vec![vec![0, 1], vec![1, 0], vec![2, 2]]).unwrap();
+        assert!(Table::from_columns(Arc::clone(&schema), vec![vec![0], vec![5], vec![0]]).is_err());
+        let t = Table::from_columns(schema, vec![vec![0, 1], vec![1, 0], vec![2, 2]]).unwrap();
         assert_eq!(t.num_rows(), 2);
     }
 
@@ -338,11 +332,8 @@ mod tests {
     #[test]
     fn code_extent() {
         let schema = small_schema();
-        let t = Table::from_columns(
-            schema,
-            vec![vec![5, 1, 7], vec![0, 1, 0], vec![0, 1, 2]],
-        )
-        .unwrap();
+        let t =
+            Table::from_columns(schema, vec![vec![5, 1, 7], vec![0, 1, 0], vec![0, 1, 2]]).unwrap();
         assert_eq!(t.code_extent(0, &[0, 1, 2]), Some((1, 7)));
         assert_eq!(t.code_extent(0, &[2]), Some((7, 7)));
         assert_eq!(t.code_extent(0, &[]), None);

@@ -206,14 +206,30 @@ mod tests {
             ..Default::default()
         });
         let q = query(
-            vec![RangePred { attr: 0, lo: 0, hi: 4 }],
-            RangePred { attr: 2, lo: 0, hi: 4 },
+            vec![RangePred {
+                attr: 0,
+                lo: 0,
+                hi: 4,
+            }],
+            RangePred {
+                attr: 2,
+                lo: 0,
+                hi: 4,
+            },
         );
         // The SA range covers everything: exact == |qi matches|.
         assert_eq!(exact_count(&t, &q), qi_matches(&t, &q).len() as u64);
         let narrow = query(
-            vec![RangePred { attr: 0, lo: 0, hi: 4 }],
-            RangePred { attr: 2, lo: 0, hi: 0 },
+            vec![RangePred {
+                attr: 0,
+                lo: 0,
+                hi: 4,
+            }],
+            RangePred {
+                attr: 2,
+                lo: 0,
+                hi: 0,
+            },
         );
         assert!(exact_count(&t, &narrow) < exact_count(&t, &q));
     }
@@ -270,8 +286,16 @@ mod tests {
         let p = Partition::new(vec![0], 1, vec![(0..300).collect()]);
         let view = GeneralizedView::new(&t, &p);
         let q = query(
-            vec![RangePred { attr: 0, lo: 0, hi: 7 }],
-            RangePred { attr: 1, lo: 0, hi: 1 },
+            vec![RangePred {
+                attr: 0,
+                lo: 0,
+                hi: 7,
+            }],
+            RangePred {
+                attr: 1,
+                lo: 0,
+                hi: 1,
+            },
         );
         let exact = exact_count(&t, &q) as f64;
         assert!((view.estimate(&q) - exact).abs() < 1e-9);
@@ -312,9 +336,10 @@ mod tests {
                 seed: 11,
             },
         );
-        let med = median_relative_error(w.iter().map(|q| {
-            relative_error(view.estimate(q), exact_count(&t, q) as f64)
-        }))
+        let med = median_relative_error(
+            w.iter()
+                .map(|q| relative_error(view.estimate(q), exact_count(&t, q) as f64)),
+        )
         .unwrap();
         // Figure 8 reports medians below ~40% for BUREL; leave headroom for
         // the smaller table used in tests.
@@ -374,8 +399,16 @@ mod tests {
         // An impossible QI predicate (empty range can't be expressed; use a
         // range matching nothing by construction: values are < 32).
         let q = query(
-            vec![RangePred { attr: 0, lo: 31, hi: 31 }],
-            RangePred { attr: 2, lo: 0, hi: 7 },
+            vec![RangePred {
+                attr: 0,
+                lo: 31,
+                hi: 31,
+            }],
+            RangePred {
+                attr: 2,
+                lo: 0,
+                hi: 7,
+            },
         );
         let rows = qi_matches(&published.table, &q);
         if rows.is_empty() {

@@ -33,9 +33,7 @@
 pub mod answer;
 pub mod workload;
 
-pub use answer::{
-    estimate_anatomy, estimate_perturbed, exact_count, qi_matches, GeneralizedView,
-};
+pub use answer::{estimate_anatomy, estimate_perturbed, exact_count, qi_matches, GeneralizedView};
 pub use workload::{generate_workload, AggQuery, RangePred, WorkloadConfig};
 
 /// Relative error in percent: `|est − exact| / exact × 100`, or `None` when
@@ -86,10 +84,7 @@ mod tests {
             median_relative_error([Some(1.0), Some(3.0), Some(5.0), Some(7.0)]),
             Some(4.0)
         );
-        assert_eq!(
-            median_relative_error([None, Some(2.0), None]),
-            Some(2.0)
-        );
+        assert_eq!(median_relative_error([None, Some(2.0), None]), Some(2.0));
         assert_eq!(median_relative_error([None, None]), None);
         assert_eq!(median_relative_error([]), None);
     }

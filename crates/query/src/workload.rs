@@ -89,9 +89,18 @@ impl WorkloadConfig {
 /// Panics if `lambda` exceeds the pool size, `theta ∉ (0, 1)`, or the pool
 /// contains the SA.
 pub fn generate_workload(table: &Table, cfg: &WorkloadConfig) -> Vec<AggQuery> {
-    assert!(cfg.lambda >= 1 && cfg.lambda <= cfg.qi_pool.len(), "bad lambda");
-    assert!(cfg.theta > 0.0 && cfg.theta < 1.0, "theta must be in (0, 1)");
-    assert!(!cfg.qi_pool.contains(&cfg.sa), "SA cannot be predicated as QI");
+    assert!(
+        cfg.lambda >= 1 && cfg.lambda <= cfg.qi_pool.len(),
+        "bad lambda"
+    );
+    assert!(
+        cfg.theta > 0.0 && cfg.theta < 1.0,
+        "theta must be in (0, 1)"
+    );
+    assert!(
+        !cfg.qi_pool.contains(&cfg.sa),
+        "SA cannot be predicated as QI"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     // Per-attribute range length: |A| · θ^{1/(λ+1)}, at least 1 cell,
     // at most the domain.
@@ -189,7 +198,10 @@ mod tests {
             seed: 9,
         };
         assert_eq!(generate_workload(&t, &cfg), generate_workload(&t, &cfg));
-        let other = WorkloadConfig { seed: 10, ..cfg.clone() };
+        let other = WorkloadConfig {
+            seed: 10,
+            ..cfg.clone()
+        };
         assert_ne!(generate_workload(&t, &cfg), generate_workload(&t, &other));
     }
 

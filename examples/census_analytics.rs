@@ -16,8 +16,8 @@ use betalike::perturb::perturb;
 use betalike_baselines::anatomy::AnatomyBaseline;
 use betalike_microdata::census::{self, attr, CensusConfig};
 use betalike_query::{
-    estimate_anatomy, estimate_perturbed, exact_count, generate_workload,
-    median_relative_error, relative_error, AggQuery, RangePred, WorkloadConfig,
+    estimate_anatomy, estimate_perturbed, exact_count, generate_workload, median_relative_error,
+    relative_error, AggQuery, RangePred, WorkloadConfig,
 };
 
 fn main() {
@@ -47,10 +47,22 @@ fn main() {
     // 12+ years of education fall in salary classes 30..=39?
     let query = AggQuery {
         qi_preds: vec![
-            RangePred { attr: attr::AGE, lo: 14, hi: 29 },      // ages 30..=45
-            RangePred { attr: attr::EDUCATION, lo: 11, hi: 16 }, // education 12..=17
+            RangePred {
+                attr: attr::AGE,
+                lo: 14,
+                hi: 29,
+            }, // ages 30..=45
+            RangePred {
+                attr: attr::EDUCATION,
+                lo: 11,
+                hi: 16,
+            }, // education 12..=17
         ],
-        sa_pred: RangePred { attr: attr::SALARY, lo: 30, hi: 39 },
+        sa_pred: RangePred {
+            attr: attr::SALARY,
+            lo: 30,
+            hi: 39,
+        },
     };
     let exact = exact_count(&table, &query) as f64;
     let est = estimate_perturbed(&published, &query).expect("reconstruction");
@@ -87,7 +99,10 @@ fn main() {
             estimate_perturbed(&published, q).expect("reconstruction"),
             exact,
         ));
-        base_errs.push(relative_error(estimate_anatomy(&baseline, &table, q), exact));
+        base_errs.push(relative_error(
+            estimate_anatomy(&baseline, &table, q),
+            exact,
+        ));
     }
     println!("\n1000-query workload (lambda = 3, theta = 0.1):");
     println!(

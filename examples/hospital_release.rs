@@ -115,5 +115,8 @@ fn main() {
         leak_share * 100.0,
         audit.max_beta * 100.0
     );
-    assert!(leak_share < 0.5, "beta-likeness must break most category purity");
+    assert!(
+        leak_share < 0.5,
+        "beta-likeness must break most category purity"
+    );
 }

@@ -57,7 +57,10 @@ fn main() {
     let enhanced = BetaLikeness::new(beta).expect("valid beta");
     let basic = BetaLikeness::with_bound(beta, BoundKind::Basic).expect("valid beta");
     println!("f(p) = (1 + min(beta, -ln p)) * p at beta = {beta}:");
-    println!("  threshold e^-beta = {:.4}", enhanced.frequency_threshold());
+    println!(
+        "  threshold e^-beta = {:.4}",
+        enhanced.frequency_threshold()
+    );
     println!("  {:>8}  {:>10}  {:>10}", "p", "enhanced", "basic");
     for p in [0.002, 0.0048402, 0.018, 0.048402, 0.2, 0.5, 0.9] {
         println!(

@@ -50,9 +50,18 @@ fn main() {
 
     let audit = audit_partition(&table, &published, ClosenessMetric::EqualDistance);
     println!("\nwhat an adversary gains (audited):");
-    println!("  max relative confidence gain (real beta): {:.3}", audit.max_beta);
-    println!("  t-closeness reading (max EMD):            {:.3}", audit.max_closeness);
-    println!("  distinct-l-diversity reading (min):       {}", audit.min_distinct_l);
+    println!(
+        "  max relative confidence gain (real beta): {:.3}",
+        audit.max_beta
+    );
+    println!(
+        "  t-closeness reading (max EMD):            {:.3}",
+        audit.max_closeness
+    );
+    println!(
+        "  distinct-l-diversity reading (min):       {}",
+        audit.min_distinct_l
+    );
     println!(
         "\ninformation loss (AIL): {:.3}",
         average_information_loss(&table, &published)

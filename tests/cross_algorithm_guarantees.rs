@@ -20,16 +20,22 @@ fn all_beta_algorithms_deliver_beta() {
     let table = census();
     for beta in [1.0, 3.0] {
         for (name, partition) in [
-            ("BUREL", run_burel(&table, &QI, attr::SALARY, beta, 9).unwrap()),
-            ("LMondrian", run_lmondrian(&table, &QI, attr::SALARY, beta).unwrap()),
-            ("DMondrian", run_dmondrian(&table, &QI, attr::SALARY, beta).unwrap()),
+            (
+                "BUREL",
+                run_burel(&table, &QI, attr::SALARY, beta, 9).unwrap(),
+            ),
+            (
+                "LMondrian",
+                run_lmondrian(&table, &QI, attr::SALARY, beta).unwrap(),
+            ),
+            (
+                "DMondrian",
+                run_dmondrian(&table, &QI, attr::SALARY, beta).unwrap(),
+            ),
         ] {
             partition.validate_cover(ROWS).unwrap();
             let real = achieved_beta(&table, &partition);
-            assert!(
-                real <= beta + 1e-9,
-                "{name} at beta {beta} achieved {real}"
-            );
+            assert!(real <= beta + 1e-9, "{name} at beta {beta} achieved {real}");
         }
     }
 }
@@ -39,7 +45,10 @@ fn all_t_algorithms_deliver_t() {
     let table = census();
     for t in [0.15, 0.35] {
         for (name, partition) in [
-            ("tMondrian", run_tmondrian(&table, &QI, attr::SALARY, t).unwrap()),
+            (
+                "tMondrian",
+                run_tmondrian(&table, &QI, attr::SALARY, t).unwrap(),
+            ),
             ("SABRE", run_sabre(&table, &QI, attr::SALARY, t, 9).unwrap()),
         ] {
             partition.validate_cover(ROWS).unwrap();
@@ -108,10 +117,6 @@ fn audits_agree_across_publication_structures() {
         assert!(audit.avg_closeness <= audit.max_closeness + 1e-12);
         assert!(audit.max_closeness <= 1.0 + 1e-12, "EMD is normalized");
         assert!(audit.min_ec_size >= 1);
-        assert_eq!(
-            p.num_rows(),
-            ROWS,
-            "publications cover the table exactly"
-        );
+        assert_eq!(p.num_rows(), ROWS, "publications cover the table exactly");
     }
 }

@@ -82,8 +82,16 @@ fn published_view_answers_queries() {
     // Estimates must conserve overall mass approximately: the full-domain
     // query is answered exactly (boxes fully covered).
     let full = betalike_query::AggQuery {
-        qi_preds: vec![betalike_query::RangePred { attr: attr::AGE, lo: 0, hi: 78 }],
-        sa_pred: betalike_query::RangePred { attr: attr::SALARY, lo: 0, hi: 49 },
+        qi_preds: vec![betalike_query::RangePred {
+            attr: attr::AGE,
+            lo: 0,
+            hi: 78,
+        }],
+        sa_pred: betalike_query::RangePred {
+            attr: attr::SALARY,
+            lo: 0,
+            hi: 49,
+        },
     };
     let est = view.estimate(&full);
     assert!((est - ROWS as f64).abs() < 1e-6);
@@ -92,8 +100,20 @@ fn published_view_answers_queries() {
 #[test]
 fn seeds_change_tuples_not_guarantees() {
     let table = census();
-    let a = burel(&table, &QI, attr::SALARY, &BurelConfig::new(2.0).with_seed(1)).unwrap();
-    let b = burel(&table, &QI, attr::SALARY, &BurelConfig::new(2.0).with_seed(2)).unwrap();
+    let a = burel(
+        &table,
+        &QI,
+        attr::SALARY,
+        &BurelConfig::new(2.0).with_seed(1),
+    )
+    .unwrap();
+    let b = burel(
+        &table,
+        &QI,
+        attr::SALARY,
+        &BurelConfig::new(2.0).with_seed(2),
+    )
+    .unwrap();
     assert_ne!(a.ecs(), b.ecs(), "different seeds place tuples differently");
     let model = BetaLikeness::new(2.0).unwrap();
     verify(&table, &a, &model).unwrap();

@@ -7,8 +7,8 @@ use betalike::perturb::{perturb, PerturbationPlan};
 use betalike_baselines::anatomy::AnatomyBaseline;
 use betalike_microdata::census::{self, attr, CensusConfig};
 use betalike_query::{
-    estimate_anatomy, estimate_perturbed, exact_count, generate_workload,
-    median_relative_error, relative_error, WorkloadConfig,
+    estimate_anatomy, estimate_perturbed, exact_count, generate_workload, median_relative_error,
+    relative_error, WorkloadConfig,
 };
 
 const ROWS: usize = 20_000;
@@ -109,7 +109,10 @@ fn workload_errors_finite_and_baseline_comparable() {
             estimate_perturbed(&published, q).unwrap(),
             exact,
         ));
-        base.push(relative_error(estimate_anatomy(&baseline, &table, q), exact));
+        base.push(relative_error(
+            estimate_anatomy(&baseline, &table, q),
+            exact,
+        ));
     }
     let pm = median_relative_error(pert).unwrap();
     let bm = median_relative_error(base).unwrap();

@@ -13,8 +13,8 @@ use betalike_metrics::audit::{achieved_beta, achieved_closeness, audit_partition
 use betalike_metrics::loss::average_information_loss;
 use betalike_microdata::census::{self, attr, CensusConfig};
 use betalike_query::{
-    estimate_anatomy, estimate_perturbed, exact_count, generate_workload,
-    median_relative_error, relative_error, WorkloadConfig,
+    estimate_anatomy, estimate_perturbed, exact_count, generate_workload, median_relative_error,
+    relative_error, WorkloadConfig,
 };
 
 const QI: [usize; 3] = [0, 1, 2];
@@ -132,7 +132,10 @@ fn fig9_shape_perturbation_beats_baseline_at_scale() {
             estimate_perturbed(&published, q).unwrap(),
             exact,
         ));
-        base.push(relative_error(estimate_anatomy(&baseline, &table, q), exact));
+        base.push(relative_error(
+            estimate_anatomy(&baseline, &table, q),
+            exact,
+        ));
     }
     let pm = median_relative_error(pert).unwrap();
     let bm = median_relative_error(base).unwrap();

@@ -1,0 +1,233 @@
+//! Offline vendored mini-proptest.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of the [`proptest`](https://crates.io/crates/proptest) API the
+//! betalike workspace uses: the [`proptest!`] macro, range / tuple /
+//! [`collection::vec`] / [`bool::ANY`] strategies, `prop_assert!`-family
+//! macros, `prop_assume!`, and [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Deterministic**: cases are generated from a ChaCha8 stream seeded by
+//!   the test's module path and name, so every run (and every CI machine)
+//!   sees the same inputs. There is no persistence file.
+//! * **No shrinking**: a failing case reports its inputs via the panic
+//!   message (`prop_assert!` includes the case number), but is not minimized.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod strategy;
+
+/// Test-runner configuration ([`test_runner::ProptestConfig`]).
+pub mod test_runner {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Configuration for a [`crate::proptest!`] block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Builds the deterministic generator for one test case.
+    #[doc(hidden)]
+    pub fn case_rng(test_path: &str, case: u32) -> ChaCha8Rng {
+        // FNV-1a over the test path, mixed with the case number.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        ChaCha8Rng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Strategies over `bool`.
+pub mod bool {
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+}
+
+/// The commonly used exports.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the upstream grammar subset used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     /// Doc comment.
+///     #[test]
+///     fn my_property(x in 0u32..10, v in proptest::collection::vec(0u64..4, 1..6)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (reports the failing case number).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in 0usize..5, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_len_and_elements(v in crate::collection::vec(0u64..8, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 8));
+        }
+
+        #[test]
+        fn tuples_and_bools(pair in (0u64..64, 5u32..100), b in crate::bool::ANY) {
+            prop_assert!(pair.0 < 64);
+            prop_assert!((5..100).contains(&pair.1));
+            // prop_assume! skips cases without failing them.
+            prop_assume!(b);
+            prop_assert!(b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        /// Config form parses and runs.
+        #[test]
+        fn configured(x in 0u128..64) {
+            prop_assert!(x < 64);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u32..1000, 3..9);
+        let a: Vec<Vec<u32>> = (0..5)
+            .map(|c| s.generate(&mut crate::test_runner::case_rng("t", c)))
+            .collect();
+        let b: Vec<Vec<u32>> = (0..5)
+            .map(|c| s.generate(&mut crate::test_runner::case_rng("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}
