@@ -32,9 +32,25 @@ pub struct NaiveBayesOutcome {
     pub tuples: usize,
 }
 
+/// What one EC contributes to the learned conditionals: per-value masses
+/// `q_i · |G|` and the published (hierarchy-clipped) box per QI dimension.
+struct EcEvidence {
+    masses: Vec<f64>,
+    ranges: Vec<(u32, u32)>,
+}
+
+/// Row-chunk granularity of the parallel classification sweep.
+const CLASSIFY_CHUNK: usize = 2_048;
+
 /// Runs the attack: learns per-attribute conditionals from the published
 /// ECs (using each EC's *published* box — numeric extents, categorical LCA
 /// ranges) and classifies every tuple by its exact QI values.
+///
+/// The three phases parallelize over the [`mini_rayon`] pool without
+/// changing any floating-point result: per-EC evidence is pure, each QI
+/// dimension's conditional table accumulates ECs in ascending order (the
+/// same per-slot addition sequence as a serial sweep), and the final
+/// classification is an integer hit count over independent rows.
 ///
 /// # Panics
 ///
@@ -47,39 +63,49 @@ pub fn naive_bayes_attack(table: &Table, partition: &Partition) -> NaiveBayesOut
     let p = table.sa_distribution(sa);
     let n = table.num_rows() as f64;
 
-    // cond[a][value * m + i] accumulates Σ q_i |G| over ECs whose published
-    // box on attribute `a` contains `value`.
-    let mut cond: Vec<Vec<f64>> = qi
-        .iter()
-        .map(|&a| vec![0.0; table.schema().attr(a).cardinality() * m])
-        .collect();
-
-    for ec_idx in 0..partition.num_ecs() {
+    // Per-EC evidence (Σ q_i |G| masses and clipped boxes), in parallel.
+    let ec_indices: Vec<usize> = (0..partition.num_ecs()).collect();
+    let evidence: Vec<EcEvidence> = mini_rayon::par_map(&ec_indices, |&ec_idx| {
         let q = partition.ec_distribution(table, ec_idx);
-        // Per-value mass contributed by this EC: q_i * |G| = count_i.
         let masses: Vec<f64> = q.counts().iter().map(|&c| c as f64).collect();
         let extent = partition.ec_extent(table, ec_idx);
-        for (dim, (&a, &(lo, hi))) in qi.iter().zip(&extent).enumerate() {
-            let (blo, bhi) = match table.schema().attr(a).kind() {
+        let ranges = qi
+            .iter()
+            .zip(&extent)
+            .map(|(&a, &(lo, hi))| match table.schema().attr(a).kind() {
                 AttrKind::Numeric { .. } => (lo, hi),
                 AttrKind::Categorical { hierarchy } => {
                     hierarchy.leaf_range(hierarchy.lca_of_leaves(lo, hi))
                 }
-            };
-            let table_dim = &mut cond[dim];
+            })
+            .collect();
+        EcEvidence { masses, ranges }
+    });
+
+    // cond[dim][value * m + i] accumulates Σ q_i |G| over ECs whose
+    // published box on QI dimension `dim` contains `value`. Dimensions are
+    // independent, so each builds its table on its own worker.
+    let dims: Vec<usize> = (0..qi.len()).collect();
+    let cond: Vec<Vec<f64>> = mini_rayon::par_map(&dims, |&dim| {
+        let mut table_dim = vec![0.0; table.schema().attr(qi[dim]).cardinality() * m];
+        for ec in &evidence {
+            let (blo, bhi) = ec.ranges[dim];
             for value in blo..=bhi {
                 let base = value as usize * m;
-                for (i, &mass) in masses.iter().enumerate() {
+                for (i, &mass) in ec.masses.iter().enumerate() {
                     if mass > 0.0 {
                         table_dim[base + i] += mass;
                     }
                 }
             }
         }
-    }
+        table_dim
+    });
 
     // Classify every tuple: argmax_i p_i Π_j Pr[t_j | v_i]; work in
     // log-space for numerical robustness. Values with p_i = 0 are skipped.
+    // Rows are independent; each chunk reuses one score scratch buffer and
+    // contributes an exact integer count.
     let majority = p
         .freqs()
         .iter()
@@ -88,37 +114,43 @@ pub fn naive_bayes_attack(table: &Table, partition: &Partition) -> NaiveBayesOut
         .map(|(i, _)| i)
         .expect("non-empty domain");
     let sa_col = table.column(sa);
-    let mut hits = 0usize;
-    let mut scores = vec![0.0f64; m];
-    for (r, &true_value) in sa_col.iter().enumerate() {
-        for (score, &pf) in scores.iter_mut().zip(p.freqs()) {
-            *score = if pf > 0.0 { pf.ln() } else { f64::NEG_INFINITY };
-        }
-        for (dim, &a) in qi.iter().enumerate() {
-            let value = table.value(r, a) as usize;
-            let base = value * m;
-            for (i, score) in scores.iter_mut().enumerate() {
-                if score.is_finite() {
-                    let pr = cond[dim][base + i] / (p.freqs()[i] * n);
-                    *score += if pr > 0.0 { pr.ln() } else { f64::NEG_INFINITY };
+    let chunk_hits = mini_rayon::par_chunks_map(sa_col, CLASSIFY_CHUNK, |c, chunk| {
+        let base_row = c * CLASSIFY_CHUNK;
+        let mut scores = vec![0.0f64; m];
+        let mut hits = 0usize;
+        for (off, &true_value) in chunk.iter().enumerate() {
+            let r = base_row + off;
+            for (score, &pf) in scores.iter_mut().zip(p.freqs()) {
+                *score = if pf > 0.0 { pf.ln() } else { f64::NEG_INFINITY };
+            }
+            for (dim, &a) in qi.iter().enumerate() {
+                let value = table.value(r, a) as usize;
+                let base = value * m;
+                for (i, score) in scores.iter_mut().enumerate() {
+                    if score.is_finite() {
+                        let pr = cond[dim][base + i] / (p.freqs()[i] * n);
+                        *score += if pr > 0.0 { pr.ln() } else { f64::NEG_INFINITY };
+                    }
                 }
             }
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("non-empty domain");
+            let prediction = if scores[best].is_finite() {
+                best
+            } else {
+                majority
+            };
+            if prediction == true_value as usize {
+                hits += 1;
+            }
         }
-        let best = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .expect("non-empty domain");
-        let prediction = if scores[best].is_finite() {
-            best
-        } else {
-            majority
-        };
-        if prediction == true_value as usize {
-            hits += 1;
-        }
-    }
+        hits
+    });
+    let hits: usize = chunk_hits.iter().sum();
 
     NaiveBayesOutcome {
         accuracy: hits as f64 / n,
@@ -180,6 +212,18 @@ mod tests {
         );
         // And far below the point-EC leak measured above.
         assert!(out.accuracy < 0.15);
+    }
+
+    #[test]
+    fn attack_is_thread_count_invariant() {
+        let t = census::generate(&CensusConfig::new(3_000, 9));
+        let p = burel(&t, &[0, 1, 2], 5, &BurelConfig::new(3.0)).unwrap();
+        mini_rayon::set_threads(1);
+        let serial = naive_bayes_attack(&t, &p);
+        mini_rayon::set_threads(8);
+        let parallel = naive_bayes_attack(&t, &p);
+        mini_rayon::set_threads(0);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -49,8 +49,26 @@ pub struct MondrianConfig {
     pub dim_policy: DimPolicy,
 }
 
+/// A node's position in the (binary) split tree: one byte per level, `0`
+/// for the right child, `1` for the left.
+///
+/// The serial formulation of Mondrian pops a LIFO stack and pushes `left`
+/// then `right`, so it emits leaves in right-subtree-first DFS order —
+/// which is exactly ascending lexicographic order of this path encoding
+/// (no leaf path is a prefix of another: a prefix would be an internal
+/// node). The parallel driver tags every node with its path and sorts the
+/// leaves once at the end, reproducing the serial EC order bit for bit.
+type SplitPath = Vec<u8>;
+
 /// Runs Mondrian under the given constraint and returns the resulting
 /// partition.
+///
+/// The recursion is driven level-synchronously: all nodes of the current
+/// frontier attempt their (independent) median splits across the
+/// [`mini_rayon`] pool, then children form the next frontier. Each node's
+/// split decision depends only on its own rows, and the final leaf order
+/// is fixed by the `SplitPath` sort, so the published partition is
+/// identical to the serial recursion at any thread count.
 ///
 /// # Errors
 ///
@@ -58,7 +76,7 @@ pub struct MondrianConfig {
 /// * [`Error::BadQi`] / [`Error::BadSa`] for invalid attribute selections;
 /// * [`Error::RootNotEligible`] if even the whole table violates the
 ///   constraint (no valid publication exists under Mondrian's scheme).
-pub fn mondrian<C: SplitConstraint>(
+pub fn mondrian<C: SplitConstraint + Sync>(
     table: &Table,
     qi: &[usize],
     sa: usize,
@@ -74,23 +92,35 @@ pub fn mondrian<C: SplitConstraint>(
         return Err(Error::RootNotEligible);
     }
 
-    let mut ecs: Vec<Vec<RowId>> = Vec::new();
-    let mut stack = vec![all];
-    while let Some(rows) = stack.pop() {
-        if let Some(min) = cfg.min_partition_size {
-            if rows.len() <= min {
-                ecs.push(rows);
-                continue;
+    let mut leaves: Vec<(SplitPath, Vec<RowId>)> = Vec::new();
+    let mut frontier: Vec<(SplitPath, Vec<RowId>)> = vec![(SplitPath::new(), all)];
+    while !frontier.is_empty() {
+        let splits = mini_rayon::par_map(&frontier, |(_, rows)| {
+            if let Some(min) = cfg.min_partition_size {
+                if rows.len() <= min {
+                    return None;
+                }
+            }
+            try_split(table, qi, sa, rows, constraint, cfg.dim_policy)
+        });
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for ((path, rows), split) in frontier.drain(..).zip(splits) {
+            match split {
+                Some((left, right)) => {
+                    let mut left_path = path.clone();
+                    left_path.push(1);
+                    let mut right_path = path;
+                    right_path.push(0);
+                    next.push((left_path, left));
+                    next.push((right_path, right));
+                }
+                None => leaves.push((path, rows)),
             }
         }
-        match try_split(table, qi, sa, &rows, constraint, cfg.dim_policy) {
-            Some((left, right)) => {
-                stack.push(left);
-                stack.push(right);
-            }
-            None => ecs.push(rows),
-        }
+        frontier = next;
     }
+    leaves.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let ecs: Vec<Vec<RowId>> = leaves.into_iter().map(|(_, rows)| rows).collect();
     Ok(Partition::new(qi.to_vec(), sa, ecs))
 }
 
@@ -336,5 +366,26 @@ mod tests {
         let a = mondrian(&t, &[0, 1], 2, &c, &MondrianConfig::default()).unwrap();
         let b = mondrian(&t, &[0, 1], 2, &c, &MondrianConfig::default()).unwrap();
         assert_eq!(a.ecs(), b.ecs());
+    }
+
+    #[test]
+    fn thread_count_invariance() {
+        // The level-synchronous parallel driver must emit ECs in the exact
+        // serial DFS order (the SplitPath sort) at any thread count.
+        let t = table(1_000, 6);
+        let c = KAnonymityConstraint { k: 4 };
+        let cfg = MondrianConfig::default();
+        mini_rayon::set_threads(1);
+        let serial = mondrian(&t, &[0, 1], 2, &c, &cfg).unwrap();
+        for threads in [2, 8] {
+            mini_rayon::set_threads(threads);
+            let parallel = mondrian(&t, &[0, 1], 2, &c, &cfg).unwrap();
+            assert_eq!(
+                serial.ecs(),
+                parallel.ecs(),
+                "EC order differs at {threads} threads"
+            );
+        }
+        mini_rayon::set_threads(0);
     }
 }

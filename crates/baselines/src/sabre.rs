@@ -68,6 +68,24 @@ impl SabreConfig {
     }
 }
 
+/// Shared input validation of [`sabre`] / [`sabre_with_keys`].
+fn validate(table: &Table, qi: &[usize], sa: usize, cfg: &SabreConfig) -> Result<()> {
+    if !(cfg.t > 0.0 && cfg.t <= 1.0 && cfg.t.is_finite()) {
+        return Err(Error::BadBeta(cfg.t)); // reuse the "bad threshold" variant
+    }
+    let arity = table.schema().arity();
+    if sa >= arity {
+        return Err(Error::BadSa { index: sa, arity });
+    }
+    if qi.is_empty() || qi.contains(&sa) || qi.iter().any(|&a| a >= arity) {
+        return Err(Error::BadQi("invalid QI set".into()));
+    }
+    if table.is_empty() {
+        return Err(Error::EmptyTable);
+    }
+    Ok(())
+}
+
 /// A bucket of SA values with its EMD bookkeeping.
 #[derive(Debug, Clone)]
 struct EmdBucket {
@@ -155,20 +173,38 @@ impl Eligibility for EmdEligibility {
 /// bucketization consumed more than the available budget (cannot happen for
 /// `slack_fraction < 1`).
 pub fn sabre(table: &Table, qi: &[usize], sa: usize, cfg: &SabreConfig) -> Result<Partition> {
-    if !(cfg.t > 0.0 && cfg.t <= 1.0 && cfg.t.is_finite()) {
-        return Err(Error::BadBeta(cfg.t)); // reuse the "bad threshold" variant
-    }
-    let arity = table.schema().arity();
-    if sa >= arity {
-        return Err(Error::BadSa { index: sa, arity });
-    }
-    if qi.is_empty() || qi.contains(&sa) || qi.iter().any(|&a| a >= arity) {
-        return Err(Error::BadQi("invalid QI set".into()));
-    }
-    if table.is_empty() {
-        return Err(Error::EmptyTable);
-    }
+    validate(table, qi, sa, cfg)?;
+    let keys = hilbert_keys(table, qi);
+    sabre_with_keys(table, qi, sa, cfg, &keys)
+}
 
+/// Like [`sabre`], with the per-row Hilbert keys precomputed by
+/// [`hilbert_keys`] for this exact `(table, qi)` pair.
+///
+/// BUREL and SABRE share the same QI geometry; comparison runs over one
+/// table should compute the keys once (see `bench::algos::QiGeometry`)
+/// instead of paying the Hilbert transform in each algorithm.
+///
+/// # Errors
+///
+/// As [`sabre`].
+///
+/// # Panics
+///
+/// Panics if `keys.len() != table.num_rows()`.
+pub fn sabre_with_keys(
+    table: &Table,
+    qi: &[usize],
+    sa: usize,
+    cfg: &SabreConfig,
+    keys: &[u128],
+) -> Result<Partition> {
+    validate(table, qi, sa, cfg)?;
+    assert_eq!(
+        keys.len(),
+        table.num_rows(),
+        "precomputed Hilbert keys must cover every row"
+    );
     let dist = table.sa_distribution(sa);
     let buckets = bucketize(&dist, cfg.t, cfg.slack_fraction.clamp(0.0, 1.0));
 
@@ -181,7 +217,6 @@ pub fn sabre(table: &Table, qi: &[usize], sa: usize, cfg: &SabreConfig) -> Resul
     let templates = bi_split(&sizes, &eligibility).ok_or(Error::RootNotEligible)?;
 
     // Materialize with the shared Hilbert machinery.
-    let keys = hilbert_keys(table, qi);
     let card = table.schema().attr(sa).cardinality();
     let mut value_bucket = vec![usize::MAX; card];
     for (j, b) in buckets.iter().enumerate() {
@@ -194,7 +229,7 @@ pub fn sabre(table: &Table, qi: &[usize], sa: usize, cfg: &SabreConfig) -> Resul
         bucket_rows[value_bucket[v as usize]].push(r);
     }
     let mut mat = Materializer::with_seed_choice(
-        &keys,
+        keys,
         &bucket_rows,
         FillStrategy::HilbertNearest,
         SeedChoice::Random,
@@ -319,5 +354,18 @@ mod tests {
         let a = sabre(&t, &[0, 1], 2, &SabreConfig::new(0.2)).unwrap();
         let b = sabre(&t, &[0, 1], 2, &SabreConfig::new(0.2)).unwrap();
         assert_eq!(a.ecs(), b.ecs());
+    }
+
+    #[test]
+    fn precomputed_keys_match_recomputed() {
+        let t = random_table(&SyntheticConfig {
+            rows: 800,
+            seed: 5,
+            ..Default::default()
+        });
+        let keys = hilbert_keys(&t, &[0, 1]);
+        let direct = sabre(&t, &[0, 1], 2, &SabreConfig::new(0.2)).unwrap();
+        let shared = sabre_with_keys(&t, &[0, 1], 2, &SabreConfig::new(0.2), &keys).unwrap();
+        assert_eq!(direct.ecs(), shared.ecs());
     }
 }

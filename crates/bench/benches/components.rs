@@ -73,6 +73,27 @@ fn bench_hilbert(c: &mut Criterion) {
     g.finish();
 }
 
+/// The tentpole win tracked next to the ablations: `hilbert_keys` serial
+/// vs parallel on the same input (identical output is asserted once; the
+/// thread-count-invariance tests pin it exhaustively).
+fn bench_hilbert_keys_serial_vs_parallel(c: &mut Criterion) {
+    let table = census_table();
+    let parallel_threads = std::thread::available_parallelism().map_or(4, |n| n.get().max(4));
+    mini_rayon::set_threads(1);
+    let serial = hilbert_keys(&table, &QI);
+    mini_rayon::set_threads(parallel_threads);
+    assert_eq!(serial, hilbert_keys(&table, &QI));
+    let mut g = c.benchmark_group("hilbert_keys_threads");
+    for threads in [1, parallel_threads] {
+        mini_rayon::set_threads(threads);
+        g.bench_function(format!("keys_10k_rows_3d_t{threads}"), |b| {
+            b.iter(|| hilbert_keys(black_box(&table), &QI))
+        });
+    }
+    mini_rayon::set_threads(0);
+    g.finish();
+}
+
 /// Ablation: materialization strategies (utility is asserted in tests;
 /// here we track cost).
 fn bench_retrieve_ablation(c: &mut Criterion) {
@@ -166,6 +187,7 @@ criterion_group! {
         bench_bucketize,
         bench_ectree,
         bench_hilbert,
+        bench_hilbert_keys_serial_vs_parallel,
         bench_retrieve_ablation,
         bench_pm_inverse,
         bench_audit_and_attack,

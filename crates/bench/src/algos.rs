@@ -4,12 +4,13 @@
 
 use betalike::error::Result;
 use betalike::model::{BetaLikeness, BoundKind};
-use betalike::{burel, BurelConfig};
+use betalike::retrieve::hilbert_keys;
+use betalike::{burel, burel_with_keys, BurelConfig};
 use betalike_baselines::constraints::{
     delta_for_beta, DeltaDisclosureConstraint, LikenessConstraint, TClosenessConstraint,
 };
 use betalike_baselines::mondrian::{mondrian, MondrianConfig};
-use betalike_baselines::sabre::{sabre, SabreConfig};
+use betalike_baselines::sabre::{sabre, sabre_with_keys, SabreConfig};
 use betalike_metrics::audit::ClosenessMetric;
 use betalike_metrics::Partition;
 use betalike_microdata::Table;
@@ -17,6 +18,84 @@ use betalike_microdata::Table;
 /// The closeness metric every experiment uses (equal-distance EMD, which
 /// upper-bounds the ordered variant).
 pub const METRIC: ClosenessMetric = ClosenessMetric::EqualDistance;
+
+/// Evaluates every grid cell of an experiment sweep across the
+/// [`mini_rayon`] pool, preserving cell order.
+///
+/// This is the one-liner the figure binaries use for their (β, seed, t, …)
+/// grids: each cell is an independent anonymize-and-measure run, so the
+/// sweep parallelizes without changing any cell's result (the algorithms
+/// themselves are thread-count invariant, and nested parallel calls inside
+/// a cell run inline). Do **not** use it for sweeps that report per-cell
+/// wall-clock times (fig5–fig7): concurrent cells contend for cores and
+/// would distort each other's timings.
+pub fn run_grid<P, R, F>(params: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    mini_rayon::par_map(params, f)
+}
+
+/// One table's QI geometry, shared across algorithms.
+///
+/// BUREL and SABRE both materialize over the same per-row Hilbert keys;
+/// before this cache every comparison run recomputed them per invocation
+/// (the binary searches of fig4 pay dozens of invocations per cell). The
+/// cache computes the keys once per `(table, qi)` pair.
+#[derive(Debug)]
+pub struct QiGeometry<'a> {
+    table: &'a Table,
+    qi: Vec<usize>,
+    keys: Vec<u128>,
+}
+
+impl<'a> QiGeometry<'a> {
+    /// Computes the Hilbert keys of `table` over `qi` once.
+    pub fn new(table: &'a Table, qi: &[usize]) -> Self {
+        QiGeometry {
+            table,
+            qi: qi.to_vec(),
+            keys: hilbert_keys(table, qi),
+        }
+    }
+
+    /// The cached per-row Hilbert keys.
+    pub fn keys(&self) -> &[u128] {
+        &self.keys
+    }
+
+    /// BUREL at the paper's defaults, reusing the cached keys.
+    ///
+    /// # Errors
+    ///
+    /// As [`burel()`].
+    pub fn burel(&self, sa: usize, beta: f64, seed: u64) -> Result<Partition> {
+        burel_with_keys(
+            self.table,
+            &self.qi,
+            sa,
+            &BurelConfig::new(beta).with_seed(seed),
+            &self.keys,
+        )
+    }
+
+    /// SABRE at its defaults, reusing the cached keys.
+    ///
+    /// # Errors
+    ///
+    /// As [`sabre`].
+    pub fn sabre(&self, sa: usize, t: f64, seed: u64) -> Result<Partition> {
+        sabre_with_keys(
+            self.table,
+            &self.qi,
+            sa,
+            &SabreConfig::new(t).with_seed(seed),
+            &self.keys,
+        )
+    }
+}
 
 /// BUREL at the paper's defaults (enhanced bound).
 pub fn run_burel(
@@ -86,5 +165,26 @@ mod tests {
         let s = run_sabre(&t, &qi, 5, 0.2, 1).unwrap();
         let (max_t, _) = achieved_closeness(&t, &s, METRIC);
         assert!(max_t <= 0.2 + 1e-9);
+    }
+
+    #[test]
+    fn qi_geometry_matches_direct_runs() {
+        let t = census::generate(&CensusConfig::new(2_000, 13));
+        let qi = [0usize, 1];
+        let geo = QiGeometry::new(&t, &qi);
+        assert_eq!(geo.keys().len(), t.num_rows());
+        let b_direct = run_burel(&t, &qi, 5, 3.0, 7).unwrap();
+        let b_cached = geo.burel(5, 3.0, 7).unwrap();
+        assert_eq!(b_direct.ecs(), b_cached.ecs());
+        let s_direct = run_sabre(&t, &qi, 5, 0.2, 7).unwrap();
+        let s_cached = geo.sabre(5, 0.2, 7).unwrap();
+        assert_eq!(s_direct.ecs(), s_cached.ecs());
+    }
+
+    #[test]
+    fn run_grid_preserves_cell_order() {
+        let grid: Vec<u64> = (0..17).collect();
+        let out = run_grid(&grid, |&x| x * x);
+        assert_eq!(out, grid.iter().map(|&x| x * x).collect::<Vec<_>>());
     }
 }

@@ -17,7 +17,7 @@
 //! cargo run --release -p betalike-bench --bin fig4 -- a --rows 100000
 //! ```
 
-use betalike_bench::algos::{run_burel, run_sabre, run_tmondrian, METRIC};
+use betalike_bench::algos::{run_grid, run_tmondrian, QiGeometry, METRIC};
 use betalike_bench::cli::ExpArgs;
 use betalike_bench::search::{max_param_below, min_param_below};
 use betalike_bench::tablefmt::{f, print_table};
@@ -35,11 +35,14 @@ fn main() {
     let args = ExpArgs::parse();
     let table = load_census(&args);
     let qi = qi_set(args.qi);
+    // Every cell below runs BUREL and SABRE on the same (table, QI): one
+    // shared Hilbert-key computation instead of one per invocation.
+    let geo = QiGeometry::new(&table, &qi);
     let sub = args.sub.clone().unwrap_or_else(|| "a".into());
     match sub.as_str() {
-        "a" => fig4a(&table, &qi, args.seed),
-        "b" => fig4b(&table, &qi, args.seed),
-        "c" => fig4c(&table, &qi, args.seed),
+        "a" => fig4a(&table, &qi, &geo, args.seed),
+        "b" => fig4b(&table, &qi, &geo, args.seed),
+        "c" => fig4c(&table, &qi, &geo, args.seed),
         other => {
             eprintln!("unknown sub-experiment `{other}` (expected a, b or c)");
             std::process::exit(2);
@@ -52,65 +55,62 @@ fn real_beta(table: &Table, p: &betalike_metrics::Partition) -> f64 {
     achieved_beta(table, p)
 }
 
-fn fig4a(table: &Table, qi: &[usize], seed: u64) {
+fn fig4a(table: &Table, qi: &[usize], geo: &QiGeometry, seed: u64) {
     println!("Figure 4(a): real beta as a function of beta (equal t calibration)\n");
-    let mut rows = Vec::new();
-    for &beta in &BETA_GRID {
-        let burel_p = run_burel(table, qi, SA, beta, seed).expect("BUREL");
+    let rows = run_grid(&BETA_GRID, |&beta| {
+        let burel_p = geo.burel(SA, beta, seed).expect("BUREL");
         let (t_beta, _) = achieved_closeness(table, &burel_p, METRIC);
         let tm = run_tmondrian(table, qi, SA, t_beta).expect("tMondrian");
-        let sb = run_sabre(table, qi, SA, t_beta, seed).expect("SABRE");
-        rows.push(vec![
+        let sb = geo.sabre(SA, t_beta, seed).expect("SABRE");
+        vec![
             f(beta, 0),
             f(t_beta, 4),
             f(real_beta(table, &burel_p), 2),
             f(real_beta(table, &tm), 2),
             f(real_beta(table, &sb), 2),
-        ]);
-    }
+        ]
+    });
     print_table(&["beta", "t_beta", "BUREL", "tMondrian", "SABRE"], &rows);
     println!("\n(the paper's Fig. 4a shows BUREL at ~beta and the t-closeness\n schemes 1–3 orders of magnitude above; log-scale y-axis)");
 }
 
-fn fig4b(table: &Table, qi: &[usize], seed: u64) {
+fn fig4b(table: &Table, qi: &[usize], geo: &QiGeometry, seed: u64) {
     println!("Figure 4(b): real beta as a function of t\n");
-    let mut rows = Vec::new();
-    for &t in &T_GRID {
+    let rows = run_grid(&T_GRID, |&t| {
         let tm = run_tmondrian(table, qi, SA, t).expect("tMondrian");
-        let sb = run_sabre(table, qi, SA, t, seed).expect("SABRE");
+        let sb = geo.sabre(SA, t, seed).expect("SABRE");
         // Largest β whose BUREL output closes within t.
         let beta_t = max_param_below(0.05, 64.0, t, SEARCH_ITERS, |beta| {
-            match run_burel(table, qi, SA, beta, seed) {
+            match geo.burel(SA, beta, seed) {
                 Ok(p) => achieved_closeness(table, &p, METRIC).0,
                 Err(_) => f64::INFINITY,
             }
         });
         let burel_beta = match beta_t {
             Some(beta) => {
-                let p = run_burel(table, qi, SA, beta, seed).expect("BUREL");
+                let p = geo.burel(SA, beta, seed).expect("BUREL");
                 f(real_beta(table, &p), 3)
             }
             None => "n/a".into(),
         };
-        rows.push(vec![
+        vec![
             f(t, 2),
             beta_t.map(|b| f(b, 3)).unwrap_or_else(|| "n/a".into()),
             burel_beta,
             f(real_beta(table, &tm), 2),
             f(real_beta(table, &sb), 2),
-        ]);
-    }
+        ]
+    });
     print_table(&["t", "beta_t", "BUREL", "tMondrian", "SABRE"], &rows);
 }
 
-fn fig4c(table: &Table, qi: &[usize], seed: u64) {
+fn fig4c(table: &Table, qi: &[usize], geo: &QiGeometry, seed: u64) {
     println!("Figure 4(c): real beta as a function of target AIL\n");
     let ail_of = |p: &betalike_metrics::Partition| average_information_loss(table, p);
-    let mut rows = Vec::new();
-    for &l in &AIL_GRID {
+    let rows = run_grid(&AIL_GRID, |&l| {
         // BUREL: AIL decreases as β grows -> smallest β with AIL <= l.
         let beta_l = min_param_below(0.05, 64.0, l, SEARCH_ITERS, |beta| {
-            run_burel(table, qi, SA, beta, seed)
+            geo.burel(SA, beta, seed)
                 .map(|p| ail_of(&p))
                 .unwrap_or(f64::INFINITY)
         });
@@ -121,7 +121,7 @@ fn fig4c(table: &Table, qi: &[usize], seed: u64) {
                 .unwrap_or(f64::INFINITY)
         });
         let t_sb = min_param_below(0.005, 1.0, l, SEARCH_ITERS, |t| {
-            run_sabre(table, qi, SA, t, seed)
+            geo.sabre(SA, t, seed)
                 .map(|p| ail_of(&p))
                 .unwrap_or(f64::INFINITY)
         });
@@ -131,12 +131,10 @@ fn fig4c(table: &Table, qi: &[usize], seed: u64) {
                 None => "n/a".into(),
             }
         };
-        rows.push(vec![
+        vec![
             f(l, 2),
             cell(beta_l, &|b| {
-                run_burel(table, qi, SA, b, seed)
-                    .ok()
-                    .map(|p| real_beta(table, &p))
+                geo.burel(SA, b, seed).ok().map(|p| real_beta(table, &p))
             }),
             cell(t_tm, &|t| {
                 run_tmondrian(table, qi, SA, t)
@@ -144,11 +142,9 @@ fn fig4c(table: &Table, qi: &[usize], seed: u64) {
                     .map(|p| real_beta(table, &p))
             }),
             cell(t_sb, &|t| {
-                run_sabre(table, qi, SA, t, seed)
-                    .ok()
-                    .map(|p| real_beta(table, &p))
+                geo.sabre(SA, t, seed).ok().map(|p| real_beta(table, &p))
             }),
-        ]);
-    }
+        ]
+    });
     print_table(&["AIL", "BUREL", "tMondrian", "SABRE"], &rows);
 }

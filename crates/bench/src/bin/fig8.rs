@@ -12,7 +12,7 @@
 //! cargo run --release -p betalike-bench --bin fig8 -- a --rows 500000 --queries 10000
 //! ```
 
-use betalike_bench::algos::{run_burel, run_dmondrian, run_lmondrian};
+use betalike_bench::algos::{run_burel, run_dmondrian, run_grid, run_lmondrian};
 use betalike_bench::cli::ExpArgs;
 use betalike_bench::tablefmt::{pct, print_table};
 use betalike_bench::{load_census, qi_set, SA};
@@ -77,12 +77,11 @@ fn fig8a(table: &Table, args: &ExpArgs) {
     println!("(a) vary lambda (QI = 5, theta = 0.1, beta = 4)");
     let qi = qi_set(5);
     let pubs = publish_all(table, &qi, 4.0, args.seed);
-    let rows = (1..=5usize)
-        .map(|lambda| {
-            let cfg = workload(&qi, lambda, 0.1, args);
-            row(lambda.to_string(), table, &pubs, &cfg)
-        })
-        .collect::<Vec<_>>();
+    let lambdas: Vec<usize> = (1..=5).collect();
+    let rows = run_grid(&lambdas, |&lambda| {
+        let cfg = workload(&qi, lambda, 0.1, args);
+        row(lambda.to_string(), table, &pubs, &cfg)
+    });
     print_table(&["lambda", "BUREL", "LMondrian", "DMondrian"], &rows);
     println!();
 }
@@ -90,28 +89,24 @@ fn fig8a(table: &Table, args: &ExpArgs) {
 fn fig8b(table: &Table, args: &ExpArgs) {
     println!("(b) vary beta (lambda = 3, theta = 0.1, QI = 5)");
     let qi = qi_set(5);
-    let rows = [1.0, 2.0, 3.0, 4.0, 5.0]
-        .iter()
-        .map(|&beta| {
-            let pubs = publish_all(table, &qi, beta, args.seed);
-            let cfg = workload(&qi, 3, 0.1, args);
-            row(format!("{beta:.0}"), table, &pubs, &cfg)
-        })
-        .collect::<Vec<_>>();
+    let rows = run_grid(&[1.0, 2.0, 3.0, 4.0, 5.0], |&beta| {
+        let pubs = publish_all(table, &qi, beta, args.seed);
+        let cfg = workload(&qi, 3, 0.1, args);
+        row(format!("{beta:.0}"), table, &pubs, &cfg)
+    });
     print_table(&["beta", "BUREL", "LMondrian", "DMondrian"], &rows);
     println!();
 }
 
 fn fig8c(table: &Table, args: &ExpArgs) {
     println!("(c) vary QI size (lambda = min(3, QI), theta = 0.1, beta = 4)");
-    let rows = (1..=5usize)
-        .map(|qi_size| {
-            let qi = qi_set(qi_size);
-            let pubs = publish_all(table, &qi, 4.0, args.seed);
-            let cfg = workload(&qi, qi_size.min(3), 0.1, args);
-            row(qi_size.to_string(), table, &pubs, &cfg)
-        })
-        .collect::<Vec<_>>();
+    let qi_sizes: Vec<usize> = (1..=5).collect();
+    let rows = run_grid(&qi_sizes, |&qi_size| {
+        let qi = qi_set(qi_size);
+        let pubs = publish_all(table, &qi, 4.0, args.seed);
+        let cfg = workload(&qi, qi_size.min(3), 0.1, args);
+        row(qi_size.to_string(), table, &pubs, &cfg)
+    });
     print_table(&["QI size", "BUREL", "LMondrian", "DMondrian"], &rows);
     println!();
 }
@@ -120,13 +115,10 @@ fn fig8d(table: &Table, args: &ExpArgs) {
     println!("(d) vary theta (lambda = 3, QI = 5, beta = 4)");
     let qi = qi_set(5);
     let pubs = publish_all(table, &qi, 4.0, args.seed);
-    let rows = [0.05, 0.10, 0.15, 0.20, 0.25]
-        .iter()
-        .map(|&theta| {
-            let cfg = workload(&qi, 3, theta, args);
-            row(format!("{theta:.2}"), table, &pubs, &cfg)
-        })
-        .collect::<Vec<_>>();
+    let rows = run_grid(&[0.05, 0.10, 0.15, 0.20, 0.25], |&theta| {
+        let cfg = workload(&qi, 3, theta, args);
+        row(format!("{theta:.2}"), table, &pubs, &cfg)
+    });
     print_table(&["theta", "BUREL", "LMondrian", "DMondrian"], &rows);
     println!();
 }

@@ -15,6 +15,7 @@
 use betalike::model::BetaLikeness;
 use betalike::perturb::{perturb, PerturbedTable};
 use betalike_baselines::anatomy::AnatomyBaseline;
+use betalike_bench::algos::run_grid;
 use betalike_bench::cli::ExpArgs;
 use betalike_bench::tablefmt::{pct, print_table};
 use betalike_bench::{load_census, qi_set, SA};
@@ -37,50 +38,42 @@ fn main() {
     if sub == "a" || sub == "all" {
         println!("(a) vary lambda (QI = 5, theta = 0.1, beta = 4)");
         let published = publish(&table, 4.0, args.seed);
-        let rows = (1..=5usize)
-            .map(|lambda| {
-                let cfg = workload(&qi_set(5), lambda, 0.1, &args);
-                row(lambda.to_string(), &table, &published, &baseline, &cfg)
-            })
-            .collect::<Vec<_>>();
+        let lambdas: Vec<usize> = (1..=5).collect();
+        let rows = run_grid(&lambdas, |&lambda| {
+            let cfg = workload(&qi_set(5), lambda, 0.1, &args);
+            row(lambda.to_string(), &table, &published, &baseline, &cfg)
+        });
         print_table(&["lambda", "(rho1,rho2)-privacy", "Baseline"], &rows);
         println!();
     }
     if sub == "b" || sub == "all" {
         println!("(b) vary beta (lambda = 3, theta = 0.1)");
-        let rows = [1.0, 2.0, 3.0, 4.0, 5.0]
-            .iter()
-            .map(|&beta| {
-                let published = publish(&table, beta, args.seed);
-                let cfg = workload(&qi_set(5), 3, 0.1, &args);
-                row(format!("{beta:.0}"), &table, &published, &baseline, &cfg)
-            })
-            .collect::<Vec<_>>();
+        let rows = run_grid(&[1.0, 2.0, 3.0, 4.0, 5.0], |&beta| {
+            let published = publish(&table, beta, args.seed);
+            let cfg = workload(&qi_set(5), 3, 0.1, &args);
+            row(format!("{beta:.0}"), &table, &published, &baseline, &cfg)
+        });
         print_table(&["beta", "(rho1,rho2)-privacy", "Baseline"], &rows);
         println!();
     }
     if sub == "c" || sub == "all" {
         println!("(c) vary QI size (lambda = min(3, QI), theta = 0.1, beta = 4)");
         let published = publish(&table, 4.0, args.seed);
-        let rows = (1..=5usize)
-            .map(|qi_size| {
-                let cfg = workload(&qi_set(qi_size), qi_size.min(3), 0.1, &args);
-                row(qi_size.to_string(), &table, &published, &baseline, &cfg)
-            })
-            .collect::<Vec<_>>();
+        let qi_sizes: Vec<usize> = (1..=5).collect();
+        let rows = run_grid(&qi_sizes, |&qi_size| {
+            let cfg = workload(&qi_set(qi_size), qi_size.min(3), 0.1, &args);
+            row(qi_size.to_string(), &table, &published, &baseline, &cfg)
+        });
         print_table(&["QI size", "(rho1,rho2)-privacy", "Baseline"], &rows);
         println!();
     }
     if sub == "d" || sub == "all" {
         println!("(d) vary theta (lambda = 3, beta = 4)");
         let published = publish(&table, 4.0, args.seed);
-        let rows = [0.05, 0.10, 0.15, 0.20, 0.25]
-            .iter()
-            .map(|&theta| {
-                let cfg = workload(&qi_set(5), 3, theta, &args);
-                row(format!("{theta:.2}"), &table, &published, &baseline, &cfg)
-            })
-            .collect::<Vec<_>>();
+        let rows = run_grid(&[0.05, 0.10, 0.15, 0.20, 0.25], |&theta| {
+            let cfg = workload(&qi_set(5), 3, theta, &args);
+            row(format!("{theta:.2}"), &table, &published, &baseline, &cfg)
+        });
         print_table(&["theta", "(rho1,rho2)-privacy", "Baseline"], &rows);
         println!();
     }

@@ -11,7 +11,7 @@
 
 use betalike_attacks::definetti::{definetti_attack, DefinettiConfig};
 use betalike_attacks::naive_bayes::naive_bayes_attack;
-use betalike_bench::algos::run_burel;
+use betalike_bench::algos::{run_grid, QiGeometry};
 use betalike_bench::cli::ExpArgs;
 use betalike_bench::tablefmt::{pct, print_table};
 use betalike_bench::{load_census, qi_set, SA};
@@ -25,20 +25,23 @@ fn main() {
         table.num_rows(),
         qi.len()
     );
-    let mut rows = Vec::new();
-    let mut majority = 0.0;
-    for beta in [1.0, 2.0, 3.0, 4.0, 5.0] {
-        let p = run_burel(&table, &qi, SA, beta, args.seed).expect("BUREL");
+    let geo = QiGeometry::new(&table, &qi);
+    let cells = run_grid(&[1.0, 2.0, 3.0, 4.0, 5.0], |&beta| {
+        let p = geo.burel(SA, beta, args.seed).expect("BUREL");
         let nb = naive_bayes_attack(&table, &p);
         let df = definetti_attack(&table, &p, &DefinettiConfig::default());
-        majority = nb.majority_freq;
-        rows.push(vec![
-            format!("{beta:.0}"),
-            pct(nb.accuracy * 100.0),
-            pct(df.accuracy * 100.0),
-            pct(df.random_baseline * 100.0),
-        ]);
-    }
+        (
+            vec![
+                format!("{beta:.0}"),
+                pct(nb.accuracy * 100.0),
+                pct(df.accuracy * 100.0),
+                pct(df.random_baseline * 100.0),
+            ],
+            nb.majority_freq,
+        )
+    });
+    let majority = cells.last().map(|(_, m)| *m).unwrap_or(0.0);
+    let rows: Vec<Vec<String>> = cells.into_iter().map(|(row, _)| row).collect();
     print_table(
         &["beta", "NaiveBayes", "deFinetti", "random matching"],
         &rows,

@@ -1,0 +1,263 @@
+//! PERF — the reproducible performance harness behind `BENCH_*.json`.
+//!
+//! Times every BUREL pipeline stage plus the end-to-end run on the CENSUS
+//! generator, at several dataset sizes and at 1 vs N worker threads
+//! (N = `max(4, available_parallelism)`), and writes the measurements as a
+//! JSON trajectory file every future PR appends to.
+//!
+//! Stages (best-of-`iters` wall clock each):
+//!
+//! * `hilbert_keys` — per-row Hilbert transform over the QI grid;
+//! * `bucketize` — the `DPpartition` dynamic program;
+//! * `ectree` — `biSplit` reallocation;
+//! * `materialize` — per-bucket store build + EC filling;
+//! * `audit` — the full cross-model [`audit_partition`];
+//! * `naive_bayes` — the Section 7 attack;
+//! * `burel_e2e` — the whole pipeline through [`burel()`].
+//!
+//! ```text
+//! cargo run --release -p betalike-bench --bin perf -- --rows 200000
+//! cargo run --release -p betalike-bench --bin perf -- smoke --out perf-smoke.json
+//! ```
+//!
+//! `smoke` (positional) shrinks the grid to one small dataset and a single
+//! iteration so CI can exercise the harness on every push; `--rows N`
+//! replaces the default 10k/50k/200k grid with the single size N; `--out
+//! FILE` overrides the default `BENCH_2.json`.
+
+use betalike::bucketize::dp_partition;
+use betalike::burel::rows_per_bucket;
+use betalike::ectree::{bi_split, BetaEligibility};
+use betalike::model::BetaLikeness;
+use betalike::retrieve::{hilbert_keys, FillStrategy, Materializer, SeedChoice};
+use betalike::{burel, BurelConfig};
+use betalike_attacks::naive_bayes::naive_bayes_attack;
+use betalike_bench::algos::METRIC;
+use betalike_bench::cli::ExpArgs;
+use betalike_bench::tablefmt::print_table;
+use betalike_bench::{qi_set, secs, time_it, SA};
+use betalike_metrics::audit::audit_partition;
+use betalike_microdata::census::{self, CensusConfig};
+use betalike_microdata::json::Json;
+use betalike_microdata::{RowId, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+const BETA: f64 = 4.0;
+
+/// One measured cell of the grid.
+struct Measurement {
+    stage: &'static str,
+    rows: usize,
+    threads: usize,
+    secs: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let smoke = args.sub.as_deref() == Some("smoke");
+    let out_path = args
+        .extra
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_2.json".into());
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // On a single-core host 4 threads still exercise the pool (and honestly
+    // record the oversubscription cost); on real hardware N = all cores.
+    let parallel_threads = cpus.max(4);
+    // Flag *presence* (not value) selects single-size mode, so an explicit
+    // `--rows 100000` equal to the ExpArgs default still replaces the grid.
+    let rows_flag_passed = std::env::args().any(|a| a == "--rows");
+    let (row_grid, iters): (Vec<usize>, usize) = if smoke {
+        (vec![2_000], 1)
+    } else if rows_flag_passed {
+        (vec![args.rows], 3)
+    } else {
+        (vec![10_000, 50_000, 200_000], 3)
+    };
+    let qi = qi_set(args.qi);
+    println!(
+        "perf harness: CENSUS, beta = {BETA}, QI = {}, threads 1 vs {parallel_threads} \
+         ({cpus} cpu(s) visible), best of {iters}\n",
+        qi.len()
+    );
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for &rows in &row_grid {
+        let table = census::generate(&CensusConfig::new(rows, args.seed));
+        for &threads in &[1usize, parallel_threads] {
+            mini_rayon::set_threads(threads);
+            measure_stages(&table, &qi, rows, threads, iters, &mut measurements);
+        }
+    }
+    mini_rayon::set_threads(0);
+
+    print_measurements(&measurements, parallel_threads);
+    let doc = to_json(&measurements, cpus, parallel_threads, iters, smoke);
+    std::fs::write(&out_path, doc.pretty() + "\n").expect("write perf JSON");
+    println!("\nwrote {out_path}");
+}
+
+/// Runs `f` `iters` times and returns the best wall-clock duration.
+fn best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let (_, d) = time_it(&mut f);
+        best = best.min(d);
+    }
+    best
+}
+
+/// Times every stage at the current thread count.
+fn measure_stages(
+    table: &Table,
+    qi: &[usize],
+    rows: usize,
+    threads: usize,
+    iters: usize,
+    out: &mut Vec<Measurement>,
+) {
+    let mut push = |stage: &'static str, d: Duration| {
+        out.push(Measurement {
+            stage,
+            rows,
+            threads,
+            secs: d.as_secs_f64(),
+        });
+    };
+
+    // Stage inputs, computed once (the stages themselves are timed).
+    let model = BetaLikeness::new(BETA).expect("valid beta");
+    let dist = table.sa_distribution(SA);
+    let keys = hilbert_keys(table, qi);
+    let buckets = dp_partition(&dist, &model, 0.25);
+    let sizes: Vec<u64> = buckets.iter().map(|b| b.count).collect();
+    let eligibility = BetaEligibility::from_buckets(&buckets);
+    let templates = bi_split(&sizes, &eligibility).expect("root eligible");
+    let bucket_rows = rows_per_bucket(table, SA, &buckets);
+    let partition = burel(table, qi, SA, &BurelConfig::new(BETA).with_seed(42)).expect("BUREL");
+
+    push("hilbert_keys", best_of(iters, || hilbert_keys(table, qi)));
+    push(
+        "bucketize",
+        best_of(iters, || dp_partition(&dist, &model, 0.25)),
+    );
+    push(
+        "ectree",
+        best_of(iters, || bi_split(&sizes, &eligibility).expect("eligible")),
+    );
+    push(
+        "materialize",
+        best_of(iters, || {
+            let mut mat = Materializer::with_seed_choice(
+                &keys,
+                &bucket_rows,
+                FillStrategy::HilbertNearest,
+                SeedChoice::Random,
+            );
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            let ecs: Vec<Vec<RowId>> = templates
+                .iter()
+                .map(|t| mat.fill(&t.counts, &mut rng))
+                .collect();
+            ecs
+        }),
+    );
+    push(
+        "audit",
+        best_of(iters, || audit_partition(table, &partition, METRIC)),
+    );
+    push(
+        "naive_bayes",
+        best_of(iters, || naive_bayes_attack(table, &partition)),
+    );
+    push(
+        "burel_e2e",
+        best_of(iters, || {
+            burel(table, qi, SA, &BurelConfig::new(BETA).with_seed(42)).expect("BUREL")
+        }),
+    );
+}
+
+/// Prints the per-stage serial/parallel/speedup table per dataset size.
+fn print_measurements(measurements: &[Measurement], parallel_threads: usize) {
+    let mut sizes: Vec<usize> = Vec::new();
+    for m in measurements {
+        if !sizes.contains(&m.rows) {
+            sizes.push(m.rows);
+        }
+    }
+    for &rows in &sizes {
+        println!("rows = {rows}");
+        let mut table_rows = Vec::new();
+        let mut stages: Vec<&'static str> = Vec::new();
+        for m in measurements.iter().filter(|m| m.rows == rows) {
+            if !stages.contains(&m.stage) {
+                stages.push(m.stage);
+            }
+        }
+        for stage in stages {
+            let find = |threads: usize| {
+                measurements
+                    .iter()
+                    .find(|m| m.rows == rows && m.stage == stage && m.threads == threads)
+                    .map(|m| m.secs)
+            };
+            let (Some(serial), Some(parallel)) = (find(1), find(parallel_threads)) else {
+                continue;
+            };
+            table_rows.push(vec![
+                stage.to_string(),
+                secs(Duration::from_secs_f64(serial)),
+                secs(Duration::from_secs_f64(parallel)),
+                format!("{:.2}x", serial / parallel.max(1e-12)),
+            ]);
+        }
+        print_table(
+            &[
+                "stage",
+                "serial (s)",
+                &format!("{parallel_threads} threads (s)"),
+                "speedup",
+            ],
+            &table_rows,
+        );
+        println!();
+    }
+}
+
+/// Renders the trajectory document.
+fn to_json(
+    measurements: &[Measurement],
+    cpus: usize,
+    parallel_threads: usize,
+    iters: usize,
+    smoke: bool,
+) -> Json {
+    let cells: Vec<Json> = measurements
+        .iter()
+        .map(|m| {
+            Json::Obj(vec![
+                ("stage".into(), Json::Str(m.stage.into())),
+                ("rows".into(), Json::Num(m.rows as f64)),
+                ("threads".into(), Json::Num(m.threads as f64)),
+                ("secs".into(), Json::Num(m.secs)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("pr".into(), Json::Num(2.0)),
+        ("harness".into(), Json::Str("perf".into())),
+        ("dataset".into(), Json::Str("CENSUS (synthetic)".into())),
+        ("beta".into(), Json::Num(BETA)),
+        ("cpus_visible".into(), Json::Num(cpus as f64)),
+        (
+            "parallel_threads".into(),
+            Json::Num(parallel_threads as f64),
+        ),
+        ("iters".into(), Json::Num(iters as f64)),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("measurements".into(), Json::Arr(cells)),
+    ])
+}

@@ -7,7 +7,7 @@
 //! cargo run --release -p betalike-bench --bin table_sec7 -- --rows 500000
 //! ```
 
-use betalike_bench::algos::{run_burel, METRIC};
+use betalike_bench::algos::{run_grid, QiGeometry, METRIC};
 use betalike_bench::cli::ExpArgs;
 use betalike_bench::tablefmt::{f, print_table};
 use betalike_bench::{load_census, qi_set, SA};
@@ -21,18 +21,18 @@ fn main() {
         "Section 7 table: cross-model audit of BUREL output ({} rows)\n",
         table.num_rows()
     );
-    let mut rows = Vec::new();
-    for beta in [1.0, 2.0, 3.0, 4.0, 5.0] {
-        let p = run_burel(&table, &qi, SA, beta, args.seed).expect("BUREL");
+    let geo = QiGeometry::new(&table, &qi);
+    let rows = run_grid(&[1.0, 2.0, 3.0, 4.0, 5.0], |&beta| {
+        let p = geo.burel(SA, beta, args.seed).expect("BUREL");
         let audit = audit_partition(&table, &p, METRIC);
-        rows.push(vec![
+        vec![
             f(beta, 0),
             f(audit.max_closeness, 2),
             f(audit.avg_closeness, 2),
             f(audit.min_distinct_l as f64, 1),
             f(audit.avg_distinct_l, 1),
-        ]);
-    }
+        ]
+    });
     print_table(&["beta", "t", "Avg t", "l", "Avg l"], &rows);
     println!(
         "\n(paper: beta=1 -> t=0.02, l=19.0; beta=5 -> t=0.17, l=6.6;\n\

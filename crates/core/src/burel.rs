@@ -119,7 +119,10 @@ pub(crate) fn validate_attrs(table: &Table, qi: &[usize], sa: usize) -> Result<(
 }
 
 /// Groups table rows by the bucket of their SA value.
-fn rows_per_bucket(table: &Table, sa: usize, buckets: &[SaBucket]) -> Vec<Vec<RowId>> {
+///
+/// Public so stage-level harnesses (the `perf` binary) can reconstruct the
+/// exact materialization input [`burel()`] builds internally.
+pub fn rows_per_bucket(table: &Table, sa: usize, buckets: &[SaBucket]) -> Vec<Vec<RowId>> {
     let card = table.schema().attr(sa).cardinality();
     // value -> bucket index (or none for zero-frequency values).
     let mut value_bucket = vec![usize::MAX; card];
@@ -155,6 +158,44 @@ pub fn burel(table: &Table, qi: &[usize], sa: usize, cfg: &BurelConfig) -> Resul
     if table.is_empty() {
         return Err(Error::EmptyTable);
     }
+    // Reject a bad β before paying the O(n·d) Hilbert transform.
+    BetaLikeness::with_bound(cfg.beta, cfg.bound)?;
+    let keys = hilbert_keys(table, qi);
+    burel_with_keys(table, qi, sa, cfg, &keys)
+}
+
+/// Like [`burel()`], with the per-row Hilbert keys precomputed by
+/// [`hilbert_keys`] for this exact `(table, qi)` pair.
+///
+/// Comparison harnesses that run BUREL and SABRE (or several BUREL
+/// configurations) against the same table and QI set should compute the
+/// keys once and pass them to every run instead of paying the Hilbert
+/// transform per invocation — see `bench::algos::QiGeometry`.
+///
+/// # Errors
+///
+/// As [`burel()`].
+///
+/// # Panics
+///
+/// Panics if `keys.len() != table.num_rows()` — precomputed keys for a
+/// different table are a caller bug, not a runtime condition.
+pub fn burel_with_keys(
+    table: &Table,
+    qi: &[usize],
+    sa: usize,
+    cfg: &BurelConfig,
+    keys: &[u128],
+) -> Result<Partition> {
+    validate_attrs(table, qi, sa)?;
+    if table.is_empty() {
+        return Err(Error::EmptyTable);
+    }
+    assert_eq!(
+        keys.len(),
+        table.num_rows(),
+        "precomputed Hilbert keys must cover every row"
+    );
     let model = BetaLikeness::with_bound(cfg.beta, cfg.bound)?;
     let dist = table.sa_distribution(sa);
 
@@ -172,10 +213,8 @@ pub fn burel(table: &Table, qi: &[usize], sa: usize, cfg: &BurelConfig) -> Resul
     let templates = bi_split(&sizes, &eligibility).ok_or(Error::RootNotEligible)?;
 
     // Phase 3: materialization.
-    let keys = hilbert_keys(table, qi);
     let bucket_rows = rows_per_bucket(table, sa, &buckets);
-    let mut mat =
-        Materializer::with_seed_choice(&keys, &bucket_rows, cfg.strategy, cfg.seed_choice);
+    let mut mat = Materializer::with_seed_choice(keys, &bucket_rows, cfg.strategy, cfg.seed_choice);
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut ecs = Vec::with_capacity(templates.len());
     for t in &templates {
@@ -258,6 +297,51 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn thread_count_invariance() {
+        // The parallel pipeline's core promise: the same BurelConfig
+        // publishes a bit-identical Partition (and hence identical audit
+        // readings) at any thread count.
+        let _lock = crate::threads_test_lock();
+        let t = census_like(4_000);
+        let qi = [0, 1, 2];
+        let cfg = BurelConfig::new(3.0).with_seed(9);
+        mini_rayon::set_threads(1);
+        let serial = burel(&t, &qi, 5, &cfg).unwrap();
+        let serial_audit = audit_partition(&t, &serial, ClosenessMetric::EqualDistance);
+        for threads in [2, 8] {
+            mini_rayon::set_threads(threads);
+            let parallel = burel(&t, &qi, 5, &cfg).unwrap();
+            assert_eq!(
+                serial.ecs(),
+                parallel.ecs(),
+                "partition differs at {threads} threads"
+            );
+            let audit = audit_partition(&t, &parallel, ClosenessMetric::EqualDistance);
+            assert_eq!(serial_audit, audit, "audit differs at {threads} threads");
+        }
+        mini_rayon::set_threads(0);
+    }
+
+    #[test]
+    fn precomputed_keys_match_recomputed() {
+        let t = census_like(2_000);
+        let qi = [0, 1];
+        let cfg = BurelConfig::new(2.5).with_seed(4);
+        let keys = crate::retrieve::hilbert_keys(&t, &qi);
+        let direct = burel(&t, &qi, 5, &cfg).unwrap();
+        let shared = burel_with_keys(&t, &qi, 5, &cfg, &keys).unwrap();
+        assert_eq!(direct.ecs(), shared.ecs());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every row")]
+    fn wrong_key_count_panics() {
+        let t = census_like(100);
+        let keys = vec![0u128; 99];
+        let _ = burel_with_keys(&t, &[0, 1], 5, &BurelConfig::new(2.0), &keys);
     }
 
     #[test]

@@ -56,9 +56,20 @@ pub mod model;
 pub mod perturb;
 pub mod retrieve;
 
-pub use burel::{burel, BurelConfig};
+pub use burel::{burel, burel_with_keys, BurelConfig};
 pub use error::{Error, Result, Violation};
 pub use grouped::{burel_grouped, verify_grouped, SaGrouping};
 pub use model::{verify, verify_two_sided, BetaLikeness, BoundKind};
 pub use perturb::{perturb, PerturbationPlan, PerturbedTable};
 pub use retrieve::FillStrategy;
+
+/// Serializes the tests (across this crate's modules) that mutate the
+/// process-global `mini_rayon` thread count: without the lock, a
+/// concurrently running test could raise the count between a test's
+/// `set_threads(1)` and its "serial" baseline run, silently voiding the
+/// serial-vs-parallel comparison.
+#[cfg(test)]
+pub(crate) fn threads_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

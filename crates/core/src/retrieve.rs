@@ -52,6 +52,11 @@ pub enum SeedChoice {
     Random,
 }
 
+/// Row-chunk granularity for the parallel Hilbert key computation: large
+/// enough that per-chunk scratch setup and result concatenation are noise,
+/// small enough that the self-scheduling pool balances uneven chunks.
+const KEY_CHUNK: usize = 4_096;
+
 /// Computes the Hilbert key of every row over the QI grid.
 ///
 /// All QI attributes share the same per-dimension bit width (the Hilbert
@@ -61,6 +66,11 @@ pub enum SeedChoice {
 /// cardinality-2 attribute such as *gender* would live in the lowest bit
 /// and the curve would freely mix its values inside every EC, inflating the
 /// published bounding boxes.
+///
+/// Rows are processed in fixed chunks across the [`mini_rayon`] pool; each
+/// chunk reuses one scratch point buffer ([`HilbertCurve::index_in_place`]),
+/// so the whole computation performs one allocation per chunk. The result
+/// is bit-identical at any thread count (each key depends only on its row).
 pub fn hilbert_keys(table: &Table, qi: &[usize]) -> Vec<u128> {
     assert!(!qi.is_empty(), "need at least one QI attribute");
     let bits = qi
@@ -80,18 +90,29 @@ pub fn hilbert_keys(table: &Table, qi: &[usize]) -> Vec<u128> {
             (c > 1).then_some(c - 1)
         })
         .collect();
-    let mut point = vec![0u32; qi.len()];
-    (0..table.num_rows())
-        .map(|r| {
+    // Chunk over any one column purely to derive row ranges: chunk `c`
+    // covers rows `c * KEY_CHUNK ..` (the boundary contract of
+    // `par_chunks_map`).
+    let chunks = mini_rayon::par_chunks_map(cols[0], KEY_CHUNK, |c, chunk| {
+        let base = c * KEY_CHUNK;
+        let mut point = vec![0u32; qi.len()];
+        let mut keys = Vec::with_capacity(chunk.len());
+        for r in base..base + chunk.len() {
             for (d, col) in cols.iter().enumerate() {
                 point[d] = match scales[d] {
                     Some(denom) => ((col[r] as u64 * side + denom / 2) / denom) as u32,
                     None => 0,
                 };
             }
-            curve.index(&point)
-        })
-        .collect()
+            keys.push(curve.index_in_place(&mut point));
+        }
+        keys
+    });
+    let mut out = Vec::with_capacity(table.num_rows());
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
 }
 
 /// One bucket's tuples in Hilbert order with O(1)-amortized alive-neighbor
@@ -112,6 +133,26 @@ struct BucketStore {
 }
 
 impl BucketStore {
+    /// Builds a store from the bucket's rows and a key function, sorting by
+    /// `(key, row)` without materializing a temporary `(key, row)` pair
+    /// vector (the keyed-entry form [`BucketStore::new`] takes exists for
+    /// the differential tests).
+    fn from_rows(bucket: &[RowId], key_of: impl Fn(RowId) -> u128) -> Self {
+        let mut rows: Vec<RowId> = bucket.to_vec();
+        rows.sort_unstable_by(|&a, &b| key_of(a).cmp(&key_of(b)).then(a.cmp(&b)));
+        let n = rows.len();
+        let keys = rows.iter().map(|&r| key_of(r)).collect();
+        BucketStore {
+            keys,
+            rows,
+            alive: vec![true; n],
+            next_jump: (0..=n as u32).collect(),
+            prev_jump: (0..=n as u32).collect(),
+            remaining: n,
+        }
+    }
+
+    #[cfg(test)]
     fn new(mut entries: Vec<(u128, RowId)>) -> Self {
         entries.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
         let n = entries.len();
@@ -281,28 +322,23 @@ impl Materializer {
     }
 
     /// Like [`Materializer::new`] with an explicit EC-seed policy.
+    ///
+    /// Buckets are independent, so their stores are built (and their
+    /// Hilbert orders sorted) across the [`mini_rayon`] pool; the bucket
+    /// order — and therefore every downstream draw — is identical at any
+    /// thread count.
     pub fn with_seed_choice(
         keys: &[u128],
         bucket_rows: &[Vec<RowId>],
         strategy: FillStrategy,
         seed_choice: SeedChoice,
     ) -> Self {
-        let buckets = bucket_rows
-            .iter()
-            .map(|rows| {
-                BucketStore::new(
-                    rows.iter()
-                        .map(|&r| {
-                            let key = match strategy {
-                                FillStrategy::HilbertNearest => keys[r],
-                                FillStrategy::Arbitrary => r as u128,
-                            };
-                            (key, r)
-                        })
-                        .collect(),
-                )
+        let buckets = mini_rayon::par_map(bucket_rows, |rows| {
+            BucketStore::from_rows(rows, |r| match strategy {
+                FillStrategy::HilbertNearest => keys[r],
+                FillStrategy::Arbitrary => r as u128,
             })
-            .collect();
+        });
         Materializer {
             buckets,
             strategy,
@@ -582,6 +618,25 @@ mod tests {
                 remaining -= k;
             }
         }
+    }
+
+    #[test]
+    fn hilbert_keys_thread_invariant() {
+        use betalike_microdata::synthetic::{random_table, SyntheticConfig};
+        let _lock = crate::threads_test_lock();
+        let t = random_table(&SyntheticConfig {
+            rows: 10_000,
+            qi_attrs: 3,
+            qi_cardinality: 32,
+            seed: 11,
+            ..Default::default()
+        });
+        mini_rayon::set_threads(1);
+        let serial = hilbert_keys(&t, &[0, 1, 2]);
+        mini_rayon::set_threads(8);
+        let parallel = hilbert_keys(&t, &[0, 1, 2]);
+        mini_rayon::set_threads(0);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -131,20 +131,39 @@ impl HilbertCurve {
 
     /// Maps a point to its position along the Hilbert curve.
     ///
+    /// Allocates a scratch copy of `point` per call; bulk callers should
+    /// prefer [`Self::index_in_place`], which reuses the caller's buffer.
+    ///
     /// # Panics
     ///
     /// Panics if `point.len() != dims` or any coordinate exceeds
     /// [`Self::max_coord`].
     pub fn index(&self, point: &[u32]) -> u128 {
+        let mut x: Vec<u32> = point.to_vec();
+        self.index_in_place(&mut x)
+    }
+
+    /// Like [`Self::index`], but transforms `point` in place instead of
+    /// allocating a scratch copy — the zero-allocation path for bulk key
+    /// computation (BUREL maps every table row through this).
+    ///
+    /// On return `point` holds the curve's internal transpose form, not the
+    /// original coordinates; callers are expected to refill it before the
+    /// next use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != dims` or any coordinate exceeds
+    /// [`Self::max_coord`].
+    pub fn index_in_place(&self, point: &mut [u32]) -> u128 {
         assert_eq!(point.len(), self.dims, "point has wrong dimensionality");
         let max = self.max_coord();
         assert!(
             point.iter().all(|&c| c <= max),
             "coordinate exceeds the grid side"
         );
-        let mut x: Vec<u32> = point.to_vec();
-        self.axes_to_transpose(&mut x);
-        self.interleave(&x)
+        self.axes_to_transpose(point);
+        self.interleave(point)
     }
 
     /// Maps a curve position back to its point.
@@ -505,6 +524,23 @@ mod tests {
         // In Skilling's convention the first axis moves first:
         // (0,0)=0, (1,0)=1, (1,1)=2, (0,1)=3, … so the order is below.
         assert_eq!(pts, vec![[0, 0], [1, 1], [0, 1], [3, 0]]);
+    }
+
+    #[test]
+    fn index_in_place_matches_index() {
+        let curve = HilbertCurve::new(3, 5).unwrap();
+        let mut scratch = vec![0u32; 3];
+        for p in [[0u32, 0, 0], [31, 31, 31], [13, 1, 9], [7, 30, 2]] {
+            scratch.copy_from_slice(&p);
+            assert_eq!(curve.index_in_place(&mut scratch), curve.index(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimensionality")]
+    fn index_in_place_wrong_dims_panics() {
+        let mut p = [0u32; 3];
+        HilbertCurve::new(2, 2).unwrap().index_in_place(&mut p);
     }
 
     #[test]

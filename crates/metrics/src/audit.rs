@@ -129,7 +129,21 @@ pub fn achieved_closeness(
     (max, avg)
 }
 
-/// Runs the full audit in a single pass over the ECs.
+/// The per-EC readings [`audit_partition`] reduces over.
+struct EcAudit {
+    beta: f64,
+    closeness: f64,
+    distinct_l: usize,
+    inv_max_freq_l: f64,
+    delta: f64,
+    size: usize,
+}
+
+/// Runs the full audit in a single (parallel) pass over the ECs.
+///
+/// Per-EC readings are computed across the [`mini_rayon`] pool and reduced
+/// in EC order, so the result — floating-point accumulations included — is
+/// bit-identical to the serial pass at any thread count.
 pub fn audit_partition(
     table: &Table,
     partition: &Partition,
@@ -154,20 +168,27 @@ pub fn audit_partition(
         out.min_ec_size = 0;
         return out;
     }
-    for (i, ec) in partition.ecs().iter().enumerate() {
-        let q = partition.ec_distribution(table, i);
-        let beta = max_relative_gain(p.freqs(), q.freqs());
-        out.max_beta = out.max_beta.max(beta);
-        out.avg_beta += beta;
-        let t = metric.distance(p.freqs(), q.freqs());
-        out.max_closeness = out.max_closeness.max(t);
-        out.avg_closeness += t;
-        let dl = distinct_l(&q);
-        out.min_distinct_l = out.min_distinct_l.min(dl);
-        out.avg_distinct_l += dl as f64;
-        out.min_inv_max_freq_l = out.min_inv_max_freq_l.min(inverse_max_freq_l(&q));
-        out.max_delta = out.max_delta.max(delta_disclosure(&p, &q));
-        out.min_ec_size = out.min_ec_size.min(ec.len());
+    let stats = mini_rayon::par_map(partition.ecs(), |ec| {
+        let q = table.sa_distribution_of(partition.sa(), ec);
+        EcAudit {
+            beta: max_relative_gain(p.freqs(), q.freqs()),
+            closeness: metric.distance(p.freqs(), q.freqs()),
+            distinct_l: distinct_l(&q),
+            inv_max_freq_l: inverse_max_freq_l(&q),
+            delta: delta_disclosure(&p, &q),
+            size: ec.len(),
+        }
+    });
+    for s in &stats {
+        out.max_beta = out.max_beta.max(s.beta);
+        out.avg_beta += s.beta;
+        out.max_closeness = out.max_closeness.max(s.closeness);
+        out.avg_closeness += s.closeness;
+        out.min_distinct_l = out.min_distinct_l.min(s.distinct_l);
+        out.avg_distinct_l += s.distinct_l as f64;
+        out.min_inv_max_freq_l = out.min_inv_max_freq_l.min(s.inv_max_freq_l);
+        out.max_delta = out.max_delta.max(s.delta);
+        out.min_ec_size = out.min_ec_size.min(s.size);
     }
     let n = partition.num_ecs() as f64;
     out.avg_beta /= n;
@@ -240,6 +261,23 @@ mod tests {
         assert_eq!(audit.max_delta, f64::INFINITY);
         assert_eq!(audit.min_ec_size, 3);
         assert_eq!(audit.num_ecs, 2);
+    }
+
+    #[test]
+    fn audit_is_thread_count_invariant() {
+        // Many small ECs so the parallel path actually chunks.
+        let t = patients_table();
+        let p = Partition::new(
+            vec![patients::attr::WEIGHT],
+            patients::attr::DISEASE,
+            (0..6).map(|r| vec![r]).collect(),
+        );
+        mini_rayon::set_threads(1);
+        let serial = audit_partition(&t, &p, ClosenessMetric::EqualDistance);
+        mini_rayon::set_threads(8);
+        let parallel = audit_partition(&t, &p, ClosenessMetric::EqualDistance);
+        mini_rayon::set_threads(0);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -1,0 +1,470 @@
+//! Offline vendored mini-rayon: a dependency-free scoped thread pool.
+//!
+//! The build environment has no crates.io access, so this crate stands in
+//! for the data-parallel subset of [`rayon`](https://crates.io/crates/rayon)
+//! the betalike workspace uses. It is built entirely on `std::thread::scope`
+//! (no `unsafe`, no `'static` bound on closures) and provides three
+//! primitives:
+//!
+//! * [`par_map`] — order-preserving parallel map over a slice;
+//! * [`par_chunks_map`] — parallel map over fixed-size chunks of a slice
+//!   (the chunk index is passed to the closure, so callers can reconstruct
+//!   global offsets and keep per-chunk scratch buffers);
+//! * [`scope`] — fork-join execution of a batch of heterogeneous tasks
+//!   (part of the stable pool API; the workspace's hot paths currently all
+//!   fit the two map primitives).
+//!
+//! # Scheduling
+//!
+//! Work is split into more units than workers (4 per worker) and workers
+//! claim units through a shared atomic counter — the self-scheduling
+//! equivalent of work stealing: a worker that finishes early immediately
+//! "steals" the next unclaimed unit, so uneven unit costs still balance.
+//! Workers are scoped threads spawned per call; for the workspace's
+//! coarse-grained units (thousands of Hilbert transforms, a whole bucket
+//! sort, a whole EC audit) the spawn cost is noise.
+//!
+//! # Thread count
+//!
+//! The worker count is resolved per call, in priority order:
+//!
+//! 1. a programmatic [`set_threads`] override (used by benches and the
+//!    `perf` binary to sweep thread counts inside one process);
+//! 2. the `BETALIKE_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! With one thread every primitive runs inline on the caller's stack — no
+//! threads are spawned, no synchronization happens, so the serial
+//! configuration has zero overhead.
+//!
+//! # Determinism
+//!
+//! All primitives preserve input order in their outputs and therefore
+//! return **bit-identical results at any thread count**; the workspace's
+//! thread-count-invariance tests pin this. Nested calls (a parallel
+//! primitive invoked from inside a worker) run inline serially instead of
+//! spawning a second generation of threads, so thread counts never
+//! multiply.
+//!
+//! # Panics
+//!
+//! A panic inside a task propagates to the caller once all workers have
+//! stopped (via `std::thread::scope`'s implicit join), matching the inline
+//! serial behaviour.
+//!
+//! ```
+//! let squares = mini_rayon::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Process-wide thread-count override; 0 means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set while executing on a pool worker: nested primitives run inline.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The environment/default thread count, resolved once per process.
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("BETALIKE_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// The number of worker threads parallel calls will use.
+///
+/// See the crate docs for the resolution order. Always at least 1.
+pub fn threads() -> usize {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the thread count for subsequent parallel calls in this
+/// process; `0` removes the override (falling back to `BETALIKE_THREADS` /
+/// available parallelism).
+///
+/// Output never depends on the thread count (see the crate docs), so
+/// concurrent readers at most observe a different degree of parallelism.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Whether the current thread is a pool worker (nested calls run inline).
+fn in_pool() -> bool {
+    IN_POOL.with(|f| f.get())
+}
+
+/// Runs `f` on `workers` scoped threads; each invocation claims work via
+/// the shared counter inside `f`. The first worker panic is re-raised on
+/// the caller with its original payload once every worker has stopped.
+fn run_workers<F: Fn() + Sync>(workers: usize, f: F) {
+    let panic = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    IN_POOL.with(|flag| flag.set(true));
+                    f();
+                })
+            })
+            .collect();
+        handles.into_iter().filter_map(|h| h.join().err()).next()
+    });
+    if let Some(payload) = panic {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Splits `len` items into self-scheduling unit bounds of ~`4 × workers`
+/// units (at least one item each).
+fn unit_bounds(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    let units = (workers * 4).clamp(1, len);
+    let unit_len = len.div_ceil(units);
+    (0..len)
+        .step_by(unit_len)
+        .map(|lo| (lo, (lo + unit_len).min(len)))
+        .collect()
+}
+
+/// Applies `f` to every element of `items` in parallel, returning the
+/// results in input order.
+///
+/// Equivalent to `items.iter().map(f).collect()` — including output order,
+/// bit-exactness and panic behaviour — but spread over [`threads`] workers.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 || in_pool() {
+        return items.iter().map(f).collect();
+    }
+    let bounds = unit_bounds(items.len(), workers);
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(bounds.len()));
+    run_workers(workers, || {
+        let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+        loop {
+            let u = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&(lo, hi)) = bounds.get(u) else {
+                break;
+            };
+            local.push((u, items[lo..hi].iter().map(&f).collect()));
+        }
+        done.lock().unwrap().append(&mut local);
+    });
+    let mut parts = done.into_inner().unwrap();
+    parts.sort_unstable_by_key(|&(u, _)| u);
+    debug_assert_eq!(parts.len(), bounds.len());
+    let mut out = Vec::with_capacity(items.len());
+    for (_, part) in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Applies `f` to consecutive chunks of `items` in parallel, returning one
+/// result per chunk in chunk order.
+///
+/// Chunk boundaries are exactly those of `items.chunks(chunk_len)`: chunk
+/// `c` covers `items[c * chunk_len .. min((c + 1) * chunk_len, len)]`, and
+/// `f` receives `(c, chunk)` so callers can reconstruct global offsets.
+/// This is the building block for order-preserving bulk kernels that want
+/// one scratch buffer per chunk rather than per element.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn par_chunks_map<T, R, F>(items: &[T], chunk_len: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let num_chunks = items.len().div_ceil(chunk_len);
+    let workers = threads().min(num_chunks);
+    if workers <= 1 || in_pool() {
+        return items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(c, chunk)| f(c, chunk))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(num_chunks));
+    run_workers(workers, || {
+        let mut local: Vec<(usize, R)> = Vec::new();
+        loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= num_chunks {
+                break;
+            }
+            let lo = c * chunk_len;
+            let hi = (lo + chunk_len).min(items.len());
+            local.push((c, f(c, &items[lo..hi])));
+        }
+        done.lock().unwrap().append(&mut local);
+    });
+    let mut parts = done.into_inner().unwrap();
+    parts.sort_unstable_by_key(|&(c, _)| c);
+    debug_assert_eq!(parts.len(), num_chunks);
+    parts.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A queued scope task: boxed so heterogeneous closures share one list.
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// A fork-join scope: tasks spawned through it run when the scope closure
+/// returns, and [`scope`] itself returns only after every task finished.
+pub struct Scope<'env> {
+    tasks: Mutex<Vec<Task<'env>>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queues `task` for execution. Tasks may borrow from the environment
+    /// (no `'static` bound); they start once the scope closure returns and
+    /// run on up to [`threads`] workers, claimed in spawn order.
+    pub fn spawn<F: FnOnce() + Send + 'env>(&self, task: F) {
+        self.tasks.lock().unwrap().push(Box::new(task));
+    }
+}
+
+/// Creates a fork-join scope, queues tasks via [`Scope::spawn`], runs them
+/// to completion, and returns the scope closure's value.
+///
+/// Unlike `rayon::scope`, tasks are *deferred*: they execute after the
+/// closure returns (the closure's only job is to spawn them). Task panics
+/// propagate to the caller after all workers have stopped.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: FnOnce(&Scope<'env>) -> T,
+{
+    let s = Scope {
+        tasks: Mutex::new(Vec::new()),
+    };
+    let out = f(&s);
+    let tasks = s.tasks.into_inner().unwrap();
+    let workers = threads().min(tasks.len());
+    if workers <= 1 || in_pool() {
+        for task in tasks {
+            task();
+        }
+        return out;
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Task<'env>>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    run_workers(workers, || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(slot) = slots.get(i) else { break };
+        let task = slot.lock().unwrap().take();
+        if let Some(task) = task {
+            task();
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::MutexGuard;
+
+    /// Serializes every test that touches the process-global [`OVERRIDE`]:
+    /// without this, concurrent tests would race on the thread count and
+    /// assertions about a specific `threads()` value would be flaky.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Pins the worker count for the duration of a test (holding the
+    /// override lock), restoring the default on drop.
+    struct ThreadGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+    impl ThreadGuard {
+        fn new(n: usize) -> Self {
+            // A panicking test (several here test panic propagation) poisons
+            // the mutex; the lock still serializes, so clear the poison.
+            let guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            set_threads(n);
+            ThreadGuard(guard)
+        }
+    }
+    impl Drop for ThreadGuard {
+        fn drop(&mut self) {
+            set_threads(0);
+        }
+    }
+
+    #[test]
+    fn threads_is_positive() {
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_empty_input() {
+        let _g = ThreadGuard::new(8);
+        let out: Vec<u32> = par_map(&[] as &[u32], |&x| x + 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let _g = ThreadGuard::new(8);
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = par_map(&items, |&x| x * 3 + 1);
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_map_single_item() {
+        let _g = ThreadGuard::new(8);
+        assert_eq!(par_map(&[7u32], |&x| x * x), vec![49]);
+    }
+
+    #[test]
+    #[should_panic(expected = "task panicked on 13")]
+    fn par_map_propagates_panics() {
+        let _g = ThreadGuard::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        par_map(&items, |&x| {
+            if x == 13 {
+                panic!("task panicked on 13");
+            }
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "serial panic")]
+    fn serial_path_propagates_panics() {
+        let _g = ThreadGuard::new(1);
+        par_map(&[1u32], |_| -> u32 { panic!("serial panic") });
+    }
+
+    #[test]
+    fn par_chunks_map_boundaries_and_order() {
+        let _g = ThreadGuard::new(8);
+        let items: Vec<u32> = (0..103).collect();
+        // Each chunk reports (index, first element, len): boundaries must
+        // match items.chunks(10) exactly.
+        let out = par_chunks_map(&items, 10, |c, chunk| (c, chunk[0], chunk.len()));
+        let expected: Vec<(usize, u32, usize)> = items
+            .chunks(10)
+            .enumerate()
+            .map(|(c, chunk)| (c, chunk[0], chunk.len()))
+            .collect();
+        assert_eq!(out, expected);
+        assert_eq!(out.len(), 11);
+        assert_eq!(out[10].2, 3, "last chunk is the remainder");
+    }
+
+    #[test]
+    fn par_chunks_map_empty_input() {
+        let _g = ThreadGuard::new(8);
+        let out: Vec<usize> = par_chunks_map(&[] as &[u32], 16, |_, chunk| chunk.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn par_chunks_map_zero_chunk_panics() {
+        par_chunks_map(&[1u32], 0, |_, chunk| chunk.len());
+    }
+
+    #[test]
+    fn scope_runs_every_task() {
+        let _g = ThreadGuard::new(4);
+        let hits = AtomicU64::new(0);
+        let value = scope(|s| {
+            for i in 0..100u64 {
+                let hits = &hits;
+                s.spawn(move || {
+                    hits.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+            "scope result"
+        });
+        assert_eq!(value, "scope result");
+        assert_eq!(hits.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn scope_with_no_tasks() {
+        let _g = ThreadGuard::new(4);
+        assert_eq!(scope(|_| 42), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped task panic")]
+    fn scope_propagates_panics() {
+        let _g = ThreadGuard::new(4);
+        scope(|s| {
+            s.spawn(|| panic!("scoped task panic"));
+        });
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        let _g = ThreadGuard::new(4);
+        // The outer call parallelizes; inner calls must not spawn another
+        // generation of workers (they observe IN_POOL and run inline), and
+        // results stay identical either way.
+        let items: Vec<u32> = (0..32).collect();
+        let out = par_map(&items, |&x| {
+            let inner: Vec<u32> = (0..x).collect();
+            par_map(&inner, |&y| y + 1).into_iter().sum::<u32>()
+        });
+        let expected: Vec<u32> = items.iter().map(|&x| (0..x).map(|y| y + 1).sum()).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn set_threads_round_trip() {
+        let _g = ThreadGuard::new(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn thread_count_invariance() {
+        // The crate's core promise: identical output at any thread count.
+        let items: Vec<u64> = (0..5_000).map(|i| i * 2654435761 % 100_000).collect();
+        let serial = {
+            let _g = ThreadGuard::new(1);
+            par_map(&items, |&x| (x as f64).sqrt())
+        };
+        for n in [2, 4, 8] {
+            let _g = ThreadGuard::new(n);
+            let parallel = par_map(&items, |&x| (x as f64).sqrt());
+            assert!(
+                serial
+                    .iter()
+                    .zip(&parallel)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "bit mismatch at {n} threads"
+            );
+        }
+    }
+}
