@@ -15,15 +15,31 @@
 //! * `naive_bayes` — the Section 7 attack;
 //! * `burel_e2e` — the whole pipeline through [`burel()`].
 //!
+//! Since PR 3 the harness also measures *serving*: an in-process
+//! `betalike-server` publishes one BUREL artifact and the harness replays a
+//! count workload through 1 vs N concurrent TCP clients, recording
+//! queries/sec into a `serve` section of the same JSON document.
+//!
 //! ```text
 //! cargo run --release -p betalike-bench --bin perf -- --rows 200000
 //! cargo run --release -p betalike-bench --bin perf -- smoke --out perf-smoke.json
+//! cargo run --release -p betalike-bench --bin perf -- serve
+//! cargo run --release -p betalike-bench --bin perf -- check --file perf-smoke.json
 //! ```
 //!
-//! `smoke` (positional) shrinks the grid to one small dataset and a single
-//! iteration so CI can exercise the harness on every push; `--rows N`
-//! replaces the default 10k/50k/200k grid with the single size N; `--out
-//! FILE` overrides the default `BENCH_2.json`.
+//! Positional sub-modes:
+//!
+//! * `smoke` — one small dataset, one iteration, a small serve workload:
+//!   what CI runs on every push;
+//! * `serve` — only the serve-throughput section (quick iteration on the
+//!   server);
+//! * `check` — parse `--file` and validate it against the trajectory
+//!   schema (the checked-in schema *is* this binary's `check_schema`);
+//!   non-zero exit on any violation, so CI catches a malformed artifact
+//!   before uploading it.
+//!
+//! `--rows N` replaces the default 10k/50k/200k grid with the single size
+//! N; `--out FILE` overrides the default `BENCH_3.json`.
 
 use betalike::bucketize::dp_partition;
 use betalike::burel::rows_per_bucket;
@@ -56,12 +72,19 @@ struct Measurement {
 
 fn main() {
     let args = ExpArgs::parse();
-    let smoke = args.sub.as_deref() == Some("smoke");
+    let sub = args.sub.as_deref().unwrap_or("");
+    if sub == "check" {
+        run_check(&args);
+        return;
+    }
+    let smoke = sub == "smoke";
+    let serve_only = sub == "serve";
+    let explicit_out = args.extra.contains_key("out");
     let out_path = args
         .extra
         .get("out")
         .cloned()
-        .unwrap_or_else(|| "BENCH_2.json".into());
+        .unwrap_or_else(|| "BENCH_3.json".into());
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     // On a single-core host 4 threads still exercise the pool (and honestly
     // record the oversubscription cost); on real hardware N = all cores.
@@ -84,19 +107,138 @@ fn main() {
     );
 
     let mut measurements: Vec<Measurement> = Vec::new();
-    for &rows in &row_grid {
-        let table = census::generate(&CensusConfig::new(rows, args.seed));
-        for &threads in &[1usize, parallel_threads] {
-            mini_rayon::set_threads(threads);
-            measure_stages(&table, &qi, rows, threads, iters, &mut measurements);
+    if !serve_only {
+        for &rows in &row_grid {
+            let table = census::generate(&CensusConfig::new(rows, args.seed));
+            for &threads in &[1usize, parallel_threads] {
+                mini_rayon::set_threads(threads);
+                measure_stages(&table, &qi, rows, threads, iters, &mut measurements);
+            }
         }
+        mini_rayon::set_threads(0);
+        print_measurements(&measurements, parallel_threads);
     }
-    mini_rayon::set_threads(0);
 
-    print_measurements(&measurements, parallel_threads);
-    let doc = to_json(&measurements, cpus, parallel_threads, iters, smoke);
+    let (serve_rows, serve_queries) = if smoke { (2_000, 100) } else { (50_000, 1_000) };
+    let serve = measure_serve(serve_rows, serve_queries, &[1, parallel_threads]);
+    print_serve(&serve);
+
+    if serve_only && !explicit_out {
+        // Quick-iteration mode: a default write would clobber the committed
+        // trajectory with a document whose `measurements` array is empty.
+        println!("\n(serve mode prints only; pass --out FILE to write a trajectory document)");
+        return;
+    }
+    let doc = to_json(&measurements, &serve, cpus, parallel_threads, iters, smoke);
+    if let Err(e) = check_schema(&doc) {
+        // The harness must never write a document its own checker rejects.
+        eprintln!("internal error: emitted document fails the schema: {e}");
+        std::process::exit(1);
+    }
     std::fs::write(&out_path, doc.pretty() + "\n").expect("write perf JSON");
     println!("\nwrote {out_path}");
+}
+
+/// `perf -- check --file F`: validate a trajectory document against the
+/// checked-in schema.
+fn run_check(args: &ExpArgs) {
+    let Some(file) = args.extra.get("file") else {
+        eprintln!("check needs --file FILE");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("read {file}: {e}");
+        std::process::exit(1);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{file}: not JSON: {e}");
+        std::process::exit(1);
+    });
+    match check_schema(&doc) {
+        Ok(summary) => println!("{file}: schema OK ({summary})"),
+        Err(e) => {
+            eprintln!("{file}: schema check failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The trajectory-document schema, as executable checks. CI runs this over
+/// the freshly-emitted smoke artifact; the writer runs it over every
+/// document before writing.
+fn check_schema(doc: &Json) -> Result<String, String> {
+    let num = |d: &Json, key: &str| {
+        d.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing/ill-typed number `{key}`"))
+    };
+    let text = |d: &Json, key: &str| {
+        d.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing/ill-typed string `{key}`"))
+    };
+    let pr = num(doc, "pr")?;
+    text(doc, "harness")?;
+    text(doc, "dataset")?;
+    num(doc, "beta")?;
+    num(doc, "cpus_visible")?;
+    num(doc, "parallel_threads")?;
+    num(doc, "iters")?;
+    doc.get("smoke")
+        .and_then(Json::as_bool)
+        .ok_or("missing/ill-typed bool `smoke`")?;
+    let measurements = doc
+        .get("measurements")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `measurements`")?;
+    for (i, m) in measurements.iter().enumerate() {
+        let ctx = |e: String| format!("measurements[{i}]: {e}");
+        text(m, "stage").map_err(ctx)?;
+        num(m, "rows").map_err(ctx)?;
+        num(m, "threads").map_err(ctx)?;
+        let secs = num(m, "secs").map_err(ctx)?;
+        if secs.is_nan() || secs < 0.0 {
+            return Err(format!("measurements[{i}]: secs = {secs} is not >= 0"));
+        }
+    }
+    // The `serve` section exists from PR 3 on; earlier committed
+    // trajectory files (BENCH_2.json) must still validate.
+    let serve = match doc.get("serve") {
+        Some(serve) => serve,
+        None if pr < 3.0 => {
+            return Ok(format!(
+                "{} stage measurements, pre-PR3 document without a serve section",
+                measurements.len()
+            ))
+        }
+        None => return Err("missing object `serve` (required from pr 3 on)".into()),
+    };
+    num(serve, "dataset_rows").map_err(|e| format!("serve: {e}"))?;
+    num(serve, "workload_queries").map_err(|e| format!("serve: {e}"))?;
+    text(serve, "algo").map_err(|e| format!("serve: {e}"))?;
+    let clients = serve
+        .get("clients")
+        .and_then(Json::as_arr)
+        .ok_or("serve: missing array `clients`")?;
+    if clients.is_empty() {
+        return Err("serve: `clients` must not be empty".into());
+    }
+    for (i, c) in clients.iter().enumerate() {
+        let ctx = |e: String| format!("serve.clients[{i}]: {e}");
+        num(c, "clients").map_err(ctx)?;
+        num(c, "total_queries").map_err(ctx)?;
+        num(c, "secs").map_err(ctx)?;
+        let qps = num(c, "qps").map_err(ctx)?;
+        if !qps.is_finite() || qps <= 0.0 {
+            return Err(format!("serve.clients[{i}]: qps = {qps} is not > 0"));
+        }
+    }
+    Ok(format!(
+        "{} stage measurements, {} serve points",
+        measurements.len(),
+        clients.len()
+    ))
 }
 
 /// Runs `f` `iters` times and returns the best wall-clock duration.
@@ -180,6 +322,138 @@ fn measure_stages(
     );
 }
 
+/// One serve-throughput point: `clients` concurrent TCP clients each
+/// replaying the workload once.
+struct ServePoint {
+    clients: usize,
+    total_queries: usize,
+    secs: f64,
+    qps: f64,
+}
+
+/// The serve-throughput section of the trajectory document.
+struct ServeMeasurement {
+    dataset_rows: usize,
+    workload_queries: usize,
+    points: Vec<ServePoint>,
+}
+
+/// Publishes one BUREL artifact on an in-process `betalike-server` and
+/// measures count-query throughput at each client count. Every response is
+/// checked for `ok`, so a served error would fail the harness rather than
+/// inflate the rate.
+fn measure_serve(rows: usize, num_queries: usize, client_counts: &[usize]) -> ServeMeasurement {
+    use betalike_server::{
+        serve, Algo, Client, CountRequest, DatasetSpec, PublishRequest, ServerConfig,
+    };
+
+    let max_clients = client_counts.iter().copied().max().unwrap_or(1);
+    let server = serve(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: max_clients + 1,
+        preload: None,
+    })
+    .expect("bind an ephemeral port");
+    let addr = server.addr();
+    let spec = DatasetSpec::Census { rows, seed: 42 };
+    let request = PublishRequest::new(spec, Algo::Burel);
+    let handle = {
+        let mut client = Client::connect(addr).expect("connect");
+        client.publish(&request).expect("publish").handle
+    };
+
+    // The request lines every client replays (exact=false: measure the
+    // serving path, not the ground-truth scan).
+    let table = census::generate(&CensusConfig::new(rows, 42));
+    let queries = betalike_query::generate_workload(
+        &table,
+        &betalike_query::WorkloadConfig {
+            qi_pool: (0..3).collect(),
+            sa: SA,
+            lambda: 2,
+            theta: 0.1,
+            num_queries,
+            seed: 7,
+        },
+    );
+    let lines: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            CountRequest {
+                handle: handle.clone(),
+                qi_preds: q.qi_preds.clone(),
+                sa_lo: q.sa_pred.lo,
+                sa_hi: q.sa_pred.hi,
+                exact: false,
+            }
+            .to_json()
+            .compact()
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    for &clients in client_counts {
+        let (_, elapsed) = betalike_bench::time_it(|| {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|_| {
+                        let lines = &lines;
+                        s.spawn(move || {
+                            let mut client = Client::connect(addr).expect("connect");
+                            for line in lines {
+                                let response = client.call_raw(line).expect("count");
+                                assert!(
+                                    response.contains("\"ok\":true"),
+                                    "served error during perf: {response}"
+                                );
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("client thread");
+                }
+            });
+        });
+        let total = clients * lines.len();
+        let secs = elapsed.as_secs_f64();
+        points.push(ServePoint {
+            clients,
+            total_queries: total,
+            secs,
+            qps: total as f64 / secs.max(1e-12),
+        });
+    }
+    server.shutdown_and_join();
+    ServeMeasurement {
+        dataset_rows: rows,
+        workload_queries: num_queries,
+        points,
+    }
+}
+
+/// Prints the serve-throughput table.
+fn print_serve(serve: &ServeMeasurement) {
+    println!(
+        "serve throughput: BUREL over census {} rows, {} queries/workload",
+        serve.dataset_rows, serve.workload_queries
+    );
+    let rows: Vec<Vec<String>> = serve
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.clients.to_string(),
+                p.total_queries.to_string(),
+                secs(Duration::from_secs_f64(p.secs)),
+                format!("{:.0}", p.qps),
+            ]
+        })
+        .collect();
+    print_table(&["clients", "queries", "secs", "queries/sec"], &rows);
+    println!();
+}
+
 /// Prints the per-stage serial/parallel/speedup table per dataset size.
 fn print_measurements(measurements: &[Measurement], parallel_threads: usize) {
     let mut sizes: Vec<usize> = Vec::new();
@@ -230,6 +504,7 @@ fn print_measurements(measurements: &[Measurement], parallel_threads: usize) {
 /// Renders the trajectory document.
 fn to_json(
     measurements: &[Measurement],
+    serve: &ServeMeasurement,
     cpus: usize,
     parallel_threads: usize,
     iters: usize,
@@ -246,8 +521,20 @@ fn to_json(
             ])
         })
         .collect();
+    let serve_points: Vec<Json> = serve
+        .points
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("clients".into(), Json::Num(p.clients as f64)),
+                ("total_queries".into(), Json::Num(p.total_queries as f64)),
+                ("secs".into(), Json::Num(p.secs)),
+                ("qps".into(), Json::Num(p.qps)),
+            ])
+        })
+        .collect();
     Json::Obj(vec![
-        ("pr".into(), Json::Num(2.0)),
+        ("pr".into(), Json::Num(3.0)),
         ("harness".into(), Json::Str("perf".into())),
         ("dataset".into(), Json::Str("CENSUS (synthetic)".into())),
         ("beta".into(), Json::Num(BETA)),
@@ -259,5 +546,17 @@ fn to_json(
         ("iters".into(), Json::Num(iters as f64)),
         ("smoke".into(), Json::Bool(smoke)),
         ("measurements".into(), Json::Arr(cells)),
+        (
+            "serve".into(),
+            Json::Obj(vec![
+                ("dataset_rows".into(), Json::Num(serve.dataset_rows as f64)),
+                (
+                    "workload_queries".into(),
+                    Json::Num(serve.workload_queries as f64),
+                ),
+                ("algo".into(), Json::Str("burel".into())),
+                ("clients".into(), Json::Arr(serve_points)),
+            ]),
+        ),
     ])
 }

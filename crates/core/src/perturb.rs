@@ -291,10 +291,14 @@ impl PerturbationPlan {
 
 /// A table published under β-likeness by perturbation: QI columns intact,
 /// SA column randomized, plus everything the recipient needs to reconstruct.
+///
+/// Both payloads sit behind [`Arc`]s, so cloning a published artifact (to
+/// hand it to another serving thread, say) costs two reference-count bumps
+/// rather than a column copy.
 #[derive(Debug, Clone)]
 pub struct PerturbedTable {
     /// The published table (same schema; SA column randomized).
-    pub table: Table,
+    pub table: Arc<Table>,
     /// The published plan (support, priors, `PM`).
     pub plan: Arc<PerturbationPlan>,
     /// The SA attribute index.
@@ -371,7 +375,7 @@ pub fn perturb(
     let published = Table::from_columns(table.schema_arc(), columns)
         .expect("perturbed column stays within the SA domain");
     Ok(PerturbedTable {
-        table: published,
+        table: Arc::new(published),
         plan,
         sa,
     })

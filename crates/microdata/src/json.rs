@@ -78,6 +78,46 @@ impl Json {
         out
     }
 
+    /// Renders the value on a single line with no whitespace — the form the
+    /// newline-delimited wire protocol of `betalike-server` requires (a
+    /// pretty-printed document would span several frames).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(&format_number(*n)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -139,6 +179,32 @@ impl Json {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one exactly
+    /// (no fractional part, within `u64` range).
+    pub fn as_u64(&self) -> Option<u64> {
+        // `u64::MAX as f64` rounds *up* to 2^64, so the range test must be
+        // exclusive there — 2^64 itself would otherwise saturate the cast.
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n < u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// [`Json::as_u64`] narrowed to `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -477,6 +543,52 @@ mod tests {
         assert!(text.contains("\"empty\": []"));
         let back = Json::parse(&text).unwrap();
         assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn compact_is_single_line_and_roundtrips() {
+        let doc = Json::Obj(vec![
+            ("op".into(), Json::Str("count".into())),
+            ("n".into(), Json::Num(10.0)),
+            ("frac".into(), Json::Num(0.25)),
+            (
+                "flags".into(),
+                Json::Arr(vec![Json::Bool(true), Json::Null]),
+            ),
+            (
+                "nested".into(),
+                Json::Obj(vec![("k".into(), Json::Num(1.0))]),
+            ),
+            ("text".into(), Json::Str("line\nbreak".into())),
+        ]);
+        let line = doc.compact();
+        assert!(!line.contains('\n'), "compact must stay on one line");
+        assert_eq!(
+            line,
+            r#"{"op":"count","n":10,"frac":0.25,"flags":[true,null],"nested":{"k":1},"text":"line\nbreak"}"#
+        );
+        assert_eq!(Json::parse(&line).unwrap(), doc);
+        assert_eq!(Json::Arr(vec![]).compact(), "[]");
+        assert_eq!(Json::Obj(vec![]).compact(), "{}");
+    }
+
+    #[test]
+    fn integer_and_bool_accessors() {
+        assert_eq!(Json::Num(42.0).as_u64(), Some(42));
+        assert_eq!(Json::Num(42.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        // 2^64 is exactly `u64::MAX as f64` but outside u64 range; it must
+        // be rejected, not saturated to u64::MAX.
+        assert_eq!(Json::Num(18446744073709551616.0).as_u64(), None);
+        // The largest f64 below 2^64 still fits.
+        assert_eq!(
+            Json::Num(18446744073709549568.0).as_u64(),
+            Some(18446744073709549568)
+        );
+        assert_eq!(Json::Str("42".into()).as_u64(), None);
+        assert_eq!(Json::Num(7.0).as_usize(), Some(7));
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::Null.as_bool(), None);
     }
 
     #[test]

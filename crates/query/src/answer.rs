@@ -16,12 +16,43 @@ use betalike_baselines::anatomy::AnatomyBaseline;
 use betalike_metrics::Partition;
 use betalike_microdata::{AttrKind, RowId, Table};
 
+/// Each predicate resolved to its column slice once per query, so the row
+/// scan touches only slices. Every scanning answer path (exact counts, QI
+/// selections, [`crate::PublishedAnswerer`], the figure binaries) compiles
+/// predicates through here instead of calling `Table::value` per cell.
+fn compile_preds<'a>(
+    table: &'a Table,
+    preds: impl IntoIterator<Item = &'a RangePred>,
+) -> Vec<(&'a [u32], RangePred)> {
+    preds
+        .into_iter()
+        .map(|p| (table.column(p.attr), *p))
+        .collect()
+}
+
+/// Rows (of `0..rows`) matching every compiled predicate.
+fn scan(rows: usize, preds: &[(&[u32], RangePred)]) -> Vec<RowId> {
+    let mut out = Vec::new();
+    'rows: for r in 0..rows {
+        for (col, p) in preds {
+            let v = col[r];
+            if v < p.lo || v > p.hi {
+                continue 'rows;
+            }
+        }
+        out.push(r);
+    }
+    out
+}
+
 /// Exact `COUNT(*)` of the query on the original table.
 pub fn exact_count(table: &Table, query: &AggQuery) -> u64 {
+    let preds = compile_preds(table, query.qi_preds.iter().chain([&query.sa_pred]));
     let mut count = 0u64;
     'rows: for r in 0..table.num_rows() {
-        for p in query.qi_preds.iter().chain([&query.sa_pred]) {
-            if !p.matches(table.value(r, p.attr)) {
+        for (col, p) in &preds {
+            let v = col[r];
+            if v < p.lo || v > p.hi {
                 continue 'rows;
             }
         }
@@ -33,22 +64,10 @@ pub fn exact_count(table: &Table, query: &AggQuery) -> u64 {
 /// Rows matching all *QI* predicates (the `S_t` of Section 5); the SA
 /// predicate is deliberately not applied.
 pub fn qi_matches(table: &Table, query: &AggQuery) -> Vec<RowId> {
-    let cols: Vec<(&[u32], &RangePred)> = query
-        .qi_preds
-        .iter()
-        .map(|p| (table.column(p.attr), p))
-        .collect();
-    let mut out = Vec::new();
-    'rows: for r in 0..table.num_rows() {
-        for (col, p) in &cols {
-            let v = col[r];
-            if v < p.lo || v > p.hi {
-                continue 'rows;
-            }
-        }
-        out.push(r);
-    }
-    out
+    scan(
+        table.num_rows(),
+        &compile_preds(table, query.qi_preds.iter()),
+    )
 }
 
 /// A partition pre-processed for fast query estimation: per EC, the

@@ -23,6 +23,11 @@
 //! * [`estimate_anatomy`] — `|S_t| · Σ_{v ∈ R_SA} p_v` from the published
 //!   global distribution.
 //!
+//! [`PublishedAnswerer`] bundles any of the three forms with a shared
+//! handle on the original table, so a resident publisher (the
+//! `betalike-server` crate) computes a publication once and answers many
+//! queries from it without re-deriving state.
+//!
 //! [`relative_error`] / [`median_relative_error`] implement the error
 //! measure of Figures 8 and 9 (queries with a zero exact answer are
 //! dropped, as in the paper).
@@ -31,9 +36,11 @@
 #![deny(unsafe_code)]
 
 pub mod answer;
+pub mod published;
 pub mod workload;
 
 pub use answer::{estimate_anatomy, estimate_perturbed, exact_count, qi_matches, GeneralizedView};
+pub use published::PublishedAnswerer;
 pub use workload::{generate_workload, AggQuery, RangePred, WorkloadConfig};
 
 /// Relative error in percent: `|est − exact| / exact × 100`, or `None` when
@@ -72,6 +79,23 @@ mod tests {
         assert_eq!(relative_error(90.0, 100.0), Some(10.0));
         assert_eq!(relative_error(5.0, 0.0), None);
         assert_eq!(relative_error(0.0, 50.0), Some(100.0));
+    }
+
+    #[test]
+    fn zero_exact_answers_are_excluded() {
+        // The paper drops queries whose exact answer is zero instead of
+        // dividing by it; the exclusion must hold whatever the estimate
+        // says, including a (wrong) non-zero one and edge-case floats.
+        for est in [0.0, 1.0, 1e300, f64::INFINITY, f64::NAN] {
+            assert_eq!(relative_error(est, 0.0), None, "est = {est}");
+        }
+        // Negative zero is still an exact answer of zero.
+        assert_eq!(relative_error(3.0, -0.0), None);
+        // Excluded queries carry no weight in the median either.
+        assert_eq!(
+            median_relative_error([Some(10.0), relative_error(5.0, 0.0), Some(20.0)]),
+            Some(15.0)
+        );
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Answering queries from a *resident* publication.
+//!
+//! The free functions in [`crate::answer`] take the publication apart on
+//! every call; a long-lived publisher (the `betalike-server` crate, the
+//! figure binaries' inner loops) instead wants one value that owns
+//! everything a publication needs to answer `COUNT(*)` queries repeatedly:
+//! the pre-built per-EC boxes of a [`GeneralizedView`], the perturbation
+//! plan of a [`PerturbedTable`], or an Anatomy-style histogram — plus a
+//! shared handle on the original table for exact answers.
+//!
+//! A [`PublishedAnswerer`] is cheap to clone (its table handles are
+//! [`Arc`]s) and `Send + Sync`, so one published artifact can be computed
+//! once and then serve many concurrent readers. Its answers are
+//! bit-identical to the corresponding free-function paths — the integration
+//! tests of `betalike-server` rely on exactly that.
+
+use crate::answer::{estimate_anatomy, estimate_perturbed, exact_count, GeneralizedView};
+use crate::workload::AggQuery;
+use betalike::error::Result;
+use betalike::perturb::PerturbedTable;
+use betalike_baselines::anatomy::AnatomyBaseline;
+use betalike_metrics::Partition;
+use betalike_microdata::Table;
+use std::sync::Arc;
+
+/// The publication form an answerer holds.
+#[derive(Debug, Clone)]
+enum Form {
+    /// A generalized partition, pre-processed into per-EC boxes.
+    Generalized(GeneralizedView),
+    /// A perturbed table plus its reconstruction plan.
+    Perturbed(PerturbedTable),
+    /// Exact QIs plus the global SA histogram.
+    Anatomy(AnatomyBaseline),
+}
+
+/// One published artifact, resident in memory, answering aggregate
+/// `COUNT(*)` queries without re-deriving any publication state per call.
+#[derive(Debug, Clone)]
+pub struct PublishedAnswerer {
+    source: Arc<Table>,
+    form: Form,
+}
+
+impl PublishedAnswerer {
+    /// Wraps a generalized publication: the per-EC boxes and sorted SA lists
+    /// are built once, here.
+    pub fn generalized(source: Arc<Table>, partition: &Partition) -> Self {
+        let view = GeneralizedView::new(&source, partition);
+        PublishedAnswerer {
+            source,
+            form: Form::Generalized(view),
+        }
+    }
+
+    /// Wraps a perturbed publication (`source` is the *original* table the
+    /// publisher keeps for exact answers; `published` carries the randomized
+    /// copy recipients see).
+    pub fn perturbed(source: Arc<Table>, published: PerturbedTable) -> Self {
+        PublishedAnswerer {
+            source,
+            form: Form::Perturbed(published),
+        }
+    }
+
+    /// Wraps an Anatomy-style publication of `source`'s SA column.
+    pub fn anatomy(source: Arc<Table>, sa: usize) -> Self {
+        let baseline = AnatomyBaseline::publish(&source, sa);
+        PublishedAnswerer {
+            source,
+            form: Form::Anatomy(baseline),
+        }
+    }
+
+    /// The original table this publication was derived from.
+    pub fn source(&self) -> &Arc<Table> {
+        &self.source
+    }
+
+    /// A short label for the publication form (`"generalized"`,
+    /// `"perturbed"`, `"anatomy"`).
+    pub fn kind(&self) -> &'static str {
+        match &self.form {
+            Form::Generalized(_) => "generalized",
+            Form::Perturbed(_) => "perturbed",
+            Form::Anatomy(_) => "anatomy",
+        }
+    }
+
+    /// Estimated `COUNT(*)` from the published form, bit-identical to the
+    /// corresponding free-function estimator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a singular-matrix failure from perturbation
+    /// reconstruction; the other forms cannot fail.
+    pub fn estimate(&self, query: &AggQuery) -> Result<f64> {
+        match &self.form {
+            Form::Generalized(view) => Ok(view.estimate(query)),
+            Form::Perturbed(published) => estimate_perturbed(published, query),
+            Form::Anatomy(baseline) => Ok(estimate_anatomy(baseline, &self.source, query)),
+        }
+    }
+
+    /// Exact `COUNT(*)` on the original table (the publisher-side ground
+    /// truth used for relative-error reporting).
+    pub fn exact(&self, query: &AggQuery) -> u64 {
+        exact_count(&self.source, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_workload, WorkloadConfig};
+    use betalike::model::BetaLikeness;
+    use betalike::{burel, perturb, BurelConfig};
+    use betalike_microdata::census::{self, CensusConfig};
+
+    fn setup() -> (Arc<Table>, Vec<AggQuery>) {
+        let table = Arc::new(census::generate(&CensusConfig::new(4_000, 5)));
+        let queries = generate_workload(
+            &table,
+            &WorkloadConfig {
+                qi_pool: vec![0, 1, 2],
+                sa: 5,
+                lambda: 2,
+                theta: 0.15,
+                num_queries: 60,
+                seed: 8,
+            },
+        );
+        (table, queries)
+    }
+
+    #[test]
+    fn generalized_answers_match_free_functions_bitwise() {
+        let (table, queries) = setup();
+        let qi = vec![0usize, 1, 2];
+        let p = burel(&table, &qi, 5, &BurelConfig::new(4.0).with_seed(3)).unwrap();
+        let view = GeneralizedView::new(&table, &p);
+        let ans = PublishedAnswerer::generalized(Arc::clone(&table), &p);
+        assert_eq!(ans.kind(), "generalized");
+        for q in &queries {
+            let got = ans.estimate(q).unwrap();
+            assert_eq!(got.to_bits(), view.estimate(q).to_bits());
+            assert_eq!(ans.exact(q), exact_count(&table, q));
+        }
+    }
+
+    #[test]
+    fn perturbed_and_anatomy_match_free_functions_bitwise() {
+        let (table, queries) = setup();
+        let model = BetaLikeness::new(4.0).unwrap();
+        let published = perturb(&table, 5, &model, 7).unwrap();
+        let pert = PublishedAnswerer::perturbed(Arc::clone(&table), published.clone());
+        let anat = PublishedAnswerer::anatomy(Arc::clone(&table), 5);
+        assert_eq!(pert.kind(), "perturbed");
+        assert_eq!(anat.kind(), "anatomy");
+        let baseline = AnatomyBaseline::publish(&table, 5);
+        for q in &queries {
+            let got = pert.estimate(q).unwrap();
+            let want = estimate_perturbed(&published, q).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits());
+            let got = anat.estimate(q).unwrap();
+            let want = estimate_anatomy(&baseline, &table, q);
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn answerer_is_cheap_to_share_across_threads() {
+        let (table, queries) = setup();
+        let qi = vec![0usize, 1, 2];
+        let p = burel(&table, &qi, 5, &BurelConfig::new(4.0).with_seed(1)).unwrap();
+        let ans = PublishedAnswerer::generalized(table, &p);
+        let serial: Vec<u64> = queries
+            .iter()
+            .map(|q| ans.estimate(q).unwrap().to_bits())
+            .collect();
+        let answers = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let ans = ans.clone();
+                    let queries = &queries;
+                    s.spawn(move || {
+                        queries
+                            .iter()
+                            .map(|q| ans.estimate(q).unwrap().to_bits())
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        for got in answers {
+            assert_eq!(got, serial, "shared answerer must be deterministic");
+        }
+    }
+}

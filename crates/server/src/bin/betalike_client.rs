@@ -1,0 +1,303 @@
+//! `betalike-client` — a command-line client for `betalike-serve`.
+//!
+//! ```text
+//! betalike-client --addr HOST:PORT <command> [flags]
+//!
+//! commands:
+//!   ping                       round-trip a ping
+//!   publish                    publish a dataset; prints the handle
+//!     --dataset SPEC           census[:ROWS[:SEED]] | patients | synthetic[:ROWS[:SEED]]
+//!     --algo NAME              burel | sabre | mondrian | anatomy | perturb
+//!     --qi N --beta B --t T --seed S
+//!   count                      one COUNT(*) query against a handle
+//!     --handle H [--pred A:LO:HI]... --sa LO:HI [--exact]
+//!   audit --handle H           the privacy audit of a handle
+//!   smoke [--rows N]           full publish → count → audit round trip,
+//!                              cross-checked bit-for-bit against the same
+//!                              computation done in-process; non-zero exit
+//!                              on any mismatch (the CI server-smoke step)
+//!   shutdown                   stop the server
+//! ```
+
+use betalike::model::BetaLikeness;
+use betalike::{burel, perturb, BurelConfig};
+use betalike_metrics::audit::audit_partition;
+use betalike_microdata::census::{self, CensusConfig};
+use betalike_microdata::json::Json;
+use betalike_query::{generate_workload, AggQuery, PublishedAnswerer, RangePred, WorkloadConfig};
+use betalike_server::artifact::AUDIT_METRIC;
+use betalike_server::{Algo, Client, CountRequest, DatasetSpec, PublishRequest};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("betalike-client: {message}");
+        std::process::exit(1);
+    }
+}
+
+struct Args {
+    command: String,
+    flags: BTreeMap<String, Vec<String>>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut command = None;
+        let mut flags: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if key == "exact" {
+                    flags.entry(key.into()).or_default().push("true".into());
+                    continue;
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{key} expects a value"))?;
+                flags.entry(key.into()).or_default().push(value);
+            } else if command.is_none() {
+                command = Some(arg);
+            } else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            }
+        }
+        Ok(Args {
+            command: command
+                .ok_or("no command (ping | publish | count | audit | smoke | shutdown)")?,
+            flags,
+        })
+    }
+
+    fn one(&self, key: &str) -> Option<&str> {
+        self.flags
+            .get(key)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.one(key).ok_or_else(|| format!("--{key} is required"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.one(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number `{v}`")),
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse()?;
+    let addr = args.required("addr")?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    match args.command.as_str() {
+        "ping" => {
+            client.ping().map_err(|e| e.to_string())?;
+            println!("pong");
+            Ok(())
+        }
+        "publish" => {
+            let request = publish_request(&args)?;
+            let reply = client.publish(&request).map_err(|e| e.to_string())?;
+            println!(
+                "{} kind={} cached={}{}",
+                reply.handle,
+                reply.kind,
+                reply.cached,
+                reply.ecs.map(|n| format!(" ecs={n}")).unwrap_or_default()
+            );
+            Ok(())
+        }
+        "count" => {
+            let request = count_request(&args)?;
+            let reply = client.count(&request).map_err(|e| e.to_string())?;
+            match reply.exact {
+                Some(exact) => println!("estimate={} exact={exact}", reply.estimate),
+                None => println!("estimate={}", reply.estimate),
+            }
+            Ok(())
+        }
+        "audit" => {
+            let doc = client
+                .audit(args.required("handle")?)
+                .map_err(|e| e.to_string())?;
+            println!("{}", doc.pretty());
+            Ok(())
+        }
+        "smoke" => smoke(&mut client, args.num("rows", 2_000usize)?),
+        "shutdown" => {
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            println!("server stopping");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn publish_request(args: &Args) -> Result<PublishRequest, String> {
+    let dataset = DatasetSpec::parse_cli(args.one("dataset").unwrap_or("census"))?;
+    let algo = Algo::parse(args.one("algo").unwrap_or("burel"))?;
+    Ok(PublishRequest {
+        dataset,
+        algo,
+        qi: args.num("qi", 3usize)?,
+        beta: args.num("beta", 4.0f64)?,
+        t: args.num("t", 0.2f64)?,
+        seed: args.num("seed", 42u64)?,
+    }
+    .normalized())
+}
+
+fn count_request(args: &Args) -> Result<CountRequest, String> {
+    let triple = |text: &str| -> Result<Vec<u32>, String> {
+        text.split(':')
+            .map(|p| p.parse().map_err(|_| format!("bad code `{p}` in `{text}`")))
+            .collect()
+    };
+    let mut qi_preds = Vec::new();
+    for pred in args.flags.get("pred").map(Vec::as_slice).unwrap_or(&[]) {
+        match triple(pred)?.as_slice() {
+            &[attr, lo, hi] => qi_preds.push(RangePred {
+                attr: attr as usize,
+                lo,
+                hi,
+            }),
+            _ => return Err(format!("--pred expects A:LO:HI, got `{pred}`")),
+        }
+    }
+    let sa = triple(args.required("sa")?)?;
+    let &[sa_lo, sa_hi] = sa.as_slice() else {
+        return Err("--sa expects LO:HI".into());
+    };
+    Ok(CountRequest {
+        handle: args.required("handle")?.to_string(),
+        qi_preds,
+        sa_lo,
+        sa_hi,
+        exact: args.one("exact").is_some(),
+    })
+}
+
+/// The CI round trip: publish BUREL and perturbation artifacts over TCP,
+/// then verify every served count, exact count and audit field is
+/// bit-identical to the same computation done in this process.
+fn smoke(client: &mut Client, rows: usize) -> Result<(), String> {
+    let err = |e: betalike_server::ClientError| e.to_string();
+    client.ping().map_err(err)?;
+
+    let dataset = DatasetSpec::Census { rows, seed: 42 };
+    let table = Arc::new(census::generate(&CensusConfig::new(rows, 42)));
+    let qi: Vec<usize> = (0..3).collect();
+    let sa = census::attr::SALARY;
+    let queries = generate_workload(
+        &table,
+        &WorkloadConfig {
+            qi_pool: qi.clone(),
+            sa,
+            lambda: 2,
+            theta: 0.15,
+            num_queries: 40,
+            seed: 7,
+        },
+    );
+
+    // BUREL over TCP vs in process.
+    let request = PublishRequest::new(dataset.clone(), Algo::Burel);
+    let reply = client.publish(&request).map_err(err)?;
+    let partition = burel(
+        &table,
+        &qi,
+        sa,
+        &BurelConfig::new(request.beta).with_seed(request.seed),
+    )
+    .map_err(|e| e.to_string())?;
+    let answerer = PublishedAnswerer::generalized(Arc::clone(&table), &partition);
+    if reply.ecs != Some(partition.num_ecs() as u64) {
+        return Err(format!(
+            "EC count mismatch: served {:?}, local {}",
+            reply.ecs,
+            partition.num_ecs()
+        ));
+    }
+    check_counts(client, &reply.handle, &answerer, &queries)?;
+
+    // Audit fields, bitwise.
+    let served = client.audit(&reply.handle).map_err(err)?;
+    let local = audit_partition(&table, &partition, AUDIT_METRIC);
+    for (key, want) in [
+        ("max_beta", local.max_beta),
+        ("avg_beta", local.avg_beta),
+        ("max_closeness", local.max_closeness),
+        ("avg_closeness", local.avg_closeness),
+        ("min_ec_size", local.min_ec_size as f64),
+        ("num_ecs", local.num_ecs as f64),
+    ] {
+        let got = served
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("audit reply missing `{key}`"))?;
+        if got.to_bits() != want.to_bits() {
+            return Err(format!(
+                "audit `{key}` mismatch: served {got}, local {want}"
+            ));
+        }
+    }
+
+    // Perturbation over TCP vs in process.
+    let request = PublishRequest::new(dataset.clone(), Algo::Perturb);
+    let reply = client.publish(&request).map_err(err)?;
+    let model = BetaLikeness::new(request.beta).map_err(|e| e.to_string())?;
+    let published = perturb(&table, sa, &model, request.seed).map_err(|e| e.to_string())?;
+    let answerer = PublishedAnswerer::perturbed(Arc::clone(&table), published);
+    check_counts(client, &reply.handle, &answerer, &queries)?;
+
+    // A republish must be a cache hit on the same handle.
+    let again = client
+        .publish(&PublishRequest::new(dataset, Algo::Burel))
+        .map_err(err)?;
+    if !again.cached {
+        return Err("republish was not served from the artifact cache".into());
+    }
+
+    println!(
+        "SMOKE OK: {} queries x 2 schemes bit-identical over TCP (census {rows} rows)",
+        queries.len()
+    );
+    Ok(())
+}
+
+fn check_counts(
+    client: &mut Client,
+    handle: &str,
+    answerer: &PublishedAnswerer,
+    queries: &[AggQuery],
+) -> Result<(), String> {
+    for query in queries {
+        let request = CountRequest {
+            handle: handle.to_string(),
+            qi_preds: query.qi_preds.clone(),
+            sa_lo: query.sa_pred.lo,
+            sa_hi: query.sa_pred.hi,
+            exact: true,
+        };
+        let served = client.count(&request).map_err(|e| e.to_string())?;
+        let local = answerer.estimate(query).map_err(|e| e.to_string())?;
+        if served.estimate.to_bits() != local.to_bits() {
+            return Err(format!(
+                "estimate mismatch on {query:?}: served {}, local {local}",
+                served.estimate
+            ));
+        }
+        let exact = answerer.exact(query);
+        if served.exact != Some(exact) {
+            return Err(format!(
+                "exact mismatch on {query:?}: served {:?}, local {exact}",
+                served.exact
+            ));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! `betalike-serve` — the resident publication server.
+//!
+//! ```text
+//! betalike-serve [--addr HOST:PORT] [--threads N] [--preload SPEC]
+//! ```
+//!
+//! * `--addr` defaults to `127.0.0.1:7878`; port `0` binds an ephemeral
+//!   port. Once bound, the server prints `LISTENING <addr>` on stdout (the
+//!   CI smoke script scrapes this line to find the port).
+//! * `--threads` sizes the worker pool (default `max(8, cores)`).
+//! * `--preload` materializes a dataset before accepting traffic, e.g.
+//!   `census:10000:42`, `patients`, `synthetic:1000:7`.
+//!
+//! The process runs until a client sends `{"op":"shutdown"}`.
+
+use betalike_server::{serve, DatasetSpec, ServerConfig};
+use std::io::Write;
+
+fn main() {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..Default::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--threads" => {
+                cfg.threads = value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads expects a number");
+                    std::process::exit(2);
+                })
+            }
+            "--preload" => match DatasetSpec::parse_cli(&value("--preload")) {
+                Ok(spec) => cfg.preload = Some(spec),
+                Err(e) => {
+                    eprintln!("--preload: {e}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: betalike-serve [--addr HOST:PORT] [--threads N] [--preload SPEC]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let handle = match serve(&cfg) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    // The contract with scripts: exactly one LISTENING line, flushed before
+    // any client could need it.
+    println!("LISTENING {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    handle.join();
+    println!("server stopped");
+}

@@ -1,0 +1,210 @@
+//! A tiny blocking client for the wire protocol — what the integration
+//! tests, the perf harness's `serve` mode, and the `betalike-client`
+//! binary all speak through.
+
+use crate::wire::{CountRequest, PublishRequest};
+use betalike_microdata::json::Json;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Everything a call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection broke.
+    Io(std::io::Error),
+    /// The server answered `ok: false`.
+    Server(String),
+    /// The server answered something that is not a protocol response.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Server(msg) => write!(f, "server: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A successful publish acknowledgment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublishReply {
+    /// The content-addressed artifact handle.
+    pub handle: String,
+    /// The publication form (`generalized` / `perturbed` / `anatomy`).
+    pub kind: String,
+    /// Equivalence classes, for partition-backed artifacts.
+    pub ecs: Option<u64>,
+    /// Whether the artifact was already resident (a republish).
+    pub cached: bool,
+}
+
+/// A successful count answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountReply {
+    /// The estimate from the published form.
+    pub estimate: f64,
+    /// The exact count, when the request asked for it.
+    pub exact: Option<u64>,
+}
+
+/// One blocking connection to a `betalike-serve` instance.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        // One round trip per request line: Nagle + delayed ACK would add
+        // ~40ms to every call.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line and returns the raw response line
+    /// (without the trailing newline). The byte-identity tests compare
+    /// these lines directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; an empty read (server closed) is
+    /// `UnexpectedEof`.
+    pub fn call_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end_matches(['\n', '\r']).to_string())
+    }
+
+    /// Sends one request document and returns the parsed `ok: true`
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when the server rejects the request,
+    /// [`ClientError::Protocol`] when the response is not protocol JSON.
+    pub fn call(&mut self, request: &Json) -> Result<Json, ClientError> {
+        let line = self.call_raw(&request.compact())?;
+        let doc =
+            Json::parse(&line).map_err(|e| ClientError::Protocol(format!("{e} in `{line}`")))?;
+        match doc.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(doc),
+            Some(false) => Err(ClientError::Server(
+                doc.get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified server error")
+                    .to_string(),
+            )),
+            None => Err(ClientError::Protocol(format!("no `ok` member in `{line}`"))),
+        }
+    }
+
+    /// Round-trips a `ping`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call(&Json::Obj(vec![(
+            "op".to_string(),
+            Json::Str("ping".into()),
+        )]))
+        .map(|_| ())
+    }
+
+    /// Publishes (or re-addresses) an artifact.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`], plus [`ClientError::Protocol`] if the
+    /// acknowledgment is malformed.
+    pub fn publish(&mut self, request: &PublishRequest) -> Result<PublishReply, ClientError> {
+        let doc = self.call(&request.to_json())?;
+        let field = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ClientError::Protocol(format!("publish reply missing `{key}`")))
+        };
+        Ok(PublishReply {
+            handle: field("handle")?,
+            kind: field("kind")?,
+            ecs: doc.get("ecs").and_then(Json::as_u64),
+            cached: doc.get("cached").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+
+    /// Runs one count query against a published handle.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`], plus [`ClientError::Protocol`] if the answer is
+    /// malformed.
+    pub fn count(&mut self, request: &CountRequest) -> Result<CountReply, ClientError> {
+        let doc = self.call(&request.to_json())?;
+        let estimate = doc
+            .get("estimate")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ClientError::Protocol("count reply missing `estimate`".into()))?;
+        Ok(CountReply {
+            estimate,
+            exact: doc.get("exact").and_then(Json::as_u64),
+        })
+    }
+
+    /// Fetches the privacy audit of a published handle.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`].
+    pub fn audit(&mut self, handle: &str) -> Result<Json, ClientError> {
+        self.call(&Json::Obj(vec![
+            ("op".to_string(), Json::Str("audit".into())),
+            ("handle".to_string(), Json::Str(handle.into())),
+        ]))
+    }
+
+    /// Asks the server to stop accepting connections and drain.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`].
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.call(&Json::Obj(vec![(
+            "op".to_string(),
+            Json::Str("shutdown".into()),
+        )]))
+        .map(|_| ())
+    }
+}

@@ -1,0 +1,38 @@
+//! # betalike-server
+//!
+//! A resident publish-and-query service over the BUREL pipeline: the
+//! missing layer between "a library every consumer relinks" and the
+//! paper's actual end product — a *published* table that downstream
+//! analysts query with `COUNT(*)` workloads (Sections 5–6).
+//!
+//! The server holds a [`registry::Registry`] of generator-backed datasets
+//! and a content-addressed cache of [`artifact::Artifact`]s: one publish
+//! request (dataset × scheme × parameters) is computed once — partition,
+//! per-EC query view, Hilbert keys, perturbation plan — and then served to
+//! any number of concurrent clients over a newline-delimited JSON TCP
+//! protocol ([`wire`]). Because every generator and algorithm in the
+//! workspace is seeded and thread-count invariant, a served answer is
+//! bit-identical to the same computation done in process; the integration
+//! tests and the CI `server-smoke` step assert exactly that.
+//!
+//! ```text
+//! betalike-serve --addr 127.0.0.1:7878 --threads 8 --preload census:10000:42
+//! betalike-client --addr 127.0.0.1:7878 smoke
+//! ```
+//!
+//! See `DESIGN.md` §8 for the architecture and the README "Serving"
+//! quickstart for a worked session.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod artifact;
+pub mod client;
+pub mod registry;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, CountReply, PublishReply};
+pub use registry::{Dataset, DatasetSpec, Registry};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use wire::{Algo, CountRequest, PublishRequest};

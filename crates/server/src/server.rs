@@ -1,0 +1,411 @@
+//! The resident TCP service: acceptor, worker pool, request dispatch.
+//!
+//! One acceptor thread hands accepted connections to a fixed pool of
+//! worker threads over a channel; each worker owns a connection for its
+//! lifetime and processes newline-delimited JSON requests in order (see
+//! [`crate::wire`]). All published state lives in one shared `State`:
+//! the dataset registry and a content-addressed artifact cache whose
+//! entries are computed at most once and then served lock-free (workers
+//! hold `Arc`s; the cache mutex guards only map lookups).
+//!
+//! Shutdown is cooperative: a `shutdown` request (or
+//! [`ServerHandle::shutdown`]) raises a flag and pokes the acceptor with a
+//! loopback connection; the acceptor stops handing out connections, the
+//! channel closes, and workers exit once their current connections finish.
+
+use crate::artifact::Artifact;
+use crate::registry::{DatasetSpec, Registry};
+use crate::wire::{error_response, ok_response, CountRequest, PublishRequest};
+use betalike_microdata::json::Json;
+use betalike_query::{AggQuery, RangePred};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// How a server is started.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads; `0` chooses `max(8, mini_rayon::threads())` so a
+    /// default server already sustains eight concurrent clients.
+    ///
+    /// Connections are *sticky*: a worker owns one connection until the
+    /// client disconnects. Clients beyond the pool size queue (their TCP
+    /// connect succeeds but no request is read) until a worker frees up —
+    /// size the pool for the expected number of simultaneously *open*
+    /// connections, not the request rate.
+    pub threads: usize,
+    /// A dataset to materialize before accepting traffic, so first-query
+    /// latency is not paid by a client.
+    pub preload: Option<DatasetSpec>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            preload: None,
+        }
+    }
+}
+
+/// Shared server state: everything a worker needs to answer any request.
+#[derive(Debug)]
+pub(crate) struct State {
+    registry: Registry,
+    artifacts: crate::registry::LazyMap<Result<Arc<Artifact>, String>>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A running server: its bound address plus the thread handles needed to
+/// join or stop it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown without a client: raises the flag and pokes the
+    /// acceptor.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.state);
+    }
+
+    /// Blocks until the acceptor and every worker exit (after a shutdown
+    /// request from any side).
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Binds, spawns the acceptor and worker pool, and returns immediately.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let threads = if cfg.threads == 0 {
+        mini_rayon::threads().max(8)
+    } else {
+        cfg.threads
+    };
+    let state = Arc::new(State {
+        registry: Registry::new(),
+        artifacts: crate::registry::LazyMap::default(),
+        shutdown: AtomicBool::new(false),
+        addr,
+    });
+    if let Some(spec) = &cfg.preload {
+        state.registry.dataset(spec);
+    }
+    let (tx, rx) = channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<JoinHandle<()>> = (0..threads)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || worker_loop(&rx, &state))
+        })
+        .collect();
+    let acceptor = {
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || acceptor_loop(&listener, &tx, &state))
+    };
+    Ok(ServerHandle {
+        addr,
+        state,
+        acceptor,
+        workers,
+    })
+}
+
+fn initiate_shutdown(state: &State) {
+    state.shutdown.store(true, Ordering::SeqCst);
+    // Poke the acceptor so its blocking accept() observes the flag.
+    let _ = TcpStream::connect(state.addr);
+}
+
+fn acceptor_loop(listener: &TcpListener, tx: &Sender<TcpStream>, state: &State) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break; // the poke connection (or late arrival) is dropped
+                }
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept errors (EMFILE, aborted handshake): keep
+                // serving, but yield briefly — a *persistent* error (fd
+                // exhaustion) would otherwise spin this loop at 100% CPU.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+    }
+    // Dropping `tx` (by returning) closes the channel; idle workers exit.
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &Arc<State>) {
+    loop {
+        let stream = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, state),
+            Err(_) => break, // channel closed: shutdown
+        }
+    }
+}
+
+/// Processes one connection's requests in order until EOF, an I/O error,
+/// a `shutdown` request, or server shutdown.
+///
+/// Reads run under a short timeout so a worker parked on an idle
+/// connection still observes shutdown. Lines are accumulated as *bytes*
+/// (`read_until`) and validated as UTF-8 only once complete:
+/// `read_line`'s guard would discard already-consumed bytes if a timeout
+/// fired mid-multibyte character, silently corrupting request framing.
+fn handle_connection(stream: TcpStream, state: &Arc<State>) {
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    // Responses are one small frame each; without NODELAY, Nagle holds
+    // them back against the peer's delayed ACK (~40ms per round trip).
+    let _ = stream.set_nodelay(true);
+    if stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+        .is_err()
+    {
+        return;
+    }
+    let mut writer = writer;
+    let mut reader = BufReader::new(stream);
+    let mut raw = Vec::new();
+    loop {
+        raw.clear();
+        loop {
+            match reader.read_until(b'\n', &mut raw) {
+                Ok(0) => return, // EOF
+                Ok(_) => break,  // a full line (or final unterminated one)
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Bytes that arrived before the timeout stay appended
+                    // to `raw`; keep accumulating unless the server is
+                    // draining.
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return, // broken connection
+            }
+        }
+        let Ok(text) = std::str::from_utf8(&raw) else {
+            let reply = error_response("request line is not valid UTF-8");
+            if writer
+                .write_all((reply.compact() + "\n").as_bytes())
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                return;
+            }
+            continue;
+        };
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let (response, stop) = respond(state, text);
+        if writer
+            .write_all((response.compact() + "\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if stop {
+            initiate_shutdown(state);
+            return;
+        }
+    }
+}
+
+/// Parses and dispatches one request line. The dispatch is wrapped in
+/// `catch_unwind` so a bug in an algorithm takes down one request, not a
+/// pool worker.
+fn respond(state: &Arc<State>, text: &str) -> (Json, bool) {
+    let doc = match Json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return (error_response(&format!("parse: {e}")), false),
+    };
+    let op = doc.get("op").and_then(Json::as_str).unwrap_or_default();
+    if op == "shutdown" {
+        return (
+            ok_response(vec![("stopping".into(), Json::Bool(true))]),
+            true,
+        );
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| dispatch(state, op, &doc)));
+    let response = match result {
+        Ok(Ok(response)) => response,
+        Ok(Err(message)) => error_response(&message),
+        Err(_) => error_response("internal error while handling the request"),
+    };
+    (response, false)
+}
+
+fn dispatch(state: &Arc<State>, op: &str, doc: &Json) -> Result<Json, String> {
+    match op {
+        "ping" => Ok(ok_response(vec![("pong".into(), Json::Bool(true))])),
+        "datasets" => {
+            let datasets = state.registry.loaded().into_iter().map(Json::Str).collect();
+            let published = state
+                .artifacts
+                .keys()
+                .into_iter()
+                .filter(|h| matches!(state.artifacts.get(h), Some(Ok(_))))
+                .map(Json::Str)
+                .collect();
+            Ok(ok_response(vec![
+                ("datasets".into(), Json::Arr(datasets)),
+                ("published".into(), Json::Arr(published)),
+            ]))
+        }
+        "publish" => publish(state, doc),
+        "count" => count(state, doc),
+        "audit" => {
+            let handle = doc
+                .get("handle")
+                .and_then(Json::as_str)
+                .ok_or("audit needs a string `handle`")?;
+            let artifact = lookup(state, handle)?;
+            let mut members = vec![("handle".to_string(), Json::Str(handle.into()))];
+            if let Json::Obj(audit) = artifact.audit_json() {
+                members.extend(audit);
+            }
+            Ok(ok_response(members))
+        }
+        other => Err(format!(
+            "unknown op `{other}` (expected ping | datasets | publish | count | audit | shutdown)"
+        )),
+    }
+}
+
+fn publish(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
+    let request = PublishRequest::from_json(doc)?;
+    let handle = request.handle();
+    let mut fresh = false;
+    let artifact = state.artifacts.get_or_init(&handle, || {
+        fresh = true;
+        Artifact::publish(&state.registry, &request)
+    })?;
+    let mut members = vec![
+        ("handle".to_string(), Json::Str(handle)),
+        (
+            "kind".to_string(),
+            Json::Str(artifact.answerer.kind().into()),
+        ),
+        ("algo".to_string(), Json::Str(request.algo.as_str().into())),
+        (
+            "rows".to_string(),
+            Json::Num(artifact.dataset.table.num_rows() as f64),
+        ),
+        ("cached".to_string(), Json::Bool(!fresh)),
+    ];
+    if let Some(ecs) = artifact.num_ecs() {
+        members.push(("ecs".to_string(), Json::Num(ecs as f64)));
+    }
+    Ok(ok_response(members))
+}
+
+fn count(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
+    let request = CountRequest::from_json(doc)?;
+    let artifact = lookup(state, &request.handle)?;
+    validate_preds(&artifact, &request)?;
+    let query = AggQuery {
+        qi_preds: request.qi_preds.clone(),
+        sa_pred: RangePred {
+            attr: artifact.dataset.sa,
+            lo: request.sa_lo,
+            hi: request.sa_hi,
+        },
+    };
+    let estimate = artifact
+        .answerer
+        .estimate(&query)
+        .map_err(|e| e.to_string())?;
+    let mut members = vec![("estimate".to_string(), Json::Num(estimate))];
+    if request.exact {
+        members.push((
+            "exact".to_string(),
+            Json::Num(artifact.answerer.exact(&query) as f64),
+        ));
+    }
+    Ok(ok_response(members))
+}
+
+fn lookup(state: &Arc<State>, handle: &str) -> Result<Arc<Artifact>, String> {
+    match state.artifacts.get(handle) {
+        Some(Ok(artifact)) => Ok(artifact),
+        Some(Err(e)) => Err(format!("publish for `{handle}` had failed: {e}")),
+        None => Err(format!("unknown handle `{handle}` (publish first)")),
+    }
+}
+
+/// Rejects predicates the artifact cannot answer (instead of letting an
+/// estimator panic inside a worker).
+fn validate_preds(artifact: &Artifact, request: &CountRequest) -> Result<(), String> {
+    let table = artifact.answerer.source();
+    let arity = table.schema().arity();
+    for p in &request.qi_preds {
+        if p.attr >= arity {
+            return Err(format!("pred attr {} out of range (arity {arity})", p.attr));
+        }
+        if p.attr == artifact.dataset.sa {
+            return Err("the SA is predicated via `sa`, not `preds`".into());
+        }
+        if !artifact.qi.is_empty() && !artifact.qi.contains(&p.attr) {
+            return Err(format!(
+                "attr {} is outside the published QI set {:?}",
+                p.attr, artifact.qi
+            ));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,419 @@
+//! The newline-delimited JSON wire format.
+//!
+//! Every request and response is one [`Json`] object rendered with
+//! [`Json::compact`] and terminated by `\n`. Requests carry an `"op"`
+//! member (`ping`, `datasets`, `publish`, `count`, `audit`, `shutdown`);
+//! responses always carry `"ok"` (and `"error"` when `false`).
+//!
+//! Publications are *content-addressed*: the handle of a publish request is
+//! an FNV-1a hash of its canonical parameter string, so equal requests from
+//! any client name the same cached artifact and a republish is a cache hit.
+
+use crate::registry::DatasetSpec;
+use betalike_microdata::json::Json;
+use betalike_query::RangePred;
+
+/// The anonymization scheme a publish request runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// BUREL generalization (the paper's Section 4 algorithm).
+    Burel,
+    /// The SABRE t-closeness baseline.
+    Sabre,
+    /// Mondrian constrained by β-likeness (the paper's LMondrian).
+    Mondrian,
+    /// Anatomy-style release: exact QIs + global SA histogram.
+    Anatomy,
+    /// β-likeness by perturbation (Section 5).
+    Perturb,
+}
+
+impl Algo {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Algo::Burel => "burel",
+            Algo::Sabre => "sabre",
+            Algo::Mondrian => "mondrian",
+            Algo::Anatomy => "anatomy",
+            Algo::Perturb => "perturb",
+        }
+    }
+
+    /// Parses the wire name.
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown algorithm.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "burel" => Ok(Algo::Burel),
+            "sabre" => Ok(Algo::Sabre),
+            "mondrian" => Ok(Algo::Mondrian),
+            "anatomy" => Ok(Algo::Anatomy),
+            "perturb" => Ok(Algo::Perturb),
+            other => Err(format!(
+                "unknown algo `{other}` (expected burel | sabre | mondrian | anatomy | perturb)"
+            )),
+        }
+    }
+}
+
+/// One publish request: which dataset, which scheme, which parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublishRequest {
+    /// The dataset to publish.
+    pub dataset: DatasetSpec,
+    /// The anonymization scheme.
+    pub algo: Algo,
+    /// How many QI attributes (a prefix of the dataset's QI pool).
+    pub qi: usize,
+    /// β threshold (BUREL / Mondrian / perturbation).
+    pub beta: f64,
+    /// t threshold (SABRE).
+    pub t: f64,
+    /// Algorithm seed.
+    pub seed: u64,
+}
+
+impl PublishRequest {
+    /// A request at the workspace defaults (β = 4, t = 0.2, seed = 42,
+    /// QI = 3 capped to the dataset pool elsewhere).
+    pub fn new(dataset: DatasetSpec, algo: Algo) -> Self {
+        PublishRequest {
+            dataset,
+            algo,
+            qi: 3,
+            beta: 4.0,
+            t: 0.2,
+            seed: 42,
+        }
+        .normalized()
+    }
+
+    /// Zeroes the parameters the chosen scheme ignores, so requests that
+    /// must produce identical artifacts hash to identical handles (anatomy
+    /// ignores β, t, seed and the QI prefix; perturbation generalizes no
+    /// QI; and so on).
+    pub fn normalized(mut self) -> Self {
+        match self.algo {
+            Algo::Burel | Algo::Mondrian => self.t = 0.0,
+            Algo::Sabre => self.beta = 0.0,
+            Algo::Perturb => {
+                self.t = 0.0;
+                self.qi = 0;
+            }
+            Algo::Anatomy => {
+                self.beta = 0.0;
+                self.t = 0.0;
+                self.seed = 0;
+                self.qi = 0;
+            }
+        }
+        if self.algo == Algo::Mondrian {
+            // Mondrian's splitter is deterministic; the seed is unused.
+            self.seed = 0;
+        }
+        self
+    }
+
+    /// The canonical parameter string the content-addressed handle hashes.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{}|algo={}|qi={}|beta={}|t={}|seed={}",
+            self.dataset.canonical(),
+            self.algo.as_str(),
+            self.qi,
+            self.beta,
+            self.t,
+            self.seed
+        )
+    }
+
+    /// The content-addressed artifact handle of this request.
+    pub fn handle(&self) -> String {
+        format!("pub-{:016x}", fnv1a64(self.canonical().as_bytes()))
+    }
+
+    /// The full request document.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![("op".to_string(), Json::Str("publish".into()))];
+        self.dataset.push_members(&mut members);
+        members.push(("algo".into(), Json::Str(self.algo.as_str().into())));
+        members.push(("qi".into(), Json::Num(self.qi as f64)));
+        members.push(("beta".into(), Json::Num(self.beta)));
+        members.push(("t".into(), Json::Num(self.t)));
+        members.push(("seed".into(), Json::Num(self.seed as f64)));
+        Json::Obj(members)
+    }
+
+    /// Parses (and normalizes) a request document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wire-level message on any missing or malformed field.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let dataset = DatasetSpec::from_json(doc)?;
+        let algo = Algo::parse(
+            doc.get("algo")
+                .and_then(Json::as_str)
+                .ok_or("publish needs a string `algo`")?,
+        )?;
+        let qi = match doc.get("qi") {
+            None => 3,
+            Some(v) => v.as_usize().ok_or("`qi` must be a non-negative integer")?,
+        };
+        let num = |key: &str, default: f64| -> Result<f64, String> {
+            match doc.get(key) {
+                None => Ok(default),
+                Some(v) => v.as_f64().ok_or(format!("`{key}` must be a number")),
+            }
+        };
+        let seed = match doc.get("seed") {
+            None => 42,
+            Some(v) => v.as_u64().ok_or("`seed` must be a non-negative integer")?,
+        };
+        Ok(PublishRequest {
+            dataset,
+            algo,
+            qi,
+            beta: num("beta", 4.0)?,
+            t: num("t", 0.2)?,
+            seed,
+        }
+        .normalized())
+    }
+}
+
+/// One count request against a published handle: QI range predicates plus
+/// the SA range (the SA attribute is implied by the handle's dataset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountRequest {
+    /// The artifact to query.
+    pub handle: String,
+    /// Range predicates over QI attributes.
+    pub qi_preds: Vec<RangePred>,
+    /// Inclusive SA range, low end.
+    pub sa_lo: u32,
+    /// Inclusive SA range, high end.
+    pub sa_hi: u32,
+    /// Whether the response should include the exact count from the
+    /// original table (publisher-side ground truth).
+    pub exact: bool,
+}
+
+impl CountRequest {
+    /// The full request document.
+    pub fn to_json(&self) -> Json {
+        let preds = self
+            .qi_preds
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("attr".into(), Json::Num(p.attr as f64)),
+                    ("lo".into(), Json::Num(p.lo as f64)),
+                    ("hi".into(), Json::Num(p.hi as f64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("op".into(), Json::Str("count".into())),
+            ("handle".into(), Json::Str(self.handle.clone())),
+            ("preds".into(), Json::Arr(preds)),
+            (
+                "sa".into(),
+                Json::Obj(vec![
+                    ("lo".into(), Json::Num(self.sa_lo as f64)),
+                    ("hi".into(), Json::Num(self.sa_hi as f64)),
+                ]),
+            ),
+            ("exact".into(), Json::Bool(self.exact)),
+        ])
+    }
+
+    /// Parses a request document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wire-level message on any missing or malformed field.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let handle = doc
+            .get("handle")
+            .and_then(Json::as_str)
+            .ok_or("count needs a string `handle`")?
+            .to_string();
+        let code = |v: Option<&Json>, what: &str| -> Result<u32, String> {
+            v.and_then(Json::as_u64)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or(format!("{what} must be a u32 code"))
+        };
+        let mut qi_preds = Vec::new();
+        for p in doc
+            .get("preds")
+            .and_then(Json::as_arr)
+            .ok_or("count needs an array `preds`")?
+        {
+            let attr = p
+                .get("attr")
+                .and_then(Json::as_usize)
+                .ok_or("pred `attr` must be an attribute index")?;
+            let (lo, hi) = (
+                code(p.get("lo"), "pred `lo`")?,
+                code(p.get("hi"), "pred `hi`")?,
+            );
+            if lo > hi {
+                return Err(format!("pred on attr {attr} has lo {lo} > hi {hi}"));
+            }
+            qi_preds.push(RangePred { attr, lo, hi });
+        }
+        let sa = doc.get("sa").ok_or("count needs an `sa` range object")?;
+        let (sa_lo, sa_hi) = (
+            code(sa.get("lo"), "`sa.lo`")?,
+            code(sa.get("hi"), "`sa.hi`")?,
+        );
+        if sa_lo > sa_hi {
+            return Err(format!("SA range has lo {sa_lo} > hi {sa_hi}"));
+        }
+        let exact = match doc.get("exact") {
+            None => false,
+            Some(v) => v.as_bool().ok_or("`exact` must be a boolean")?,
+        };
+        Ok(CountRequest {
+            handle,
+            qi_preds,
+            sa_lo,
+            sa_hi,
+            exact,
+        })
+    }
+}
+
+/// 64-bit FNV-1a — the dependency-free hash behind content-addressed
+/// handles. Stable across platforms and releases by construction.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A success response with the given extra members.
+pub fn ok_response(members: Vec<(String, Json)>) -> Json {
+    let mut all = vec![("ok".to_string(), Json::Bool(true))];
+    all.extend(members);
+    Json::Obj(all)
+}
+
+/// An error response.
+pub fn error_response(message: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str(message.into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn publish_roundtrips_and_content_addresses() {
+        let req = PublishRequest {
+            dataset: DatasetSpec::Census {
+                rows: 2_000,
+                seed: 42,
+            },
+            algo: Algo::Burel,
+            qi: 3,
+            beta: 4.0,
+            t: 0.0,
+            seed: 7,
+        };
+        let parsed = PublishRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(parsed, req.clone().normalized());
+        // Equal requests → equal handles; different β → different handle.
+        assert_eq!(parsed.handle(), req.clone().normalized().handle());
+        let other = PublishRequest {
+            beta: 2.0,
+            ..req.clone()
+        };
+        assert_ne!(other.normalized().handle(), req.normalized().handle());
+    }
+
+    #[test]
+    fn normalization_ignores_irrelevant_parameters() {
+        let spec = DatasetSpec::Patients;
+        let a = PublishRequest {
+            dataset: spec.clone(),
+            algo: Algo::Anatomy,
+            qi: 2,
+            beta: 1.0,
+            t: 0.5,
+            seed: 1,
+        };
+        let b = PublishRequest {
+            dataset: spec,
+            algo: Algo::Anatomy,
+            qi: 5,
+            beta: 9.0,
+            t: 0.1,
+            seed: 77,
+        };
+        assert_eq!(
+            a.normalized().handle(),
+            b.normalized().handle(),
+            "anatomy ignores beta/t/seed/qi"
+        );
+    }
+
+    #[test]
+    fn count_roundtrips_and_validates() {
+        let req = CountRequest {
+            handle: "pub-0123456789abcdef".into(),
+            qi_preds: vec![
+                RangePred {
+                    attr: 0,
+                    lo: 3,
+                    hi: 40,
+                },
+                RangePred {
+                    attr: 2,
+                    lo: 0,
+                    hi: 9,
+                },
+            ],
+            sa_lo: 5,
+            sa_hi: 20,
+            exact: true,
+        };
+        assert_eq!(CountRequest::from_json(&req.to_json()).unwrap(), req);
+        // Inverted ranges are rejected at the wire layer.
+        let bad = Json::parse(
+            r#"{"op":"count","handle":"h","preds":[{"attr":0,"lo":5,"hi":1}],"sa":{"lo":0,"hi":1}}"#,
+        )
+        .unwrap();
+        assert!(CountRequest::from_json(&bad).unwrap_err().contains("lo 5"));
+    }
+
+    #[test]
+    fn response_builders() {
+        assert_eq!(
+            ok_response(vec![("pong".into(), Json::Bool(true))]).compact(),
+            r#"{"ok":true,"pong":true}"#
+        );
+        assert_eq!(
+            error_response("nope").compact(),
+            r#"{"ok":false,"error":"nope"}"#
+        );
+    }
+}
