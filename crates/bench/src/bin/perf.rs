@@ -20,6 +20,12 @@
 //! count workload through 1 vs N concurrent TCP clients, recording
 //! queries/sec into a `serve` section of the same JSON document.
 //!
+//! Since PR 4 it also measures *durability* (`store` section): per dataset
+//! size, the cold publish cost (dataset generation + full BUREL + view
+//! build, i.e. what a restart used to pay per artifact) versus the warm
+//! path (read the `.bpub` snapshot and restore a serving-ready artifact),
+//! plus raw snapshot write/read throughput in MB/s.
+//!
 //! ```text
 //! cargo run --release -p betalike-bench --bin perf -- --rows 200000
 //! cargo run --release -p betalike-bench --bin perf -- smoke --out perf-smoke.json
@@ -39,7 +45,7 @@
 //!   before uploading it.
 //!
 //! `--rows N` replaces the default 10k/50k/200k grid with the single size
-//! N; `--out FILE` overrides the default `BENCH_3.json`.
+//! N; `--out FILE` overrides the default `BENCH_4.json`.
 
 use betalike::bucketize::dp_partition;
 use betalike::burel::rows_per_bucket;
@@ -84,7 +90,7 @@ fn main() {
         .extra
         .get("out")
         .cloned()
-        .unwrap_or_else(|| "BENCH_3.json".into());
+        .unwrap_or_else(|| "BENCH_4.json".into());
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     // On a single-core host 4 threads still exercise the pool (and honestly
     // record the oversubscription cost); on real hardware N = all cores.
@@ -123,13 +129,29 @@ fn main() {
     let serve = measure_serve(serve_rows, serve_queries, &[1, parallel_threads]);
     print_serve(&serve);
 
+    let store = if serve_only {
+        Vec::new()
+    } else {
+        let store = measure_store(&row_grid, iters);
+        print_store(&store);
+        store
+    };
+
     if serve_only && !explicit_out {
         // Quick-iteration mode: a default write would clobber the committed
         // trajectory with a document whose `measurements` array is empty.
         println!("\n(serve mode prints only; pass --out FILE to write a trajectory document)");
         return;
     }
-    let doc = to_json(&measurements, &serve, cpus, parallel_threads, iters, smoke);
+    let doc = to_json(
+        &measurements,
+        &serve,
+        &store,
+        cpus,
+        parallel_threads,
+        iters,
+        smoke,
+    );
     if let Err(e) = check_schema(&doc) {
         // The harness must never write a document its own checker rejects.
         eprintln!("internal error: emitted document fails the schema: {e}");
@@ -234,10 +256,44 @@ fn check_schema(doc: &Json) -> Result<String, String> {
             return Err(format!("serve.clients[{i}]: qps = {qps} is not > 0"));
         }
     }
+    // The `store` section exists from PR 4 on; earlier committed
+    // trajectory files (BENCH_2/BENCH_3) must still validate.
+    let store = match doc.get("store") {
+        Some(store) => store,
+        None if pr < 4.0 => {
+            return Ok(format!(
+                "{} stage measurements, {} serve points, pre-PR4 document without a store section",
+                measurements.len(),
+                clients.len()
+            ))
+        }
+        None => return Err("missing object `store` (required from pr 4 on)".into()),
+    };
+    let points = store
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or("store: missing array `points`")?;
+    for (i, p) in points.iter().enumerate() {
+        let ctx = |e: String| format!("store.points[{i}]: {e}");
+        num(p, "rows").map_err(ctx)?;
+        num(p, "bytes").map_err(ctx)?;
+        for key in [
+            "write_mbps",
+            "read_mbps",
+            "cold_publish_secs",
+            "warm_load_secs",
+        ] {
+            let v = num(p, key).map_err(ctx)?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("store.points[{i}]: {key} = {v} is not > 0"));
+            }
+        }
+    }
     Ok(format!(
-        "{} stage measurements, {} serve points",
+        "{} stage measurements, {} serve points, {} store points",
         measurements.len(),
-        clients.len()
+        clients.len(),
+        points.len()
     ))
 }
 
@@ -352,6 +408,7 @@ fn measure_serve(rows: usize, num_queries: usize, client_counts: &[usize]) -> Se
         addr: "127.0.0.1:0".into(),
         threads: max_clients + 1,
         preload: None,
+        data_dir: None,
     })
     .expect("bind an ephemeral port");
     let addr = server.addr();
@@ -432,6 +489,104 @@ fn measure_serve(rows: usize, num_queries: usize, client_counts: &[usize]) -> Se
     }
 }
 
+/// One measured durability point: snapshot size and throughput plus the
+/// cold-vs-warm publish comparison at one dataset size.
+struct StorePoint {
+    rows: usize,
+    bytes: u64,
+    write_mbps: f64,
+    read_mbps: f64,
+    cold_publish_secs: f64,
+    warm_load_secs: f64,
+}
+
+/// Measures the `store` section: per dataset size, the cold artifact cost
+/// (generate + BUREL + view build, from an empty registry — what every
+/// restart used to pay) versus the warm path (`ArtifactStore::load` +
+/// `persist::restore`), and raw snapshot write/read MB/s.
+fn measure_store(row_grid: &[usize], iters: usize) -> Vec<StorePoint> {
+    use betalike_server::artifact::Artifact;
+    use betalike_server::{persist, Algo, DatasetSpec, PublishRequest, Registry};
+    use betalike_store::ArtifactStore;
+
+    let mut points = Vec::new();
+    for &rows in row_grid {
+        let request = PublishRequest::new(DatasetSpec::Census { rows, seed: 42 }, Algo::Burel);
+        // Cold: a fresh registry per run, so dataset generation and the
+        // Hilbert transform are paid like on a cold restart.
+        let cold = best_of(iters, || {
+            Artifact::publish(&Registry::new(), &request).expect("publish")
+        });
+
+        let registry = Registry::new();
+        let artifact = Artifact::publish(&registry, &request).expect("publish");
+        let snap = persist::snapshot(&artifact);
+        let dir =
+            std::env::temp_dir().join(format!("betalike-perf-store-{}-{rows}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (store, _) = ArtifactStore::open(&dir).expect("open data dir");
+        let write = best_of(iters, || store.save(&snap).expect("save"));
+        let entry = store.entry(&snap.params.handle).expect("saved");
+        let read = best_of(iters, || {
+            store
+                .load(&snap.params.handle)
+                .expect("load")
+                .expect("stored")
+        });
+        let warm = best_of(iters, || {
+            let loaded = store
+                .load(&snap.params.handle)
+                .expect("load")
+                .expect("stored");
+            persist::restore(loaded).expect("restore")
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mb = entry.bytes as f64 / 1e6;
+        points.push(StorePoint {
+            rows,
+            bytes: entry.bytes,
+            write_mbps: mb / write.as_secs_f64().max(1e-12),
+            read_mbps: mb / read.as_secs_f64().max(1e-12),
+            cold_publish_secs: cold.as_secs_f64(),
+            warm_load_secs: warm.as_secs_f64(),
+        });
+    }
+    points
+}
+
+/// Prints the durability table.
+fn print_store(points: &[StorePoint]) {
+    println!("store: cold publish (BUREL from empty registry) vs warm snapshot load");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.rows.to_string(),
+                format!("{:.1} KB", p.bytes as f64 / 1e3),
+                format!("{:.0}", p.write_mbps),
+                format!("{:.0}", p.read_mbps),
+                secs(Duration::from_secs_f64(p.cold_publish_secs)),
+                secs(Duration::from_secs_f64(p.warm_load_secs)),
+                format!("{:.1}x", p.cold_publish_secs / p.warm_load_secs.max(1e-12)),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "rows",
+            "snapshot",
+            "write MB/s",
+            "read MB/s",
+            "cold publish",
+            "warm load",
+            "cold/warm",
+        ],
+        &rows,
+    );
+    println!();
+}
+
 /// Prints the serve-throughput table.
 fn print_serve(serve: &ServeMeasurement) {
     println!(
@@ -505,6 +660,7 @@ fn print_measurements(measurements: &[Measurement], parallel_threads: usize) {
 fn to_json(
     measurements: &[Measurement],
     serve: &ServeMeasurement,
+    store: &[StorePoint],
     cpus: usize,
     parallel_threads: usize,
     iters: usize,
@@ -533,8 +689,21 @@ fn to_json(
             ])
         })
         .collect();
+    let store_points: Vec<Json> = store
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("rows".into(), Json::Num(p.rows as f64)),
+                ("bytes".into(), Json::Num(p.bytes as f64)),
+                ("write_mbps".into(), Json::Num(p.write_mbps)),
+                ("read_mbps".into(), Json::Num(p.read_mbps)),
+                ("cold_publish_secs".into(), Json::Num(p.cold_publish_secs)),
+                ("warm_load_secs".into(), Json::Num(p.warm_load_secs)),
+            ])
+        })
+        .collect();
     Json::Obj(vec![
-        ("pr".into(), Json::Num(3.0)),
+        ("pr".into(), Json::Num(4.0)),
         ("harness".into(), Json::Str("perf".into())),
         ("dataset".into(), Json::Str("CENSUS (synthetic)".into())),
         ("beta".into(), Json::Num(BETA)),
@@ -556,6 +725,13 @@ fn to_json(
                 ),
                 ("algo".into(), Json::Str("burel".into())),
                 ("clients".into(), Json::Arr(serve_points)),
+            ]),
+        ),
+        (
+            "store".into(),
+            Json::Obj(vec![
+                ("algo".into(), Json::Str("burel".into())),
+                ("points".into(), Json::Arr(store_points)),
             ]),
         ),
     ])

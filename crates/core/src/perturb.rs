@@ -120,6 +120,69 @@ impl PerturbationPlan {
         })
     }
 
+    /// Reassembles a plan from its published parts — the storage path of
+    /// `betalike-store`, which persists `support`/`priors`/`caps`/
+    /// `gammas`/`alphas` as raw f64 bits. The matrix and the code index
+    /// are *rebuilt* here by the same deterministic code that built them
+    /// at publish time, so a restored plan is bit-identical to the
+    /// original.
+    ///
+    /// `domain` is the SA attribute's full cardinality (`dist.m()` at
+    /// publish time), which may exceed the support.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadQi`]-style diagnostics when the parts are inconsistent
+    /// (mismatched lengths, unsorted or out-of-domain support, fewer than
+    /// two values).
+    pub fn from_parts(
+        support: Vec<Value>,
+        domain: usize,
+        priors: Vec<f64>,
+        caps: Vec<f64>,
+        gammas: Vec<f64>,
+        alphas: Vec<f64>,
+    ) -> Result<Self> {
+        let m = support.len();
+        let bad = |msg: String| Error::BadQi(format!("perturbation plan parts: {msg}"));
+        if m < 2 {
+            return Err(Error::DegenerateSaDomain);
+        }
+        for (name, len) in [
+            ("priors", priors.len()),
+            ("caps", caps.len()),
+            ("gammas", gammas.len()),
+            ("alphas", alphas.len()),
+        ] {
+            if len != m {
+                return Err(bad(format!("`{name}` has {len} entries, support has {m}")));
+            }
+        }
+        if support.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(bad("support must be strictly ascending".into()));
+        }
+        if support.iter().any(|&v| v as usize >= domain) {
+            return Err(bad(format!("support exceeds the SA domain ({domain})")));
+        }
+        if alphas.iter().any(|&a| !(0.0..=1.0).contains(&a)) {
+            return Err(bad("alphas must lie in [0, 1]".into()));
+        }
+        let mut index_of = vec![None; domain];
+        for (i, &v) in support.iter().enumerate() {
+            index_of[v as usize] = Some(i);
+        }
+        let matrix = Self::build_matrix(&alphas);
+        Ok(PerturbationPlan {
+            support,
+            index_of,
+            priors,
+            caps,
+            gammas,
+            alphas,
+            matrix,
+        })
+    }
+
     /// Checks `max_v C(U = v_i | V = v) ≤ cap_i` for every value, computing
     /// posteriors exactly from the transition probabilities.
     fn worst_posterior_ok(alphas: &[f64], priors: &[f64], caps: &[f64]) -> bool {
@@ -444,6 +507,78 @@ mod tests {
     }
 
     #[test]
+    fn from_parts_rebuilds_bit_identical_plans() {
+        let dist = SaDistribution::from_counts(vec![5, 0, 10, 30, 55]);
+        let plan = PerturbationPlan::new(&dist, &model(2.0)).unwrap();
+        let back = PerturbationPlan::from_parts(
+            plan.support().to_vec(),
+            dist.m(),
+            plan.priors().to_vec(),
+            plan.caps().to_vec(),
+            plan.gammas().to_vec(),
+            plan.alphas().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back.support(), plan.support());
+        assert_eq!(back.m(), plan.m());
+        for code in 0..dist.m() as u32 {
+            assert_eq!(back.dense_index(code), plan.dense_index(code));
+        }
+        for i in 0..plan.m() {
+            for j in 0..plan.m() {
+                assert_eq!(
+                    back.matrix()[(i, j)].to_bits(),
+                    plan.matrix()[(i, j)].to_bits(),
+                    "PM[{i}][{j}] must rebuild bit-identically"
+                );
+            }
+        }
+        // Reconstruction is therefore bit-identical too.
+        let observed = [12.0, 8.0, 31.0, 44.0];
+        let a = plan.reconstruct(&observed).unwrap();
+        let b = back.reconstruct(&observed).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_parts() {
+        struct Parts {
+            support: Vec<u32>,
+            domain: usize,
+            priors: Vec<f64>,
+            caps: Vec<f64>,
+            gammas: Vec<f64>,
+            alphas: Vec<f64>,
+        }
+        let ok = |f: &dyn Fn(&mut Parts)| {
+            let mut p = Parts {
+                support: vec![0u32, 2, 3],
+                domain: 4,
+                priors: vec![0.25, 0.25, 0.5],
+                caps: vec![0.8, 0.8, 0.9],
+                gammas: vec![2.0, 2.0, 1.5],
+                alphas: vec![0.4, 0.4, 0.6],
+            };
+            f(&mut p);
+            PerturbationPlan::from_parts(p.support, p.domain, p.priors, p.caps, p.gammas, p.alphas)
+        };
+        assert!(ok(&|_| {}).is_ok());
+        assert!(matches!(
+            ok(&|p| p.support = vec![3]),
+            Err(Error::DegenerateSaDomain)
+        ));
+        assert!(ok(&|p| {
+            p.priors.pop();
+        })
+        .is_err()); // short priors
+        assert!(ok(&|p| p.support = vec![2, 0, 3]).is_err()); // unsorted support
+        assert!(ok(&|p| p.domain = 2).is_err()); // support exceeds domain
+        assert!(ok(&|p| p.alphas[0] = 1.5).is_err()); // alpha out of [0, 1]
+    }
+
+    #[test]
     fn posterior_bounded_by_f_for_all_values() {
         // The Definition 6 guarantee, checked exactly.
         let dist = SaDistribution::from_counts(vec![2, 10, 40, 100, 348]);
@@ -685,9 +820,9 @@ impl PlanRelease {
             .and_then(Json::as_arr)
             .ok_or_else(|| bad(&"missing array `support`"))?
             .iter()
-            .map(|v| match v.as_f64() {
-                Some(n) if n.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&n) => Ok(n as u32),
-                _ => Err(bad(&"`support` must be u32 codes")),
+            .map(|v| {
+                v.as_u32()
+                    .ok_or_else(|| bad(&"`support` must be u32 codes"))
             })
             .collect::<Result<_>>()?;
         let pm = doc

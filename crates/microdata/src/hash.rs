@@ -1,0 +1,76 @@
+//! The workspace's stable content hash: 64-bit FNV-1a.
+//!
+//! Both the content-addressed publication handles of `betalike-server`
+//! (`pub-…`) and the per-section checksums of the `betalike-store` binary
+//! formats need a hash that is dependency-free, fast over small inputs, and
+//! *stable across platforms and releases* — a durable artifact written
+//! today must verify forever. FNV-1a is all three by construction.
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// An incremental [`fnv1a64`]: feed bytes in any chunking, `finish` yields
+/// the same digest as one shot over the concatenation. Used to checksum
+/// whole artifact files without buffering them twice.
+#[derive(Debug, Clone)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Fnv1a64 {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl Fnv1a64 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Fnv1a64::default()
+    }
+
+    /// Absorbs more bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The digest over everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut h = Fnv1a64::new();
+        h.update(b"foo");
+        h.update(b"");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+        assert_eq!(Fnv1a64::new().finish(), fnv1a64(b""));
+    }
+}

@@ -201,6 +201,25 @@ impl Json {
         self.as_u64().and_then(|n| usize::try_from(n).ok())
     }
 
+    /// [`Json::as_u64`] narrowed to `u32` — the workspace's attribute-code
+    /// type, so wire parsers need no ad-hoc range dance.
+    pub fn as_u32(&self) -> Option<u32> {
+        self.as_u64().and_then(|n| u32::try_from(n).ok())
+    }
+
+    /// The numeric payload as a signed integer, if it is one exactly (no
+    /// fractional part, within `i64` range).
+    pub fn as_i64(&self) -> Option<i64> {
+        // `i64::MIN as f64` is exactly -2^63 (inclusive); `i64::MAX as f64`
+        // rounds *up* to 2^63, so the upper test must be exclusive there.
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n < i64::MAX as f64 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
     /// The boolean payload, if this is a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
@@ -589,6 +608,21 @@ mod tests {
         assert_eq!(Json::Num(7.0).as_usize(), Some(7));
         assert_eq!(Json::Bool(true).as_bool(), Some(true));
         assert_eq!(Json::Null.as_bool(), None);
+    }
+
+    #[test]
+    fn signed_and_narrow_accessors() {
+        assert_eq!(Json::Num(-42.0).as_i64(), Some(-42));
+        assert_eq!(Json::Num(42.0).as_i64(), Some(42));
+        assert_eq!(Json::Num(-0.5).as_i64(), None);
+        // -2^63 is exactly representable and in range; 2^63 is not in range.
+        assert_eq!(Json::Num(-9223372036854775808.0).as_i64(), Some(i64::MIN));
+        assert_eq!(Json::Num(9223372036854775808.0).as_i64(), None);
+        assert_eq!(Json::Str("1".into()).as_i64(), None);
+        assert_eq!(Json::Num(4294967295.0).as_u32(), Some(u32::MAX));
+        assert_eq!(Json::Num(4294967296.0).as_u32(), None);
+        assert_eq!(Json::Num(-1.0).as_u32(), None);
+        assert_eq!(Json::Num(3.5).as_u32(), None);
     }
 
     #[test]

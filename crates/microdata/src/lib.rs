@@ -27,6 +27,8 @@
 //! * [`io`] — CSV export/import of decoded tables.
 //! * [`json`] — a small JSON kernel backing [`spec`] and the perturbation
 //!   plan release (the build is offline, so no `serde`).
+//! * [`hash`] — the stable FNV-1a content hash behind publication handles
+//!   and snapshot checksums.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -34,6 +36,7 @@
 pub mod census;
 pub mod distribution;
 pub mod error;
+pub mod hash;
 pub mod hierarchy;
 pub mod io;
 pub mod json;

@@ -105,13 +105,9 @@ fn str_field(value: &Json, key: &str) -> Result<String> {
 }
 
 fn int_field(value: &Json, key: &str) -> Result<i64> {
-    let n = field(value, key)?
-        .as_f64()
-        .ok_or_else(|| bad(format!("field `{key}` must be a number")))?;
-    if n.fract() != 0.0 || !(i64::MIN as f64..=i64::MAX as f64).contains(&n) {
-        return Err(bad(format!("field `{key}` must be an integer")));
-    }
-    Ok(n as i64)
+    field(value, key)?
+        .as_i64()
+        .ok_or_else(|| bad(format!("field `{key}` must be an integer")))
 }
 
 /// Serializable attribute descriptor. The JSON form is internally tagged:

@@ -11,7 +11,10 @@ use crate::{RowId, Value};
 use std::sync::Arc;
 
 /// An immutable columnar microdata table.
-#[derive(Debug, Clone)]
+///
+/// Equality is structural — same schema, same codes — which is what the
+/// snapshot round-trip tests of `betalike-store` assert.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     schema: Arc<Schema>,
     columns: Vec<Vec<Value>>,

@@ -77,6 +77,16 @@ impl PublishedAnswerer {
         &self.source
     }
 
+    /// The perturbed publication this answerer serves, if it is one — the
+    /// persistence layer (`betalike-store`) snapshots the randomized SA
+    /// column and the plan through this accessor.
+    pub fn perturbed_form(&self) -> Option<&PerturbedTable> {
+        match &self.form {
+            Form::Perturbed(published) => Some(published),
+            _ => None,
+        }
+    }
+
     /// A short label for the publication form (`"generalized"`,
     /// `"perturbed"`, `"anatomy"`).
     pub fn kind(&self) -> &'static str {

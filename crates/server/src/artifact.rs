@@ -123,6 +123,46 @@ impl Artifact {
         }))
     }
 
+    /// Reassembles an artifact from persisted parts (see [`crate::persist`])
+    /// without running any pipeline stage. A stored audit is injected into
+    /// the once-cell so [`Artifact::audit`] serves the publish-time numbers
+    /// verbatim; partition-backed artifacts lacking one (not produced by
+    /// this writer, but tolerated) fall back to lazy recomputation — which
+    /// is deterministic, hence still bit-identical.
+    #[allow(clippy::too_many_arguments)] // a constructor mirroring the struct
+    pub fn restored(
+        handle: String,
+        request: PublishRequest,
+        dataset: Arc<Dataset>,
+        qi: Vec<usize>,
+        answerer: PublishedAnswerer,
+        partition: Option<Arc<Partition>>,
+        alphas: Option<Vec<f64>>,
+        stored_audit: Option<PartitionAudit>,
+    ) -> Arc<Self> {
+        let audit = OnceLock::new();
+        match (&partition, stored_audit) {
+            (Some(_), Some(a)) => {
+                let _ = audit.set(Some(a));
+            }
+            (None, _) => {
+                // Forms without ECs audit to `None`; pre-resolve it.
+                let _ = audit.set(None);
+            }
+            (Some(_), None) => {}
+        }
+        Arc::new(Artifact {
+            handle,
+            request,
+            dataset,
+            qi,
+            answerer,
+            partition,
+            alphas,
+            audit,
+        })
+    }
+
     /// The cross-model privacy audit, computed once per artifact. `None`
     /// for publication forms without equivalence classes.
     pub fn audit(&self) -> Option<&PartitionAudit> {

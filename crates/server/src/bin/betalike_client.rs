@@ -15,8 +15,14 @@
 //!   smoke [--rows N]           full publish → count → audit round trip,
 //!                              cross-checked bit-for-bit against the same
 //!                              computation done in-process; non-zero exit
-//!                              on any mismatch (the CI server-smoke step)
+//!                              on any mismatch (the CI server-smoke step),
+//!                              naming the op that failed
 //!   shutdown                   stop the server
+//!
+//! exit codes:
+//!   0  success
+//!   1  error (bad arguments, server-side rejection, mismatch)
+//!   3  the server closed the connection before or during a response
 //! ```
 
 use betalike::model::BetaLikeness;
@@ -26,14 +32,49 @@ use betalike_microdata::census::{self, CensusConfig};
 use betalike_microdata::json::Json;
 use betalike_query::{generate_workload, AggQuery, PublishedAnswerer, RangePred, WorkloadConfig};
 use betalike_server::artifact::AUDIT_METRIC;
-use betalike_server::{Algo, Client, CountRequest, DatasetSpec, PublishRequest};
+use betalike_server::{Algo, Client, ClientError, CountRequest, DatasetSpec, PublishRequest};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Exit code for a connection the server closed before or mid-response —
+/// scripts can tell "server went away" (retry / restart) from "request was
+/// wrong" without scraping messages.
+const EXIT_DISCONNECTED: i32 = 3;
+
+/// A failure with the process exit code it maps to.
+struct Failure {
+    message: String,
+    code: i32,
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Self {
+        Failure { message, code: 1 }
+    }
+}
+
+impl From<&str> for Failure {
+    fn from(message: &str) -> Self {
+        Failure::from(message.to_string())
+    }
+}
+
+/// Maps a client error during `op` to a [`Failure`], naming the op and
+/// giving mid-response disconnections their distinct exit code.
+fn op_failed(op: &str) -> impl Fn(ClientError) -> Failure + '_ {
+    move |e| Failure {
+        code: match e {
+            ClientError::Disconnected(_) => EXIT_DISCONNECTED,
+            _ => 1,
+        },
+        message: format!("op `{op}` failed: {e}"),
+    }
+}
+
 fn main() {
-    if let Err(message) = run() {
+    if let Err(Failure { message, code }) = run() {
         eprintln!("betalike-client: {message}");
-        std::process::exit(1);
+        std::process::exit(code);
     }
 }
 
@@ -89,19 +130,20 @@ impl Args {
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), Failure> {
     let args = Args::parse()?;
     let addr = args.required("addr")?;
-    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut client =
+        Client::connect(addr).map_err(|e| Failure::from(format!("connect {addr}: {e}")))?;
     match args.command.as_str() {
         "ping" => {
-            client.ping().map_err(|e| e.to_string())?;
+            client.ping().map_err(op_failed("ping"))?;
             println!("pong");
             Ok(())
         }
         "publish" => {
             let request = publish_request(&args)?;
-            let reply = client.publish(&request).map_err(|e| e.to_string())?;
+            let reply = client.publish(&request).map_err(op_failed("publish"))?;
             println!(
                 "{} kind={} cached={}{}",
                 reply.handle,
@@ -113,7 +155,7 @@ fn run() -> Result<(), String> {
         }
         "count" => {
             let request = count_request(&args)?;
-            let reply = client.count(&request).map_err(|e| e.to_string())?;
+            let reply = client.count(&request).map_err(op_failed("count"))?;
             match reply.exact {
                 Some(exact) => println!("estimate={} exact={exact}", reply.estimate),
                 None => println!("estimate={}", reply.estimate),
@@ -123,17 +165,17 @@ fn run() -> Result<(), String> {
         "audit" => {
             let doc = client
                 .audit(args.required("handle")?)
-                .map_err(|e| e.to_string())?;
+                .map_err(op_failed("audit"))?;
             println!("{}", doc.pretty());
             Ok(())
         }
         "smoke" => smoke(&mut client, args.num("rows", 2_000usize)?),
         "shutdown" => {
-            client.shutdown_server().map_err(|e| e.to_string())?;
+            client.shutdown_server().map_err(op_failed("shutdown"))?;
             println!("server stopping");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(Failure::from(format!("unknown command `{other}`"))),
     }
 }
 
@@ -183,10 +225,11 @@ fn count_request(args: &Args) -> Result<CountRequest, String> {
 
 /// The CI round trip: publish BUREL and perturbation artifacts over TCP,
 /// then verify every served count, exact count and audit field is
-/// bit-identical to the same computation done in this process.
-fn smoke(client: &mut Client, rows: usize) -> Result<(), String> {
-    let err = |e: betalike_server::ClientError| e.to_string();
-    client.ping().map_err(err)?;
+/// bit-identical to the same computation done in this process. Every
+/// failure names the op that broke (and mismatches name the query), so a
+/// red CI smoke points at the offending request, not just "smoke failed".
+fn smoke(client: &mut Client, rows: usize) -> Result<(), Failure> {
+    client.ping().map_err(op_failed("ping"))?;
 
     let dataset = DatasetSpec::Census { rows, seed: 42 };
     let table = Arc::new(census::generate(&CensusConfig::new(rows, 42)));
@@ -206,26 +249,30 @@ fn smoke(client: &mut Client, rows: usize) -> Result<(), String> {
 
     // BUREL over TCP vs in process.
     let request = PublishRequest::new(dataset.clone(), Algo::Burel);
-    let reply = client.publish(&request).map_err(err)?;
+    let reply = client
+        .publish(&request)
+        .map_err(op_failed("publish burel"))?;
     let partition = burel(
         &table,
         &qi,
         sa,
         &BurelConfig::new(request.beta).with_seed(request.seed),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| Failure::from(e.to_string()))?;
     let answerer = PublishedAnswerer::generalized(Arc::clone(&table), &partition);
     if reply.ecs != Some(partition.num_ecs() as u64) {
-        return Err(format!(
-            "EC count mismatch: served {:?}, local {}",
+        return Err(Failure::from(format!(
+            "op `publish burel` answer mismatch: served {:?} ECs, local {}",
             reply.ecs,
             partition.num_ecs()
-        ));
+        )));
     }
-    check_counts(client, &reply.handle, &answerer, &queries)?;
+    check_counts(client, "count (burel)", &reply.handle, &answerer, &queries)?;
 
     // Audit fields, bitwise.
-    let served = client.audit(&reply.handle).map_err(err)?;
+    let served = client
+        .audit(&reply.handle)
+        .map_err(op_failed("audit (burel)"))?;
     let local = audit_partition(&table, &partition, AUDIT_METRIC);
     for (key, want) in [
         ("max_beta", local.max_beta),
@@ -238,28 +285,39 @@ fn smoke(client: &mut Client, rows: usize) -> Result<(), String> {
         let got = served
             .get(key)
             .and_then(Json::as_f64)
-            .ok_or_else(|| format!("audit reply missing `{key}`"))?;
+            .ok_or_else(|| Failure::from(format!("audit reply missing `{key}`")))?;
         if got.to_bits() != want.to_bits() {
-            return Err(format!(
-                "audit `{key}` mismatch: served {got}, local {want}"
-            ));
+            return Err(Failure::from(format!(
+                "op `audit (burel)` mismatch on `{key}`: served {got}, local {want}"
+            )));
         }
     }
 
     // Perturbation over TCP vs in process.
     let request = PublishRequest::new(dataset.clone(), Algo::Perturb);
-    let reply = client.publish(&request).map_err(err)?;
-    let model = BetaLikeness::new(request.beta).map_err(|e| e.to_string())?;
-    let published = perturb(&table, sa, &model, request.seed).map_err(|e| e.to_string())?;
+    let reply = client
+        .publish(&request)
+        .map_err(op_failed("publish perturb"))?;
+    let model = BetaLikeness::new(request.beta).map_err(|e| Failure::from(e.to_string()))?;
+    let published =
+        perturb(&table, sa, &model, request.seed).map_err(|e| Failure::from(e.to_string()))?;
     let answerer = PublishedAnswerer::perturbed(Arc::clone(&table), published);
-    check_counts(client, &reply.handle, &answerer, &queries)?;
+    check_counts(
+        client,
+        "count (perturb)",
+        &reply.handle,
+        &answerer,
+        &queries,
+    )?;
 
     // A republish must be a cache hit on the same handle.
     let again = client
         .publish(&PublishRequest::new(dataset, Algo::Burel))
-        .map_err(err)?;
+        .map_err(op_failed("republish burel"))?;
     if !again.cached {
-        return Err("republish was not served from the artifact cache".into());
+        return Err(Failure::from(
+            "op `republish burel`: not served from the artifact cache",
+        ));
     }
 
     println!(
@@ -271,10 +329,11 @@ fn smoke(client: &mut Client, rows: usize) -> Result<(), String> {
 
 fn check_counts(
     client: &mut Client,
+    op: &str,
     handle: &str,
     answerer: &PublishedAnswerer,
     queries: &[AggQuery],
-) -> Result<(), String> {
+) -> Result<(), Failure> {
     for query in queries {
         let request = CountRequest {
             handle: handle.to_string(),
@@ -283,20 +342,22 @@ fn check_counts(
             sa_hi: query.sa_pred.hi,
             exact: true,
         };
-        let served = client.count(&request).map_err(|e| e.to_string())?;
-        let local = answerer.estimate(query).map_err(|e| e.to_string())?;
+        let served = client.count(&request).map_err(op_failed(op))?;
+        let local = answerer
+            .estimate(query)
+            .map_err(|e| Failure::from(e.to_string()))?;
         if served.estimate.to_bits() != local.to_bits() {
-            return Err(format!(
-                "estimate mismatch on {query:?}: served {}, local {local}",
+            return Err(Failure::from(format!(
+                "op `{op}` estimate mismatch on {query:?}: served {}, local {local}",
                 served.estimate
-            ));
+            )));
         }
         let exact = answerer.exact(query);
         if served.exact != Some(exact) {
-            return Err(format!(
-                "exact mismatch on {query:?}: served {:?}, local {exact}",
+            return Err(Failure::from(format!(
+                "op `{op}` exact mismatch on {query:?}: served {:?}, local {exact}",
                 served.exact
-            ));
+            )));
         }
     }
     Ok(())

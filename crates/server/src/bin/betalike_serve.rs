@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! betalike-serve [--addr HOST:PORT] [--threads N] [--preload SPEC]
+//!                [--data-dir DIR]
 //! ```
 //!
 //! * `--addr` defaults to `127.0.0.1:7878`; port `0` binds an ephemeral
@@ -10,6 +11,11 @@
 //! * `--threads` sizes the worker pool (default `max(8, cores)`).
 //! * `--preload` materializes a dataset before accepting traffic, e.g.
 //!   `census:10000:42`, `patients`, `synthetic:1000:7`.
+//! * `--data-dir` enables durable publications: fresh publishes are
+//!   written through to `DIR/artifacts/` and handles published by earlier
+//!   processes are lazily loaded and served bit-identically — no
+//!   recomputation on restart. Inspect the directory offline with
+//!   `betalike-store`.
 //!
 //! The process runs until a client sends `{"op":"shutdown"}`.
 
@@ -44,10 +50,12 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--data-dir" => cfg.data_dir = Some(value("--data-dir").into()),
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: betalike-serve [--addr HOST:PORT] [--threads N] [--preload SPEC]"
+                    "usage: betalike-serve [--addr HOST:PORT] [--threads N] [--preload SPEC] \
+                     [--data-dir DIR]"
                 );
                 std::process::exit(2);
             }

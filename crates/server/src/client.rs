@@ -13,6 +13,13 @@ use std::net::{TcpStream, ToSocketAddrs};
 pub enum ClientError {
     /// The connection broke.
     Io(std::io::Error),
+    /// The server closed the connection instead of answering (before any
+    /// response byte, or mid-line). Distinct from [`ClientError::Io`] so
+    /// callers — `betalike-client` maps this to its own exit code — can
+    /// tell "the server went away" from "my network is broken", and
+    /// distinct from [`ClientError::Protocol`] so a truncated response is
+    /// not misreported as malformed JSON.
+    Disconnected(String),
     /// The server answered `ok: false`.
     Server(String),
     /// The server answered something that is not a protocol response.
@@ -23,6 +30,7 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Disconnected(msg) => write!(f, "disconnected: {msg}"),
             ClientError::Server(msg) => write!(f, "server: {msg}"),
             ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
         }
@@ -90,8 +98,11 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures; an empty read (server closed) is
-    /// `UnexpectedEof`.
+    /// Propagates I/O failures; a server that closes the connection
+    /// instead of answering is `UnexpectedEof` — both the empty read and
+    /// the *partial* line without a terminating `\n` (a mid-response
+    /// close, which would otherwise be misdiagnosed downstream as a JSON
+    /// parse error).
     pub fn call_raw(&mut self, line: &str) -> std::io::Result<String> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
@@ -101,7 +112,13 @@ impl Client {
         if n == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
+                "server closed the connection before responding",
+            ));
+        }
+        if !response.ends_with('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("server closed the connection mid-response ({n} bytes of a partial line)"),
             ));
         }
         Ok(response.trim_end_matches(['\n', '\r']).to_string())
@@ -113,9 +130,17 @@ impl Client {
     /// # Errors
     ///
     /// [`ClientError::Server`] when the server rejects the request,
-    /// [`ClientError::Protocol`] when the response is not protocol JSON.
+    /// [`ClientError::Protocol`] when the response is not protocol JSON,
+    /// [`ClientError::Disconnected`] when the server closes the connection
+    /// before or during the response.
     pub fn call(&mut self, request: &Json) -> Result<Json, ClientError> {
-        let line = self.call_raw(&request.compact())?;
+        let line = self.call_raw(&request.compact()).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                ClientError::Disconnected(e.to_string())
+            } else {
+                ClientError::Io(e)
+            }
+        })?;
         let doc =
             Json::parse(&line).map_err(|e| ClientError::Protocol(format!("{e} in `{line}`")))?;
         match doc.get("ok").and_then(Json::as_bool) {

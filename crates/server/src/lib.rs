@@ -20,14 +20,21 @@
 //! betalike-client --addr 127.0.0.1:7878 smoke
 //! ```
 //!
-//! See `DESIGN.md` §8 for the architecture and the README "Serving"
-//! quickstart for a worked session.
+//! With `--data-dir DIR` the server is *durable*: fresh publishes are
+//! written through to a checksummed on-disk store (`betalike-store`
+//! crate) and a restarted server lazily loads previously published
+//! handles, answering `count`/`audit` for them bit-identically with zero
+//! pipeline recomputation (see [`persist`]).
+//!
+//! See `DESIGN.md` §8–§9 for the architecture and the README "Serving" /
+//! "Durable publications" quickstarts for worked sessions.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod artifact;
 pub mod client;
+pub mod persist;
 pub mod registry;
 pub mod server;
 pub mod wire;

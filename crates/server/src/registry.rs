@@ -173,6 +173,17 @@ impl DatasetSpec {
         Self::build(name, rows, seed)
     }
 
+    /// Builds a spec from its raw parts (generator name, optional row
+    /// count, seed) — the form the persistence layer stores. `rows` of
+    /// `None` selects the generator's default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown generator.
+    pub fn from_parts(name: &str, rows: Option<usize>, seed: u64) -> Result<Self, String> {
+        Self::build(name, rows, seed)
+    }
+
     fn build(name: &str, rows: Option<usize>, seed: u64) -> Result<Self, String> {
         match name {
             "census" => Ok(DatasetSpec::Census {

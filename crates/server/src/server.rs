@@ -18,9 +18,11 @@ use crate::registry::{DatasetSpec, Registry};
 use crate::wire::{error_response, ok_response, CountRequest, PublishRequest};
 use betalike_microdata::json::Json;
 use betalike_query::{AggQuery, RangePred};
+use betalike_store::ArtifactStore;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -44,6 +46,12 @@ pub struct ServerConfig {
     /// A dataset to materialize before accepting traffic, so first-query
     /// latency is not paid by a client.
     pub preload: Option<DatasetSpec>,
+    /// Durable publication storage. When set, every fresh publish is
+    /// written through to `<data-dir>/artifacts/` and lookups of handles
+    /// published by *previous* processes lazily load the stored artifact —
+    /// a restarted server answers `count`/`audit` for them bit-identically
+    /// with zero pipeline recomputation.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +60,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             threads: 0,
             preload: None,
+            data_dir: None,
         }
     }
 }
@@ -61,6 +70,7 @@ impl Default for ServerConfig {
 pub(crate) struct State {
     registry: Registry,
     artifacts: crate::registry::LazyMap<Result<Arc<Artifact>, String>>,
+    store: Option<ArtifactStore>,
     shutdown: AtomicBool,
     addr: SocketAddr,
 }
@@ -107,8 +117,21 @@ impl ServerHandle {
 ///
 /// # Errors
 ///
-/// Propagates the bind failure.
+/// Propagates the bind failure, or a data directory that cannot be opened
+/// (unwritable, or a manifest too damaged to trust).
 pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let store = match &cfg.data_dir {
+        None => None,
+        Some(dir) => {
+            let (store, quarantined) = ArtifactStore::open(dir).map_err(|e| {
+                std::io::Error::other(format!("open data dir {}: {e}", dir.display()))
+            })?;
+            for handle in quarantined {
+                eprintln!("betalike-serve: quarantined corrupt stored artifact `{handle}`");
+            }
+            Some(store)
+        }
+    };
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let threads = if cfg.threads == 0 {
@@ -119,6 +142,7 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
     let state = Arc::new(State {
         registry: Registry::new(),
         artifacts: crate::registry::LazyMap::default(),
+        store,
         shutdown: AtomicBool::new(false),
         addr,
     });
@@ -302,10 +326,15 @@ fn dispatch(state: &Arc<State>, op: &str, doc: &Json) -> Result<Json, String> {
                 .filter(|h| matches!(state.artifacts.get(h), Some(Ok(_))))
                 .map(Json::Str)
                 .collect();
-            Ok(ok_response(vec![
+            let mut members = vec![
                 ("datasets".into(), Json::Arr(datasets)),
                 ("published".into(), Json::Arr(published)),
-            ]))
+            ];
+            if let Some(store) = &state.store {
+                let stored = store.handles().into_iter().map(Json::Str).collect();
+                members.push(("stored".into(), Json::Arr(stored)));
+            }
+            Ok(ok_response(members))
         }
         "publish" => publish(state, doc),
         "count" => count(state, doc),
@@ -330,11 +359,23 @@ fn dispatch(state: &Arc<State>, op: &str, doc: &Json) -> Result<Json, String> {
 fn publish(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
     let request = PublishRequest::from_json(doc)?;
     let handle = request.handle();
+    // A handle persisted by a previous process is *loaded*, not recomputed
+    // (and counts as cached: the publish work already happened).
     let mut fresh = false;
-    let artifact = state.artifacts.get_or_init(&handle, || {
-        fresh = true;
-        Artifact::publish(&state.registry, &request)
-    })?;
+    let artifact = match resident_or_stored(state, &handle) {
+        Ok(Some(artifact)) => artifact,
+        Ok(None) | Err(_) => {
+            // Unknown (or quarantined-as-corrupt, already logged): compute.
+            let artifact = state.artifacts.get_or_init(&handle, || {
+                fresh = true;
+                Artifact::publish(&state.registry, &request)
+            })?;
+            if fresh {
+                persist(state, &artifact);
+            }
+            artifact
+        }
+    };
     let mut members = vec![
         ("handle".to_string(), Json::Str(handle)),
         (
@@ -351,7 +392,30 @@ fn publish(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
     if let Some(ecs) = artifact.num_ecs() {
         members.push(("ecs".to_string(), Json::Num(ecs as f64)));
     }
+    if let Some(store) = &state.store {
+        members.push((
+            "persisted".to_string(),
+            Json::Bool(store.entry(&artifact.handle).is_some()),
+        ));
+    }
     Ok(ok_response(members))
+}
+
+/// Write-through persistence of a freshly computed artifact. Failure to
+/// persist never fails the publish — the artifact is resident and
+/// serveable — but is logged and visible as `persisted: false` in the
+/// acknowledgment.
+fn persist(state: &Arc<State>, artifact: &Arc<Artifact>) {
+    let Some(store) = &state.store else {
+        return;
+    };
+    let snap = crate::persist::snapshot(artifact);
+    if let Err(e) = store.save(&snap) {
+        eprintln!(
+            "betalike-serve: failed to persist `{}`: {e}",
+            artifact.handle
+        );
+    }
 }
 
 fn count(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
@@ -381,10 +445,65 @@ fn count(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
 }
 
 fn lookup(state: &Arc<State>, handle: &str) -> Result<Arc<Artifact>, String> {
-    match state.artifacts.get(handle) {
-        Some(Ok(artifact)) => Ok(artifact),
-        Some(Err(e)) => Err(format!("publish for `{handle}` had failed: {e}")),
+    match resident_or_stored(state, handle)? {
+        Some(artifact) => Ok(artifact),
         None => Err(format!("unknown handle `{handle}` (publish first)")),
+    }
+}
+
+/// The artifact for `handle` if it is resident or durably stored:
+/// memory-cache hit first, then a lazy load from the data directory
+/// (restored artifacts are inserted into the memory cache, so the disk is
+/// read at most once per handle per process).
+///
+/// `Ok(None)` means the handle is genuinely unknown. `Err` carries a
+/// wire-level message: a previously failed publish, or a stored artifact
+/// that turned out corrupt — which is quarantined here, so a later
+/// `publish` of the same parameters recomputes and re-persists it.
+fn resident_or_stored(state: &Arc<State>, handle: &str) -> Result<Option<Arc<Artifact>>, String> {
+    match state.artifacts.get(handle) {
+        Some(Ok(artifact)) => return Ok(Some(artifact)),
+        Some(Err(e)) => return Err(format!("publish for `{handle}` had failed: {e}")),
+        None => {}
+    }
+    let Some(store) = &state.store else {
+        return Ok(None);
+    };
+    match store.load(handle) {
+        Ok(None) => Ok(None),
+        Ok(Some(snap)) => match crate::persist::restore(snap) {
+            Ok(restored) => {
+                // Racing loaders resolve to one inserted artifact.
+                let artifact = state.artifacts.get_or_init(handle, || Ok(restored))?;
+                Ok(Some(artifact))
+            }
+            Err(e) => {
+                let _ = store.quarantine(handle);
+                eprintln!(
+                    "betalike-serve: stored artifact `{handle}` failed to restore ({e}); quarantined"
+                );
+                Err(format!(
+                    "stored artifact `{handle}` was unusable and has been quarantined; republish to recompute"
+                ))
+            }
+        },
+        // A transient I/O failure (EMFILE under load, a momentary disk
+        // hiccup) is not evidence of corruption — report it as retryable
+        // and leave the file alone. A *missing* file is different: the
+        // manifest row is stale, so fall through and let quarantine drop
+        // it (making the handle honestly unknown / recomputable).
+        Err(betalike_store::StoreError::Io(e)) if e.kind() != std::io::ErrorKind::NotFound => Err(
+            format!("stored artifact `{handle}` could not be read: {e} (transient; retry)"),
+        ),
+        // Integrity failures (checksum, truncation, malformed sections,
+        // version skew) are permanent for this file: quarantine it.
+        Err(e) => {
+            let _ = store.quarantine(handle);
+            eprintln!("betalike-serve: stored artifact `{handle}` is corrupt ({e}); quarantined");
+            Err(format!(
+                "stored artifact `{handle}` was corrupt and has been quarantined; republish to recompute"
+            ))
+        }
     }
 }
 

@@ -243,8 +243,7 @@ impl CountRequest {
             .ok_or("count needs a string `handle`")?
             .to_string();
         let code = |v: Option<&Json>, what: &str| -> Result<u32, String> {
-            v.and_then(Json::as_u64)
-                .and_then(|n| u32::try_from(n).ok())
+            v.and_then(Json::as_u32)
                 .ok_or(format!("{what} must be a u32 code"))
         };
         let mut qi_preds = Vec::new();
@@ -289,15 +288,9 @@ impl CountRequest {
 }
 
 /// 64-bit FNV-1a — the dependency-free hash behind content-addressed
-/// handles. Stable across platforms and releases by construction.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// handles (re-exported from [`betalike_microdata::hash`], which the
+/// `betalike-store` snapshot checksums share).
+pub use betalike_microdata::hash::fnv1a64;
 
 /// A success response with the given extra members.
 pub fn ok_response(members: Vec<(String, Json)>) -> Json {
@@ -317,14 +310,6 @@ pub fn error_response(message: &str) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn fnv_matches_reference_vectors() {
-        // Published FNV-1a test vectors.
-        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
-    }
 
     #[test]
     fn publish_roundtrips_and_content_addresses() {

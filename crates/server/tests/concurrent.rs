@@ -18,6 +18,7 @@ fn start() -> betalike_server::ServerHandle {
             rows: ROWS,
             seed: 3,
         }),
+        data_dir: None,
     })
     .expect("bind an ephemeral port")
 }

@@ -1,0 +1,209 @@
+//! Durability tests over a real data directory: a server publishes into
+//! `--data-dir`, dies, and a *fresh* server process-equivalent (new
+//! registry, new caches, same directory) must answer `count` and `audit`
+//! for the old handles **byte-identically** — with zero pipeline
+//! recomputation, asserted via the `datasets` op (a restored artifact
+//! never materializes a dataset in the registry).
+
+use betalike_microdata::json::Json;
+use betalike_server::{
+    serve, Algo, Client, CountRequest, DatasetSpec, PublishRequest, ServerConfig, ServerHandle,
+};
+use std::path::PathBuf;
+
+const ROWS: usize = 1_100;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "betalike-persistence-test-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(data_dir: &std::path::Path) -> ServerHandle {
+    serve(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        preload: None,
+        data_dir: Some(data_dir.to_path_buf()),
+    })
+    .expect("bind an ephemeral port")
+}
+
+fn census_request(algo: Algo) -> PublishRequest {
+    PublishRequest::new(
+        DatasetSpec::Census {
+            rows: ROWS,
+            seed: 6,
+        },
+        algo,
+    )
+}
+
+/// A small fixed count workload (raw request lines, so responses can be
+/// compared as bytes).
+fn count_lines(handle: &str) -> Vec<String> {
+    let preds = [
+        (0u32, 40u32, 0u32, 25u32),
+        (1, 8, 3, 30),
+        (2, 15, 10, 49),
+        (0, 78, 0, 49),
+    ];
+    preds
+        .iter()
+        .map(|&(hi0, hi1, sa_lo, sa_hi)| {
+            CountRequest {
+                handle: handle.to_string(),
+                qi_preds: vec![
+                    betalike_query::RangePred {
+                        attr: 0,
+                        lo: 0,
+                        hi: hi0,
+                    },
+                    betalike_query::RangePred {
+                        attr: 1,
+                        lo: 0,
+                        hi: hi1,
+                    },
+                ],
+                sa_lo,
+                sa_hi,
+                exact: true,
+            }
+            .to_json()
+            .compact()
+        })
+        .collect()
+}
+
+fn audit_line(handle: &str) -> String {
+    Json::Obj(vec![
+        ("op".into(), Json::Str("audit".into())),
+        ("handle".into(), Json::Str(handle.into())),
+    ])
+    .compact()
+}
+
+#[test]
+fn restart_serves_previous_publications_bit_identically() {
+    let dir = temp_dir("restart");
+
+    // ---- Process 1: publish every persistable form, record raw answers.
+    let server = start(&dir);
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let mut handles = Vec::new();
+    for algo in [Algo::Burel, Algo::Perturb, Algo::Anatomy] {
+        let reply = client.publish(&census_request(algo)).expect("publish");
+        handles.push(reply.handle);
+    }
+    let mut before = Vec::new();
+    for handle in &handles {
+        for line in count_lines(handle) {
+            before.push(client.call_raw(&line).expect("count"));
+        }
+        before.push(client.call_raw(&audit_line(handle)).expect("audit"));
+    }
+    drop(client);
+    server.shutdown_and_join();
+
+    // ---- Process 2: same data dir, nothing resident.
+    let server = start(&dir);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mut after = Vec::new();
+    for handle in &handles {
+        for line in count_lines(handle) {
+            after.push(client.call_raw(&line).expect("count after restart"));
+        }
+        after.push(
+            client
+                .call_raw(&audit_line(handle))
+                .expect("audit after restart"),
+        );
+    }
+    assert_eq!(
+        before, after,
+        "restarted server must serve byte-identical count/audit answers"
+    );
+
+    // Zero pipeline recomputation: serving loaded artifacts must not have
+    // materialized any dataset (publishing would have), and all three
+    // handles must be listed as stored.
+    let doc = client
+        .call(&Json::Obj(vec![(
+            "op".into(),
+            Json::Str("datasets".into()),
+        )]))
+        .expect("datasets");
+    let materialized = doc.get("datasets").and_then(Json::as_arr).unwrap();
+    assert!(
+        materialized.is_empty(),
+        "restored artifacts must not touch the registry: {materialized:?}"
+    );
+    let stored = doc.get("stored").and_then(Json::as_arr).unwrap();
+    assert_eq!(stored.len(), 3, "all publications must be stored");
+
+    // A republish of stored parameters is a cache hit served from disk,
+    // not a recomputation.
+    let reply = client
+        .publish(&census_request(Algo::Burel))
+        .expect("republish");
+    assert!(reply.cached, "stored artifact must satisfy a republish");
+
+    drop(client);
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_stored_artifact_is_quarantined_and_recomputable() {
+    let dir = temp_dir("corrupt");
+
+    let server = start(&dir);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let handle = client
+        .publish(&census_request(Algo::Burel))
+        .expect("publish")
+        .handle;
+    drop(client);
+    server.shutdown_and_join();
+
+    // Flip one byte mid-file.
+    let path = dir.join("artifacts").join(format!("{handle}.bpub"));
+    let mut bytes = std::fs::read(&path).expect("stored artifact exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // Restart: open quarantines the damaged file; the handle is unknown,
+    // and a republish recomputes and re-persists it.
+    let server = start(&dir);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let err = client
+        .count(&CountRequest {
+            handle: handle.clone(),
+            qi_preds: vec![],
+            sa_lo: 0,
+            sa_hi: 5,
+            exact: false,
+        })
+        .expect_err("quarantined handle must not serve");
+    assert!(err.to_string().contains("unknown handle"), "{err}");
+    assert!(dir
+        .join("quarantine")
+        .join(format!("{handle}.bpub"))
+        .exists());
+
+    let reply = client
+        .publish(&census_request(Algo::Burel))
+        .expect("republish");
+    assert_eq!(reply.handle, handle);
+    assert!(!reply.cached, "recompute after quarantine");
+    assert!(path.exists(), "republish must re-persist the artifact");
+
+    drop(client);
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,544 @@
+//! BPUB — the durable envelope of one published artifact.
+//!
+//! A `.bpub` file is everything `betalike-serve` needs to answer `count`
+//! and `audit` for a handle *bit-identically* after a restart, with zero
+//! pipeline recomputation:
+//!
+//! ```text
+//! "BPUB" version(u32)
+//! "params"  handle, canonical parameter string, dataset descriptor
+//!           (generator name / rows / seed / registry key), algo, the
+//!           normalized publish parameters (qi, β, t, seed as raw f64
+//!           bits), the generalized QI indices, the dataset QI pool and SA
+//! "table"   the source table as a nested BTBL document (see
+//!           [`crate::btbl`])
+//! "form"    tag(u8) + the publication form's state:
+//!             0 generalized: the partition's EC row-id lists
+//!             1 perturbed:   the randomized SA column + the plan's
+//!                            support/priors/caps/gammas/alphas
+//!             2 anatomy:     (nothing — the histogram is derived)
+//! "audit"   presence flag + the ten `PartitionAudit` fields, raw bits
+//! "end"     (empty payload — truncation guard)
+//! ```
+//!
+//! The split follows what is *expensive or random* versus *cheap and
+//! deterministic*: EC row lists and the perturbed column are stored because
+//! recomputing them means a full BUREL run or an RNG replay, while per-EC
+//! query boxes, sorted SA lists and the Anatomy histogram are rebuilt from
+//! the stored state by the same deterministic code that built them at
+//! publish time — which is exactly why a restored artifact answers
+//! bit-identically.
+
+use crate::codec::{read_prologue, write_prologue, Section, SectionWriter};
+use crate::error::{Result, StoreError};
+use betalike_metrics::audit::PartitionAudit;
+use betalike_microdata::{Table, Value};
+use std::io::{BufRead, Write};
+
+/// The BPUB magic bytes.
+pub const BPUB_MAGIC: &str = "BPUB";
+/// Newest BPUB version this build writes and reads.
+pub const BPUB_VERSION: u32 = 1;
+
+/// The normalized parameters a publication was produced from — the
+/// storage-side mirror of `betalike-server`'s `PublishRequest` plus the
+/// resolved dataset roles, kept free of server types so the store crate
+/// has no dependency cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PubParams {
+    /// Content-addressed handle (`pub-…`).
+    pub handle: String,
+    /// The canonical parameter string the handle hashes.
+    pub canonical: String,
+    /// Generator family (`census` / `patients` / `synthetic`).
+    pub dataset_name: String,
+    /// Generator row count (0 for fixed datasets such as `patients`).
+    pub dataset_rows: u64,
+    /// Generator seed (0 for fixed datasets).
+    pub dataset_seed: u64,
+    /// The registry's canonical dataset key (e.g. `census:rows=2000:seed=7`).
+    pub dataset_key: String,
+    /// Scheme wire name (`burel` / `sabre` / `mondrian` / `anatomy` /
+    /// `perturb`).
+    pub algo: String,
+    /// The requested QI prefix length (normalized).
+    pub qi_prefix: u32,
+    /// β threshold (normalized).
+    pub beta: f64,
+    /// t threshold (normalized).
+    pub t: f64,
+    /// Algorithm seed (normalized).
+    pub seed: u64,
+    /// The generalized QI attribute indices (empty for perturbation /
+    /// Anatomy).
+    pub qi: Vec<u32>,
+    /// The dataset's full candidate QI pool.
+    pub qi_pool: Vec<u32>,
+    /// The sensitive attribute index.
+    pub sa: u32,
+}
+
+/// The stored state of one publication form (see the module docs for what
+/// is stored versus rebuilt).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormSnapshot {
+    /// A generalization-based publication: the partition's equivalence
+    /// classes as row-id lists, in published order.
+    Generalized {
+        /// Per EC: source-table row ids.
+        ecs: Vec<Vec<u32>>,
+    },
+    /// A perturbation publication: the randomized SA column plus the
+    /// published plan's parts (the matrix is rebuilt from `alphas` by the
+    /// same pure-float code that built it, so it round-trips bitwise).
+    Perturbed {
+        /// The randomized SA column, row-aligned with the source table.
+        sa_column: Vec<Value>,
+        /// SA codes with support, ascending.
+        support: Vec<Value>,
+        /// Published priors `p_i`.
+        priors: Vec<f64>,
+        /// Posterior caps `f(p_i)`.
+        caps: Vec<f64>,
+        /// Amplification factors `γ_i`.
+        gammas: Vec<f64>,
+        /// Retention probabilities `α_i`.
+        alphas: Vec<f64>,
+    },
+    /// An Anatomy-style publication (global SA histogram — fully derived
+    /// from the stored table).
+    Anatomy,
+}
+
+impl FormSnapshot {
+    /// The publication-form label this snapshot restores to.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FormSnapshot::Generalized { .. } => "generalized",
+            FormSnapshot::Perturbed { .. } => "perturbed",
+            FormSnapshot::Anatomy => "anatomy",
+        }
+    }
+}
+
+/// One publication, fully decoded: parameters, source table, form state
+/// and the publish-time audit.
+#[derive(Debug, Clone)]
+pub struct PublicationSnapshot {
+    /// The normalized publish parameters and dataset roles.
+    pub params: PubParams,
+    /// The source table.
+    pub table: Table,
+    /// The stored form state.
+    pub form: FormSnapshot,
+    /// The privacy audit computed at publish time (`None` for forms
+    /// without equivalence classes).
+    pub audit: Option<PartitionAudit>,
+}
+
+fn write_params(p: &PubParams, w: &mut impl Write) -> Result<()> {
+    let mut s = SectionWriter::new("params");
+    s.str(&p.handle);
+    s.str(&p.canonical);
+    s.str(&p.dataset_name);
+    s.u64(p.dataset_rows);
+    s.u64(p.dataset_seed);
+    s.str(&p.dataset_key);
+    s.str(&p.algo);
+    s.u32(p.qi_prefix);
+    s.f64(p.beta);
+    s.f64(p.t);
+    s.u64(p.seed);
+    s.u32(p.qi.len() as u32);
+    for &a in &p.qi {
+        s.u32(a);
+    }
+    s.u32(p.qi_pool.len() as u32);
+    for &a in &p.qi_pool {
+        s.u32(a);
+    }
+    s.u32(p.sa);
+    s.finish(w)
+}
+
+fn read_params(r: &mut impl BufRead) -> Result<PubParams> {
+    let mut s = Section::expect(r, "params")?;
+    let handle = s.str()?;
+    let canonical = s.str()?;
+    let dataset_name = s.str()?;
+    let dataset_rows = s.u64()?;
+    let dataset_seed = s.u64()?;
+    let dataset_key = s.str()?;
+    let algo = s.str()?;
+    let qi_prefix = s.u32()?;
+    let beta = s.f64()?;
+    let t = s.f64()?;
+    let seed = s.u64()?;
+    let read_vec = |s: &mut Section| -> Result<Vec<u32>> {
+        let n = s.u32()? as usize;
+        let mut v = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            v.push(s.u32()?);
+        }
+        Ok(v)
+    };
+    let qi = read_vec(&mut s)?;
+    let qi_pool = read_vec(&mut s)?;
+    let sa = s.u32()?;
+    s.finish()?;
+    Ok(PubParams {
+        handle,
+        canonical,
+        dataset_name,
+        dataset_rows,
+        dataset_seed,
+        dataset_key,
+        algo,
+        qi_prefix,
+        beta,
+        t,
+        seed,
+        qi,
+        qi_pool,
+        sa,
+    })
+}
+
+fn write_form(form: &FormSnapshot, rows: usize, w: &mut impl Write) -> Result<()> {
+    let mut s = SectionWriter::new("form");
+    match form {
+        FormSnapshot::Generalized { ecs } => {
+            s.u8(0);
+            s.u32(ecs.len() as u32);
+            for ec in ecs {
+                s.u32(ec.len() as u32);
+                for &r in ec {
+                    s.u32(r);
+                }
+            }
+        }
+        FormSnapshot::Perturbed {
+            sa_column,
+            support,
+            priors,
+            caps,
+            gammas,
+            alphas,
+        } => {
+            if sa_column.len() != rows {
+                return Err(StoreError::malformed(
+                    "form",
+                    "perturbed SA column is not row-aligned with the table",
+                ));
+            }
+            s.u8(1);
+            s.u32(sa_column.len() as u32);
+            for &v in sa_column {
+                s.u32(v);
+            }
+            s.u32(support.len() as u32);
+            for &v in support {
+                s.u32(v);
+            }
+            for series in [priors, caps, gammas, alphas] {
+                if series.len() != support.len() {
+                    return Err(StoreError::malformed(
+                        "form",
+                        "plan series length differs from the support",
+                    ));
+                }
+                for &x in series {
+                    s.f64(x);
+                }
+            }
+        }
+        FormSnapshot::Anatomy => s.u8(2),
+    }
+    s.finish(w)
+}
+
+fn read_form(r: &mut impl BufRead) -> Result<FormSnapshot> {
+    let mut s = Section::expect(r, "form")?;
+    let form = match s.u8()? {
+        0 => {
+            let num_ecs = s.u32()? as usize;
+            let mut ecs = Vec::with_capacity(num_ecs.min(1 << 20));
+            for _ in 0..num_ecs {
+                let len = s.u32()? as usize;
+                let mut ec = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    ec.push(s.u32()?);
+                }
+                ecs.push(ec);
+            }
+            FormSnapshot::Generalized { ecs }
+        }
+        1 => {
+            let rows = s.u32()? as usize;
+            let mut sa_column = Vec::with_capacity(rows.min(1 << 24));
+            for _ in 0..rows {
+                sa_column.push(s.u32()?);
+            }
+            let m = s.u32()? as usize;
+            let mut support = Vec::with_capacity(m.min(1 << 16));
+            for _ in 0..m {
+                support.push(s.u32()?);
+            }
+            let series = |s: &mut Section| -> Result<Vec<f64>> {
+                let mut v = Vec::with_capacity(m.min(1 << 16));
+                for _ in 0..m {
+                    v.push(s.f64()?);
+                }
+                Ok(v)
+            };
+            let priors = series(&mut s)?;
+            let caps = series(&mut s)?;
+            let gammas = series(&mut s)?;
+            let alphas = series(&mut s)?;
+            FormSnapshot::Perturbed {
+                sa_column,
+                support,
+                priors,
+                caps,
+                gammas,
+                alphas,
+            }
+        }
+        2 => FormSnapshot::Anatomy,
+        tag => {
+            return Err(StoreError::malformed(
+                "form",
+                format!("unknown form tag {tag}"),
+            ))
+        }
+    };
+    s.finish()?;
+    Ok(form)
+}
+
+fn write_audit(audit: &Option<PartitionAudit>, w: &mut impl Write) -> Result<()> {
+    let mut s = SectionWriter::new("audit");
+    match audit {
+        None => s.u8(0),
+        Some(a) => {
+            s.u8(1);
+            s.f64(a.max_beta);
+            s.f64(a.avg_beta);
+            s.f64(a.max_closeness);
+            s.f64(a.avg_closeness);
+            s.u64(a.min_distinct_l as u64);
+            s.f64(a.avg_distinct_l);
+            s.f64(a.min_inv_max_freq_l);
+            s.f64(a.max_delta);
+            s.u64(a.min_ec_size as u64);
+            s.u64(a.num_ecs as u64);
+        }
+    }
+    s.finish(w)
+}
+
+fn read_audit(r: &mut impl BufRead) -> Result<Option<PartitionAudit>> {
+    let mut s = Section::expect(r, "audit")?;
+    let audit = match s.u8()? {
+        0 => None,
+        1 => Some(PartitionAudit {
+            max_beta: s.f64()?,
+            avg_beta: s.f64()?,
+            max_closeness: s.f64()?,
+            avg_closeness: s.f64()?,
+            min_distinct_l: s.len64()?,
+            avg_distinct_l: s.f64()?,
+            min_inv_max_freq_l: s.f64()?,
+            max_delta: s.f64()?,
+            min_ec_size: s.len64()?,
+            num_ecs: s.len64()?,
+        }),
+        tag => {
+            return Err(StoreError::malformed(
+                "audit",
+                format!("unknown audit flag {tag}"),
+            ))
+        }
+    };
+    s.finish()?;
+    Ok(audit)
+}
+
+/// Writes a publication as a complete BPUB document.
+///
+/// # Errors
+///
+/// Propagates I/O failures; `Malformed` on internally inconsistent
+/// snapshots (a writer bug, caught before a broken file reaches disk).
+pub fn write_publication<W: Write>(snap: &PublicationSnapshot, w: &mut W) -> Result<()> {
+    write_prologue(w, b"BPUB", BPUB_VERSION)?;
+    write_params(&snap.params, w)?;
+    let mut table = SectionWriter::new("table");
+    table.bytes(&crate::btbl::table_to_vec(&snap.table)?);
+    table.finish(w)?;
+    write_form(&snap.form, snap.table.num_rows(), w)?;
+    write_audit(&snap.audit, w)?;
+    SectionWriter::new("end").finish(w)?;
+    Ok(())
+}
+
+/// Reads a complete BPUB document.
+///
+/// # Errors
+///
+/// Structured [`StoreError`]s naming the failing section, as
+/// [`crate::btbl::read_table`].
+pub fn read_publication<R: BufRead>(r: &mut R) -> Result<PublicationSnapshot> {
+    read_prologue(r, BPUB_MAGIC, BPUB_VERSION)?;
+    let params = read_params(r)?;
+    let mut table_section = Section::expect(r, "table")?;
+    let nested = table_section.bytes(table_section.remaining())?;
+    table_section.finish()?;
+    let table = crate::btbl::table_from_slice(&nested)?;
+    let form = read_form(r)?;
+    let audit = read_audit(r)?;
+    Section::expect(r, "end")?.finish()?;
+    Ok(PublicationSnapshot {
+        params,
+        table,
+        form,
+        audit,
+    })
+}
+
+/// [`write_publication`] into a fresh buffer.
+///
+/// # Errors
+///
+/// As [`write_publication`].
+pub fn publication_to_vec(snap: &PublicationSnapshot) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    write_publication(snap, &mut out)?;
+    Ok(out)
+}
+
+/// [`read_publication`] from an in-memory buffer.
+///
+/// # Errors
+///
+/// As [`read_publication`], plus `Malformed` on trailing bytes.
+pub fn publication_from_slice(mut bytes: &[u8]) -> Result<PublicationSnapshot> {
+    let snap = read_publication(&mut bytes)?;
+    if !bytes.is_empty() {
+        return Err(StoreError::malformed(
+            "end",
+            format!("{} trailing bytes after the document", bytes.len()),
+        ));
+    }
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betalike_microdata::synthetic::{random_table, SyntheticConfig};
+
+    pub(crate) fn sample_params() -> PubParams {
+        PubParams {
+            handle: "pub-0123456789abcdef".into(),
+            canonical: "synthetic:rows=40:seed=5|algo=burel|qi=2|beta=4|t=0|seed=42".into(),
+            dataset_name: "synthetic".into(),
+            dataset_rows: 40,
+            dataset_seed: 5,
+            dataset_key: "synthetic:rows=40:seed=5".into(),
+            algo: "burel".into(),
+            qi_prefix: 2,
+            beta: 4.0,
+            t: 0.0,
+            seed: 42,
+            qi: vec![0, 1],
+            qi_pool: vec![0, 1],
+            sa: 2,
+        }
+    }
+
+    fn sample_snapshot(form: FormSnapshot) -> PublicationSnapshot {
+        let table = random_table(&SyntheticConfig {
+            rows: 40,
+            seed: 5,
+            ..Default::default()
+        });
+        PublicationSnapshot {
+            params: sample_params(),
+            table,
+            form,
+            audit: Some(PartitionAudit {
+                max_beta: 0.1 + 0.2, // deliberately non-representable exactly
+                avg_beta: 1.5,
+                max_closeness: 0.25,
+                avg_closeness: 0.125,
+                min_distinct_l: 3,
+                avg_distinct_l: 4.5,
+                min_inv_max_freq_l: 2.0,
+                max_delta: 0.75,
+                min_ec_size: 5,
+                num_ecs: 8,
+            }),
+        }
+    }
+
+    #[test]
+    fn generalized_roundtrips_bitwise() {
+        let snap = sample_snapshot(FormSnapshot::Generalized {
+            ecs: (0..8u32).map(|i| (i * 5..(i + 1) * 5).collect()).collect(),
+        });
+        let back = publication_from_slice(&publication_to_vec(&snap).unwrap()).unwrap();
+        assert_eq!(back.params, snap.params);
+        assert_eq!(back.form, snap.form);
+        assert_eq!(back.audit, snap.audit);
+        assert_eq!(
+            back.audit.as_ref().unwrap().max_beta.to_bits(),
+            snap.audit.as_ref().unwrap().max_beta.to_bits()
+        );
+        assert_eq!(back.table.column(2), snap.table.column(2));
+    }
+
+    #[test]
+    fn perturbed_and_anatomy_roundtrip() {
+        let perturbed = FormSnapshot::Perturbed {
+            sa_column: vec![1; 40],
+            support: vec![0, 1, 3],
+            priors: vec![0.25, 0.5, 0.25],
+            caps: vec![0.9, 0.95, 0.9],
+            gammas: vec![3.0, 2.0, 3.0],
+            alphas: vec![0.4, 0.6, 0.4],
+        };
+        for form in [perturbed, FormSnapshot::Anatomy] {
+            let mut snap = sample_snapshot(form);
+            snap.audit = None;
+            let back = publication_from_slice(&publication_to_vec(&snap).unwrap()).unwrap();
+            assert_eq!(back.form, snap.form);
+            assert_eq!(back.audit, None);
+        }
+    }
+
+    #[test]
+    fn inconsistent_snapshots_fail_on_write() {
+        let snap = sample_snapshot(FormSnapshot::Perturbed {
+            sa_column: vec![1; 3], // not row-aligned with the 40-row table
+            support: vec![0, 1],
+            priors: vec![0.5, 0.5],
+            caps: vec![0.9, 0.9],
+            gammas: vec![2.0, 2.0],
+            alphas: vec![0.5, 0.5],
+        });
+        assert!(matches!(
+            publication_to_vec(&snap),
+            Err(StoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(FormSnapshot::Anatomy.kind(), "anatomy");
+        assert_eq!(
+            FormSnapshot::Generalized { ecs: vec![] }.kind(),
+            "generalized"
+        );
+    }
+}

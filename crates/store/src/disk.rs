@@ -1,0 +1,642 @@
+//! The on-disk, content-addressed artifact store behind
+//! `betalike-serve --data-dir`.
+//!
+//! Layout under the data directory:
+//!
+//! ```text
+//! <data-dir>/
+//!   MANIFEST              handle → canonical params → checksum (JSON)
+//!   artifacts/pub-….bpub  one BPUB document per publication
+//!   quarantine/           corrupt files moved aside, never deleted
+//! ```
+//!
+//! Atomicity: artifact files and the `MANIFEST` are both written to a
+//! temporary sibling, fsynced, then renamed into place — a crash leaves
+//! either the old state or the new state, never a torn file. A crash
+//! *between* the artifact rename and the manifest rewrite leaves an orphan
+//! `.bpub`, which [`ArtifactStore::open`] adopts back into the manifest if
+//! it reads cleanly (and quarantines otherwise). Manifest entries whose
+//! file is missing or fails its whole-file FNV-1a checksum are quarantined
+//! on open rather than served.
+
+use crate::bpub::{publication_from_slice, publication_to_vec, PublicationSnapshot};
+use crate::error::{Result, StoreError};
+use betalike_microdata::hash::fnv1a64;
+use betalike_microdata::json::Json;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The manifest file name.
+pub const MANIFEST: &str = "MANIFEST";
+/// Subdirectory holding the artifact files.
+pub const ARTIFACTS_DIR: &str = "artifacts";
+/// Subdirectory corrupt files are moved into.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+const MANIFEST_VERSION: f64 = 1.0;
+
+/// One manifest row: everything needed to detect a damaged artifact
+/// without parsing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreEntry {
+    /// Content-addressed handle (`pub-…`).
+    pub handle: String,
+    /// The canonical parameter string the handle hashes.
+    pub canonical: String,
+    /// FNV-1a over the whole `.bpub` file.
+    pub checksum: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// A durable, checksummed map from publication handle to `.bpub` file.
+///
+/// All mutating operations rewrite the manifest atomically; concurrent
+/// callers are serialized by an internal mutex (the store is shared behind
+/// an `Arc` by every server worker).
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+    entries: Mutex<BTreeMap<String, StoreEntry>>,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) the store under `root`.
+    ///
+    /// Scans the manifest, verifies every entry's file against its
+    /// recorded checksum, quarantines damaged or missing-checksum files,
+    /// adopts readable orphan `.bpub` files the manifest does not know
+    /// (crash recovery), and removes stale `*.tmp` leftovers. Returns the
+    /// store plus the handles that were quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and a malformed manifest (a manifest that
+    /// fails to parse is a data-loss condition surfaced to the operator,
+    /// not silently reset).
+    pub fn open(root: impl Into<PathBuf>) -> Result<(Self, Vec<String>)> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join(ARTIFACTS_DIR))?;
+        std::fs::create_dir_all(root.join(QUARANTINE_DIR))?;
+
+        let mut entries = read_manifest(&root)?;
+        let mut quarantined = Vec::new();
+
+        // Drop stale temporaries from interrupted writes.
+        for dir in [root.join(ARTIFACTS_DIR), root.clone()] {
+            for entry in std::fs::read_dir(&dir)? {
+                let path = entry?.path();
+                if path.extension().is_some_and(|e| e == "tmp") {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+
+        // Verify every manifest entry's file.
+        let handles: Vec<String> = entries.keys().cloned().collect();
+        for handle in handles {
+            let path = artifact_path(&root, &handle);
+            let ok = match std::fs::read(&path) {
+                Ok(bytes) => fnv1a64(&bytes) == entries[&handle].checksum,
+                Err(_) => false,
+            };
+            if !ok {
+                quarantine_file(&root, &handle);
+                entries.remove(&handle);
+                quarantined.push(handle);
+            }
+        }
+
+        // Adopt readable orphans (artifact renamed, manifest write lost).
+        for dir_entry in std::fs::read_dir(root.join(ARTIFACTS_DIR))? {
+            let path = dir_entry?.path();
+            if path.extension().map_or(true, |e| e != "bpub") {
+                continue;
+            }
+            let Some(handle) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .map(str::to_string)
+            else {
+                continue;
+            };
+            if entries.contains_key(&handle) {
+                continue;
+            }
+            let adopted = std::fs::read(&path).ok().and_then(|bytes| {
+                let snap = publication_from_slice(&bytes).ok()?;
+                (snap.params.handle == handle).then(|| StoreEntry {
+                    handle: handle.clone(),
+                    canonical: snap.params.canonical,
+                    checksum: fnv1a64(&bytes),
+                    bytes: bytes.len() as u64,
+                })
+            });
+            match adopted {
+                Some(entry) => {
+                    entries.insert(handle, entry);
+                }
+                None => {
+                    quarantine_file(&root, &handle);
+                    quarantined.push(handle);
+                }
+            }
+        }
+
+        let store = ArtifactStore {
+            root,
+            entries: Mutex::new(entries),
+        };
+        store.rewrite_manifest()?;
+        Ok((store, quarantined))
+    }
+
+    /// The data directory this store lives under.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// All stored handles, sorted.
+    pub fn handles(&self) -> Vec<String> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// The manifest row for `handle`, if present.
+    pub fn entry(&self, handle: &str) -> Option<StoreEntry> {
+        self.lock().get(handle).cloned()
+    }
+
+    /// Number of stored artifacts.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the store holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// The on-disk path of `handle`'s artifact file.
+    pub fn path_of(&self, handle: &str) -> PathBuf {
+        artifact_path(&self.root, handle)
+    }
+
+    /// Persists a publication: serialize, write `artifacts/<handle>.bpub`
+    /// atomically (temp file + fsync + rename), then rewrite the manifest
+    /// atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O failures; `Malformed` on a handle
+    /// that is not a safe file name.
+    pub fn save(&self, snap: &PublicationSnapshot) -> Result<StoreEntry> {
+        let handle = snap.params.handle.clone();
+        validate_handle(&handle)?;
+        let bytes = publication_to_vec(snap)?;
+        let entry = StoreEntry {
+            handle: handle.clone(),
+            canonical: snap.params.canonical.clone(),
+            checksum: fnv1a64(&bytes),
+            bytes: bytes.len() as u64,
+        };
+        write_atomically(&self.path_of(&handle), &bytes)?;
+        {
+            let mut entries = self.lock();
+            entries.insert(handle, entry.clone());
+        }
+        self.rewrite_manifest()?;
+        Ok(entry)
+    }
+
+    /// Loads `handle`'s publication, verifying the whole-file checksum
+    /// first.
+    ///
+    /// Returns `Ok(None)` for an unknown handle; a known handle whose file
+    /// is missing, damaged or unparsable is an `Err` (callers decide
+    /// whether to [`ArtifactStore::quarantine`] and recompute).
+    ///
+    /// # Errors
+    ///
+    /// `Corrupt` (section `file`) on a whole-file checksum mismatch,
+    /// the BPUB reader's structured errors on parse failure, `Malformed`
+    /// if the decoded document claims a different handle.
+    pub fn load(&self, handle: &str) -> Result<Option<PublicationSnapshot>> {
+        let Some(entry) = self.entry(handle) else {
+            return Ok(None);
+        };
+        let bytes = std::fs::read(self.path_of(handle))?;
+        let got = fnv1a64(&bytes);
+        if got != entry.checksum {
+            return Err(StoreError::Corrupt {
+                section: "file".into(),
+                expected: entry.checksum,
+                got,
+            });
+        }
+        let snap = publication_from_slice(&bytes)?;
+        if snap.params.handle != handle {
+            return Err(StoreError::malformed(
+                "params",
+                format!(
+                    "file for `{handle}` contains handle `{}`",
+                    snap.params.handle
+                ),
+            ));
+        }
+        Ok(Some(snap))
+    }
+
+    /// Moves `handle`'s file into `quarantine/` and drops it from the
+    /// manifest. Returns whether anything was quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the manifest rewrite failure.
+    pub fn quarantine(&self, handle: &str) -> Result<bool> {
+        let removed = self.lock().remove(handle).is_some();
+        let moved = quarantine_file(&self.root, handle);
+        if removed {
+            self.rewrite_manifest()?;
+        }
+        Ok(removed || moved)
+    }
+
+    /// Deletes `handle`'s artifact and manifest row. Returns whether it
+    /// existed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and manifest rewrite failures.
+    pub fn remove(&self, handle: &str) -> Result<bool> {
+        let removed = self.lock().remove(handle).is_some();
+        let path = self.path_of(handle);
+        if path.exists() {
+            std::fs::remove_file(&path)?;
+        }
+        if removed {
+            self.rewrite_manifest()?;
+        }
+        Ok(removed)
+    }
+
+    /// Fully re-reads and re-verifies every stored artifact (whole-file
+    /// checksum, per-section checksums, structural validation). Returns
+    /// one `(handle, result)` row per manifest entry.
+    pub fn verify(&self) -> Vec<(String, Result<StoreEntry>)> {
+        self.handles()
+            .into_iter()
+            .map(|handle| {
+                let result = self.load(&handle).and_then(|snap| match snap {
+                    Some(_) => Ok(self.entry(&handle).expect("entry exists")),
+                    None => Err(StoreError::malformed(
+                        "manifest",
+                        "entry vanished during verification",
+                    )),
+                });
+                (handle, result)
+            })
+            .collect()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, StoreEntry>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Rebuilds and atomically replaces the `MANIFEST`. The entries lock
+    /// is held across the *file write*, not just the map read: the
+    /// tempfile path is shared, so two concurrent rewrites would truncate
+    /// each other's half-written temporary and rename interleaved bytes
+    /// into place. Callers must not hold the lock when calling this.
+    fn rewrite_manifest(&self) -> Result<()> {
+        let entries = self.lock();
+        let rows: Vec<Json> = entries
+            .values()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("handle".into(), Json::Str(e.handle.clone())),
+                    ("canonical".into(), Json::Str(e.canonical.clone())),
+                    ("checksum".into(), Json::Str(format!("{:016x}", e.checksum))),
+                    ("bytes".into(), Json::Num(e.bytes as f64)),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("version".into(), Json::Num(MANIFEST_VERSION)),
+            ("artifacts".into(), Json::Arr(rows)),
+        ]);
+        write_atomically(&self.root.join(MANIFEST), (doc.pretty() + "\n").as_bytes())
+    }
+}
+
+fn artifact_path(root: &Path, handle: &str) -> PathBuf {
+    root.join(ARTIFACTS_DIR).join(format!("{handle}.bpub"))
+}
+
+fn validate_handle(handle: &str) -> Result<()> {
+    let safe = !handle.is_empty()
+        && handle.len() <= 128
+        && handle
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.');
+    if !safe || handle.starts_with('.') {
+        return Err(StoreError::malformed(
+            "manifest",
+            format!("`{handle}` is not a safe artifact handle"),
+        ));
+    }
+    Ok(())
+}
+
+/// Best-effort move of an artifact file into quarantine; returns whether a
+/// file was moved. Quarantined files are kept, never overwritten: if the
+/// same handle is quarantined again (republished, then corrupted again) a
+/// numeric suffix preserves the earlier copy for forensics.
+fn quarantine_file(root: &Path, handle: &str) -> bool {
+    let from = artifact_path(root, handle);
+    if !from.exists() {
+        return false;
+    }
+    let dir = root.join(QUARANTINE_DIR);
+    let mut to = dir.join(format!("{handle}.bpub"));
+    let mut n = 1u32;
+    while to.exists() && n <= 1_000 {
+        to = dir.join(format!("{handle}.bpub.{n}"));
+        n += 1;
+    }
+    std::fs::rename(&from, &to).is_ok() || {
+        // Cross-filesystem fallback (quarantine/ is under root, so this
+        // should never trigger; keep the file out of service regardless).
+        std::fs::copy(&from, &to).is_ok() && std::fs::remove_file(&from).is_ok()
+    }
+}
+
+/// Temp-file-then-rename write: readers never observe a torn file.
+fn write_atomically(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+fn read_manifest(root: &Path) -> Result<BTreeMap<String, StoreEntry>> {
+    let path = root.join(MANIFEST);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let bad = |detail: String| StoreError::Malformed {
+        section: "manifest".into(),
+        detail,
+    };
+    let doc = Json::parse(&text).map_err(|e| bad(format!("not JSON: {e}")))?;
+    let version = doc
+        .get("version")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| bad("missing `version`".into()))?;
+    if version > MANIFEST_VERSION {
+        return Err(StoreError::VersionSkew {
+            found: version as u32,
+            supported: MANIFEST_VERSION as u32,
+        });
+    }
+    let mut entries = BTreeMap::new();
+    for (i, row) in doc
+        .get("artifacts")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("missing `artifacts` array".into()))?
+        .iter()
+        .enumerate()
+    {
+        let text_field = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("artifacts[{i}]: missing string `{key}`")))
+        };
+        let handle = text_field("handle")?;
+        validate_handle(&handle)?;
+        let checksum = u64::from_str_radix(&text_field("checksum")?, 16)
+            .map_err(|_| bad(format!("artifacts[{i}]: checksum is not hex")))?;
+        let bytes = row
+            .get("bytes")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad(format!("artifacts[{i}]: missing `bytes`")))?;
+        entries.insert(
+            handle.clone(),
+            StoreEntry {
+                handle,
+                canonical: text_field("canonical")?,
+                checksum,
+                bytes,
+            },
+        );
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bpub::{FormSnapshot, PubParams};
+    use betalike_microdata::synthetic::{random_table, SyntheticConfig};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("betalike-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    }
+
+    fn snapshot(handle: &str) -> PublicationSnapshot {
+        let table = random_table(&SyntheticConfig {
+            rows: 30,
+            seed: 9,
+            ..Default::default()
+        });
+        PublicationSnapshot {
+            params: PubParams {
+                handle: handle.into(),
+                canonical: format!("canonical-of-{handle}"),
+                dataset_name: "synthetic".into(),
+                dataset_rows: 30,
+                dataset_seed: 9,
+                dataset_key: "synthetic:rows=30:seed=9".into(),
+                algo: "anatomy".into(),
+                qi_prefix: 0,
+                beta: 0.0,
+                t: 0.0,
+                seed: 0,
+                qi: vec![],
+                qi_pool: vec![0, 1],
+                sa: 2,
+            },
+            table,
+            form: FormSnapshot::Anatomy,
+            audit: None,
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_manifest() {
+        let root = temp_root("roundtrip");
+        let (store, quarantined) = ArtifactStore::open(&root).unwrap();
+        assert!(quarantined.is_empty() && store.is_empty());
+        let entry = store.save(&snapshot("pub-aaaa")).unwrap();
+        assert_eq!(entry.handle, "pub-aaaa");
+        assert!(entry.bytes > 0);
+        let snap = store.load("pub-aaaa").unwrap().unwrap();
+        assert_eq!(snap.params.handle, "pub-aaaa");
+        assert_eq!(store.load("pub-missing").unwrap().map(|_| ()), None);
+
+        // Reopen: the manifest round-trips.
+        drop(store);
+        let (store, quarantined) = ArtifactStore::open(&root).unwrap();
+        assert!(quarantined.is_empty());
+        assert_eq!(store.handles(), vec!["pub-aaaa".to_string()]);
+        assert_eq!(store.entry("pub-aaaa").unwrap(), entry);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_file_is_quarantined_on_open() {
+        let root = temp_root("quarantine");
+        let (store, _) = ArtifactStore::open(&root).unwrap();
+        store.save(&snapshot("pub-bbbb")).unwrap();
+        let path = store.path_of("pub-bbbb");
+        drop(store);
+        // Flip one byte mid-file.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (store, quarantined) = ArtifactStore::open(&root).unwrap();
+        assert_eq!(quarantined, vec!["pub-bbbb".to_string()]);
+        assert!(store.is_empty());
+        assert!(!path.exists(), "corrupt file must leave artifacts/");
+        assert!(root.join(QUARANTINE_DIR).join("pub-bbbb.bpub").exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corruption_after_open_fails_load_then_quarantines() {
+        let root = temp_root("late-corruption");
+        let (store, _) = ArtifactStore::open(&root).unwrap();
+        store.save(&snapshot("pub-cccc")).unwrap();
+        let mut bytes = std::fs::read(store.path_of("pub-cccc")).unwrap();
+        let last = bytes.len() - 20;
+        bytes[last] ^= 0x55;
+        std::fs::write(store.path_of("pub-cccc"), &bytes).unwrap();
+        assert!(matches!(
+            store.load("pub-cccc"),
+            Err(StoreError::Corrupt { .. })
+        ));
+        assert!(store.quarantine("pub-cccc").unwrap());
+        assert_eq!(store.load("pub-cccc").unwrap().map(|_| ()), None);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn orphan_files_are_adopted() {
+        let root = temp_root("orphan");
+        let (store, _) = ArtifactStore::open(&root).unwrap();
+        store.save(&snapshot("pub-dddd")).unwrap();
+        // Simulate a crash after the artifact rename but before the
+        // manifest write: delete the manifest.
+        drop(store);
+        std::fs::remove_file(root.join(MANIFEST)).unwrap();
+        let (store, quarantined) = ArtifactStore::open(&root).unwrap();
+        assert!(quarantined.is_empty());
+        assert_eq!(store.handles(), vec!["pub-dddd".to_string()]);
+        assert!(store.load("pub-dddd").unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn remove_deletes_file_and_row() {
+        let root = temp_root("remove");
+        let (store, _) = ArtifactStore::open(&root).unwrap();
+        store.save(&snapshot("pub-eeee")).unwrap();
+        store.save(&snapshot("pub-ffff")).unwrap();
+        assert!(store.remove("pub-eeee").unwrap());
+        assert!(!store.remove("pub-eeee").unwrap());
+        assert_eq!(store.handles(), vec!["pub-ffff".to_string()]);
+        assert!(!store.path_of("pub-eeee").exists());
+        drop(store);
+        let (store, _) = ArtifactStore::open(&root).unwrap();
+        assert_eq!(store.handles(), vec!["pub-ffff".to_string()]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn verify_reports_per_handle() {
+        let root = temp_root("verify");
+        let (store, _) = ArtifactStore::open(&root).unwrap();
+        store.save(&snapshot("pub-good")).unwrap();
+        store.save(&snapshot("pub-bad0")).unwrap();
+        let mut bytes = std::fs::read(store.path_of("pub-bad0")).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        std::fs::write(store.path_of("pub-bad0"), &bytes).unwrap();
+        let report = store.verify();
+        assert_eq!(report.len(), 2);
+        let by_handle: BTreeMap<_, _> = report.into_iter().map(|(h, r)| (h, r.is_ok())).collect();
+        assert!(by_handle["pub-good"]);
+        assert!(!by_handle["pub-bad0"]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn concurrent_saves_keep_the_manifest_consistent() {
+        let root = temp_root("concurrent");
+        let (store, _) = ArtifactStore::open(&root).unwrap();
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let store = &store;
+                s.spawn(move || {
+                    store.save(&snapshot(&format!("pub-thread{i}"))).unwrap();
+                });
+            }
+        });
+        assert_eq!(store.len(), 8);
+        // The manifest on disk must parse and list all eight — a torn
+        // concurrent rewrite would fail this reopen.
+        drop(store);
+        let (store, quarantined) = ArtifactStore::open(&root).unwrap();
+        assert!(quarantined.is_empty());
+        assert_eq!(store.len(), 8);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn requarantine_preserves_earlier_copies() {
+        let root = temp_root("requarantine");
+        let (store, _) = ArtifactStore::open(&root).unwrap();
+        store.save(&snapshot("pub-again")).unwrap();
+        assert!(store.quarantine("pub-again").unwrap());
+        store.save(&snapshot("pub-again")).unwrap();
+        assert!(store.quarantine("pub-again").unwrap());
+        let q = root.join(QUARANTINE_DIR);
+        assert!(q.join("pub-again.bpub").exists());
+        assert!(
+            q.join("pub-again.bpub.1").exists(),
+            "second quarantine must not overwrite the first copy"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unsafe_handles_are_rejected() {
+        for bad in ["", "../escape", "a/b", ".hidden", "x y"] {
+            assert!(validate_handle(bad).is_err(), "{bad:?} accepted");
+        }
+        assert!(validate_handle("pub-0123abcd").is_ok());
+    }
+}

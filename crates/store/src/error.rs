@@ -1,0 +1,129 @@
+//! Structured failures for the snapshot formats and the on-disk store.
+//!
+//! Every reader-side failure names the *section* it happened in, so a
+//! corrupted file reports "section `col.2` failed its checksum" rather than
+//! a bare deserialization panic — the corruption tests assert exactly this.
+
+use std::fmt;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Everything reading or writing a snapshot can fail with.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O failure (reading past EOF is reported as
+    /// [`StoreError::Truncated`] instead, with the section named).
+    Io(std::io::Error),
+    /// The file does not start with the expected magic bytes.
+    BadMagic {
+        /// The magic the reader expected (`BTBL` / `BPUB`).
+        expected: &'static str,
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The file's format version is newer than this reader supports.
+    VersionSkew {
+        /// Version recorded in the file.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
+    /// The input ended before the named section was complete.
+    Truncated {
+        /// Section (or frame part) being read when bytes ran out.
+        section: String,
+    },
+    /// A section's payload does not match its recorded checksum.
+    Corrupt {
+        /// The section whose checksum failed.
+        section: String,
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        got: u64,
+    },
+    /// A section decoded but its contents are inconsistent (bad lengths,
+    /// out-of-domain codes, a schema that fails validation, …).
+    Malformed {
+        /// The offending section.
+        section: String,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o: {e}"),
+            StoreError::BadMagic { expected, found } => {
+                write!(f, "not a {expected} file (magic bytes {found:02x?})")
+            }
+            StoreError::VersionSkew { found, supported } => write!(
+                f,
+                "format version {found} is newer than this reader (supports <= {supported})"
+            ),
+            StoreError::Truncated { section } => {
+                write!(f, "truncated input while reading section `{section}`")
+            }
+            StoreError::Corrupt {
+                section,
+                expected,
+                got,
+            } => write!(
+                f,
+                "section `{section}` failed its checksum (recorded {expected:#018x}, computed {got:#018x})"
+            ),
+            StoreError::Malformed { section, detail } => {
+                write!(f, "section `{section}` is malformed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl StoreError {
+    /// Builds a [`StoreError::Malformed`] for `section`.
+    pub fn malformed(section: &str, detail: impl fmt::Display) -> Self {
+        StoreError::Malformed {
+            section: section.to_string(),
+            detail: detail.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_section() {
+        let e = StoreError::Corrupt {
+            section: "col.2".into(),
+            expected: 1,
+            got: 2,
+        };
+        assert!(e.to_string().contains("`col.2`"));
+        let e = StoreError::Truncated {
+            section: "schema".into(),
+        };
+        assert!(e.to_string().contains("`schema`"));
+        let e = StoreError::malformed("params", "bad algo");
+        assert!(e.to_string().contains("`params`") && e.to_string().contains("bad algo"));
+    }
+}

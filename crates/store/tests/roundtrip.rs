@@ -1,0 +1,149 @@
+//! Property tests: arbitrary synthetic tables (and real pipeline outputs
+//! over them) survive a BTBL/BPUB write → read round trip exactly —
+//! including bit-identical audit statistics.
+
+use betalike::model::BetaLikeness;
+use betalike::{burel, perturb, BurelConfig};
+use betalike_metrics::audit::{audit_partition, ClosenessMetric};
+use betalike_microdata::synthetic::{random_table, SaShape, SyntheticConfig};
+use betalike_microdata::Table;
+use betalike_store::{
+    publication_from_slice, publication_to_vec, table_from_slice, table_to_vec, FormSnapshot,
+    PubParams, PublicationSnapshot,
+};
+use proptest::prelude::*;
+
+fn synthetic(rows: usize, qi_attrs: usize, qi_card: usize, sa_card: usize, seed: u64) -> Table {
+    random_table(&SyntheticConfig {
+        rows,
+        qi_attrs,
+        qi_cardinality: qi_card,
+        sa_cardinality: sa_card,
+        sa_shape: SaShape::Zipf(1.0),
+        seed,
+    })
+}
+
+fn params_for(table: &Table, algo: &str, handle: &str) -> PubParams {
+    let sa = table.schema().default_sa();
+    PubParams {
+        handle: handle.into(),
+        canonical: format!("prop|{algo}"),
+        dataset_name: "synthetic".into(),
+        dataset_rows: table.num_rows() as u64,
+        dataset_seed: 0,
+        dataset_key: "synthetic:test".into(),
+        algo: algo.into(),
+        qi_prefix: sa as u32,
+        beta: 4.0,
+        t: 0.0,
+        seed: 42,
+        qi: (0..sa as u32).collect(),
+        qi_pool: (0..sa as u32).collect(),
+        sa: sa as u32,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any generated table round-trips through BTBL exactly (schema and
+    /// every column), across 1- and 2-byte packed code widths.
+    #[test]
+    fn btbl_roundtrips_arbitrary_tables(
+        rows in 1usize..300,
+        qi_attrs in 1usize..4,
+        qi_card in 2usize..400,
+        sa_card in 2usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let table = synthetic(rows, qi_attrs, qi_card, sa_card, seed);
+        let bytes = table_to_vec(&table).unwrap();
+        let back = table_from_slice(&bytes).unwrap();
+        prop_assert_eq!(&back, &table);
+    }
+
+    /// A real BUREL publication over an arbitrary table — partition, audit
+    /// and all — survives the BPUB round trip with the audit statistics
+    /// bit-identical.
+    #[test]
+    fn bpub_generalized_roundtrips_with_audit(
+        rows in 60usize..240,
+        seed in 0u64..5_000,
+    ) {
+        let table = synthetic(rows, 2, 32, 6, seed);
+        let sa = table.schema().default_sa();
+        let qi: Vec<usize> = (0..sa).collect();
+        let partition = match burel(&table, &qi, sa, &BurelConfig::new(4.0).with_seed(7)) {
+            Ok(p) => p,
+            // Rare skewed draws can make β = 4 unsatisfiable; that is the
+            // algorithm's contract, not the store's.
+            Err(_) => return,
+        };
+        let audit = audit_partition(&table, &partition, ClosenessMetric::EqualDistance);
+        let snap = PublicationSnapshot {
+            params: params_for(&table, "burel", "pub-prop-gen"),
+            table: table.clone(),
+            form: FormSnapshot::Generalized {
+                ecs: partition
+                    .ecs()
+                    .iter()
+                    .map(|ec| ec.iter().map(|&r| r as u32).collect())
+                    .collect(),
+            },
+            audit: Some(audit.clone()),
+        };
+        let back = publication_from_slice(&publication_to_vec(&snap).unwrap()).unwrap();
+        prop_assert_eq!(&back.table, &table);
+        prop_assert_eq!(&back.form, &snap.form);
+        let stored = back.audit.unwrap();
+        prop_assert_eq!(stored.max_beta.to_bits(), audit.max_beta.to_bits());
+        prop_assert_eq!(stored.avg_closeness.to_bits(), audit.avg_closeness.to_bits());
+        prop_assert_eq!(stored.num_ecs, audit.num_ecs);
+        prop_assert_eq!(stored.min_ec_size, audit.min_ec_size);
+    }
+
+    /// A real perturbation publication — randomized column plus the plan's
+    /// float series — survives the BPUB round trip bitwise.
+    #[test]
+    fn bpub_perturbed_roundtrips_bitwise(
+        rows in 40usize..200,
+        sa_card in 3usize..10,
+        seed in 0u64..5_000,
+    ) {
+        let table = synthetic(rows, 2, 16, sa_card, seed);
+        let sa = table.schema().default_sa();
+        let model = BetaLikeness::new(2.0).unwrap();
+        let published = match perturb(&table, sa, &model, seed ^ 0xbeef) {
+            Ok(p) => p,
+            // A draw whose SA support degenerates to one value cannot be
+            // perturbed; not a store property.
+            Err(_) => return,
+        };
+        let plan = &published.plan;
+        let snap = PublicationSnapshot {
+            params: params_for(&table, "perturb", "pub-prop-pert"),
+            table: table.clone(),
+            form: FormSnapshot::Perturbed {
+                sa_column: published.table.column(sa).to_vec(),
+                support: plan.support().to_vec(),
+                priors: plan.priors().to_vec(),
+                caps: plan.caps().to_vec(),
+                gammas: plan.gammas().to_vec(),
+                alphas: plan.alphas().to_vec(),
+            },
+            audit: None,
+        };
+        let back = publication_from_slice(&publication_to_vec(&snap).unwrap()).unwrap();
+        let FormSnapshot::Perturbed { sa_column, alphas, priors, .. } = &back.form else {
+            panic!("form kind changed in flight");
+        };
+        prop_assert_eq!(sa_column, published.table.column(sa));
+        for (got, want) in alphas.iter().zip(plan.alphas()) {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+        for (got, want) in priors.iter().zip(plan.priors()) {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+}
