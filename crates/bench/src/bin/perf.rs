@@ -26,6 +26,12 @@
 //! path (read the `.bpub` snapshot and restore a serving-ready artifact),
 //! plus raw snapshot write/read throughput in MB/s.
 //!
+//! Since PR 5 it also measures *conformance* (`verify` section): per
+//! dataset size, the independent oracle's full verification of a BUREL
+//! and a perturbation snapshot versus the (warm-registry) publish cost —
+//! the price of never trusting a publication the pipeline's own auditor
+//! blessed.
+//!
 //! ```text
 //! cargo run --release -p betalike-bench --bin perf -- --rows 200000
 //! cargo run --release -p betalike-bench --bin perf -- smoke --out perf-smoke.json
@@ -45,7 +51,7 @@
 //!   before uploading it.
 //!
 //! `--rows N` replaces the default 10k/50k/200k grid with the single size
-//! N; `--out FILE` overrides the default `BENCH_4.json`.
+//! N; `--out FILE` overrides the default `BENCH_5.json`.
 
 use betalike::bucketize::dp_partition;
 use betalike::burel::rows_per_bucket;
@@ -90,7 +96,7 @@ fn main() {
         .extra
         .get("out")
         .cloned()
-        .unwrap_or_else(|| "BENCH_4.json".into());
+        .unwrap_or_else(|| "BENCH_5.json".into());
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     // On a single-core host 4 threads still exercise the pool (and honestly
     // record the oversubscription cost); on real hardware N = all cores.
@@ -129,12 +135,14 @@ fn main() {
     let serve = measure_serve(serve_rows, serve_queries, &[1, parallel_threads]);
     print_serve(&serve);
 
-    let store = if serve_only {
-        Vec::new()
+    let (store, verify) = if serve_only {
+        (Vec::new(), Vec::new())
     } else {
         let store = measure_store(&row_grid, iters);
         print_store(&store);
-        store
+        let verify = measure_verify(&row_grid, iters);
+        print_verify(&verify);
+        (store, verify)
     };
 
     if serve_only && !explicit_out {
@@ -147,6 +155,7 @@ fn main() {
         &measurements,
         &serve,
         &store,
+        &verify,
         cpus,
         parallel_threads,
         iters,
@@ -289,11 +298,42 @@ fn check_schema(doc: &Json) -> Result<String, String> {
             }
         }
     }
+    // The `verify` section exists from PR 5 on; earlier committed
+    // trajectory files (BENCH_2/3/4) must still validate.
+    let verify = match doc.get("verify") {
+        Some(verify) => verify,
+        None if pr < 5.0 => {
+            return Ok(format!(
+                "{} stage measurements, {} serve points, {} store points, \
+                 pre-PR5 document without a verify section",
+                measurements.len(),
+                clients.len(),
+                points.len()
+            ))
+        }
+        None => return Err("missing object `verify` (required from pr 5 on)".into()),
+    };
+    let verify_points = verify
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or("verify: missing array `points`")?;
+    for (i, p) in verify_points.iter().enumerate() {
+        let ctx = |e: String| format!("verify.points[{i}]: {e}");
+        num(p, "rows").map_err(ctx)?;
+        text(p, "algo").map_err(ctx)?;
+        for key in ["publish_secs", "verify_secs"] {
+            let v = num(p, key).map_err(ctx)?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("verify.points[{i}]: {key} = {v} is not > 0"));
+            }
+        }
+    }
     Ok(format!(
-        "{} stage measurements, {} serve points, {} store points",
+        "{} stage measurements, {} serve points, {} store points, {} verify points",
         measurements.len(),
         clients.len(),
-        points.len()
+        points.len(),
+        verify_points.len()
     ))
 }
 
@@ -555,6 +595,78 @@ fn measure_store(row_grid: &[usize], iters: usize) -> Vec<StorePoint> {
     points
 }
 
+/// One measured conformance point: the independent oracle's verification
+/// time versus the (warm-registry) publish time, per dataset size and
+/// scheme.
+struct VerifyPoint {
+    rows: usize,
+    algo: &'static str,
+    publish_secs: f64,
+    verify_secs: f64,
+}
+
+/// Measures the `verify` section: per dataset size, snapshot a BUREL and a
+/// perturbation publication the way the durable store would and time the
+/// independent conformance oracle's full verification of each, alongside
+/// the warm publish cost for scale.
+fn measure_verify(row_grid: &[usize], iters: usize) -> Vec<VerifyPoint> {
+    use betalike_server::artifact::Artifact;
+    use betalike_server::{persist, Algo, DatasetSpec, PublishRequest, Registry};
+
+    let mut points = Vec::new();
+    for &rows in row_grid {
+        let registry = Registry::new();
+        for algo in [Algo::Burel, Algo::Perturb] {
+            let request = PublishRequest::new(DatasetSpec::Census { rows, seed: 42 }, algo);
+            // Warm the dataset/geometry caches, then time the pipeline and
+            // the oracle on equal footing.
+            let artifact = Artifact::publish(&registry, &request).expect("publish");
+            let publish = best_of(iters, || {
+                Artifact::publish(&registry, &request).expect("publish")
+            });
+            let snap = persist::snapshot(&artifact);
+            let verify = best_of(iters, || {
+                let report = betalike_conformance::verify_snapshot(&snap);
+                assert!(
+                    report.pass(),
+                    "perf artifact must verify: {}",
+                    report.summary()
+                );
+                report
+            });
+            points.push(VerifyPoint {
+                rows,
+                algo: algo.as_str(),
+                publish_secs: publish.as_secs_f64(),
+                verify_secs: verify.as_secs_f64(),
+            });
+        }
+    }
+    points
+}
+
+/// Prints the conformance table.
+fn print_verify(points: &[VerifyPoint]) {
+    println!("verify: independent conformance oracle vs warm publish");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.rows.to_string(),
+                p.algo.to_string(),
+                secs(Duration::from_secs_f64(p.publish_secs)),
+                secs(Duration::from_secs_f64(p.verify_secs)),
+                format!("{:.2}x", p.verify_secs / p.publish_secs.max(1e-12)),
+            ]
+        })
+        .collect();
+    print_table(
+        &["rows", "algo", "publish", "verify", "verify/publish"],
+        &rows,
+    );
+    println!();
+}
+
 /// Prints the durability table.
 fn print_store(points: &[StorePoint]) {
     println!("store: cold publish (BUREL from empty registry) vs warm snapshot load");
@@ -657,10 +769,12 @@ fn print_measurements(measurements: &[Measurement], parallel_threads: usize) {
 }
 
 /// Renders the trajectory document.
+#[allow(clippy::too_many_arguments)] // one argument per document section
 fn to_json(
     measurements: &[Measurement],
     serve: &ServeMeasurement,
     store: &[StorePoint],
+    verify: &[VerifyPoint],
     cpus: usize,
     parallel_threads: usize,
     iters: usize,
@@ -702,8 +816,19 @@ fn to_json(
             ])
         })
         .collect();
+    let verify_points: Vec<Json> = verify
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("rows".into(), Json::Num(p.rows as f64)),
+                ("algo".into(), Json::Str(p.algo.into())),
+                ("publish_secs".into(), Json::Num(p.publish_secs)),
+                ("verify_secs".into(), Json::Num(p.verify_secs)),
+            ])
+        })
+        .collect();
     Json::Obj(vec![
-        ("pr".into(), Json::Num(4.0)),
+        ("pr".into(), Json::Num(5.0)),
         ("harness".into(), Json::Str("perf".into())),
         ("dataset".into(), Json::Str("CENSUS (synthetic)".into())),
         ("beta".into(), Json::Num(BETA)),
@@ -733,6 +858,10 @@ fn to_json(
                 ("algo".into(), Json::Str("burel".into())),
                 ("points".into(), Json::Arr(store_points)),
             ]),
+        ),
+        (
+            "verify".into(),
+            Json::Obj(vec![("points".into(), Json::Arr(verify_points))]),
         ),
     ])
 }

@@ -1,0 +1,252 @@
+//! Mutation testing for the oracle: deliberately corrupted artifacts that
+//! a sound verifier MUST reject.
+//!
+//! Each [`Mutation`] takes a *legitimately published* snapshot and returns
+//! a corrupted copy (or `None` when the mutation does not apply to the
+//! snapshot's form). The mutation suite (`tests/mutation.rs`, run by the
+//! CI `conformance` job) asserts that every applicable mutation flips the
+//! oracle's verdict to FAIL — if a mutation ever slips through, the oracle
+//! lost its teeth and the suite goes red.
+//!
+//! The catalogue spans every trust boundary a stored artifact has:
+//!
+//! | mutation              | forges                       | caught by            |
+//! |-----------------------|------------------------------|----------------------|
+//! | `MoveRowAcrossEcs`    | EC membership                | `audit-match`        |
+//! | `SwapSaPair`          | source SA values             | `audit-match` / `beta-bound` |
+//! | `LoosenBeta`          | the claimed β, post-hoc      | `params-canonical`   |
+//! | `DropRowFromEc`       | the cover (row vanishes)     | `cover`              |
+//! | `DuplicateRowAcrossEcs`| the cover (row re-used)     | `cover`              |
+//! | `TamperAudit`        | the published audit numbers  | `audit-match`        |
+//! | `TamperPrior`         | the published plan priors    | `priors-exact`       |
+//! | `OffSupportValue`     | the randomized SA column     | `column-in-support`  |
+//! | `AlphaOutOfRange`     | the retention probabilities  | `alphas-range`       |
+
+use betalike_store::{FormSnapshot, PublicationSnapshot};
+
+/// One way to corrupt a published artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Moves a row from the largest EC into the EC that concentrates that
+    /// row's SA value the most — the stored audit no longer matches the
+    /// partition (and the β bound may break outright).
+    MoveRowAcrossEcs,
+    /// Swaps the SA values of two rows (in different ECs, different
+    /// values) inside the stored source table.
+    SwapSaPair,
+    /// Raises the claimed β in the stored parameters without re-deriving
+    /// the canonical string — the classic "loosen the guarantee post-hoc".
+    LoosenBeta,
+    /// Deletes the last row of the largest EC: that row is no longer
+    /// covered by any EC.
+    DropRowFromEc,
+    /// Adds the first row of EC 0 to another EC as well.
+    DuplicateRowAcrossEcs,
+    /// Halves the stored audit's `max_beta` — the publication claims to be
+    /// more private than it is.
+    TamperAudit,
+    /// Nudges one published prior off the table's true frequency.
+    TamperPrior,
+    /// Rewrites part of the randomized SA column to a value outside the
+    /// plan's support.
+    OffSupportValue,
+    /// Sets a retention probability outside `[0, 1]`.
+    AlphaOutOfRange,
+}
+
+impl Mutation {
+    /// Every mutation, in catalogue order.
+    pub const ALL: [Mutation; 9] = [
+        Mutation::MoveRowAcrossEcs,
+        Mutation::SwapSaPair,
+        Mutation::LoosenBeta,
+        Mutation::DropRowFromEc,
+        Mutation::DuplicateRowAcrossEcs,
+        Mutation::TamperAudit,
+        Mutation::TamperPrior,
+        Mutation::OffSupportValue,
+        Mutation::AlphaOutOfRange,
+    ];
+
+    /// Stable name for test output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::MoveRowAcrossEcs => "move-row-across-ecs",
+            Mutation::SwapSaPair => "swap-sa-pair",
+            Mutation::LoosenBeta => "loosen-beta",
+            Mutation::DropRowFromEc => "drop-row-from-ec",
+            Mutation::DuplicateRowAcrossEcs => "duplicate-row-across-ecs",
+            Mutation::TamperAudit => "tamper-audit",
+            Mutation::TamperPrior => "tamper-prior",
+            Mutation::OffSupportValue => "off-support-value",
+            Mutation::AlphaOutOfRange => "alpha-out-of-range",
+        }
+    }
+
+    /// The oracle check expected to catch this mutation. A rejected
+    /// artifact may fail more than one check, but the mutation suite
+    /// requires this one to be among the failures — otherwise the check
+    /// could silently lose its teeth behind a coincidental failure
+    /// elsewhere.
+    pub fn expected_check(self) -> &'static str {
+        match self {
+            Mutation::MoveRowAcrossEcs | Mutation::SwapSaPair | Mutation::TamperAudit => {
+                "audit-match"
+            }
+            Mutation::LoosenBeta => "params-canonical",
+            Mutation::DropRowFromEc | Mutation::DuplicateRowAcrossEcs => "cover",
+            Mutation::TamperPrior => "priors-exact",
+            Mutation::OffSupportValue => "column-in-support",
+            Mutation::AlphaOutOfRange => "alphas-range",
+        }
+    }
+
+    /// Applies the mutation, returning `None` when it does not fit the
+    /// snapshot's form (e.g. a plan mutation on a generalized artifact).
+    pub fn apply(self, snap: &PublicationSnapshot) -> Option<PublicationSnapshot> {
+        let mut out = snap.clone();
+        match self {
+            Mutation::LoosenBeta => {
+                // Applies to every form: the canonical string is shared.
+                out.params.beta = out.params.beta * 2.0 + 1.0;
+                Some(out)
+            }
+            Mutation::MoveRowAcrossEcs => {
+                let sa = out.params.sa as usize;
+                let sa_col: Vec<u32> = out.table.column(sa).to_vec();
+                let FormSnapshot::Generalized { ecs } = &mut out.form else {
+                    return None;
+                };
+                if ecs.len() < 2 {
+                    return None;
+                }
+                // Take a row from the largest EC…
+                let from = (0..ecs.len()).max_by_key(|&i| ecs[i].len())?;
+                if ecs[from].len() < 2 {
+                    return None;
+                }
+                let row = ecs[from].pop()?;
+                let value = sa_col[row as usize];
+                // …and concentrate it where its value is already densest.
+                let to = (0..ecs.len()).filter(|&i| i != from).max_by(|&a, &b| {
+                    let density = |i: usize| {
+                        let hits = ecs[i]
+                            .iter()
+                            .filter(|&&r| sa_col[r as usize] == value)
+                            .count();
+                        hits as f64 / ecs[i].len() as f64
+                    };
+                    density(a).total_cmp(&density(b))
+                })?;
+                ecs[to].push(row);
+                Some(out)
+            }
+            Mutation::SwapSaPair => {
+                let sa = out.params.sa as usize;
+                let FormSnapshot::Generalized { ecs } = &out.form else {
+                    return None;
+                };
+                if ecs.len() < 2 {
+                    return None;
+                }
+                let col = out.table.column(sa);
+                // Find one row per EC pair with different SA values.
+                let (a, b) = ecs[0]
+                    .iter()
+                    .flat_map(|&ra| ecs[1].iter().map(move |&rb| (ra, rb)))
+                    .find(|&(ra, rb)| col[ra as usize] != col[rb as usize])?;
+                let mut columns: Vec<Vec<u32>> = (0..out.table.schema().arity())
+                    .map(|i| out.table.column(i).to_vec())
+                    .collect();
+                columns[sa].swap(a as usize, b as usize);
+                out.table =
+                    betalike_microdata::Table::from_columns(out.table.schema_arc(), columns)
+                        .expect("swap stays in-domain");
+                Some(out)
+            }
+            Mutation::DropRowFromEc => {
+                let FormSnapshot::Generalized { ecs } = &mut out.form else {
+                    return None;
+                };
+                let largest = (0..ecs.len()).max_by_key(|&i| ecs[i].len())?;
+                if ecs[largest].len() < 2 {
+                    return None;
+                }
+                ecs[largest].pop();
+                Some(out)
+            }
+            Mutation::DuplicateRowAcrossEcs => {
+                let FormSnapshot::Generalized { ecs } = &mut out.form else {
+                    return None;
+                };
+                if ecs.len() < 2 {
+                    return None;
+                }
+                let row = *ecs[0].first()?;
+                ecs[1].push(row);
+                Some(out)
+            }
+            Mutation::TamperAudit => {
+                let audit = out.audit.as_mut()?;
+                audit.max_beta *= 0.5;
+                Some(out)
+            }
+            Mutation::TamperPrior => {
+                let FormSnapshot::Perturbed { priors, .. } = &mut out.form else {
+                    return None;
+                };
+                *priors.first_mut()? *= 1.0 + 1e-9;
+                Some(out)
+            }
+            Mutation::OffSupportValue => {
+                let domain = out
+                    .table
+                    .schema()
+                    .attr(out.params.sa as usize)
+                    .cardinality() as u32;
+                let FormSnapshot::Perturbed {
+                    sa_column, support, ..
+                } = &mut out.form
+                else {
+                    return None;
+                };
+                // A domain code the support skips; artifacts over
+                // full-support domains cannot host this mutation.
+                let off = (0..domain).find(|v| support.binary_search(v).is_err())?;
+                *sa_column.first_mut()? = off;
+                Some(out)
+            }
+            Mutation::AlphaOutOfRange => {
+                let FormSnapshot::Perturbed { alphas, .. } = &mut out.form else {
+                    return None;
+                };
+                *alphas.first_mut()? = 1.5;
+                Some(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publish::{publish_snapshot, PublishSpec, Scheme};
+
+    #[test]
+    fn catalogue_names_are_distinct() {
+        let names: std::collections::BTreeSet<&str> =
+            Mutation::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), Mutation::ALL.len());
+    }
+
+    #[test]
+    fn inapplicable_mutations_return_none() {
+        let spec = PublishSpec::synthetic(150, 3, Scheme::Anatomy);
+        let snap = publish_snapshot(&spec.synthetic_table(), &spec).unwrap();
+        assert!(Mutation::MoveRowAcrossEcs.apply(&snap).is_none());
+        assert!(Mutation::TamperPrior.apply(&snap).is_none());
+        assert!(Mutation::TamperAudit.apply(&snap).is_none());
+        // LoosenBeta applies to every form.
+        assert!(Mutation::LoosenBeta.apply(&snap).is_some());
+    }
+}

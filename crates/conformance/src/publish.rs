@@ -1,0 +1,302 @@
+//! Reference publication plumbing: runs one anonymization scheme and
+//! assembles the [`PublicationSnapshot`] exactly the way `betalike-serve`'s
+//! persistence layer does (normalized parameters, canonical string,
+//! content-addressed handle, publish-time audit for generalization
+//! schemes).
+//!
+//! This module is the *system under test* — it drives `betalike` (core)
+//! and `betalike-baselines` so the fuzzer and the mutation suite have real
+//! artifacts to verify and corrupt. It is deliberately outside the
+//! oracle's dependency boundary (see the crate docs).
+
+use betalike::model::{BetaLikeness, BoundKind};
+use betalike::{burel, perturb, BurelConfig};
+use betalike_baselines::constraints::LikenessConstraint;
+use betalike_baselines::mondrian::{mondrian, MondrianConfig};
+use betalike_baselines::sabre::{sabre, SabreConfig};
+use betalike_metrics::audit::{audit_partition, ClosenessMetric};
+use betalike_microdata::hash::fnv1a64;
+use betalike_microdata::synthetic::{random_table, SyntheticConfig};
+use betalike_microdata::Table;
+use betalike_store::{FormSnapshot, PubParams, PublicationSnapshot};
+
+/// The anonymization scheme to publish with (mirrors the server's `Algo`,
+/// kept separate so this crate does not depend on the server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// BUREL generalization (Section 4).
+    Burel,
+    /// The SABRE t-closeness baseline.
+    Sabre,
+    /// Mondrian constrained by β-likeness.
+    Mondrian,
+    /// Anatomy-style release.
+    Anatomy,
+    /// β-likeness by perturbation (Section 5).
+    Perturb,
+}
+
+impl Scheme {
+    /// Every scheme, in wire order.
+    pub const ALL: [Scheme; 5] = [
+        Scheme::Burel,
+        Scheme::Sabre,
+        Scheme::Mondrian,
+        Scheme::Anatomy,
+        Scheme::Perturb,
+    ];
+
+    /// The wire name (matches the server's `Algo::as_str`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scheme::Burel => "burel",
+            Scheme::Sabre => "sabre",
+            Scheme::Mondrian => "mondrian",
+            Scheme::Anatomy => "anatomy",
+            Scheme::Perturb => "perturb",
+        }
+    }
+}
+
+/// Everything needed to publish one artifact and name it the way the
+/// server would.
+#[derive(Debug, Clone)]
+pub struct PublishSpec {
+    /// Generator family name (`census` / `patients` / `synthetic`).
+    pub dataset_name: String,
+    /// Generator row count (0 for fixed datasets).
+    pub dataset_rows: u64,
+    /// Generator seed.
+    pub dataset_seed: u64,
+    /// The canonical dataset key (e.g. `synthetic:rows=200:seed=7`).
+    pub dataset_key: String,
+    /// The scheme to publish with.
+    pub scheme: Scheme,
+    /// QI attributes to generalize (ignored by Anatomy / perturbation).
+    pub qi: Vec<usize>,
+    /// The dataset's full candidate QI pool.
+    pub qi_pool: Vec<usize>,
+    /// The sensitive attribute.
+    pub sa: usize,
+    /// β threshold.
+    pub beta: f64,
+    /// t threshold (SABRE).
+    pub t: f64,
+    /// Algorithm seed.
+    pub seed: u64,
+}
+
+impl PublishSpec {
+    /// A spec over the synthetic generator's default roles (QI attributes
+    /// `0..qi_attrs`, SA right after) at the workspace default parameters.
+    pub fn synthetic(rows: usize, dataset_seed: u64, scheme: Scheme) -> Self {
+        let cfg = SyntheticConfig {
+            rows,
+            seed: dataset_seed,
+            ..Default::default()
+        };
+        PublishSpec {
+            dataset_name: "synthetic".into(),
+            dataset_rows: rows as u64,
+            dataset_seed,
+            dataset_key: format!("synthetic:rows={rows}:seed={dataset_seed}"),
+            scheme,
+            qi: (0..cfg.qi_attrs).collect(),
+            qi_pool: (0..cfg.qi_attrs).collect(),
+            sa: cfg.qi_attrs,
+            beta: 4.0,
+            t: 0.2,
+            seed: 42,
+        }
+    }
+
+    /// Materializes the synthetic table a [`PublishSpec::synthetic`] spec
+    /// names.
+    pub fn synthetic_table(&self) -> Table {
+        random_table(&SyntheticConfig {
+            rows: self.dataset_rows as usize,
+            seed: self.dataset_seed,
+            ..Default::default()
+        })
+    }
+
+    /// The normalized parameters (the server's `PublishRequest::normalized`
+    /// semantics: knobs a scheme ignores are zeroed so equal publications
+    /// hash equal).
+    fn normalized(&self) -> (usize, f64, f64, u64) {
+        let mut qi_prefix = self.qi.len();
+        let mut beta = self.beta;
+        let mut t = self.t;
+        let mut seed = self.seed;
+        match self.scheme {
+            Scheme::Burel => t = 0.0,
+            Scheme::Mondrian => {
+                t = 0.0;
+                seed = 0;
+            }
+            Scheme::Sabre => beta = 0.0,
+            Scheme::Perturb => {
+                t = 0.0;
+                qi_prefix = 0;
+            }
+            Scheme::Anatomy => {
+                beta = 0.0;
+                t = 0.0;
+                seed = 0;
+                qi_prefix = 0;
+            }
+        }
+        (qi_prefix, beta, t, seed)
+    }
+
+    /// The canonical parameter string (the server's wire format).
+    pub fn canonical(&self) -> String {
+        let (qi_prefix, beta, t, seed) = self.normalized();
+        format!(
+            "{}|algo={}|qi={qi_prefix}|beta={beta}|t={t}|seed={seed}",
+            self.dataset_key,
+            self.scheme.as_str()
+        )
+    }
+
+    /// The content-addressed handle.
+    pub fn handle(&self) -> String {
+        format!("pub-{:016x}", fnv1a64(self.canonical().as_bytes()))
+    }
+}
+
+/// Publishes `table` per `spec` and assembles the snapshot the persistence
+/// layer would store: normalized params, the form's stored state, and the
+/// publish-time audit for generalization schemes.
+///
+/// # Errors
+///
+/// Returns the scheme's failure message (e.g. an unsatisfiable β on a
+/// degenerate table) — fuzz cases treat this as "skipped", not a bug.
+pub fn publish_snapshot(table: &Table, spec: &PublishSpec) -> Result<PublicationSnapshot, String> {
+    let (qi_prefix, beta, t, seed) = spec.normalized();
+    let generalizes = matches!(
+        spec.scheme,
+        Scheme::Burel | Scheme::Sabre | Scheme::Mondrian
+    );
+    let qi: Vec<usize> = if generalizes {
+        spec.qi.clone()
+    } else {
+        Vec::new()
+    };
+
+    let mut audit = None;
+    let form = match spec.scheme {
+        Scheme::Burel => {
+            let cfg = BurelConfig::new(beta).with_seed(seed);
+            let p = burel(table, &qi, spec.sa, &cfg).map_err(|e| e.to_string())?;
+            audit = Some(audit_partition(table, &p, ClosenessMetric::EqualDistance));
+            FormSnapshot::Generalized {
+                ecs: p
+                    .ecs()
+                    .iter()
+                    .map(|ec| ec.iter().map(|&r| r as u32).collect())
+                    .collect(),
+            }
+        }
+        Scheme::Sabre => {
+            let cfg = SabreConfig::new(t).with_seed(seed);
+            let p = sabre(table, &qi, spec.sa, &cfg).map_err(|e| e.to_string())?;
+            audit = Some(audit_partition(table, &p, ClosenessMetric::EqualDistance));
+            FormSnapshot::Generalized {
+                ecs: p
+                    .ecs()
+                    .iter()
+                    .map(|ec| ec.iter().map(|&r| r as u32).collect())
+                    .collect(),
+            }
+        }
+        Scheme::Mondrian => {
+            let model =
+                BetaLikeness::with_bound(beta, BoundKind::Enhanced).map_err(|e| e.to_string())?;
+            let c = LikenessConstraint::new(table, spec.sa, model);
+            let p = mondrian(table, &qi, spec.sa, &c, &MondrianConfig::default())
+                .map_err(|e| e.to_string())?;
+            audit = Some(audit_partition(table, &p, ClosenessMetric::EqualDistance));
+            FormSnapshot::Generalized {
+                ecs: p
+                    .ecs()
+                    .iter()
+                    .map(|ec| ec.iter().map(|&r| r as u32).collect())
+                    .collect(),
+            }
+        }
+        Scheme::Anatomy => FormSnapshot::Anatomy,
+        Scheme::Perturb => {
+            let model = BetaLikeness::new(beta).map_err(|e| e.to_string())?;
+            let published = perturb(table, spec.sa, &model, seed).map_err(|e| e.to_string())?;
+            let plan = &published.plan;
+            FormSnapshot::Perturbed {
+                sa_column: published.table.column(published.sa).to_vec(),
+                support: plan.support().to_vec(),
+                priors: plan.priors().to_vec(),
+                caps: plan.caps().to_vec(),
+                gammas: plan.gammas().to_vec(),
+                alphas: plan.alphas().to_vec(),
+            }
+        }
+    };
+
+    Ok(PublicationSnapshot {
+        params: PubParams {
+            handle: spec.handle(),
+            canonical: spec.canonical(),
+            dataset_name: spec.dataset_name.clone(),
+            dataset_rows: spec.dataset_rows,
+            dataset_seed: spec.dataset_seed,
+            dataset_key: spec.dataset_key.clone(),
+            algo: spec.scheme.as_str().to_string(),
+            qi_prefix: qi_prefix as u32,
+            beta,
+            t,
+            seed,
+            qi: qi.iter().map(|&a| a as u32).collect(),
+            qi_pool: spec.qi_pool.iter().map(|&a| a as u32).collect(),
+            sa: spec.sa as u32,
+        },
+        table: table.clone(),
+        form,
+        audit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::verify_snapshot;
+
+    #[test]
+    fn every_scheme_publishes_a_conformant_snapshot() {
+        for scheme in Scheme::ALL {
+            let spec = PublishSpec::synthetic(240, 11, scheme);
+            let table = spec.synthetic_table();
+            let snap = publish_snapshot(&table, &spec).expect("publish");
+            let report = verify_snapshot(&snap);
+            assert!(
+                report.pass(),
+                "{}: {}\n{:?}",
+                scheme.as_str(),
+                report.summary(),
+                report.failures()
+            );
+            assert_eq!(snap.params.handle, spec.handle());
+        }
+    }
+
+    #[test]
+    fn normalization_zeroes_ignored_knobs() {
+        let mut a = PublishSpec::synthetic(100, 1, Scheme::Anatomy);
+        a.beta = 9.0;
+        a.t = 0.7;
+        a.seed = 123;
+        let b = PublishSpec::synthetic(100, 1, Scheme::Anatomy);
+        assert_eq!(a.handle(), b.handle(), "anatomy ignores beta/t/seed");
+        let burel = PublishSpec::synthetic(100, 1, Scheme::Burel);
+        assert_ne!(burel.handle(), b.handle());
+    }
+}

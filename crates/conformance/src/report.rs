@@ -1,0 +1,170 @@
+//! The oracle's verdict: a named list of checks plus the re-derived
+//! headline numbers.
+//!
+//! A report never panics information away: every invariant the oracle
+//! evaluated appears as a [`Check`] with a human-readable detail, so a CI
+//! log (or the `betalike-verify --out` JSON artifact) names exactly which
+//! invariant a corrupted artifact broke.
+
+use betalike_microdata::json::Json;
+
+/// One evaluated invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Stable machine-readable name (e.g. `beta-bound`, `cover`).
+    pub name: &'static str,
+    /// Whether the invariant held.
+    pub pass: bool,
+    /// Human-readable evidence: the first violation found, or a short
+    /// summary of what was checked.
+    pub detail: String,
+}
+
+/// The oracle's full verdict on one published artifact.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// The artifact handle (empty for in-memory verifications that have
+    /// none).
+    pub handle: String,
+    /// The publication form (`generalized` / `perturbed` / `anatomy`).
+    pub kind: String,
+    /// Source-table rows.
+    pub rows: usize,
+    /// Equivalence classes, for generalization-based forms.
+    pub num_ecs: Option<usize>,
+    /// The β the publication claims to satisfy (`None` for schemes without
+    /// a β parameter: SABRE, Anatomy).
+    pub claimed_beta: Option<f64>,
+    /// The re-derived "real β": max over ECs of the max relative gain
+    /// (`None` for forms without ECs).
+    pub achieved_beta: Option<f64>,
+    /// The re-derived average information loss (Equation 5), for
+    /// generalization-based forms.
+    pub avg_info_loss: Option<f64>,
+    /// Every invariant evaluated, in evaluation order.
+    pub checks: Vec<Check>,
+}
+
+impl OracleReport {
+    pub(crate) fn new(kind: &str, rows: usize) -> Self {
+        OracleReport {
+            handle: String::new(),
+            kind: kind.to_string(),
+            rows,
+            num_ecs: None,
+            claimed_beta: None,
+            achieved_beta: None,
+            avg_info_loss: None,
+            checks: Vec::new(),
+        }
+    }
+
+    /// Records one evaluated invariant.
+    pub(crate) fn check(&mut self, name: &'static str, pass: bool, detail: impl Into<String>) {
+        self.checks.push(Check {
+            name,
+            pass,
+            detail: detail.into(),
+        });
+    }
+
+    /// Whether every check passed.
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// The checks that failed, in evaluation order.
+    pub fn failures(&self) -> Vec<&Check> {
+        self.checks.iter().filter(|c| !c.pass).collect()
+    }
+
+    /// The check named `name`, if the oracle evaluated it.
+    pub fn find(&self, name: &str) -> Option<&Check> {
+        self.checks.iter().find(|c| c.name == name)
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        let verdict = if self.pass() { "PASS" } else { "FAIL" };
+        let failed: Vec<&str> = self.failures().iter().map(|c| c.name).collect();
+        format!(
+            "{verdict} kind={} rows={}{}{}{}",
+            self.kind,
+            self.rows,
+            self.num_ecs
+                .map(|n| format!(" ecs={n}"))
+                .unwrap_or_default(),
+            self.achieved_beta
+                .map(|b| format!(" achieved_beta={b:.4}"))
+                .unwrap_or_default(),
+            if failed.is_empty() {
+                String::new()
+            } else {
+                format!(" failed=[{}]", failed.join(","))
+            }
+        )
+    }
+
+    /// The machine-readable verdict document.
+    pub fn to_json(&self) -> Json {
+        let opt_num = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+        let checks = self
+            .checks
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(c.name.into())),
+                    ("pass".into(), Json::Bool(c.pass)),
+                    ("detail".into(), Json::Str(c.detail.clone())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("handle".into(), Json::Str(self.handle.clone())),
+            ("kind".into(), Json::Str(self.kind.clone())),
+            ("rows".into(), Json::Num(self.rows as f64)),
+            (
+                "num_ecs".into(),
+                self.num_ecs.map_or(Json::Null, |n| Json::Num(n as f64)),
+            ),
+            ("claimed_beta".into(), opt_num(self.claimed_beta)),
+            ("achieved_beta".into(), opt_num(self.achieved_beta)),
+            ("avg_info_loss".into(), opt_num(self.avg_info_loss)),
+            ("pass".into(), Json::Bool(self.pass())),
+            ("checks".into(), Json::Arr(checks)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_fail_and_lookup() {
+        let mut r = OracleReport::new("generalized", 10);
+        r.check("cover", true, "10 rows covered once");
+        assert!(r.pass());
+        r.check("beta-bound", false, "EC 3 value 2 over cap");
+        assert!(!r.pass());
+        assert_eq!(r.failures().len(), 1);
+        assert!(!r.find("beta-bound").unwrap().pass);
+        assert!(r.find("missing").is_none());
+        assert!(r.summary().contains("FAIL"));
+        assert!(r.summary().contains("beta-bound"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut r = OracleReport::new("perturbed", 5);
+        r.achieved_beta = None;
+        r.claimed_beta = Some(4.0);
+        r.check("alphas-range", true, "3 alphas in [0, 1]");
+        let doc = r.to_json();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("perturbed"));
+        assert_eq!(doc.get("pass").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("claimed_beta").unwrap().as_f64(), Some(4.0));
+        assert!(matches!(doc.get("achieved_beta"), Some(Json::Null)));
+        assert_eq!(doc.get("checks").unwrap().as_arr().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Cross-validation: the independent oracle and the pipeline's own
+//! auditors must agree **bit-for-bit** on every seeded dataset — both
+//! sides implement the same paper formulas from scratch, so any divergence
+//! is a bug in one of them, not floating-point noise.
+
+use betalike::model::BetaLikeness;
+use betalike::{burel, perturb, verify, BurelConfig};
+use betalike_baselines::sabre::{sabre, SabreConfig};
+use betalike_conformance::{verify_generalized, verify_perturbed};
+use betalike_metrics::audit::{achieved_beta, audit_partition, ClosenessMetric};
+use betalike_metrics::Partition;
+use betalike_microdata::census::{self, CensusConfig};
+use betalike_microdata::patients::{self, patients_table};
+use betalike_microdata::synthetic::{random_table, SaShape, SyntheticConfig};
+use betalike_microdata::Table;
+
+fn to_u32(ecs: &[Vec<usize>]) -> Vec<Vec<u32>> {
+    ecs.iter()
+        .map(|ec| ec.iter().map(|&r| r as u32).collect())
+        .collect()
+}
+
+/// Runs both sides over one partition and asserts bitwise agreement on the
+/// achieved β and on all ten audit fields (the oracle's `audit-match`
+/// check does the field-by-field comparison).
+fn cross_validate(table: &Table, partition: &Partition, beta: Option<f64>, label: &str) {
+    let audit = audit_partition(table, partition, ClosenessMetric::EqualDistance);
+    let report = verify_generalized(
+        table,
+        partition.qi(),
+        partition.sa(),
+        beta,
+        &to_u32(partition.ecs()),
+        Some(&audit),
+    );
+    assert!(
+        report.pass(),
+        "{label}: oracle rejected what the pipeline audited clean: {}\n{:#?}",
+        report.summary(),
+        report.failures()
+    );
+    let metrics_beta = achieved_beta(table, partition);
+    let oracle_beta = report.achieved_beta.expect("generalized form");
+    assert_eq!(
+        metrics_beta.to_bits(),
+        oracle_beta.to_bits(),
+        "{label}: achieved beta diverges: metrics {metrics_beta}, oracle {oracle_beta}"
+    );
+}
+
+#[test]
+fn burel_agrees_on_seeded_datasets() {
+    for (rows, seed, beta) in [
+        (1_000usize, 3u64, 4.0f64),
+        (2_500, 7, 2.0),
+        (4_000, 11, 1.0),
+    ] {
+        let t = census::generate(&CensusConfig::new(rows, seed));
+        let p = burel(
+            &t,
+            &[0, 1, 2],
+            census::attr::SALARY,
+            &BurelConfig::new(beta).with_seed(42),
+        )
+        .unwrap();
+        cross_validate(
+            &t,
+            &p,
+            Some(beta),
+            &format!("census:{rows}:{seed} beta={beta}"),
+        );
+    }
+    for seed in [1u64, 9, 33] {
+        let t = random_table(&SyntheticConfig {
+            rows: 800,
+            sa_cardinality: 8,
+            sa_shape: SaShape::Zipf(1.1),
+            seed,
+            ..Default::default()
+        });
+        let p = burel(&t, &[0, 1], 2, &BurelConfig::new(3.0).with_seed(5)).unwrap();
+        cross_validate(&t, &p, Some(3.0), &format!("synthetic seed={seed}"));
+    }
+}
+
+#[test]
+fn sabre_agrees_without_a_beta_claim() {
+    let t = census::generate(&CensusConfig::new(2_000, 13));
+    let p = sabre(
+        &t,
+        &[0, 1, 2],
+        census::attr::SALARY,
+        &SabreConfig::new(0.25).with_seed(42),
+    )
+    .unwrap();
+    cross_validate(&t, &p, None, "census sabre t=0.25");
+}
+
+#[test]
+fn hand_built_partitions_agree_including_infinities() {
+    // The patients split zeroes three diseases per EC, driving the
+    // δ-disclosure reading to +∞ on both sides.
+    let t = patients_table();
+    let p = Partition::new(
+        vec![patients::attr::WEIGHT, patients::attr::AGE],
+        patients::attr::DISEASE,
+        vec![vec![0, 1, 2], vec![3, 4, 5]],
+    );
+    cross_validate(&t, &p, Some(1.0), "patients nervous/circulatory");
+    // Singleton ECs: the most extreme shape an auditor meets.
+    let singles = Partition::new(
+        vec![patients::attr::WEIGHT],
+        patients::attr::DISEASE,
+        (0..6).map(|r| vec![r]).collect(),
+    );
+    cross_validate(&t, &singles, None, "patients singletons");
+}
+
+#[test]
+fn negative_verdicts_agree_with_the_core_verifier() {
+    // A partition core's definitional verifier rejects must fail the
+    // oracle's beta-bound too (and vice versa on the passing side).
+    let t = patients_table();
+    let qi = vec![patients::attr::WEIGHT, patients::attr::AGE];
+    let sa = patients::attr::DISEASE;
+    let p = Partition::new(qi.clone(), sa, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    for beta in [0.25f64, 0.5, 0.99, 1.0, 2.0] {
+        let model = BetaLikeness::new(beta).unwrap();
+        let core_ok = verify(&t, &p, &model).is_ok();
+        let report = verify_generalized(&t, &qi, sa, Some(beta), &to_u32(p.ecs()), None);
+        let oracle_ok = report.find("beta-bound").unwrap().pass;
+        assert_eq!(
+            core_ok, oracle_ok,
+            "beta {beta}: core verifier says {core_ok}, oracle says {oracle_ok}"
+        );
+    }
+}
+
+#[test]
+fn perturbation_plans_agree_bitwise() {
+    // The oracle's plan checks demand bitwise equality with what core's
+    // Theorem-3 construction published — across dataset shapes and betas.
+    for (rows, m, beta, seed) in [
+        (2_000usize, 6usize, 2.0f64, 4u64),
+        (5_000, 12, 4.0, 8),
+        (1_200, 4, 1.5, 15),
+    ] {
+        let t = random_table(&SyntheticConfig {
+            rows,
+            sa_cardinality: m,
+            sa_shape: SaShape::Zipf(0.9),
+            seed,
+            ..Default::default()
+        });
+        let model = BetaLikeness::new(beta).unwrap();
+        let published = perturb(&t, 2, &model, seed).unwrap();
+        let plan = &published.plan;
+        let report = verify_perturbed(
+            &t,
+            2,
+            beta,
+            published.table.column(2),
+            plan.support(),
+            plan.priors(),
+            plan.caps(),
+            plan.gammas(),
+            plan.alphas(),
+        );
+        assert!(
+            report.pass(),
+            "rows={rows} m={m} beta={beta}: {}\n{:#?}",
+            report.summary(),
+            report.failures()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! The deterministic fuzz gate: random publications across every scheme
+//! must come out of the pipeline conformant (or be refused by the pipeline
+//! for a legitimate reason) — and the mix must actually exercise every
+//! scheme and both verdict paths.
+
+use betalike_conformance::fuzz_oracle;
+
+const CASES: u32 = 48;
+
+#[test]
+fn fuzzed_publications_are_conformant() {
+    let outcomes = fuzz_oracle(CASES);
+    assert_eq!(outcomes.len(), CASES as usize);
+    let mut published = 0usize;
+    let mut skipped = 0usize;
+    for o in &outcomes {
+        assert!(
+            o.ok(),
+            "{}: {}",
+            o.desc,
+            o.report
+                .as_ref()
+                .map(|r| format!("{}\n{:#?}", r.summary(), r.failures()))
+                .unwrap_or_else(|| "no report, no skip reason".into())
+        );
+        if o.report.is_some() {
+            published += 1;
+        } else {
+            skipped += 1;
+        }
+    }
+    // The draw ranges are tuned so the bulk of cases publish; a fuzzer
+    // that mostly skips is not testing the oracle.
+    assert!(
+        published >= CASES as usize / 2,
+        "only {published}/{CASES} cases published ({skipped} skipped)"
+    );
+    // Every scheme appears among the published cases.
+    for scheme in ["burel", "sabre", "mondrian", "anatomy", "perturb"] {
+        assert!(
+            outcomes
+                .iter()
+                .any(|o| o.report.is_some() && o.desc.contains(scheme)),
+            "no published fuzz case exercised `{scheme}`"
+        );
+    }
+}

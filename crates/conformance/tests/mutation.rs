@@ -1,0 +1,172 @@
+//! The mutation suite: every legitimately published artifact passes the
+//! oracle; every deliberately corrupted artifact class is rejected — and
+//! rejected for the *right reason* (the expected check fails, or the
+//! corruption cascaded into an even earlier structural check).
+//!
+//! This is the CI conformance gate's teeth-proof: if a mutation ever
+//! passes, the oracle has silently lost coverage.
+
+use betalike_conformance::{publish_snapshot, verify_snapshot, Mutation, PublishSpec, Scheme};
+use betalike_microdata::census::{self, CensusConfig};
+use betalike_microdata::{Attribute, Hierarchy, Schema, Table};
+use betalike_store::{publication_from_slice, publication_to_vec, PublicationSnapshot};
+use std::sync::Arc;
+
+/// One legitimate artifact per scheme over the synthetic generator, plus a
+/// richer CENSUS/BUREL artifact and a perturbation artifact whose SA
+/// domain has a support gap (so the off-support mutation applies).
+fn fixtures() -> Vec<(String, PublicationSnapshot)> {
+    let mut out = Vec::new();
+    for scheme in Scheme::ALL {
+        let spec = PublishSpec::synthetic(260, 17, scheme);
+        let table = spec.synthetic_table();
+        out.push((
+            format!("synthetic/{}", scheme.as_str()),
+            publish_snapshot(&table, &spec).expect("synthetic publish"),
+        ));
+    }
+    // CENSUS through BUREL: the paper's headline pipeline.
+    let census_table = census::generate(&CensusConfig::new(900, 23));
+    let census_spec = PublishSpec {
+        dataset_name: "census".into(),
+        dataset_rows: 900,
+        dataset_seed: 23,
+        dataset_key: "census:rows=900:seed=23".into(),
+        scheme: Scheme::Burel,
+        qi: vec![0, 1, 2],
+        qi_pool: (0..census::attr::SALARY).collect(),
+        sa: census::attr::SALARY,
+        beta: 4.0,
+        t: 0.2,
+        seed: 42,
+    };
+    out.push((
+        "census/burel".into(),
+        publish_snapshot(&census_table, &census_spec).expect("census publish"),
+    ));
+    // A perturbation artifact over a domain with a support gap (code 2 has
+    // zero count), hosting the off-support mutation.
+    out.push(("gapped/perturb".into(), gapped_perturb_snapshot()));
+    out
+}
+
+/// A hand-built table whose SA domain skips one code, perturbed.
+fn gapped_perturb_snapshot() -> PublicationSnapshot {
+    let age = Attribute::numeric_range("Age", 0, 9).unwrap();
+    let zip = Attribute::numeric_range("Zip", 0, 7).unwrap();
+    let disease = Attribute::categorical(
+        "Disease",
+        Hierarchy::flat("any", &["a", "b", "gap", "c", "d"]).unwrap(),
+    );
+    let schema = Arc::new(Schema::new(vec![age, zip, disease], 2).unwrap());
+    let rows = 400usize;
+    let mut age_col = Vec::with_capacity(rows);
+    let mut zip_col = Vec::with_capacity(rows);
+    let mut sa_col = Vec::with_capacity(rows);
+    for r in 0..rows {
+        age_col.push((r % 10) as u32);
+        zip_col.push((r % 8) as u32);
+        // Codes 0, 1, 3, 4 — never 2.
+        sa_col.push(match r % 4 {
+            0 => 0,
+            1 => 1,
+            2 => 3,
+            _ => 4,
+        });
+    }
+    let table = Table::from_columns(schema, vec![age_col, zip_col, sa_col]).unwrap();
+    let spec = PublishSpec {
+        dataset_name: "synthetic".into(),
+        dataset_rows: rows as u64,
+        dataset_seed: 0,
+        dataset_key: "synthetic:rows=400:seed=0".into(),
+        scheme: Scheme::Perturb,
+        qi: vec![0, 1],
+        qi_pool: vec![0, 1],
+        sa: 2,
+        beta: 3.0,
+        t: 0.2,
+        seed: 9,
+    };
+    publish_snapshot(&table, &spec).expect("gapped perturb publish")
+}
+
+#[test]
+fn every_legitimate_artifact_passes() {
+    for (name, snap) in fixtures() {
+        // Through the full byte round trip, like the CI gate.
+        let bytes = publication_to_vec(&snap).expect("serialize");
+        let reread = publication_from_slice(&bytes).expect("reread");
+        let report = verify_snapshot(&reread);
+        assert!(
+            report.pass(),
+            "{name} must pass the oracle: {}\nfailures: {:#?}",
+            report.summary(),
+            report.failures()
+        );
+    }
+}
+
+#[test]
+fn every_applicable_mutation_is_rejected() {
+    let fixtures = fixtures();
+    let mut applied = std::collections::BTreeMap::new();
+    for mutation in Mutation::ALL {
+        for (name, snap) in &fixtures {
+            let Some(corrupted) = mutation.apply(snap) else {
+                continue;
+            };
+            *applied.entry(mutation.name()).or_insert(0usize) += 1;
+            let report = verify_snapshot(&corrupted);
+            assert!(
+                !report.pass(),
+                "mutation `{}` on {name} must be rejected, but the oracle passed it",
+                mutation.name()
+            );
+            // …and by the check the DESIGN.md §10 catalogue promises: the
+            // expected check itself must be among the failures, so no
+            // check can silently lose its teeth behind a coincidental
+            // failure elsewhere.
+            let expected = mutation.expected_check();
+            assert!(
+                report.find(expected).is_some_and(|c| !c.pass),
+                "mutation `{}` on {name}: expected check `{expected}` did not fail; \
+                 actual failures: {:?}",
+                mutation.name(),
+                report.failures()
+            );
+        }
+    }
+    // Every mutation class in the catalogue applied to at least one
+    // fixture — none of the nine can silently rot.
+    for mutation in Mutation::ALL {
+        assert!(
+            applied.get(mutation.name()).copied().unwrap_or(0) > 0,
+            "mutation `{}` never applied to any fixture",
+            mutation.name()
+        );
+    }
+}
+
+#[test]
+fn mutated_artifacts_survive_the_byte_roundtrip_and_still_fail() {
+    // Corruption must be detectable *from the file*, not only in memory:
+    // serialize each mutated snapshot and verify the reread copy fails
+    // too (the store's checksums see a perfectly valid file — the
+    // corruption is semantic, which is exactly the oracle's job).
+    let fixtures = fixtures();
+    for mutation in Mutation::ALL {
+        for (name, snap) in &fixtures {
+            let Some(corrupted) = mutation.apply(snap) else {
+                continue;
+            };
+            let bytes = publication_to_vec(&corrupted).expect("mutated snapshots serialize");
+            let report = betalike_conformance::verify_bytes(&bytes).expect("mutated files decode");
+            assert!(
+                !report.pass(),
+                "mutation `{}` on {name} passed after the byte round trip",
+                mutation.name()
+            );
+        }
+    }
+}

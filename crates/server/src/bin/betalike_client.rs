@@ -12,6 +12,9 @@
 //!   count                      one COUNT(*) query against a handle
 //!     --handle H [--pred A:LO:HI]... --sa LO:HI [--exact]
 //!   audit --handle H           the privacy audit of a handle
+//!   verify --handle H          the independent conformance oracle's
+//!     [--battery]              verdict (plus the attack battery); exit 1
+//!                              if the artifact fails
 //!   smoke [--rows N]           full publish → count → audit round trip,
 //!                              cross-checked bit-for-bit against the same
 //!                              computation done in-process; non-zero exit
@@ -90,7 +93,7 @@ impl Args {
         let mut it = std::env::args().skip(1);
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                if key == "exact" {
+                if key == "exact" || key == "battery" {
                     flags.entry(key.into()).or_default().push("true".into());
                     continue;
                 }
@@ -106,7 +109,7 @@ impl Args {
         }
         Ok(Args {
             command: command
-                .ok_or("no command (ping | publish | count | audit | smoke | shutdown)")?,
+                .ok_or("no command (ping | publish | count | audit | verify | smoke | shutdown)")?,
             flags,
         })
     }
@@ -167,6 +170,22 @@ fn run() -> Result<(), Failure> {
                 .audit(args.required("handle")?)
                 .map_err(op_failed("audit"))?;
             println!("{}", doc.pretty());
+            Ok(())
+        }
+        "verify" => {
+            let battery = args.one("battery").is_some();
+            let doc = client
+                .verify(args.required("handle")?, battery)
+                .map_err(op_failed("verify"))?;
+            println!("{}", doc.pretty());
+            let pass = doc.get("pass").and_then(Json::as_bool).unwrap_or(false);
+            let battery_pass = doc
+                .get("battery_pass")
+                .and_then(Json::as_bool)
+                .unwrap_or(true);
+            if !(pass && battery_pass) {
+                return Err(Failure::from("artifact failed conformance verification"));
+            }
             Ok(())
         }
         "smoke" => smoke(&mut client, args.num("rows", 2_000usize)?),

@@ -1,0 +1,265 @@
+//! `betalike-verify` — the independent conformance oracle on the command
+//! line, over every artifact source the stack has.
+//!
+//! ```text
+//! betalike-verify <source> [--battery] [--out REPORT.json]
+//!
+//! sources (exactly one):
+//!   --file F.bpub [--file ...]   verify serialized publication file(s)
+//!   --data-dir DIR [--handle H]  verify a betalike-serve data directory
+//!                                (every stored artifact, or one handle)
+//!   --addr HOST:PORT --handle H  ask a running server to verify one of
+//!                                its published handles (server-side
+//!                                oracle over the artifact cache/store)
+//!
+//! flags:
+//!   --battery                    also run the adversarial attack battery
+//!                                (naive-bayes, definetti, skewness,
+//!                                corruption) and assert the paper's
+//!                                predicted bounds
+//!   --out FILE                   write the machine-readable verdict
+//!                                report (a JSON array, one entry per
+//!                                artifact) — the CI conformance job
+//!                                uploads this artifact
+//!
+//! exit codes: 0 every artifact passed, 1 any failure, 2 usage error.
+//! ```
+//!
+//! The oracle shares no verification code with the pipeline it audits —
+//! see the `betalike-conformance` crate and `DESIGN.md` §10.
+
+use betalike_conformance::{run_battery_snapshot, verify_snapshot, BatteryReport, OracleReport};
+use betalike_microdata::json::Json;
+use betalike_server::Client;
+use betalike_store::{publication_from_slice, ArtifactStore, PublicationSnapshot};
+use std::collections::BTreeMap;
+
+fn main() {
+    match run() {
+        Ok(()) => {}
+        Err(Failure { message, code }) => {
+            eprintln!("betalike-verify: {message}");
+            std::process::exit(code);
+        }
+    }
+}
+
+struct Failure {
+    message: String,
+    code: i32,
+}
+
+impl Failure {
+    fn usage(message: impl Into<String>) -> Self {
+        Failure {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    fn error(message: impl std::fmt::Display) -> Self {
+        Failure {
+            message: message.to_string(),
+            code: 1,
+        }
+    }
+}
+
+struct Args {
+    flags: BTreeMap<String, Vec<String>>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, Failure> {
+        let mut flags: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(Failure::usage(format!(
+                    "unexpected positional argument `{arg}`"
+                )));
+            };
+            if key == "battery" {
+                flags.entry(key.into()).or_default().push("true".into());
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| Failure::usage(format!("--{key} expects a value")))?;
+            flags.entry(key.into()).or_default().push(value);
+        }
+        Ok(Args { flags })
+    }
+
+    fn one(&self, key: &str) -> Option<&str> {
+        self.flags
+            .get(key)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    fn many(&self, key: &str) -> &[String] {
+        self.flags.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// One verified artifact: where it came from, the oracle verdict, and the
+/// battery verdict when requested.
+struct Verified {
+    source: String,
+    report: OracleReport,
+    battery: Option<Result<BatteryReport, String>>,
+}
+
+impl Verified {
+    fn pass(&self) -> bool {
+        self.report.pass()
+            && match &self.battery {
+                None => true,
+                Some(Ok(b)) => b.pass(),
+                Some(Err(_)) => false,
+            }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("source".to_string(), Json::Str(self.source.clone())),
+            ("pass".to_string(), Json::Bool(self.pass())),
+            ("report".to_string(), self.report.to_json()),
+        ];
+        match &self.battery {
+            None => {}
+            Some(Ok(b)) => members.push(("battery".to_string(), b.to_json())),
+            Some(Err(e)) => members.push(("battery_error".to_string(), Json::Str(e.clone()))),
+        }
+        Json::Obj(members)
+    }
+}
+
+fn verify_one(source: String, snap: &PublicationSnapshot, battery: bool) -> Verified {
+    let report = verify_snapshot(snap);
+    // A structurally broken artifact cannot host the battery; record the
+    // refusal instead of panicking inside an attack.
+    let battery = battery.then(|| run_battery_snapshot(snap));
+    Verified {
+        source,
+        report,
+        battery,
+    }
+}
+
+fn run() -> Result<(), Failure> {
+    let args = Args::parse()?;
+    let battery = args.one("battery").is_some();
+    let files = args.many("file");
+    let data_dir = args.one("data-dir");
+    let addr = args.one("addr");
+    let sources = [!files.is_empty(), data_dir.is_some(), addr.is_some()]
+        .iter()
+        .filter(|&&s| s)
+        .count();
+    if sources != 1 {
+        return Err(Failure::usage(
+            "pick exactly one source: --file F.bpub | --data-dir DIR | --addr HOST:PORT",
+        ));
+    }
+
+    let mut results: Vec<Verified> = Vec::new();
+    let mut remote: Vec<(String, Json, bool)> = Vec::new();
+
+    if !files.is_empty() {
+        for file in files {
+            let bytes =
+                std::fs::read(file).map_err(|e| Failure::error(format!("read {file}: {e}")))?;
+            let snap = publication_from_slice(&bytes)
+                .map_err(|e| Failure::error(format!("{file}: {e}")))?;
+            results.push(verify_one(file.clone(), &snap, battery));
+        }
+    } else if let Some(dir) = data_dir {
+        let (store, quarantined) = ArtifactStore::open(dir).map_err(Failure::error)?;
+        for handle in &quarantined {
+            eprintln!("betalike-verify: quarantined corrupt artifact `{handle}` on open");
+        }
+        let handles = match args.one("handle") {
+            Some(h) => vec![h.to_string()],
+            None => store.handles(),
+        };
+        if handles.is_empty() {
+            // A verification gate that verified nothing must not report
+            // success — an empty store usually means persistence failed
+            // upstream (which `betalike-serve` deliberately only logs).
+            return Err(Failure::error(format!(
+                "no stored artifacts to verify under {dir}"
+            )));
+        }
+        for handle in handles {
+            let snap = store
+                .load(&handle)
+                .map_err(|e| Failure::error(format!("{handle}: {e}")))?
+                .ok_or_else(|| Failure::error(format!("unknown handle `{handle}`")))?;
+            results.push(verify_one(format!("{dir}/{handle}"), &snap, battery));
+        }
+    } else if let Some(addr) = addr {
+        let handle = args
+            .one("handle")
+            .ok_or_else(|| Failure::usage("--addr needs --handle H"))?;
+        let mut client =
+            Client::connect(addr).map_err(|e| Failure::error(format!("connect {addr}: {e}")))?;
+        let doc = client
+            .verify(handle, battery)
+            .map_err(|e| Failure::error(format!("op `verify` failed: {e}")))?;
+        let pass = doc.get("pass").and_then(Json::as_bool).unwrap_or(false)
+            && doc
+                .get("battery_pass")
+                .and_then(Json::as_bool)
+                .unwrap_or(true);
+        remote.push((format!("{addr}/{handle}"), doc, pass));
+    }
+
+    // Print one summary line per artifact, write the report, exit by
+    // verdict.
+    let mut all_pass = true;
+    let mut rows = Vec::new();
+    for v in &results {
+        all_pass &= v.pass();
+        println!("{} {}", if v.pass() { "PASS" } else { "FAIL" }, v.source);
+        for check in v.report.failures() {
+            println!("  check `{}`: {}", check.name, check.detail);
+        }
+        match &v.battery {
+            Some(Ok(b)) => {
+                for verdict in b.verdicts.iter().filter(|x| !x.pass) {
+                    println!("  attack `{}`: {}", verdict.attack, verdict.detail);
+                }
+            }
+            Some(Err(e)) => println!("  battery refused: {e}"),
+            None => {}
+        }
+        rows.push(v.to_json());
+    }
+    for (source, doc, pass) in &remote {
+        all_pass &= pass;
+        println!(
+            "{} {source} (server-side oracle)",
+            if *pass { "PASS" } else { "FAIL" }
+        );
+        rows.push(Json::Obj(vec![
+            ("source".to_string(), Json::Str(source.clone())),
+            ("pass".to_string(), Json::Bool(*pass)),
+            ("response".to_string(), doc.clone()),
+        ]));
+    }
+
+    if let Some(out) = args.one("out") {
+        let doc = Json::Arr(rows);
+        std::fs::write(out, doc.pretty() + "\n")
+            .map_err(|e| Failure::error(format!("write {out}: {e}")))?;
+        println!("wrote {out}");
+    }
+
+    if all_pass {
+        Ok(())
+    } else {
+        Err(Failure::error("conformance verification failed"))
+    }
+}

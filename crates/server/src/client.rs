@@ -220,6 +220,21 @@ impl Client {
         ]))
     }
 
+    /// Runs the server-side conformance oracle over a published handle
+    /// (optionally with the adversarial attack battery) and returns the
+    /// verdict document.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`].
+    pub fn verify(&mut self, handle: &str, battery: bool) -> Result<Json, ClientError> {
+        self.call(&Json::Obj(vec![
+            ("op".to_string(), Json::Str("verify".into())),
+            ("handle".to_string(), Json::Str(handle.into())),
+            ("battery".to_string(), Json::Bool(battery)),
+        ]))
+    }
+
     /// Asks the server to stop accepting connections and drain.
     ///
     /// # Errors

@@ -350,8 +350,10 @@ fn dispatch(state: &Arc<State>, op: &str, doc: &Json) -> Result<Json, String> {
             }
             Ok(ok_response(members))
         }
+        "verify" => verify(state, doc),
         other => Err(format!(
-            "unknown op `{other}` (expected ping | datasets | publish | count | audit | shutdown)"
+            "unknown op `{other}` (expected ping | datasets | publish | count | audit | verify \
+             | shutdown)"
         )),
     }
 }
@@ -416,6 +418,40 @@ fn persist(state: &Arc<State>, artifact: &Arc<Artifact>) {
             artifact.handle
         );
     }
+}
+
+/// The `verify` op: runs the independent conformance oracle (and, on
+/// request, the adversarial attack battery) over a published handle. The
+/// artifact is resolved exactly like `count`/`audit` — memory cache first,
+/// then the durable store — and re-snapshotted through the same
+/// persistence capture the `.bpub` writer uses, so the oracle sees the
+/// artifact as a restart would.
+fn verify(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
+    let handle = doc
+        .get("handle")
+        .and_then(Json::as_str)
+        .ok_or("verify needs a string `handle`")?;
+    let battery = match doc.get("battery") {
+        None => false,
+        Some(v) => v.as_bool().ok_or("`battery` must be a boolean")?,
+    };
+    let artifact = lookup(state, handle)?;
+    let snap = crate::persist::snapshot(&artifact);
+    let report = betalike_conformance::verify_snapshot(&snap);
+    let mut members = vec![
+        ("handle".to_string(), Json::Str(handle.into())),
+        ("pass".to_string(), Json::Bool(report.pass())),
+        ("report".to_string(), report.to_json()),
+    ];
+    if battery {
+        let battery_report = betalike_conformance::run_battery_snapshot(&snap)?;
+        members.push((
+            "battery_pass".to_string(),
+            Json::Bool(battery_report.pass()),
+        ));
+        members.push(("battery".to_string(), battery_report.to_json()));
+    }
+    Ok(ok_response(members))
 }
 
 fn count(state: &Arc<State>, doc: &Json) -> Result<Json, String> {

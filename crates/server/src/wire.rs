@@ -2,8 +2,11 @@
 //!
 //! Every request and response is one [`Json`] object rendered with
 //! [`Json::compact`] and terminated by `\n`. Requests carry an `"op"`
-//! member (`ping`, `datasets`, `publish`, `count`, `audit`, `shutdown`);
-//! responses always carry `"ok"` (and `"error"` when `false`).
+//! member (`ping`, `datasets`, `publish`, `count`, `audit`, `verify`,
+//! `shutdown`); responses always carry `"ok"` (and `"error"` when
+//! `false`). The `verify` op takes a `handle` plus an optional boolean
+//! `battery` and answers with the independent conformance oracle's verdict
+//! document (see the `betalike-conformance` crate).
 //!
 //! Publications are *content-addressed*: the handle of a publish request is
 //! an FNV-1a hash of its canonical parameter string, so equal requests from

@@ -1,0 +1,98 @@
+//! The `verify` op end to end: a served artifact passes the server-side
+//! conformance oracle over TCP — including after a restart, when the
+//! artifact is answered from the durable store instead of the pipeline.
+
+use betalike_server::{serve, Algo, Client, DatasetSpec, PublishRequest, ServerConfig};
+
+fn spec() -> DatasetSpec {
+    DatasetSpec::Census {
+        rows: 1_000,
+        seed: 19,
+    }
+}
+
+#[test]
+fn verify_op_passes_every_scheme() {
+    let server = serve(&ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for algo in [
+        Algo::Burel,
+        Algo::Sabre,
+        Algo::Mondrian,
+        Algo::Anatomy,
+        Algo::Perturb,
+    ] {
+        let reply = client
+            .publish(&PublishRequest::new(spec(), algo))
+            .expect("publish");
+        let doc = client.verify(&reply.handle, false).expect("verify");
+        assert_eq!(
+            doc.get("pass").and_then(|v| v.as_bool()),
+            Some(true),
+            "{algo:?} failed the server-side oracle: {}",
+            doc.pretty()
+        );
+        let report = doc.get("report").expect("report document");
+        assert_eq!(
+            report.get("kind").and_then(|v| v.as_str()),
+            Some(reply.kind.as_str())
+        );
+    }
+    server.shutdown_and_join();
+}
+
+#[test]
+fn verify_op_with_battery_and_errors() {
+    let server = serve(&ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let reply = client
+        .publish(&PublishRequest::new(spec(), Algo::Burel))
+        .expect("publish");
+    let doc = client.verify(&reply.handle, true).expect("verify+battery");
+    assert_eq!(doc.get("pass").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        doc.get("battery_pass").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    let verdicts = doc
+        .get("battery")
+        .and_then(|b| b.get("verdicts"))
+        .and_then(|v| v.as_arr())
+        .expect("battery verdicts");
+    assert!(verdicts.len() >= 4, "full roster must run");
+    // Unknown handles are a wire-level error, not a crash.
+    assert!(client.verify("pub-does-not-exist", false).is_err());
+    server.shutdown_and_join();
+}
+
+#[test]
+fn verify_op_after_restart_reads_the_store() {
+    let dir =
+        std::env::temp_dir().join(format!("betalike-verify-op-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServerConfig {
+        data_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let handle = {
+        let server = serve(&cfg).expect("bind");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let reply = client
+            .publish(&PublishRequest::new(spec(), Algo::Burel))
+            .expect("publish");
+        server.shutdown_and_join();
+        reply.handle
+    };
+    // A fresh process: the artifact exists only on disk now.
+    let server = serve(&cfg).expect("rebind");
+    let mut client = Client::connect(server.addr()).expect("reconnect");
+    let doc = client.verify(&handle, false).expect("verify restored");
+    assert_eq!(
+        doc.get("pass").and_then(|v| v.as_bool()),
+        Some(true),
+        "restored artifact failed the oracle: {}",
+        doc.pretty()
+    );
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

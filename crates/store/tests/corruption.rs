@@ -137,6 +137,86 @@ fn truncation_anywhere_is_structured() {
     }
 }
 
+/// Byte offsets at which each section's frame *ends* (checksum included):
+/// truncating exactly there leaves a prefix of whole sections.
+fn section_boundaries(bytes: &[u8]) -> Vec<(String, usize)> {
+    sections(bytes)
+        .into_iter()
+        .map(|(name, offset, len)| (name, offset + len + 8))
+        .collect()
+}
+
+#[test]
+fn bpub_truncation_at_every_section_boundary_is_structured() {
+    let bytes = publication_to_vec(&snapshot()).unwrap();
+    let boundaries = section_boundaries(&bytes);
+    assert_eq!(boundaries.last().unwrap().1, bytes.len());
+    for (i, (after, end)) in boundaries.iter().enumerate() {
+        if *end == bytes.len() {
+            // The final boundary is the complete document.
+            assert!(publication_from_slice(&bytes[..*end]).is_ok());
+            continue;
+        }
+        // Exactly at the boundary: the next section's header is missing.
+        let err = publication_from_slice(&bytes[..*end]).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Truncated { .. }),
+            "cut after `{after}` (boundary {i}): expected Truncated, got {err:?}"
+        );
+        // A few bytes into the next frame: still structured, never a
+        // panic, never a checksum lie.
+        for extra in [1usize, 2, 7] {
+            let cut = (*end + extra).min(bytes.len() - 1);
+            let err = publication_from_slice(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::Truncated { .. } | StoreError::Malformed { .. }
+                ),
+                "cut {extra} bytes after `{after}`: got {err:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn btbl_truncation_at_every_section_boundary_is_structured() {
+    let table = census::generate(&CensusConfig::new(200, 6));
+    let bytes = table_to_vec(&table).unwrap();
+    for (after, end) in section_boundaries(&bytes) {
+        if end == bytes.len() {
+            assert!(table_from_slice(&bytes[..end]).is_ok());
+            continue;
+        }
+        let err = table_from_slice(&bytes[..end]).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Truncated { .. }),
+            "cut after `{after}`: expected Truncated, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn bpub_truncation_mid_header_names_the_header() {
+    // Cut inside a section *header* (name length / name / payload length),
+    // where no payload checksum exists to blame: the reader must still
+    // produce a structured truncation, not a wrong-section diagnosis.
+    let bytes = publication_to_vec(&snapshot()).unwrap();
+    for (_, end) in section_boundaries(&bytes) {
+        if end >= bytes.len() {
+            continue;
+        }
+        // 1 byte of the next name-length field.
+        let err = publication_from_slice(&bytes[..end + 1]).unwrap_err();
+        match err {
+            StoreError::Truncated { section } => {
+                assert_eq!(section, "section header", "cut at {}", end + 1);
+            }
+            other => panic!("expected Truncated at the header, got {other:?}"),
+        }
+    }
+}
+
 #[test]
 fn version_skew_is_reported_not_misparsed() {
     let mut bytes = publication_to_vec(&snapshot()).unwrap();

@@ -1,0 +1,213 @@
+//! Golden-vector regression suite: small canonical artifacts committed
+//! under `tests/golden/`, byte-for-byte. A pipeline change that silently
+//! alters *any* published output — EC row lists, the perturbed column, a
+//! single audit float, the storage format itself — fails here, because the
+//! freshly published artifact no longer serializes to the committed bytes.
+//!
+//! The goldens also pass the independent conformance oracle on every run,
+//! and `tests/golden/expected.json` pins the audit numbers in
+//! human-reviewable form (exact f64 bits as hex next to their decimal
+//! rendering).
+//!
+//! To regenerate after a *deliberate* output change:
+//!
+//! ```text
+//! BETALIKE_REGEN_GOLDEN=1 cargo test -p betalike-bench --test golden_vectors \
+//!     -- --ignored regen_golden
+//! ```
+//!
+//! and review the resulting diff like any other behavioural change.
+
+use betalike_conformance::verify_snapshot;
+use betalike_microdata::json::Json;
+use betalike_server::artifact::Artifact;
+use betalike_server::{Algo, DatasetSpec, PublishRequest, Registry};
+use betalike_store::{publication_from_slice, publication_to_vec, PublicationSnapshot};
+use std::path::PathBuf;
+
+const ROWS: usize = 400;
+const SEED: u64 = 17;
+
+const ALGOS: [Algo; 5] = [
+    Algo::Burel,
+    Algo::Sabre,
+    Algo::Mondrian,
+    Algo::Anatomy,
+    Algo::Perturb,
+];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn golden_path(algo: Algo) -> PathBuf {
+    golden_dir().join(format!("census-{ROWS}-{SEED}.{}.bpub", algo.as_str()))
+}
+
+fn request(algo: Algo) -> PublishRequest {
+    PublishRequest::new(
+        DatasetSpec::Census {
+            rows: ROWS,
+            seed: SEED,
+        },
+        algo,
+    )
+}
+
+/// Publishes one golden artifact through the real pipeline and captures it
+/// exactly the way the durable store would.
+fn publish(algo: Algo, registry: &Registry) -> PublicationSnapshot {
+    let artifact = Artifact::publish(registry, &request(algo)).expect("golden publish");
+    betalike_server::persist::snapshot(&artifact)
+}
+
+#[test]
+fn golden_artifacts_match_the_pipeline_byte_for_byte() {
+    let registry = Registry::new();
+    for algo in ALGOS {
+        let path = golden_path(algo);
+        let committed = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden vector {} ({e}); regenerate with \
+                 BETALIKE_REGEN_GOLDEN=1 (see the module docs)",
+                path.display()
+            )
+        });
+        let fresh = publication_to_vec(&publish(algo, &registry)).expect("serialize");
+        assert_eq!(
+            committed, fresh,
+            "{:?}: the pipeline's published output no longer matches the committed golden \
+             vector — if this change is deliberate, regenerate tests/golden/ and review the diff",
+            algo
+        );
+    }
+}
+
+#[test]
+fn golden_artifacts_pass_the_conformance_oracle() {
+    for algo in ALGOS {
+        let bytes = std::fs::read(golden_path(algo)).expect("golden file");
+        let snap = publication_from_slice(&bytes).expect("golden decodes");
+        let report = verify_snapshot(&snap);
+        assert!(
+            report.pass(),
+            "{algo:?} golden fails the oracle: {}\n{:#?}",
+            report.summary(),
+            report.failures()
+        );
+    }
+}
+
+#[test]
+fn golden_audit_numbers_match_expected_json() {
+    let text = std::fs::read_to_string(golden_dir().join("expected.json")).expect("expected.json");
+    let doc = Json::parse(&text).expect("expected.json parses");
+    for algo in ALGOS {
+        let bytes = std::fs::read(golden_path(algo)).expect("golden file");
+        let snap = publication_from_slice(&bytes).expect("golden decodes");
+        let entry = doc.get(algo.as_str()).expect("algo entry");
+        assert_eq!(
+            entry.get("handle").and_then(Json::as_str),
+            Some(snap.params.handle.as_str()),
+            "{algo:?} handle"
+        );
+        match &snap.audit {
+            None => assert!(
+                matches!(entry.get("audit"), Some(Json::Null)),
+                "{algo:?}: expected.json must record a null audit"
+            ),
+            Some(audit) => {
+                let expected = entry.get("audit").expect("audit entry");
+                for (key, value) in [
+                    ("max_beta", audit.max_beta),
+                    ("avg_beta", audit.avg_beta),
+                    ("max_closeness", audit.max_closeness),
+                    ("avg_closeness", audit.avg_closeness),
+                    ("avg_distinct_l", audit.avg_distinct_l),
+                    ("min_inv_max_freq_l", audit.min_inv_max_freq_l),
+                    ("max_delta", audit.max_delta),
+                ] {
+                    let bits = expected
+                        .get(&format!("{key}_bits"))
+                        .and_then(Json::as_str)
+                        .unwrap_or_else(|| panic!("{algo:?}: missing {key}_bits"));
+                    assert_eq!(
+                        bits,
+                        format!("{:016x}", value.to_bits()),
+                        "{algo:?}: {key} drifted from the committed expectation ({value})"
+                    );
+                }
+                for (key, value) in [
+                    ("min_distinct_l", audit.min_distinct_l),
+                    ("min_ec_size", audit.min_ec_size),
+                    ("num_ecs", audit.num_ecs),
+                ] {
+                    assert_eq!(
+                        expected.get(key).and_then(Json::as_u64),
+                        Some(value as u64),
+                        "{algo:?}: {key} drifted"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Writes the golden files and `expected.json`. Ignored by default; run
+/// explicitly (with `BETALIKE_REGEN_GOLDEN=1`) after a deliberate change
+/// to published output.
+#[test]
+#[ignore = "regenerates the committed golden vectors"]
+fn regen_golden() {
+    if std::env::var("BETALIKE_REGEN_GOLDEN").is_err() {
+        panic!("set BETALIKE_REGEN_GOLDEN=1 to confirm regeneration");
+    }
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    let registry = Registry::new();
+    let mut entries = Vec::new();
+    for algo in ALGOS {
+        let snap = publish(algo, &registry);
+        let bytes = publication_to_vec(&snap).expect("serialize");
+        std::fs::write(golden_path(algo), &bytes).expect("write golden");
+        let audit = match &snap.audit {
+            None => Json::Null,
+            Some(a) => {
+                let mut members = Vec::new();
+                for (key, value) in [
+                    ("max_beta", a.max_beta),
+                    ("avg_beta", a.avg_beta),
+                    ("max_closeness", a.max_closeness),
+                    ("avg_closeness", a.avg_closeness),
+                    ("avg_distinct_l", a.avg_distinct_l),
+                    ("min_inv_max_freq_l", a.min_inv_max_freq_l),
+                    ("max_delta", a.max_delta),
+                ] {
+                    members.push((
+                        format!("{key}_bits"),
+                        Json::Str(format!("{:016x}", value.to_bits())),
+                    ));
+                    members.push((format!("{key}_approx"), Json::Str(format!("{value:.6}"))));
+                }
+                for (key, value) in [
+                    ("min_distinct_l", a.min_distinct_l),
+                    ("min_ec_size", a.min_ec_size),
+                    ("num_ecs", a.num_ecs),
+                ] {
+                    members.push((key.to_string(), Json::Num(value as f64)));
+                }
+                Json::Obj(members)
+            }
+        };
+        entries.push((
+            algo.as_str().to_string(),
+            Json::Obj(vec![
+                ("handle".into(), Json::Str(snap.params.handle.clone())),
+                ("bytes".into(), Json::Num(bytes.len() as f64)),
+                ("audit".into(), audit),
+            ]),
+        ));
+    }
+    let doc = Json::Obj(entries);
+    std::fs::write(dir.join("expected.json"), doc.pretty() + "\n").expect("write expected.json");
+}
