@@ -491,6 +491,7 @@ fn measure_serve(rows: usize, num_queries: usize, client_counts: &[usize]) -> Se
     let mut points = Vec::new();
     for &clients in client_counts {
         let (_, elapsed) = betalike_bench::time_it(|| {
+            // betalike-lint: allow(D3, reason = "perf harness simulates N independent TCP clients; the worker pool cannot model separate connections")
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..clients)
                     .map(|_| {

@@ -334,9 +334,15 @@ pub fn run_battery_snapshot(snap: &PublicationSnapshot) -> Result<BatteryReport,
             partition
                 .validate_cover(snap.table.num_rows())
                 .map_err(|e| format!("partition does not cover the table: {e}"))?;
+            // Exhaustive over every scheme the wire knows (X2): only the
+            // β-respecting generalizers carry a β promise into the attack
+            // roster; sabre trades β for information loss, and anatomy/
+            // perturb publish non-generalized forms (they reach this arm
+            // only via a mislabeled snapshot, which the oracle rejects).
             let beta = match p.algo.as_str() {
                 "burel" | "mondrian" => Some(p.beta),
-                _ => None,
+                "sabre" | "anatomy" | "perturb" => None,
+                other => return Err(format!("unknown scheme `{other}` in snapshot params")),
             };
             Ok(run_battery_generalized(
                 &snap.table,

@@ -41,6 +41,9 @@
 //! TCP path on top) exposes all of this on the command line; see the
 //! README's "Verifying a publication" quickstart.
 
+// Backstops betalike-lint rule P2: stronger than the workspace-level
+// `unsafe_code = "deny"` because `forbid` cannot be overridden locally.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 

@@ -681,9 +681,12 @@ pub fn verify_anatomy(table: &Table, sa: usize) -> OracleReport {
 // ---------------------------------------------------------------------------
 
 /// Schemes that claim a β (the others are verified structurally only).
+/// Exhaustive over every scheme the wire knows (X2): an unknown algo
+/// claims nothing, and the form-consistency check reports it.
 fn claimed_beta(algo: &str, beta: f64) -> Option<f64> {
     match algo {
         "burel" | "mondrian" | "perturb" => Some(beta),
+        "sabre" | "anatomy" => None,
         _ => None,
     }
 }

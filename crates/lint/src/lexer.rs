@@ -1,0 +1,548 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The build environment is offline, so there is no `syn`/`proc-macro2`;
+//! the rule engine works on a flat token stream instead of a syntax tree.
+//! That is enough for every rule in the catalogue: the invariants are all
+//! expressible as "this identifier / token sequence appears (or does not
+//! appear) in this region of this file".
+//!
+//! The lexer understands exactly the surface it must not be fooled by:
+//! line and (nested) block comments, string literals in every flavour the
+//! workspace uses (escaped, raw with any `#` depth, byte, byte-raw), char
+//! literals vs. lifetimes, and numeric literals including float exponents
+//! and `0..n` range punctuation. Keywords are emitted as plain identifier
+//! tokens — rules match on their text.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `unwrap`, `unsafe`, `let`).
+    Ident,
+    /// A string literal of any flavour; `text` holds the *inner* content
+    /// (quotes, raw `#` fences and `b`/`r` prefixes stripped, escapes left
+    /// as written).
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`); `text` holds the name without `'`.
+    Lifetime,
+    /// A numeric literal (`42`, `0xFF`, `1.5e-9`, `4u32`).
+    Num,
+    /// A single punctuation character (`(`, `=`, `>`, ...). Multi-char
+    /// operators arrive as consecutive single-char tokens.
+    Punct,
+}
+
+/// One lexical token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The lexeme class.
+    pub kind: TokenKind,
+    /// The token text (see [`TokenKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+    /// Whether the token sits inside a `#[cfg(test)]` / `#[test]` item.
+    /// Filled in by [`crate::source::mark_test_regions`]; `false` at lex
+    /// time.
+    pub in_test: bool,
+}
+
+/// One comment (line or block) with its position; comments are kept out of
+/// the token stream so adjacency rules see code shape only, but they carry
+/// the inline suppression syntax so they are preserved here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// The comment text *without* the `//` / `/* */` markers.
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// 1-based column where the comment starts.
+    pub col: u32,
+}
+
+/// The result of lexing one file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one byte, tracking line/column. Columns count characters:
+    /// UTF-8 continuation bytes do not advance the column.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) -> usize {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if !pred(b) {
+                break;
+            }
+            self.bump();
+        }
+        self.pos - start
+    }
+
+    fn slice(&self, from: usize) -> &'a str {
+        // The lexer only slices at character boundaries it has itself
+        // walked over, so this cannot split a UTF-8 sequence.
+        std::str::from_utf8(&self.bytes[from..self.pos]).unwrap_or("")
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes one Rust source file. Never fails: unrecognized bytes become
+/// punctuation tokens, and an unterminated literal runs to end of file —
+/// for a linter, resilience beats strictness (rustc reports real syntax
+/// errors; the linter must still scan the rest of the tree).
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(b) = c.peek() {
+        let (line, col, start) = (c.line, c.col, c.pos);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                c.bump();
+                c.bump();
+                let text_start = c.pos;
+                c.eat_while(|b| b != b'\n');
+                out.comments.push(Comment {
+                    text: c.slice(text_start).to_string(),
+                    line,
+                    col,
+                });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let text_start = c.pos;
+                let mut depth = 1usize;
+                let mut text_end = c.pos;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            text_end = c.pos;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let text = std::str::from_utf8(&c.bytes[text_start..text_end.max(text_start)])
+                    .unwrap_or("")
+                    .to_string();
+                out.comments.push(Comment { text, line, col });
+            }
+            b'"' => {
+                let text = lex_quoted(&mut c);
+                out.tokens.push(token(TokenKind::Str, text, line, col));
+            }
+            b'\'' => {
+                lex_char_or_lifetime(&mut c, &mut out, line, col);
+            }
+            b'r' | b'b' if starts_prefixed_literal(&c) => {
+                lex_prefixed_literal(&mut c, &mut out, line, col);
+            }
+            _ if is_ident_start(b) => {
+                c.eat_while(is_ident_continue);
+                out.tokens.push(token(
+                    TokenKind::Ident,
+                    c.slice(start).to_string(),
+                    line,
+                    col,
+                ));
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut c);
+                out.tokens
+                    .push(token(TokenKind::Num, c.slice(start).to_string(), line, col));
+            }
+            _ => {
+                c.bump();
+                out.tokens
+                    .push(token(TokenKind::Punct, (b as char).to_string(), line, col));
+            }
+        }
+    }
+    out
+}
+
+fn token(kind: TokenKind, text: String, line: u32, col: u32) -> Token {
+    Token {
+        kind,
+        text,
+        line,
+        col,
+        in_test: false,
+    }
+}
+
+/// Whether the cursor sits on `r"`, `r#`, `b"`, `b'`, `br"`, or `br#` —
+/// i.e. a prefixed string/char literal rather than an identifier starting
+/// with `r`/`b`.
+fn starts_prefixed_literal(c: &Cursor<'_>) -> bool {
+    matches!(
+        (c.peek(), c.peek_at(1), c.peek_at(2)),
+        (Some(b'r'), Some(b'"' | b'#'), _)
+            | (Some(b'b'), Some(b'"' | b'\''), _)
+            | (Some(b'b'), Some(b'r'), Some(b'"' | b'#'))
+    )
+}
+
+fn lex_prefixed_literal(c: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
+    let mut raw = false;
+    let mut byte_char = false;
+    while let Some(b) = c.peek() {
+        match b {
+            b'r' => {
+                raw = true;
+                c.bump();
+            }
+            b'b' => {
+                c.bump();
+                if c.peek() == Some(b'\'') {
+                    byte_char = true;
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    if byte_char {
+        c.bump(); // opening '
+        let text = lex_char_body(c);
+        out.tokens.push(token(TokenKind::Char, text, line, col));
+    } else if raw {
+        let mut hashes = 0usize;
+        while c.peek() == Some(b'#') {
+            hashes += 1;
+            c.bump();
+        }
+        if c.peek() == Some(b'"') {
+            c.bump();
+            let text_start = c.pos;
+            let mut text_end = c.pos;
+            'scan: while let Some(b) = c.peek() {
+                if b == b'"' {
+                    text_end = c.pos;
+                    c.bump();
+                    for _ in 0..hashes {
+                        if c.peek() == Some(b'#') {
+                            c.bump();
+                        } else {
+                            continue 'scan;
+                        }
+                    }
+                    break;
+                }
+                c.bump();
+                text_end = c.pos;
+            }
+            let text = std::str::from_utf8(&c.bytes[text_start..text_end])
+                .unwrap_or("")
+                .to_string();
+            out.tokens.push(token(TokenKind::Str, text, line, col));
+        } else {
+            // `r#ident` (a raw identifier): the `#`s were consumed; lex
+            // the identifier itself.
+            let start = c.pos;
+            c.eat_while(is_ident_continue);
+            out.tokens.push(token(
+                TokenKind::Ident,
+                c.slice(start).to_string(),
+                line,
+                col,
+            ));
+        }
+    } else {
+        // b"..."
+        let text = lex_quoted(c);
+        out.tokens.push(token(TokenKind::Str, text, line, col));
+    }
+}
+
+/// Lexes a `"..."` body (cursor on the opening quote); returns the inner
+/// text with escapes left as written.
+fn lex_quoted(c: &mut Cursor<'_>) -> String {
+    c.bump(); // opening "
+    let start = c.pos;
+    let mut end = c.pos;
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+                end = c.pos;
+            }
+            b'"' => {
+                end = c.pos;
+                c.bump();
+                break;
+            }
+            _ => {
+                c.bump();
+                end = c.pos;
+            }
+        }
+    }
+    std::str::from_utf8(&c.bytes[start..end])
+        .unwrap_or("")
+        .to_string()
+}
+
+/// Lexes the body of a char literal after its opening `'`; returns the
+/// inner text.
+fn lex_char_body(c: &mut Cursor<'_>) -> String {
+    let start = c.pos;
+    let mut end = c.pos;
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+                end = c.pos;
+            }
+            b'\'' => {
+                end = c.pos;
+                c.bump();
+                break;
+            }
+            _ => {
+                c.bump();
+                end = c.pos;
+            }
+        }
+    }
+    std::str::from_utf8(&c.bytes[start..end])
+        .unwrap_or("")
+        .to_string()
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime). A `'` followed by an
+/// identifier is a lifetime unless the identifier is one character long
+/// and immediately followed by a closing `'`.
+fn lex_char_or_lifetime(c: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
+    c.bump(); // the '
+    match c.peek() {
+        Some(b'\\') => {
+            let text = lex_char_body(c);
+            out.tokens.push(token(TokenKind::Char, text, line, col));
+        }
+        Some(b) if is_ident_start(b) => {
+            let start = c.pos;
+            c.eat_while(is_ident_continue);
+            if c.peek() == Some(b'\'') {
+                let text = c.slice(start).to_string();
+                c.bump();
+                out.tokens.push(token(TokenKind::Char, text, line, col));
+            } else {
+                out.tokens.push(token(
+                    TokenKind::Lifetime,
+                    c.slice(start).to_string(),
+                    line,
+                    col,
+                ));
+            }
+        }
+        _ => {
+            let text = lex_char_body(c);
+            out.tokens.push(token(TokenKind::Char, text, line, col));
+        }
+    }
+}
+
+/// Lexes a numeric literal. A `.` continues the number only when followed
+/// by a digit (so `0..n` stays three tokens), and `+`/`-` continue it only
+/// directly after an exponent `e`/`E` in a decimal literal.
+fn lex_number(c: &mut Cursor<'_>) {
+    let hex = c.peek() == Some(b'0') && matches!(c.peek_at(1), Some(b'x' | b'X' | b'o' | b'b'));
+    c.bump();
+    let mut prev = 0u8;
+    while let Some(b) = c.peek() {
+        let continues = match b {
+            b'0'..=b'9' | b'_' => true,
+            b'.' => !hex && c.peek_at(1).is_some_and(|n| n.is_ascii_digit()),
+            b'+' | b'-' => !hex && matches!(prev, b'e' | b'E'),
+            _ => b.is_ascii_alphanumeric(),
+        };
+        if !continues {
+            break;
+        }
+        prev = b;
+        c.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_punct() {
+        let toks = kinds("let x = foo.unwrap();");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Ident, "foo".into()),
+                (TokenKind::Punct, ".".into()),
+                (TokenKind::Ident, "unwrap".into()),
+                (TokenKind::Punct, "(".into()),
+                (TokenKind::Punct, ")".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        // Identifier-looking content inside literals must not produce
+        // Ident tokens — rules must not fire on `"HashMap"`.
+        let toks = kinds(r#"let s = "HashMap::unwrap() // not a comment";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || (t != "HashMap" && t != "unwrap")));
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r##"let a = r#"quote " inside"#; let b = b"bytes"; let c = r"raw";"##);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, vec![r#"quote " inside"#, "bytes", "raw"]);
+    }
+
+    #[test]
+    fn char_versus_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, vec!["x", "\\n"]);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e-9; let h = 0xFF_u32; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-9", "0xFF_u32"]);
+        // The `..` survives as two punct tokens.
+        let dots = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Punct && t == ".")
+            .count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn comments_are_captured_with_positions() {
+        let lexed = lex("code();\n// a line comment\nmore(); /* block\ncomment */ after();");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].text, " a line comment");
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[1].text.contains("block"));
+        // The token after the block comment still gets a position.
+        let after = lexed.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still outer */ x();");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.tokens[0].text, "x");
+    }
+
+    #[test]
+    fn positions_are_one_based_and_character_counted() {
+        let lexed = lex("ab cd\n  héllo");
+        let t = &lexed.tokens[2];
+        assert_eq!((t.line, t.col), (2, 3));
+        assert_eq!(t.text, "héllo");
+    }
+}

@@ -1,0 +1,164 @@
+//! `betalike-lint` — run the workspace invariant rules and report.
+//!
+//! ```text
+//! betalike-lint [--root DIR] [--baseline FILE] [--json OUT] [--write-baseline]
+//! ```
+//!
+//! Exit codes: `0` clean (after suppressions and baseline), `1` findings,
+//! `2` usage or I/O error. `--write-baseline` rewrites the baseline file
+//! to grandfather every current finding — for bootstrapping only; CI
+//! diffs the committed baseline and fails if it grew.
+
+use lint::engine::{load_unsafe_whitelist, Baseline, Workspace};
+use lint::rules::Finding;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Default baseline location, relative to `--root`.
+const DEFAULT_BASELINE: &str = "crates/lint/baseline.tsv";
+
+struct Options {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    json: Option<PathBuf>,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        baseline: None,
+        json: None,
+        write_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?),
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a file")?))
+            }
+            "--json" => opts.json = Some(PathBuf::from(args.next().ok_or("--json needs a file")?)),
+            "--write-baseline" => opts.write_baseline = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: betalike-lint [--root DIR] [--baseline FILE] [--json OUT] \
+                            [--write-baseline]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("betalike-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(findings) if findings.is_empty() => {
+            println!("betalike-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{}:{}:{}: {}: {}", f.path, f.line, f.col, f.rule, f.message);
+            }
+            println!("betalike-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("betalike-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<Vec<Finding>, String> {
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join(DEFAULT_BASELINE));
+    let whitelist =
+        load_unsafe_whitelist(&opts.root).map_err(|e| format!("reading unsafe whitelist: {e}"))?;
+    let mut ws = Workspace::scan_root(&opts.root)
+        .map_err(|e| format!("scanning {}: {e}", opts.root.display()))?;
+    let raw = ws.run(&whitelist);
+
+    if opts.write_baseline {
+        let meta: Vec<&Finding> = raw
+            .iter()
+            .filter(|f| f.rule == "S1" || f.rule == "S2")
+            .collect();
+        if !meta.is_empty() {
+            return Err(format!(
+                "refusing to write a baseline while {} suppression-hygiene finding(s) (S1/S2) \
+                 exist; fix those first",
+                meta.len()
+            ));
+        }
+        std::fs::write(&baseline_path, Baseline::serialize(&raw))
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "betalike-lint: wrote {} with {} grandfathered finding(s)",
+            baseline_path.display(),
+            raw.len()
+        );
+        return Ok(Vec::new());
+    }
+
+    let baseline = Baseline::load(&baseline_path)?;
+    let findings = baseline.apply(raw);
+    if let Some(json_path) = &opts.json {
+        std::fs::write(json_path, to_json(&findings))
+            .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    }
+    Ok(findings)
+}
+
+/// Renders findings as JSON. Write-only and hand-escaped — this crate is
+/// dependency-free on purpose.
+fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"snippet\": {}, \
+             \"message\": {}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            f.col,
+            json_str(&f.snippet),
+            json_str(&f.message)
+        ));
+    }
+    out.push_str(&format!("\n  ],\n  \"count\": {}\n}}\n", findings.len()));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

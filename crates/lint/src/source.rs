@@ -1,0 +1,395 @@
+//! The per-file source model: lexed tokens, `#[cfg(test)]` / `#[test]`
+//! region marking, and inline suppression comments.
+
+use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
+
+/// The marker that introduces an inline suppression comment: this
+/// constant's value followed by `allow(RULE, reason = "...")`. The reason
+/// is mandatory (rule S1 fires on a suppression without one). The marker
+/// is deliberately never written verbatim in this crate's own comments —
+/// the self-scan would parse it.
+pub const SUPPRESS_MARKER: &str = "betalike-lint:";
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule ID being suppressed (e.g. `P1`).
+    pub rule: String,
+    /// The suppression's stated reason, if any.
+    pub reason: Option<String>,
+    /// Parse failure description when the comment carries the marker but
+    /// not the grammar; a malformed suppression suppresses nothing.
+    pub malformed: Option<String>,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+    /// The line the suppression applies to: the comment's own line, or —
+    /// for a comment on a line of its own — the next line holding code.
+    pub target_line: u32,
+    /// Whether the suppression matched a finding (stale ones are rule S2).
+    pub used: bool,
+}
+
+/// One scanned file: raw text always, token structure when it is Rust.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Root-relative path with `/` separators (e.g. `crates/core/src/lib.rs`).
+    pub path: String,
+    /// The raw file contents (used by text-level workspace rules).
+    pub text: String,
+    /// Lexed tokens — empty for non-Rust files.
+    pub tokens: Vec<Token>,
+    /// Parsed suppression comments — empty for non-Rust files.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Builds a source file; `.rs` paths are lexed, test regions marked,
+    /// and suppression comments parsed.
+    pub fn new(path: String, text: String) -> Self {
+        if !path.ends_with(".rs") {
+            return SourceFile {
+                path,
+                text,
+                tokens: Vec::new(),
+                suppressions: Vec::new(),
+            };
+        }
+        let Lexed {
+            mut tokens,
+            comments,
+        } = lex(&text);
+        mark_test_regions(&mut tokens);
+        let suppressions = parse_suppressions(&comments, &tokens);
+        SourceFile {
+            path,
+            text,
+            tokens,
+            suppressions,
+        }
+    }
+
+    /// Whether any identifier or string-literal token equals `word`
+    /// (identifiers case-insensitively, so `Burel` satisfies `burel`).
+    pub fn has_code_word(&self, word: &str) -> bool {
+        self.tokens.iter().any(|t| match t.kind {
+            TokenKind::Ident => t.text.eq_ignore_ascii_case(word),
+            TokenKind::Str => t.text == word,
+            _ => false,
+        })
+    }
+
+    /// Whether the raw text contains `word` delimited by non-alphanumeric
+    /// characters (case-insensitive) — the containment check for non-Rust
+    /// surfaces like `DESIGN.md` and the CI workflow.
+    pub fn has_text_word(&self, word: &str) -> bool {
+        let hay = self.text.to_ascii_lowercase();
+        let needle = word.to_ascii_lowercase();
+        let boundary = |b: Option<u8>| !b.is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_');
+        let mut from = 0;
+        while let Some(at) = hay[from..].find(&needle) {
+            let start = from + at;
+            let end = start + needle.len();
+            if boundary(
+                hay.as_bytes()
+                    .get(start.wrapping_sub(1))
+                    .copied()
+                    .filter(|_| start > 0),
+            ) && boundary(hay.as_bytes().get(end).copied())
+            {
+                return true;
+            }
+            from = end;
+        }
+        false
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)]` or `#[test]` item as test
+/// code. The "item" is delimited by the first `{`...`}` block after the
+/// attribute (a `mod tests { ... }` or a `fn body`), or by a terminating
+/// `;` for brace-less items like `#[cfg(test)] use x;`.
+pub fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(attr_end) = test_attribute(tokens, i) {
+            if let Some(item_end) = item_extent(tokens, attr_end + 1) {
+                for t in tokens.iter_mut().take(item_end + 1).skip(i) {
+                    t.in_test = true;
+                }
+                i = item_end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// If `tokens[at..]` begins a `#[cfg(test…)]` or `#[test]` attribute,
+/// returns the index of its closing `]`.
+fn test_attribute(tokens: &[Token], at: usize) -> Option<usize> {
+    let punct = |i: usize, ch: &str| {
+        tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text == ch)
+    };
+    let ident = |i: usize, name: &str| {
+        tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == name)
+    };
+    if !(punct(at, "#") && punct(at + 1, "[")) {
+        return None;
+    }
+    let is_test = ident(at + 2, "test")
+        || (ident(at + 2, "cfg") && punct(at + 3, "(") && ident(at + 4, "test"));
+    if !is_test {
+        return None;
+    }
+    // Find the attribute's closing `]` (attributes never nest brackets
+    // deeply in this workspace, but balance them anyway).
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(at + 1) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Returns the index of the token ending the item that starts at `from`
+/// (skipping further attributes): the `}` closing its first brace block,
+/// or a `;` reached before any `{`.
+fn item_extent(tokens: &[Token], mut from: usize) -> Option<usize> {
+    // Skip stacked attributes (`#[test]\n#[ignore]\nfn ...`).
+    while tokens
+        .get(from)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == "#")
+        && tokens
+            .get(from + 1)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text == "[")
+    {
+        let mut depth = 0usize;
+        let mut i = from + 1;
+        loop {
+            let t = tokens.get(i)?;
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        from = i + 1;
+    }
+    let mut i = from;
+    let mut depth = 0usize;
+    loop {
+        let t = tokens.get(i)?;
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                ";" if depth == 0 => return Some(i),
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.checked_sub(1)?;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parses every comment carrying [`SUPPRESS_MARKER`] into a
+/// [`Suppression`]. `tokens` supplies the target line: a comment alone on
+/// its line suppresses the next line that holds code.
+pub fn parse_suppressions(comments: &[Comment], tokens: &[Token]) -> Vec<Suppression> {
+    comments
+        .iter()
+        .filter_map(|c| {
+            let at = c.text.find(SUPPRESS_MARKER)?;
+            let rest = c.text[at + SUPPRESS_MARKER.len()..].trim();
+            let target_line = tokens
+                .iter()
+                .find(|t| t.line > c.line)
+                .map_or(c.line, |t| t.line);
+            let mut s = Suppression {
+                rule: String::new(),
+                reason: None,
+                malformed: None,
+                line: c.line,
+                col: c.col,
+                target_line,
+                used: false,
+            };
+            match parse_allow(rest) {
+                Ok((rule, reason)) => {
+                    s.rule = rule;
+                    s.reason = reason;
+                }
+                Err(why) => s.malformed = Some(why),
+            }
+            Some(s)
+        })
+        .collect()
+}
+
+/// Parses `allow(RULE)` / `allow(RULE, reason = "...")`.
+fn parse_allow(text: &str) -> Result<(String, Option<String>), String> {
+    let body = text
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('('))
+        .ok_or("expected `allow(RULE, reason = \"...\")`")?;
+    let close = body.rfind(')').ok_or("unclosed `allow(`")?;
+    let inner = &body[..close];
+    let (rule, rest) = match inner.find(',') {
+        Some(comma) => (inner[..comma].trim(), Some(inner[comma + 1..].trim())),
+        None => (inner.trim(), None),
+    };
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric()) {
+        return Err(format!("bad rule ID `{rule}`"));
+    }
+    let reason = match rest {
+        None => None,
+        Some(r) => {
+            let r = r
+                .strip_prefix("reason")
+                .map(str::trim_start)
+                .and_then(|t| t.strip_prefix('='))
+                .map(str::trim)
+                .ok_or("expected `reason = \"...\"` after the rule ID")?;
+            let quoted = r
+                .strip_prefix('"')
+                .and_then(|t| t.strip_suffix('"'))
+                .ok_or("the reason must be a quoted string")?;
+            if quoted.trim().is_empty() {
+                return Err("the reason must not be empty".into());
+            }
+            Some(quoted.to_string())
+        }
+    };
+    Ok((rule.to_string(), reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods_and_test_fns() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs".into(),
+            "fn real() { a(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn helper() { b(); }\n}\n\
+             #[test]\nfn standalone() { c(); }\n\
+             fn real2() { d(); }\n"
+                .into(),
+        );
+        let at = |name: &str| f.tokens.iter().find(|t| t.text == name).unwrap().in_test;
+        assert!(!at("a"));
+        assert!(at("b"));
+        assert!(at("c"));
+        assert!(!at("d"));
+    }
+
+    #[test]
+    fn braceless_cfg_test_items_end_at_semicolon() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs".into(),
+            "#[cfg(test)]\nuse std::collections::HashMap;\nfn real() { a(); }\n".into(),
+        );
+        let hm = f.tokens.iter().find(|t| t.text == "HashMap").unwrap();
+        assert!(hm.in_test);
+        assert!(!f.tokens.iter().find(|t| t.text == "a").unwrap().in_test);
+    }
+
+    #[test]
+    fn stacked_attributes_before_the_item() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs".into(),
+            "#[test]\n#[ignore]\nfn slow() { x(); }\nfn real() { y(); }\n".into(),
+        );
+        assert!(f.tokens.iter().find(|t| t.text == "x").unwrap().in_test);
+        assert!(!f.tokens.iter().find(|t| t.text == "y").unwrap().in_test);
+    }
+
+    #[test]
+    fn suppression_with_reason_parses() {
+        let src = "// betalike-lint: allow(P1, reason = \"bounds checked above\")\nlet x = v[0];\n";
+        let f = SourceFile::new("crates/x/src/lib.rs".into(), src.into());
+        assert_eq!(f.suppressions.len(), 1);
+        let s = &f.suppressions[0];
+        assert_eq!(s.rule, "P1");
+        assert_eq!(s.reason.as_deref(), Some("bounds checked above"));
+        assert!(s.malformed.is_none());
+        assert_eq!(s.target_line, 2);
+    }
+
+    #[test]
+    fn suppression_without_reason_or_malformed() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs".into(),
+            "// betalike-lint: allow(D1)\nlet m = 1;\n// betalike-lint: nonsense\nlet n = 2;\n"
+                .into(),
+        );
+        assert_eq!(f.suppressions.len(), 2);
+        assert_eq!(f.suppressions[0].rule, "D1");
+        assert!(f.suppressions[0].reason.is_none());
+        assert!(f.suppressions[1].malformed.is_some());
+    }
+
+    #[test]
+    fn same_line_suppression_targets_its_own_line() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs".into(),
+            "let x = v[0]; // betalike-lint: allow(P1, reason = \"len asserted\")\n".into(),
+        );
+        let s = &f.suppressions[0];
+        assert_eq!(s.line, 1);
+        // No later code line exists, so the target stays the comment line.
+        assert_eq!(s.target_line, 1);
+    }
+
+    #[test]
+    fn text_word_boundaries() {
+        let f = SourceFile::new(
+            "DESIGN.md".into(),
+            "The perturbed form differs; burel and Sabre are schemes.".into(),
+        );
+        assert!(f.has_text_word("burel"));
+        assert!(f.has_text_word("sabre"));
+        assert!(!f.has_text_word("perturb")); // only `perturbed` present
+    }
+
+    #[test]
+    fn code_word_matches_idents_and_strings() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs".into(),
+            "fn f() { let a = Algo::Burel; let b = \"sabre\"; run_battery_perturbed(); }".into(),
+        );
+        assert!(f.has_code_word("burel"));
+        assert!(f.has_code_word("sabre"));
+        assert!(!f.has_code_word("perturb")); // compound ident does not count
+    }
+}

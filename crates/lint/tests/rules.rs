@@ -1,0 +1,418 @@
+//! Fixture tests: for every rule, an offending snippet (with its line and
+//! column asserted) and a passing twin, plus the suppression and baseline
+//! semantics.
+
+use lint::engine::{Baseline, Workspace};
+use lint::rules::Finding;
+use std::collections::BTreeSet;
+
+fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+    let mut ws = Workspace::from_files(
+        files
+            .iter()
+            .map(|(p, t)| (p.to_string(), t.to_string()))
+            .collect(),
+    );
+    ws.run(&BTreeSet::new())
+}
+
+fn only(findings: &[Finding], rule: &str) -> Vec<Finding> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn d1_hashmap_in_deterministic_crate() {
+    let bad = run(&[(
+        "crates/core/src/lib.rs",
+        "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n",
+    )]);
+    let hits = only(&bad, "D1");
+    assert_eq!(hits.len(), 3, "one finding per mention: {hits:?}");
+    assert_eq!((hits[0].line, hits[0].col), (1, 23));
+
+    // Twin 1: BTreeMap in the same crate is fine. Twin 2: HashMap in the
+    // server registry (outside the deterministic set) is fine.
+    let good = run(&[
+        (
+            "crates/core/src/lib.rs",
+            "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); }\n",
+        ),
+        (
+            "crates/server/src/registry.rs",
+            "use std::collections::HashMap;\nfn f() -> HashMap<u32, u32> { HashMap::new() }\n",
+        ),
+    ]);
+    assert!(only(&good, "D1").is_empty());
+}
+
+#[test]
+fn d2_wall_clock_outside_bench() {
+    let bad = run(&[(
+        "crates/query/src/lib.rs",
+        "fn f() { let t = std::time::Instant::now(); }\n",
+    )]);
+    let hits = only(&bad, "D2");
+    assert_eq!(hits.len(), 1);
+    assert_eq!((hits[0].line, hits[0].col), (1, 29));
+    assert_eq!(hits[0].snippet, "Instant");
+
+    let good = run(&[(
+        "crates/bench/src/lib.rs",
+        "fn f() { let t = std::time::Instant::now(); }\n",
+    )]);
+    assert!(only(&good, "D2").is_empty());
+}
+
+#[test]
+fn d3_adhoc_threads() {
+    let bad = run(&[(
+        "crates/query/src/lib.rs",
+        "fn f() {\n    std::thread::spawn(|| {});\n}\n",
+    )]);
+    let hits = only(&bad, "D3");
+    assert_eq!(hits.len(), 1);
+    assert_eq!((hits[0].line, hits[0].col), (2, 10));
+
+    // Twins: the vendored pool may spawn; test code may spawn; and a
+    // different `thread::` member (e.g. `sleep`) is not a finding.
+    let good = run(&[
+        (
+            "vendor/mini-rayon/src/lib.rs",
+            "fn f() { std::thread::spawn(|| {}); }\n",
+        ),
+        (
+            "crates/query/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    fn f() { std::thread::spawn(|| {}); }\n}\n\
+             fn g() { std::thread::sleep(std::time::Duration::from_millis(1)); }\n",
+        ),
+    ]);
+    assert!(only(&good, "D3").is_empty());
+}
+
+#[test]
+fn d4_entropy_rng_outside_tests() {
+    let bad = run(&[(
+        "crates/baselines/src/lib.rs",
+        "fn f() { let rng = ChaCha8Rng::from_entropy(); }\n",
+    )]);
+    let hits = only(&bad, "D4");
+    assert_eq!(hits.len(), 1);
+    assert_eq!((hits[0].line, hits[0].col), (1, 32));
+
+    let good = run(&[(
+        "crates/baselines/src/lib.rs",
+        "fn f() { let rng = ChaCha8Rng::seed_from_u64(7); }\n\
+         #[test]\nfn t() { let rng = ChaCha8Rng::from_entropy(); }\n",
+    )]);
+    assert!(only(&good, "D4").is_empty());
+}
+
+#[test]
+fn p1_panics_on_request_and_decode_paths() {
+    let src = "fn f(v: &[u32], m: Option<u32>) -> u32 {\n\
+               \x20   let a = m.unwrap();\n\
+               \x20   let b = m.expect(\"set\");\n\
+               \x20   if v.is_empty() { panic!(\"empty\"); }\n\
+               \x20   a + b + v[0]\n\
+               }\n";
+    let bad = run(&[("crates/server/src/handler.rs", src)]);
+    let hits = only(&bad, "P1");
+    assert_eq!(hits.len(), 4, "{hits:?}");
+    assert_eq!(
+        (hits[0].line, hits[0].col, hits[0].snippet.as_str()),
+        (2, 15, "unwrap")
+    );
+    assert_eq!(
+        (hits[1].line, hits[1].col, hits[1].snippet.as_str()),
+        (3, 15, "expect")
+    );
+    assert_eq!(
+        (hits[2].line, hits[2].col, hits[2].snippet.as_str()),
+        (4, 23, "panic")
+    );
+    // Index findings anchor on the `[` itself.
+    assert_eq!(
+        (hits[3].line, hits[3].col, hits[3].snippet.as_str()),
+        (5, 14, "v[")
+    );
+
+    // The same code outside server/store is not P1's business.
+    let good = run(&[("crates/core/src/lib.rs", src)]);
+    assert!(only(&good, "P1").is_empty());
+}
+
+#[test]
+fn p1_spares_nonpanicking_lookalikes() {
+    let good = run(&[(
+        "crates/store/src/x.rs",
+        "fn f(v: &[u32], m: Option<u32>) -> u32 {\n\
+         \x20   let a = m.unwrap_or(0);\n\
+         \x20   let b = m.unwrap_or_else(|| 1);\n\
+         \x20   let whole = &v[..];\n\
+         \x20   let arr = [1u32, 2];\n\
+         \x20   let &[x, y] = &arr;\n\
+         \x20   a + b + whole.len() as u32 + x + y + Section::expect(0)\n\
+         }\n",
+    )]);
+    assert!(only(&good, "P1").is_empty(), "{good:?}");
+
+    // `take(1)?[0]` is an index through `?` — still a finding.
+    let bad = run(&[(
+        "crates/store/src/x.rs",
+        "fn f(v: Option<&[u32]>) -> Option<u32> { Some(v?[0]) }\n",
+    )]);
+    assert_eq!(only(&bad, "P1").len(), 1);
+}
+
+#[test]
+fn p2_unsafe_outside_whitelist() {
+    let files = vec![(
+        "crates/hilbert/src/fast.rs".to_string(),
+        "fn f(v: &[u32]) -> u32 { unsafe { *v.get_unchecked(0) } }\n".to_string(),
+    )];
+    let mut ws = Workspace::from_files(files.clone());
+    let hits = only(&ws.run(&BTreeSet::new()), "P2");
+    assert_eq!(hits.len(), 1);
+    assert_eq!((hits[0].line, hits[0].col), (1, 26));
+
+    // Whitelisting the file silences it.
+    let whitelist: BTreeSet<String> = ["crates/hilbert/src/fast.rs".to_string()].into();
+    let mut ws = Workspace::from_files(files);
+    assert!(only(&ws.run(&whitelist), "P2").is_empty());
+}
+
+const DISPATCH: &str =
+    "fn dispatch(op: &str) -> u32 {\n    match op {\n        \"ping\" => 1,\n        _ => 0,\n    }\n}\n";
+
+#[test]
+fn x1_ops_must_reach_both_clients_and_the_docs() {
+    // `ping` is dispatched but the client library never mentions it.
+    let bad = run(&[
+        ("crates/server/src/server.rs", DISPATCH),
+        ("crates/server/src/client.rs", "fn nothing() {}\n"),
+        (
+            "crates/server/src/bin/betalike_client.rs",
+            "fn main() { let _ = \"ping\"; }\n",
+        ),
+        ("DESIGN.md", "ops: `ping`\n"),
+    ]);
+    let hits = only(&bad, "X1");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].message.contains("`ping`"));
+    assert!(hits[0].message.contains("client.rs"));
+    // The finding points at the dispatch arm, not the missing surface.
+    assert_eq!(
+        (hits[0].path.as_str(), hits[0].line, hits[0].col),
+        ("crates/server/src/server.rs", 3, 9)
+    );
+
+    // The docs surface requires the backticked name, not just the word.
+    let undocumented = run(&[
+        ("crates/server/src/server.rs", DISPATCH),
+        (
+            "crates/server/src/client.rs",
+            "fn f() { let _ = \"ping\"; }\n",
+        ),
+        (
+            "crates/server/src/bin/betalike_client.rs",
+            "fn main() { let _ = \"ping\"; }\n",
+        ),
+        ("DESIGN.md", "we also ping the server sometimes\n"),
+    ]);
+    assert_eq!(only(&undocumented, "X1").len(), 1);
+
+    let good = run(&[
+        ("crates/server/src/server.rs", DISPATCH),
+        (
+            "crates/server/src/client.rs",
+            "fn f() { let _ = \"ping\"; }\n",
+        ),
+        (
+            "crates/server/src/bin/betalike_client.rs",
+            "fn main() { let _ = \"ping\"; }\n",
+        ),
+        ("DESIGN.md", "ops: `ping`\n"),
+    ]);
+    assert!(only(&good, "X1").is_empty());
+}
+
+const WIRE: &str = "impl Algo {\n\
+                    \x20   fn as_str(&self) -> &str {\n\
+                    \x20       match self {\n\
+                    \x20           Algo::Burel => \"burel\",\n\
+                    \x20           Algo::Sabre => \"sabre\",\n\
+                    \x20       }\n\
+                    \x20   }\n\
+                    }\n";
+
+#[test]
+fn x2_schemes_must_be_wired_through_every_site() {
+    // The acceptance fixture: dropping one scheme name from the battery
+    // must fail, naming the scheme and the file.
+    let bad = run(&[
+        ("crates/server/src/wire.rs", WIRE),
+        (
+            "crates/conformance/src/battery.rs",
+            "fn beta_of(algo: &str) -> bool { matches!(algo, \"burel\") }\n",
+        ),
+    ]);
+    let hits = only(&bad, "X2");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].path, "crates/conformance/src/battery.rs");
+    assert!(hits[0].message.contains("`sabre`"));
+
+    // Naming the scheme — as a string, or as an enum variant ident — fixes
+    // it; sites absent from the file set are not checked.
+    let good = run(&[
+        ("crates/server/src/wire.rs", WIRE),
+        (
+            "crates/conformance/src/battery.rs",
+            "fn beta_of(algo: &str) -> bool { matches!(algo, \"burel\" | \"sabre\") }\n",
+        ),
+        (
+            "crates/server/src/persist.rs",
+            "fn f() { let _ = (Algo::Burel, Algo::Sabre); }\n",
+        ),
+        ("DESIGN.md", "schemes: burel, sabre\n"),
+    ]);
+    assert!(only(&good, "X2").is_empty(), "{good:?}");
+
+    // A compound identifier is not a mention.
+    let compound = run(&[
+        ("crates/server/src/wire.rs", WIRE),
+        (
+            "crates/conformance/src/battery.rs",
+            "fn f() { run_battery_sabre_like(); let _ = \"burel\"; }\n",
+        ),
+    ]);
+    assert_eq!(only(&compound, "X2").len(), 1);
+}
+
+#[test]
+fn s1_suppressions_need_a_reason_and_a_known_rule() {
+    let missing_reason = run(&[(
+        "crates/server/src/x.rs",
+        "// betalike-lint: allow(P1)\nfn f(m: Option<u32>) -> u32 { m.unwrap() }\n",
+    )]);
+    let hits = only(&missing_reason, "S1");
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].message.contains("without a reason"));
+    assert_eq!((hits[0].line, hits[0].col), (1, 1));
+    // A reasonless suppression also absorbs nothing.
+    assert_eq!(only(&missing_reason, "P1").len(), 1);
+
+    let unknown_rule = run(&[(
+        "crates/server/src/x.rs",
+        "// betalike-lint: allow(Z9, reason = \"no such rule\")\nfn f() {}\n",
+    )]);
+    assert!(only(&unknown_rule, "S1")[0]
+        .message
+        .contains("not a suppressible rule"));
+
+    let unparseable = run(&[(
+        "crates/server/src/x.rs",
+        "// betalike-lint: silence everything\nfn f() {}\n",
+    )]);
+    assert!(only(&unparseable, "S1")[0].message.contains("malformed"));
+
+    // Meta rules cannot be suppressed away.
+    let meta = run(&[(
+        "crates/server/src/x.rs",
+        "// betalike-lint: allow(S2, reason = \"nice try\")\nfn f() {}\n",
+    )]);
+    assert_eq!(only(&meta, "S1").len(), 1);
+}
+
+#[test]
+fn suppressions_absorb_their_finding() {
+    let good = run(&[(
+        "crates/server/src/x.rs",
+        "// betalike-lint: allow(P1, reason = \"len checked by caller\")\n\
+         fn f(v: &[u32]) -> u32 { v[0] }\n",
+    )]);
+    assert!(only(&good, "P1").is_empty());
+    assert!(only(&good, "S1").is_empty());
+    assert!(only(&good, "S2").is_empty());
+
+    // Same-line form.
+    let inline = run(&[(
+        "crates/server/src/x.rs",
+        "fn f(v: &[u32]) -> u32 { v[0] } // betalike-lint: allow(P1, reason = \"len checked\")\n",
+    )]);
+    assert!(only(&inline, "P1").is_empty());
+
+    // A suppression only covers its own rule.
+    let wrong_rule = run(&[(
+        "crates/server/src/x.rs",
+        "// betalike-lint: allow(D1, reason = \"wrong rule\")\n\
+         fn f(v: &[u32]) -> u32 { v[0] }\n",
+    )]);
+    assert_eq!(only(&wrong_rule, "P1").len(), 1);
+    assert_eq!(only(&wrong_rule, "S2").len(), 1); // and is itself stale
+}
+
+#[test]
+fn s2_stale_suppressions_are_findings() {
+    let stale = run(&[(
+        "crates/server/src/x.rs",
+        "// betalike-lint: allow(P1, reason = \"was needed once\")\nfn f() -> u32 { 0 }\n",
+    )]);
+    let hits = only(&stale, "S2");
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].message.contains("stale suppression"));
+    assert_eq!((hits[0].line, hits[0].col), (1, 1));
+}
+
+#[test]
+fn baseline_grandfathers_by_fingerprint_and_ratchets() {
+    let files = &[(
+        "crates/server/src/x.rs",
+        "fn f(v: &[u32]) -> u32 { v[0] }\n",
+    )];
+    let raw = run(files);
+    assert_eq!(only(&raw, "P1").len(), 1);
+
+    // A matching entry absorbs the finding — regardless of line number.
+    let baseline = Baseline::parse("P1\tcrates/server/src/x.rs\t1\tv[\n").unwrap();
+    assert!(baseline.apply(raw.clone()).is_empty());
+
+    // A stale entry is a B0 finding: the baseline may only shrink.
+    let stale = Baseline::parse(
+        "P1\tcrates/server/src/x.rs\t1\tv[\nP1\tcrates/server/src/gone.rs\t1\tw[\n",
+    )
+    .unwrap();
+    let out = stale.apply(raw.clone());
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].rule, "B0");
+    assert!(out[0].message.contains("gone.rs"));
+
+    // Counts are per-fingerprint: one entry absorbs exactly one finding.
+    let two = run(&[(
+        "crates/server/src/x.rs",
+        "fn f(v: &[u32]) -> u32 { v[0] + v[1] }\n",
+    )]);
+    assert_eq!(only(&two, "P1").len(), 2);
+    let one_budget = Baseline::parse("P1\tcrates/server/src/x.rs\t1\tv[\n").unwrap();
+    assert_eq!(one_budget.apply(two).len(), 1);
+
+    // Suppression hygiene is never grandfathered.
+    let s2 = run(&[(
+        "crates/server/src/x.rs",
+        "// betalike-lint: allow(P1, reason = \"stale\")\nfn f() {}\n",
+    )]);
+    let laundered = Baseline::parse("S2\tcrates/server/src/x.rs\t1\tallow(P1)\n").unwrap();
+    let out = laundered.apply(s2);
+    assert!(out.iter().any(|f| f.rule == "S2"));
+    assert!(out.iter().any(|f| f.rule == "B0"));
+}
+
+#[test]
+fn malformed_baselines_are_rejected() {
+    assert!(Baseline::parse("P1 no tabs here\n").is_err());
+    assert!(Baseline::parse("P1\ta.rs\tnotanumber\tx[\n").is_err());
+    assert!(Baseline::parse("# comment\n\nP1\ta.rs\t2\tx[\n").is_ok());
+}

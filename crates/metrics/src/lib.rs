@@ -18,6 +18,9 @@
 //! The crate measures; it never anonymizes. The same auditors evaluate our
 //! algorithms and the baselines, so comparisons are apples-to-apples.
 
+// Backstops betalike-lint rule P2: stronger than the workspace-level
+// `unsafe_code = "deny"` because `forbid` cannot be overridden locally.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 

@@ -68,6 +68,7 @@ impl Artifact {
             ));
         }
         let qi: Vec<usize> = if needs_qi {
+            // betalike-lint: allow(P1, reason = "request.qi <= qi_pool.len() was rejected above")
             dataset.qi_pool[..request.qi].to_vec()
         } else {
             Vec::new()

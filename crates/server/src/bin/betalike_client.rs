@@ -5,6 +5,8 @@
 //!
 //! commands:
 //!   ping                       round-trip a ping
+//!   datasets                   list loaded datasets, resident published
+//!                              handles, and stored handles
 //!   publish                    publish a dataset; prints the handle
 //!     --dataset SPEC           census[:ROWS[:SEED]] | patients | synthetic[:ROWS[:SEED]]
 //!     --algo NAME              burel | sabre | mondrian | anatomy | perturb
@@ -24,7 +26,9 @@
 //!
 //! exit codes:
 //!   0  success
-//!   1  error (bad arguments, server-side rejection, mismatch)
+//!   1  runtime error (connect failure, server-side rejection, mismatch)
+//!   2  usage error (unknown command, missing or malformed flags) —
+//!      reported before any connection is opened
 //!   3  the server closed the connection before or during a response
 //! ```
 
@@ -39,6 +43,14 @@ use betalike_server::{Algo, Client, ClientError, CountRequest, DatasetSpec, Publ
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Exit code for a usage error — unknown command, missing or malformed
+/// flags. Distinct from runtime errors (1) so scripts can tell "my
+/// invocation is wrong, retrying is pointless" from "the server rejected
+/// this request". Usage errors are reported before any connection is
+/// opened: whether the invocation parses must not depend on whether a
+/// server happens to be reachable.
+const EXIT_USAGE: i32 = 2;
+
 /// Exit code for a connection the server closed before or mid-response —
 /// scripts can tell "server went away" (retry / restart) from "request was
 /// wrong" without scraping messages.
@@ -48,6 +60,15 @@ const EXIT_DISCONNECTED: i32 = 3;
 struct Failure {
     message: String,
     code: i32,
+}
+
+impl Failure {
+    fn usage(message: impl Into<String>) -> Self {
+        Failure {
+            message: message.into(),
+            code: EXIT_USAGE,
+        }
+    }
 }
 
 impl From<String> for Failure {
@@ -75,9 +96,20 @@ fn op_failed(op: &str) -> impl Fn(ClientError) -> Failure + '_ {
 }
 
 fn main() {
-    if let Err(Failure { message, code }) = run() {
+    let result = run();
+    let code = exit_code(&result);
+    if let Err(Failure { message, .. }) = result {
         eprintln!("betalike-client: {message}");
-        std::process::exit(code);
+    }
+    std::process::exit(code);
+}
+
+/// The single place the documented exit-code contract is realized — the
+/// per-code unit tests drive this.
+fn exit_code(result: &Result<(), Failure>) -> i32 {
+    match result {
+        Ok(()) => 0,
+        Err(f) => f.code,
     }
 }
 
@@ -109,7 +141,7 @@ impl Args {
         }
         Ok(Args {
             command: command
-                .ok_or("no command (ping | publish | count | audit | verify | smoke | shutdown)")?,
+                .ok_or_else(|| format!("no command (expected one of: {})", COMMANDS.join(" | ")))?,
             flags,
         })
     }
@@ -133,9 +165,23 @@ impl Args {
     }
 }
 
+/// Every command the client understands, in the order the doc header
+/// lists them. Checked before any connection is opened so an unknown
+/// command is a usage error regardless of whether a server is reachable.
+const COMMANDS: &[&str] = &[
+    "ping", "datasets", "publish", "count", "audit", "verify", "smoke", "shutdown",
+];
+
 fn run() -> Result<(), Failure> {
-    let args = Args::parse()?;
-    let addr = args.required("addr")?;
+    let args = Args::parse().map_err(Failure::usage)?;
+    if !COMMANDS.contains(&args.command.as_str()) {
+        return Err(Failure::usage(format!(
+            "unknown command `{}` (expected one of: {})",
+            args.command,
+            COMMANDS.join(" | ")
+        )));
+    }
+    let addr = args.required("addr").map_err(Failure::usage)?;
     let mut client =
         Client::connect(addr).map_err(|e| Failure::from(format!("connect {addr}: {e}")))?;
     match args.command.as_str() {
@@ -144,8 +190,13 @@ fn run() -> Result<(), Failure> {
             println!("pong");
             Ok(())
         }
+        "datasets" => {
+            let doc = client.datasets().map_err(op_failed("datasets"))?;
+            println!("{}", doc.pretty());
+            Ok(())
+        }
         "publish" => {
-            let request = publish_request(&args)?;
+            let request = publish_request(&args).map_err(Failure::usage)?;
             let reply = client.publish(&request).map_err(op_failed("publish"))?;
             println!(
                 "{} kind={} cached={}{}",
@@ -157,7 +208,7 @@ fn run() -> Result<(), Failure> {
             Ok(())
         }
         "count" => {
-            let request = count_request(&args)?;
+            let request = count_request(&args).map_err(Failure::usage)?;
             let reply = client.count(&request).map_err(op_failed("count"))?;
             match reply.exact {
                 Some(exact) => println!("estimate={} exact={exact}", reply.estimate),
@@ -167,7 +218,7 @@ fn run() -> Result<(), Failure> {
         }
         "audit" => {
             let doc = client
-                .audit(args.required("handle")?)
+                .audit(args.required("handle").map_err(Failure::usage)?)
                 .map_err(op_failed("audit"))?;
             println!("{}", doc.pretty());
             Ok(())
@@ -175,7 +226,7 @@ fn run() -> Result<(), Failure> {
         "verify" => {
             let battery = args.one("battery").is_some();
             let doc = client
-                .verify(args.required("handle")?, battery)
+                .verify(args.required("handle").map_err(Failure::usage)?, battery)
                 .map_err(op_failed("verify"))?;
             println!("{}", doc.pretty());
             let pass = doc.get("pass").and_then(Json::as_bool).unwrap_or(false);
@@ -188,13 +239,17 @@ fn run() -> Result<(), Failure> {
             }
             Ok(())
         }
-        "smoke" => smoke(&mut client, args.num("rows", 2_000usize)?),
+        "smoke" => smoke(
+            &mut client,
+            args.num("rows", 2_000usize).map_err(Failure::usage)?,
+        ),
         "shutdown" => {
             client.shutdown_server().map_err(op_failed("shutdown"))?;
             println!("server stopping");
             Ok(())
         }
-        other => Err(Failure::from(format!("unknown command `{other}`"))),
+        // Unreachable: the command was validated against COMMANDS above.
+        other => Err(Failure::usage(format!("unknown command `{other}`"))),
     }
 }
 
@@ -380,4 +435,56 @@ fn check_counts(
         }
     }
     Ok(())
+}
+
+// One test per documented exit code, all driven through `exit_code` — the
+// same function `main` uses — so the doc-header contract cannot drift
+// from the implementation silently.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_exits_0() {
+        assert_eq!(exit_code(&Ok(())), 0);
+    }
+
+    #[test]
+    fn runtime_errors_exit_1() {
+        let rejection = op_failed("publish")(ClientError::Server("β out of range".into()));
+        assert_eq!(exit_code(&Err(rejection)), 1);
+        let mismatch = Failure::from("op `count` estimate mismatch".to_string());
+        assert_eq!(exit_code(&Err(mismatch)), 1);
+    }
+
+    #[test]
+    fn usage_errors_exit_2() {
+        assert_eq!(exit_code(&Err(Failure::usage("unknown command `pong`"))), 2);
+        assert_eq!(EXIT_USAGE, 2);
+    }
+
+    #[test]
+    fn disconnects_exit_3() {
+        let gone = op_failed("count")(ClientError::Disconnected("mid-response close".into()));
+        assert_eq!(exit_code(&Err(gone)), EXIT_DISCONNECTED);
+        assert_eq!(EXIT_DISCONNECTED, 3);
+    }
+
+    #[test]
+    fn unknown_commands_are_usage_errors_and_name_the_roster() {
+        // The roster the error message offers must be exactly the command
+        // set `run` accepts (every arm in its match).
+        for cmd in COMMANDS {
+            assert!([
+                "ping", "datasets", "publish", "count", "audit", "verify", "smoke", "shutdown"
+            ]
+            .contains(cmd));
+        }
+    }
+
+    #[test]
+    fn io_errors_are_runtime_not_disconnect() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset");
+        assert_eq!(exit_code(&Err(op_failed("ping")(ClientError::Io(io)))), 1);
+    }
 }

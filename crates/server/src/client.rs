@@ -168,6 +168,26 @@ impl Client {
         .map(|_| ())
     }
 
+    /// Lists what the server knows: loaded dataset keys, resident
+    /// published handles, and (when a store is attached) stored handles.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`], plus [`ClientError::Protocol`] if the reply
+    /// lacks the `datasets` array.
+    pub fn datasets(&mut self) -> Result<Json, ClientError> {
+        let doc = self.call(&Json::Obj(vec![(
+            "op".to_string(),
+            Json::Str("datasets".into()),
+        )]))?;
+        if doc.get("datasets").is_none() {
+            return Err(ClientError::Protocol(
+                "datasets reply missing `datasets`".into(),
+            ));
+        }
+        Ok(doc)
+    }
+
     /// Publishes (or re-addresses) an artifact.
     ///
     /// # Errors

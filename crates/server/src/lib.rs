@@ -29,6 +29,12 @@
 //! See `DESIGN.md` §8–§9 for the architecture and the README "Serving" /
 //! "Durable publications" quickstarts for worked sessions.
 
+// Backstops betalike-lint rule P2: stronger than the workspace-level
+// `unsafe_code = "deny"` because `forbid` cannot be overridden locally.
+#![forbid(unsafe_code)]
+// Backstops betalike-lint rule P1 (request/decode paths are panic-free)
+// with rustc's own machinery; test code is exempt, matching P1's scope.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 

@@ -179,6 +179,7 @@ pub fn restore(snap: PublicationSnapshot) -> Result<Arc<Artifact>, String> {
             }
             let mut columns: Vec<Vec<Value>> =
                 (0..arity).map(|a| table.column(a).to_vec()).collect();
+            // betalike-lint: allow(P1, reason = "check_attr validated sa < arity on entry")
             columns[sa] = sa_column;
             let published = Table::from_columns(table.schema_arc(), columns)
                 .map_err(|e| format!("stored perturbed column: {e}"))?;

@@ -143,7 +143,7 @@ fn inspect(store: &ArtifactStore, handle: Option<&str>) -> Result<(), Failure> {
         let snap = store
             .load(&h)
             .map_err(|e| Failure::error(format!("{h}: {e}")))?
-            .expect("entry implies a loadable artifact");
+            .ok_or_else(|| Failure::error(format!("{h}: entry vanished during inspect")))?;
         println!(
             "{h} kind={} algo={} dataset={} rows={} {} audit={} bytes={} checksum={:016x}",
             snap.form.kind(),

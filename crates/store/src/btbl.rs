@@ -170,10 +170,7 @@ pub fn read_table<R: BufRead>(r: &mut R) -> Result<Table> {
         for _ in 0..rows {
             let v = match width {
                 1 => c.u8()? as Value,
-                2 => {
-                    let b = c.bytes(2)?;
-                    u16::from_le_bytes([b[0], b[1]]) as Value
-                }
+                2 => c.u16()? as Value,
                 4 => c.u32()?,
                 w => {
                     return Err(StoreError::malformed(

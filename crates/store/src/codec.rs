@@ -244,14 +244,24 @@ impl Section {
     }
 
     fn take(&mut self, n: usize) -> Result<&[u8]> {
-        if self.remaining() < n {
-            return Err(StoreError::Truncated {
-                section: self.name.clone(),
-            });
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let truncated = || StoreError::Truncated {
+            section: self.name.clone(),
+        };
+        let end = self.pos.checked_add(n).ok_or_else(truncated)?;
+        let out = self.buf.get(self.pos..end).ok_or_else(truncated)?;
+        self.pos = end;
         Ok(out)
+    }
+
+    /// Takes exactly `N` bytes as an array. `take` already guarantees the
+    /// length, so the conversion error arm is dead — it still returns
+    /// `Truncated` rather than panicking (the decode path is panic-free
+    /// by contract, and betalike-lint enforces it).
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let bytes = self.take(N)?;
+        <[u8; N]>::try_from(bytes).map_err(|_| StoreError::Truncated {
+            section: self.name.clone(),
+        })
     }
 
     /// Reads a `u8`.
@@ -260,7 +270,17 @@ impl Section {
     ///
     /// `Truncated` when the payload is exhausted.
     pub fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_array::<1>()?;
+        Ok(b)
+    }
+
+    /// Reads a `u16`.
+    ///
+    /// # Errors
+    ///
+    /// `Truncated` when the payload is exhausted.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a `u32`.
@@ -269,7 +289,7 @@ impl Section {
     ///
     /// `Truncated` when the payload is exhausted.
     pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4B")))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a `u64`.
@@ -278,7 +298,7 @@ impl Section {
     ///
     /// `Truncated` when the payload is exhausted.
     pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8B")))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads an `f64` from its raw bits.

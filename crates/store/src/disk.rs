@@ -98,9 +98,9 @@ impl ArtifactStore {
         let handles: Vec<String> = entries.keys().cloned().collect();
         for handle in handles {
             let path = artifact_path(&root, &handle);
-            let ok = match std::fs::read(&path) {
-                Ok(bytes) => fnv1a64(&bytes) == entries[&handle].checksum,
-                Err(_) => false,
+            let ok = match (std::fs::read(&path), entries.get(&handle)) {
+                (Ok(bytes), Some(entry)) => fnv1a64(&bytes) == entry.checksum,
+                _ => false,
             };
             if !ok {
                 quarantine_file(&root, &handle);
@@ -288,13 +288,15 @@ impl ArtifactStore {
         self.handles()
             .into_iter()
             .map(|handle| {
-                let result = self.load(&handle).and_then(|snap| match snap {
-                    Some(_) => Ok(self.entry(&handle).expect("entry exists")),
-                    None => Err(StoreError::malformed(
-                        "manifest",
-                        "entry vanished during verification",
-                    )),
-                });
+                let result =
+                    self.load(&handle)
+                        .and_then(|snap| match (snap, self.entry(&handle)) {
+                            (Some(_), Some(entry)) => Ok(entry),
+                            _ => Err(StoreError::malformed(
+                                "manifest",
+                                "entry vanished during verification",
+                            )),
+                        });
                 (handle, result)
             })
             .collect()

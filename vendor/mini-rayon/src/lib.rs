@@ -57,6 +57,9 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+// Backstops betalike-lint rule P2: stronger than the workspace-level
+// `unsafe_code = "deny"` because `forbid` cannot be overridden locally.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
