@@ -32,6 +32,15 @@
 //! the price of never trusting a publication the pipeline's own auditor
 //! blessed.
 //!
+//! Since PR 6 it also measures *resilience* (`faults` section): client-
+//! observed count-query p50/p99 under a flood of more clients than
+//! workers, with the bounded admission queue shedding (`overloaded`
+//! refusals + deterministic client backoff) versus an effectively
+//! unbounded queue; count throughput while the store is degraded
+//! (read-only after injected write failures); and the post-crash
+//! recovery-to-first-answer time — process start through store recovery
+//! to the first served count over a freshly opened data dir.
+//!
 //! ```text
 //! cargo run --release -p betalike-bench --bin perf -- --rows 200000
 //! cargo run --release -p betalike-bench --bin perf -- smoke --out perf-smoke.json
@@ -51,7 +60,7 @@
 //!   before uploading it.
 //!
 //! `--rows N` replaces the default 10k/50k/200k grid with the single size
-//! N; `--out FILE` overrides the default `BENCH_5.json`.
+//! N; `--out FILE` overrides the default `BENCH_6.json`.
 
 use betalike::bucketize::dp_partition;
 use betalike::burel::rows_per_bucket;
@@ -96,7 +105,7 @@ fn main() {
         .extra
         .get("out")
         .cloned()
-        .unwrap_or_else(|| "BENCH_5.json".into());
+        .unwrap_or_else(|| "BENCH_6.json".into());
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     // On a single-core host 4 threads still exercise the pool (and honestly
     // record the oversubscription cost); on real hardware N = all cores.
@@ -135,14 +144,21 @@ fn main() {
     let serve = measure_serve(serve_rows, serve_queries, &[1, parallel_threads]);
     print_serve(&serve);
 
-    let (store, verify) = if serve_only {
-        (Vec::new(), Vec::new())
+    let (store, verify, faults) = if serve_only {
+        (Vec::new(), Vec::new(), None)
     } else {
         let store = measure_store(&row_grid, iters);
         print_store(&store);
         let verify = measure_verify(&row_grid, iters);
         print_verify(&verify);
-        (store, verify)
+        let (faults_rows, faults_queries, flood_clients) = if smoke {
+            (2_000, 60, 6)
+        } else {
+            (10_000, 300, 8)
+        };
+        let faults = measure_faults(faults_rows, faults_queries, flood_clients);
+        print_faults(&faults);
+        (store, verify, Some(faults))
     };
 
     if serve_only && !explicit_out {
@@ -156,6 +172,7 @@ fn main() {
         &serve,
         &store,
         &verify,
+        faults.as_ref(),
         cpus,
         parallel_threads,
         iters,
@@ -328,12 +345,77 @@ fn check_schema(doc: &Json) -> Result<String, String> {
             }
         }
     }
+    // The `faults` section exists from PR 6 on; earlier committed
+    // trajectory files (BENCH_2..5) must still validate.
+    let faults = match doc.get("faults") {
+        Some(faults) => faults,
+        None if pr < 6.0 => {
+            return Ok(format!(
+                "{} stage measurements, {} serve points, {} store points, {} verify points, \
+                 pre-PR6 document without a faults section",
+                measurements.len(),
+                clients.len(),
+                points.len(),
+                verify_points.len()
+            ))
+        }
+        None => return Err("missing object `faults` (required from pr 6 on)".into()),
+    };
+    let overload = faults
+        .get("overload")
+        .and_then(Json::as_arr)
+        .ok_or("faults: missing array `overload`")?;
+    // A serve-only document (empty measurements) may skip the faults
+    // measurements; a full or smoke run must carry them.
+    if overload.is_empty() && !measurements.is_empty() {
+        return Err("faults: `overload` must not be empty".into());
+    }
+    for (i, p) in overload.iter().enumerate() {
+        let ctx = |e: String| format!("faults.overload[{i}]: {e}");
+        p.get("shedding")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("faults.overload[{i}]: missing/ill-typed bool `shedding`"))?;
+        num(p, "clients").map_err(ctx)?;
+        num(p, "queue").map_err(ctx)?;
+        num(p, "total_queries").map_err(ctx)?;
+        let sheds = num(p, "sheds").map_err(ctx)?;
+        if sheds < 0.0 {
+            return Err(format!("faults.overload[{i}]: sheds = {sheds} is negative"));
+        }
+        let p50 = num(p, "p50_ms").map_err(ctx)?;
+        let p99 = num(p, "p99_ms").map_err(ctx)?;
+        if !p50.is_finite() || p50 <= 0.0 || !p99.is_finite() || p99 < p50 {
+            return Err(format!(
+                "faults.overload[{i}]: p50_ms = {p50} / p99_ms = {p99} are not sane latencies"
+            ));
+        }
+    }
+    if !overload.is_empty() {
+        let degraded = faults
+            .get("degraded")
+            .ok_or("faults: missing object `degraded`")?;
+        num(degraded, "queries").map_err(|e| format!("faults.degraded: {e}"))?;
+        let qps = num(degraded, "count_qps").map_err(|e| format!("faults.degraded: {e}"))?;
+        if !qps.is_finite() || qps <= 0.0 {
+            return Err(format!("faults.degraded: count_qps = {qps} is not > 0"));
+        }
+        let recovery = faults
+            .get("recovery")
+            .ok_or("faults: missing object `recovery`")?;
+        num(recovery, "rows").map_err(|e| format!("faults.recovery: {e}"))?;
+        let secs = num(recovery, "secs").map_err(|e| format!("faults.recovery: {e}"))?;
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err(format!("faults.recovery: secs = {secs} is not > 0"));
+        }
+    }
     Ok(format!(
-        "{} stage measurements, {} serve points, {} store points, {} verify points",
+        "{} stage measurements, {} serve points, {} store points, {} verify points, \
+         {} overload points",
         measurements.len(),
         clients.len(),
         points.len(),
-        verify_points.len()
+        verify_points.len(),
+        overload.len()
     ))
 }
 
@@ -449,6 +531,7 @@ fn measure_serve(rows: usize, num_queries: usize, client_counts: &[usize]) -> Se
         threads: max_clients + 1,
         preload: None,
         data_dir: None,
+        ..Default::default()
     })
     .expect("bind an ephemeral port");
     let addr = server.addr();
@@ -646,6 +729,313 @@ fn measure_verify(row_grid: &[usize], iters: usize) -> Vec<VerifyPoint> {
     points
 }
 
+/// One overload point: client-observed count latency with `clients`
+/// concurrent connections against a 2-worker server, with or without the
+/// bounded admission queue doing real shedding.
+struct OverloadPoint {
+    shedding: bool,
+    clients: usize,
+    queue: usize,
+    /// Server-side shed counter (from `health`) after the flood.
+    sheds: u64,
+    total_queries: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// The `faults` section of the trajectory document.
+struct FaultsMeasurement {
+    overload: Vec<OverloadPoint>,
+    degraded_queries: usize,
+    /// Count throughput against a server whose store is degraded
+    /// (read-only): reads must not pay for the broken disk.
+    degraded_count_qps: f64,
+    recovery_rows: usize,
+    /// Process start → store recovery → first served count, over a data
+    /// dir left behind by a simulated mid-save crash.
+    recovery_secs: f64,
+}
+
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Measures the `faults` section: overload latency with and without
+/// shedding, degraded-store read throughput, and post-crash recovery to
+/// the first served answer.
+fn measure_faults(rows: usize, num_queries: usize, flood_clients: usize) -> FaultsMeasurement {
+    use betalike_faults::{ChaosVfs, FaultPlan, RetryPolicy};
+    use betalike_server::artifact::Artifact;
+    use betalike_server::{
+        persist, serve, Algo, Client, CountRequest, DatasetSpec, PublishRequest, Registry,
+        ServerConfig,
+    };
+    use betalike_store::disk::DEGRADED_AFTER;
+    use betalike_store::ArtifactStore;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let spec = DatasetSpec::Census { rows, seed: 42 };
+    let request = PublishRequest::new(spec.clone(), Algo::Burel);
+    let table = census::generate(&CensusConfig::new(rows, 42));
+    let workload = betalike_query::generate_workload(
+        &table,
+        &betalike_query::WorkloadConfig {
+            qi_pool: (0..3).collect(),
+            sa: SA,
+            lambda: 2,
+            theta: 0.1,
+            num_queries,
+            seed: 7,
+        },
+    );
+    let lines_for = |handle: &str| -> Vec<String> {
+        workload
+            .iter()
+            .map(|q| {
+                CountRequest {
+                    handle: handle.to_string(),
+                    qi_preds: q.qi_preds.clone(),
+                    sa_lo: q.sa_pred.lo,
+                    sa_hi: q.sa_pred.hi,
+                    exact: false,
+                }
+                .to_json()
+                .compact()
+            })
+            .collect()
+    };
+
+    // --- Overload: flood 2 workers with more clients than seats. ---
+    let mut overload = Vec::new();
+    for (shedding, queue) in [(true, 2usize), (false, 4096usize)] {
+        let server = serve(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            queue,
+            ..Default::default()
+        })
+        .expect("bind an ephemeral port");
+        let addr = server.addr();
+        let handle = {
+            let mut client = Client::connect(addr).expect("connect");
+            client.publish(&request).expect("publish").handle
+        };
+        let lines = lines_for(&handle);
+        let mut latencies: Vec<f64> = Vec::new();
+        // betalike-lint: allow(D3, reason = "the overload bench simulates N independent TCP clients; the worker pool cannot model separate connections")
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..flood_clients)
+                .map(|c| {
+                    let lines = &lines;
+                    s.spawn(move || {
+                        let policy = RetryPolicy::standard(12, c as u64);
+                        let mut lat = Vec::with_capacity(lines.len());
+                        let mut conn: Option<Client> = None;
+                        for line in lines {
+                            let t0 = Instant::now();
+                            let mut attempt = 0u32;
+                            loop {
+                                let client = match conn.as_mut() {
+                                    Some(client) => client,
+                                    None => {
+                                        conn = Some(Client::connect(addr).expect("connect"));
+                                        conn.as_mut().expect("just connected")
+                                    }
+                                };
+                                match client.call_raw(line) {
+                                    Ok(resp) if resp.contains("\"retryable\":true") => {
+                                        conn = None;
+                                    }
+                                    Ok(resp) => {
+                                        assert!(
+                                            resp.contains("\"ok\":true"),
+                                            "served error during overload bench: {resp}"
+                                        );
+                                        break;
+                                    }
+                                    Err(_) => conn = None,
+                                }
+                                attempt += 1;
+                                assert!(attempt < 200, "overload bench cannot make progress");
+                                std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt)));
+                            }
+                            lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            for h in handles {
+                latencies.extend(h.join().expect("flood client"));
+            }
+        });
+        let sheds = {
+            let mut client = Client::connect(addr).expect("connect");
+            client
+                .health()
+                .expect("health")
+                .get("shed")
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        server.shutdown_and_join();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        overload.push(OverloadPoint {
+            shedding,
+            clients: flood_clients,
+            queue,
+            sheds,
+            total_queries: latencies.len(),
+            p50_ms: percentile_ms(&latencies, 0.50),
+            p99_ms: percentile_ms(&latencies, 0.99),
+        });
+    }
+
+    // --- Degraded store: reads must keep full speed while writes fail. ---
+    let dir = std::env::temp_dir().join(format!(
+        "betalike-perf-degraded-{}-{rows}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let chaos = Arc::new(ChaosVfs::new(FaultPlan::None));
+    let server = serve(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        data_dir: Some(dir.clone()),
+        vfs: Some(chaos.clone()),
+        ..Default::default()
+    })
+    .expect("bind an ephemeral port");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let handle = client.publish(&request).expect("publish").handle;
+    // Injected write failures trip the store into degraded (read-only).
+    chaos.set_plan(FaultPlan::FailWrites);
+    for i in 0..DEGRADED_AFTER {
+        let broken = PublishRequest::new(
+            DatasetSpec::Census {
+                rows,
+                seed: 100 + u64::from(i),
+            },
+            Algo::Burel,
+        );
+        client
+            .publish(&broken)
+            .expect("publish computes; persist fails");
+    }
+    let lines = lines_for(&handle);
+    let (_, elapsed) = betalike_bench::time_it(|| {
+        for line in &lines {
+            let resp = client.call_raw(line).expect("count");
+            assert!(
+                resp.contains("\"ok\":true"),
+                "degraded reads must keep serving: {resp}"
+            );
+        }
+    });
+    let degraded_count_qps = lines.len() as f64 / elapsed.as_secs_f64().max(1e-12);
+    drop(client);
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Recovery: crash mid-save, then time restart → first answer. ---
+    let dir = std::env::temp_dir().join(format!(
+        "betalike-perf-recovery-{}-{rows}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Registry::new();
+    let artifact = Artifact::publish(&registry, &request).expect("publish");
+    let snap = persist::snapshot(&artifact);
+    let second = persist::snapshot(
+        &Artifact::publish(
+            &registry,
+            &PublishRequest::new(DatasetSpec::Census { rows, seed: 43 }, Algo::Burel),
+        )
+        .expect("publish"),
+    );
+    {
+        let chaos = Arc::new(ChaosVfs::new(FaultPlan::None));
+        let (store, _) = ArtifactStore::open_with(&dir, chaos.clone()).expect("open");
+        store.save(&snap).expect("save committed artifact");
+        // Power loss on the next syscall: the second save tears mid-write,
+        // leaving a stale tempfile for recovery to sweep.
+        chaos.set_plan(FaultPlan::CrashAt(chaos.ops()));
+        let _ = store.save(&second);
+    }
+    let count_line = lines_for(&snap.params.handle)
+        .into_iter()
+        .next()
+        .expect("one query");
+    let t0 = Instant::now();
+    let server = serve(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        data_dir: Some(dir.clone()),
+        ..Default::default()
+    })
+    .expect("bind an ephemeral port");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let resp = client.call_raw(&count_line).expect("count");
+    assert!(
+        resp.contains("\"ok\":true"),
+        "post-crash count must serve from the recovered store: {resp}"
+    );
+    let recovery_secs = t0.elapsed().as_secs_f64();
+    drop(client);
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    FaultsMeasurement {
+        overload,
+        degraded_queries: num_queries,
+        degraded_count_qps,
+        recovery_rows: rows,
+        recovery_secs,
+    }
+}
+
+/// Prints the resilience tables.
+fn print_faults(faults: &FaultsMeasurement) {
+    println!("faults: overload latency (2 workers) with vs without shedding");
+    let rows: Vec<Vec<String>> = faults
+        .overload
+        .iter()
+        .map(|p| {
+            vec![
+                if p.shedding { "bounded" } else { "unbounded" }.to_string(),
+                p.queue.to_string(),
+                p.clients.to_string(),
+                p.total_queries.to_string(),
+                p.sheds.to_string(),
+                format!("{:.1}", p.p50_ms),
+                format!("{:.1}", p.p99_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "queue", "depth", "clients", "queries", "sheds", "p50 ms", "p99 ms",
+        ],
+        &rows,
+    );
+    println!(
+        "degraded store: {:.0} count qps over {} queries (reads keep serving)",
+        faults.degraded_count_qps, faults.degraded_queries
+    );
+    println!(
+        "post-crash recovery to first answer: {} ({} rows)",
+        secs(Duration::from_secs_f64(faults.recovery_secs)),
+        faults.recovery_rows
+    );
+    println!();
+}
+
 /// Prints the conformance table.
 fn print_verify(points: &[VerifyPoint]) {
     println!("verify: independent conformance oracle vs warm publish");
@@ -776,6 +1166,7 @@ fn to_json(
     serve: &ServeMeasurement,
     store: &[StorePoint],
     verify: &[VerifyPoint],
+    faults: Option<&FaultsMeasurement>,
     cpus: usize,
     parallel_threads: usize,
     iters: usize,
@@ -828,8 +1219,43 @@ fn to_json(
             ])
         })
         .collect();
+    let overload_points: Vec<Json> = faults
+        .map(|f| {
+            f.overload
+                .iter()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("shedding".into(), Json::Bool(p.shedding)),
+                        ("clients".into(), Json::Num(p.clients as f64)),
+                        ("queue".into(), Json::Num(p.queue as f64)),
+                        ("sheds".into(), Json::Num(p.sheds as f64)),
+                        ("total_queries".into(), Json::Num(p.total_queries as f64)),
+                        ("p50_ms".into(), Json::Num(p.p50_ms)),
+                        ("p99_ms".into(), Json::Num(p.p99_ms)),
+                    ])
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut faults_members = vec![("overload".into(), Json::Arr(overload_points))];
+    if let Some(f) = faults {
+        faults_members.push((
+            "degraded".into(),
+            Json::Obj(vec![
+                ("queries".into(), Json::Num(f.degraded_queries as f64)),
+                ("count_qps".into(), Json::Num(f.degraded_count_qps)),
+            ]),
+        ));
+        faults_members.push((
+            "recovery".into(),
+            Json::Obj(vec![
+                ("rows".into(), Json::Num(f.recovery_rows as f64)),
+                ("secs".into(), Json::Num(f.recovery_secs)),
+            ]),
+        ));
+    }
     Json::Obj(vec![
-        ("pr".into(), Json::Num(5.0)),
+        ("pr".into(), Json::Num(6.0)),
         ("harness".into(), Json::Str("perf".into())),
         ("dataset".into(), Json::Str("CENSUS (synthetic)".into())),
         ("beta".into(), Json::Num(BETA)),
@@ -864,5 +1290,6 @@ fn to_json(
             "verify".into(),
             Json::Obj(vec![("points".into(), Json::Arr(verify_points))]),
         ),
+        ("faults".into(), Json::Obj(faults_members)),
     ])
 }

@@ -1,0 +1,452 @@
+//! The chaos [`Vfs`]: deterministic failure and crash injection.
+//!
+//! A [`ChaosVfs`] wraps the real filesystem and consults a [`FaultPlan`]
+//! before every operation. Plans address operations by global index, by
+//! site label, by mutation class, or by a seeded coin flip — and every
+//! schedule is replayable: the same plan over the same workload produces
+//! the same op log, byte for byte.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::vfs::{RealVfs, Vfs, VfsOp};
+
+/// Mixes an op index into a seed; the odd constant (2^64 / golden ratio)
+/// keeps consecutive indices decorrelated, same trick as SplitMix64.
+const INDEX_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// What the chaos layer should do to the operation stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Pass everything through (used to record the golden op log).
+    None,
+    /// Crash-halt at the operation with this global index (0-based): a
+    /// [`VfsOp::Write`] at the crash point leaves a **torn prefix** on
+    /// disk — exactly what a power cut mid-`write(2)` leaves — then the
+    /// fuse blows and every operation from there on fails, modeling the
+    /// process being dead. Tests reopen the directory afterwards with
+    /// [`RealVfs`] and assert the recovery invariants.
+    CrashAt(u64),
+    /// Fail (only) the operation with this global index with the given
+    /// error kind; everything else passes through.
+    FailAt {
+        /// 0-based global operation index to fail.
+        op: u64,
+        /// The `io::ErrorKind` the injected error reports.
+        kind: io::ErrorKind,
+    },
+    /// Fail the `nth` occurrence (0-based) of the named site.
+    FailSite {
+        /// Site label, e.g. `open.read.artifact`.
+        site: &'static str,
+        /// 0-based occurrence of that site to fail.
+        nth: u64,
+        /// The `io::ErrorKind` the injected error reports.
+        kind: io::ErrorKind,
+    },
+    /// Fail every mutating operation (write/fsync/rename/remove/copy/
+    /// mkdir) with `PermissionDenied`, while reads keep passing — a disk
+    /// that went read-only, the degraded-mode trigger.
+    FailWrites,
+    /// Fail each operation independently with probability
+    /// `fail_per_mille / 1000`, drawn from ChaCha8 keyed on
+    /// `(seed, op index)` — bit-replayable per seed.
+    Seeded {
+        /// RNG seed; the same seed reproduces the same failure schedule.
+        seed: u64,
+        /// Failure probability in thousandths (e.g. `150` = 15%).
+        fail_per_mille: u16,
+    },
+}
+
+/// One entry of the chaos op log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Global 0-based operation index.
+    pub index: u64,
+    /// Call-site label.
+    pub site: &'static str,
+    /// Operation class.
+    pub op: VfsOp,
+    /// Primary path of the operation.
+    pub path: PathBuf,
+    /// Whether the operation was allowed through and succeeded.
+    pub ok: bool,
+}
+
+/// The injectable chaos filesystem. See [`FaultPlan`] for the dialects.
+#[derive(Debug)]
+pub struct ChaosVfs {
+    inner: RealVfs,
+    plan: Mutex<FaultPlan>,
+    counter: AtomicU64,
+    fuse_blown: AtomicBool,
+    injected: AtomicU64,
+    log: Mutex<Vec<OpRecord>>,
+    site_counts: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl ChaosVfs {
+    /// A chaos Vfs executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        ChaosVfs {
+            inner: RealVfs,
+            plan: Mutex::new(plan),
+            counter: AtomicU64::new(0),
+            fuse_blown: AtomicBool::new(false),
+            injected: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
+            site_counts: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Replace the plan mid-flight — lets a test open a store cleanly and
+    /// only then arm write failures (the degraded-mode scenario).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.lock_plan() = plan;
+    }
+
+    /// Total operations attempted so far.
+    pub fn ops(&self) -> u64 {
+        self.counter.load(Ordering::SeqCst)
+    }
+
+    /// How many operations had a fault injected.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// Whether a [`FaultPlan::CrashAt`] point has been reached.
+    pub fn crashed(&self) -> bool {
+        self.fuse_blown.load(Ordering::SeqCst)
+    }
+
+    /// A copy of the op log.
+    pub fn log(&self) -> Vec<OpRecord> {
+        self.lock(&self.log).clone()
+    }
+
+    /// The distinct site labels observed so far.
+    pub fn sites_seen(&self) -> BTreeSet<&'static str> {
+        self.lock(&self.site_counts).keys().copied().collect()
+    }
+
+    fn lock_plan(&self) -> std::sync::MutexGuard<'_, FaultPlan> {
+        self.plan.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock<'a, T>(&self, m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn injected_err(&self, kind: io::ErrorKind, site: &'static str, index: u64) -> io::Error {
+        self.injected.fetch_add(1, Ordering::SeqCst);
+        io::Error::new(kind, format!("injected fault at op {index} site {site}"))
+    }
+
+    /// The gate every operation passes through. `Verdict::Torn` is only
+    /// ever returned for [`VfsOp::Write`].
+    fn gate(&self, site: &'static str, op: VfsOp, index: u64) -> Verdict {
+        if self.fuse_blown.load(Ordering::SeqCst) {
+            return Verdict::Fail(io::ErrorKind::Other);
+        }
+        let plan = self.lock_plan().clone();
+        match plan {
+            FaultPlan::None => Verdict::Pass,
+            FaultPlan::CrashAt(at) => {
+                if index == at {
+                    self.fuse_blown.store(true, Ordering::SeqCst);
+                    if op == VfsOp::Write {
+                        Verdict::Torn
+                    } else {
+                        Verdict::Fail(io::ErrorKind::Other)
+                    }
+                } else {
+                    Verdict::Pass
+                }
+            }
+            FaultPlan::FailAt { op: at, kind } => {
+                if index == at {
+                    Verdict::Fail(kind)
+                } else {
+                    Verdict::Pass
+                }
+            }
+            FaultPlan::FailSite { site: s, nth, kind } => {
+                let seen = self.lock(&self.site_counts).get(s).copied().unwrap_or(0);
+                // site_counts is incremented by record() *after* the gate,
+                // so `seen` is the 0-based ordinal of the current call.
+                if s == site && seen == nth {
+                    Verdict::Fail(kind)
+                } else {
+                    Verdict::Pass
+                }
+            }
+            FaultPlan::FailWrites => {
+                if op.is_mutation() {
+                    // MSRV 1.75: `StorageFull` is not stable yet, and the
+                    // closest stable-kind analogue of a read-only disk is
+                    // a permission failure.
+                    Verdict::Fail(io::ErrorKind::PermissionDenied)
+                } else {
+                    Verdict::Pass
+                }
+            }
+            FaultPlan::Seeded {
+                seed,
+                fail_per_mille,
+            } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ index.wrapping_mul(INDEX_MIX));
+                if rng.gen_range(0..1000_u32) < u32::from(fail_per_mille) {
+                    Verdict::Fail(io::ErrorKind::Other)
+                } else {
+                    Verdict::Pass
+                }
+            }
+        }
+    }
+
+    fn record(&self, index: u64, site: &'static str, op: VfsOp, path: &Path, ok: bool) {
+        *self.lock(&self.site_counts).entry(site).or_insert(0) += 1;
+        self.lock(&self.log).push(OpRecord {
+            index,
+            site,
+            op,
+            path: path.to_path_buf(),
+            ok,
+        });
+    }
+
+    /// Run one operation through the gate: inject, tear, or pass through.
+    fn run<T>(
+        &self,
+        site: &'static str,
+        op: VfsOp,
+        path: &Path,
+        thru: impl FnOnce(&RealVfs) -> io::Result<T>,
+        torn: impl FnOnce(&RealVfs) -> io::Result<()>,
+    ) -> io::Result<T> {
+        let index = self.counter.fetch_add(1, Ordering::SeqCst);
+        let verdict = self.gate(site, op, index);
+        let result = match verdict {
+            Verdict::Pass => thru(&self.inner),
+            Verdict::Fail(kind) => Err(self.injected_err(kind, site, index)),
+            Verdict::Torn => {
+                let _ = torn(&self.inner);
+                Err(self.injected_err(io::ErrorKind::Other, site, index))
+            }
+        };
+        self.record(index, site, op, path, result.is_ok());
+        result
+    }
+}
+
+#[derive(Debug)]
+enum Verdict {
+    Pass,
+    Fail(io::ErrorKind),
+    Torn,
+}
+
+impl Vfs for ChaosVfs {
+    fn create_dir_all(&self, site: &'static str, path: &Path) -> io::Result<()> {
+        self.run(
+            site,
+            VfsOp::CreateDirAll,
+            path,
+            |v| v.create_dir_all(site, path),
+            |_| Ok(()),
+        )
+    }
+
+    fn read_dir(&self, site: &'static str, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.run(
+            site,
+            VfsOp::ReadDir,
+            path,
+            |v| v.read_dir(site, path),
+            |_| Ok(()),
+        )
+    }
+
+    fn read(&self, site: &'static str, path: &Path) -> io::Result<Vec<u8>> {
+        self.run(site, VfsOp::Read, path, |v| v.read(site, path), |_| Ok(()))
+    }
+
+    fn read_to_string(&self, site: &'static str, path: &Path) -> io::Result<String> {
+        self.run(
+            site,
+            VfsOp::ReadToString,
+            path,
+            |v| v.read_to_string(site, path),
+            |_| Ok(()),
+        )
+    }
+
+    fn write(&self, site: &'static str, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.run(
+            site,
+            VfsOp::Write,
+            path,
+            |v| v.write(site, path, bytes),
+            // The torn half-prefix a crash mid-write(2) leaves behind.
+            |v| v.write(site, path, &bytes[..bytes.len() / 2]),
+        )
+    }
+
+    fn fsync(&self, site: &'static str, path: &Path) -> io::Result<()> {
+        self.run(
+            site,
+            VfsOp::Fsync,
+            path,
+            |v| v.fsync(site, path),
+            |_| Ok(()),
+        )
+    }
+
+    fn rename(&self, site: &'static str, from: &Path, to: &Path) -> io::Result<()> {
+        self.run(
+            site,
+            VfsOp::Rename,
+            from,
+            |v| v.rename(site, from, to),
+            |_| Ok(()),
+        )
+    }
+
+    fn remove_file(&self, site: &'static str, path: &Path) -> io::Result<()> {
+        self.run(
+            site,
+            VfsOp::RemoveFile,
+            path,
+            |v| v.remove_file(site, path),
+            |_| Ok(()),
+        )
+    }
+
+    fn copy(&self, site: &'static str, from: &Path, to: &Path) -> io::Result<u64> {
+        self.run(
+            site,
+            VfsOp::Copy,
+            from,
+            |v| v.copy(site, from, to),
+            |_| Ok(()),
+        )
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("betalike-chaos-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::create_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fail_at_hits_exactly_one_op() {
+        let dir = temp("failat");
+        let v = ChaosVfs::new(FaultPlan::FailAt {
+            op: 1,
+            kind: io::ErrorKind::PermissionDenied,
+        });
+        v.write("w", &dir.join("a"), b"aa").unwrap();
+        let err = v.write("w", &dir.join("b"), b"bb").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        v.write("w", &dir.join("c"), b"cc").unwrap();
+        assert_eq!(v.ops(), 3);
+        assert_eq!(v.injected(), 1);
+        assert!(!v.exists(&dir.join("b")), "failed write must not land");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fail_site_counts_occurrences() {
+        let dir = temp("failsite");
+        let v = ChaosVfs::new(FaultPlan::FailSite {
+            site: "s.write",
+            nth: 1,
+            kind: io::ErrorKind::WriteZero,
+        });
+        v.write("s.write", &dir.join("a"), b"aa").unwrap();
+        assert!(v.write("other", &dir.join("x"), b"xx").is_ok());
+        let err = v.write("s.write", &dir.join("b"), b"bb").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        v.write("s.write", &dir.join("c"), b"cc").unwrap();
+        assert_eq!(v.sites_seen().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_tears_the_write_and_blows_the_fuse() {
+        let dir = temp("crash");
+        let v = ChaosVfs::new(FaultPlan::CrashAt(0));
+        let err = v.write("w", &dir.join("torn"), b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        assert!(v.crashed());
+        // Torn prefix landed: half the bytes.
+        assert_eq!(std::fs::read(dir.join("torn")).unwrap(), b"01234");
+        // Everything after the crash fails, including reads.
+        assert!(v.read("r", &dir.join("torn")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fail_writes_spares_reads() {
+        let dir = temp("failwrites");
+        std::fs::write(dir.join("pre"), b"ok").unwrap();
+        let v = ChaosVfs::new(FaultPlan::FailWrites);
+        assert_eq!(
+            v.write("w", &dir.join("new"), b"x").unwrap_err().kind(),
+            io::ErrorKind::PermissionDenied
+        );
+        assert_eq!(v.read("r", &dir.join("pre")).unwrap(), b"ok");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seeded_schedule_is_replayable() {
+        let run = |seed: u64| {
+            let dir = temp(&format!("seeded-{seed}"));
+            let v = ChaosVfs::new(FaultPlan::Seeded {
+                seed,
+                fail_per_mille: 400,
+            });
+            for i in 0..40 {
+                let _ = v.write("w", &dir.join(format!("f{i}")), b"data");
+            }
+            let outcomes: Vec<bool> = v.log().iter().map(|r| r.ok).collect();
+            let _ = std::fs::remove_dir_all(&dir);
+            outcomes
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(a.iter().any(|ok| *ok) && a.iter().any(|ok| !*ok));
+    }
+
+    #[test]
+    fn set_plan_rearms_mid_flight() {
+        let dir = temp("rearm");
+        let v = ChaosVfs::new(FaultPlan::None);
+        v.write("w", &dir.join("a"), b"aa").unwrap();
+        v.set_plan(FaultPlan::FailWrites);
+        assert!(v.write("w", &dir.join("b"), b"bb").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

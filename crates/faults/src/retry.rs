@@ -1,0 +1,197 @@
+//! Deterministic jittered retry/backoff for the wire client.
+//!
+//! The schedule is capped exponential backoff with *deterministic* jitter:
+//! each attempt's delay is drawn from ChaCha8 keyed on `(jitter_seed,
+//! attempt)`, so a given seed always produces the same schedule — the
+//! client stays replayable (workspace determinism rule D4) while still
+//! decorrelating concurrent retriers that pick different seeds.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Mixes the attempt number into the jitter seed (same constant as the
+/// chaos module's per-op seeding).
+const ATTEMPT_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A capped-exponential backoff schedule with deterministic jitter.
+///
+/// Attempt numbering: attempt `0` is the initial try (no delay before
+/// it); `delay_ms(k)` is the wait *before* attempt `k`, for `k >= 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (`1` = never retry).
+    pub max_attempts: u32,
+    /// Base delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Multiplier applied per retry (≥ 1.0).
+    pub factor: f64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// The workspace default: up to `max_attempts` tries starting at 25ms,
+    /// doubling, capped at 800ms.
+    pub fn standard(max_attempts: u32, jitter_seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base_ms: 25,
+            factor: 2.0,
+            cap_ms: 800,
+            jitter_seed,
+        }
+    }
+
+    /// A policy that never retries (one attempt, no delays).
+    pub fn none() -> Self {
+        RetryPolicy::standard(1, 0)
+    }
+
+    /// The deterministic delay before attempt `attempt` (1-based; attempt
+    /// 0 is the initial try and has no delay). The un-jittered delay is
+    /// `min(cap_ms, base_ms * factor^(attempt-1))`; jitter then draws
+    /// uniformly from `[delay/2, delay]` ("equal jitter") keyed on
+    /// `(jitter_seed, attempt)`.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let exp = self.factor.max(1.0).powi(attempt.saturating_sub(1) as i32);
+        let raw = (self.base_ms as f64 * exp).min(self.cap_ms as f64) as u64;
+        let raw = raw.min(self.cap_ms);
+        if raw <= 1 {
+            return raw;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.jitter_seed ^ u64::from(attempt).wrapping_mul(ATTEMPT_MIX),
+        );
+        let half = raw / 2;
+        half + rng.gen_range(0..=(raw - half))
+    }
+
+    /// The full delay schedule: one entry per *retry* (so
+    /// `max_attempts - 1` entries).
+    pub fn schedule(&self) -> Vec<u64> {
+        (1..self.max_attempts).map(|a| self.delay_ms(a)).collect()
+    }
+}
+
+/// The injectable clock behind retry delays: production sleeps, tests
+/// record.
+pub trait Sleeper {
+    /// Wait for `d` (or record that the caller would have).
+    fn sleep(&self, d: Duration);
+}
+
+/// The production [`Sleeper`]: `std::thread::sleep`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A [`Sleeper`] that records every requested delay and never blocks —
+/// the fake clock retry tests assert schedules against.
+#[derive(Debug, Default)]
+pub struct RecordingSleeper {
+    slept: Mutex<Vec<Duration>>,
+}
+
+impl RecordingSleeper {
+    /// A fresh recorder with no recorded sleeps.
+    pub fn new() -> Self {
+        RecordingSleeper::default()
+    }
+
+    /// The delays requested so far, in order.
+    pub fn slept(&self) -> Vec<Duration> {
+        self.slept.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+impl Sleeper for RecordingSleeper {
+    fn sleep(&self, d: Duration) {
+        self.slept.lock().unwrap_or_else(|e| e.into_inner()).push(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let p = RetryPolicy::standard(6, 42);
+        assert_eq!(p.schedule(), p.schedule());
+        let q = RetryPolicy::standard(6, 43);
+        assert_ne!(
+            p.schedule(),
+            q.schedule(),
+            "different seeds should jitter differently"
+        );
+    }
+
+    #[test]
+    fn delays_grow_geometrically_within_jitter_bands() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_ms: 100,
+            factor: 2.0,
+            cap_ms: 10_000,
+            jitter_seed: 7,
+        };
+        // Un-jittered: 100, 200, 400, 800. Equal jitter keeps each delay
+        // in [d/2, d].
+        for (i, want) in [(1u32, 100u64), (2, 200), (3, 400), (4, 800)] {
+            let d = p.delay_ms(i);
+            assert!(
+                d >= want / 2 && d <= want,
+                "attempt {i}: {d} outside [{}, {want}]",
+                want / 2
+            );
+        }
+    }
+
+    #[test]
+    fn cap_bounds_every_delay() {
+        let p = RetryPolicy {
+            max_attempts: 12,
+            base_ms: 50,
+            factor: 3.0,
+            cap_ms: 300,
+            jitter_seed: 1,
+        };
+        for a in 1..12 {
+            assert!(p.delay_ms(a) <= 300);
+        }
+        // Deep attempts saturate at the cap's jitter band.
+        assert!(p.delay_ms(11) >= 150);
+    }
+
+    #[test]
+    fn attempt_zero_and_none_policy() {
+        assert_eq!(RetryPolicy::standard(4, 9).delay_ms(0), 0);
+        let none = RetryPolicy::none();
+        assert_eq!(none.max_attempts, 1);
+        assert!(none.schedule().is_empty());
+    }
+
+    #[test]
+    fn recording_sleeper_records_in_order() {
+        let s = RecordingSleeper::new();
+        s.sleep(Duration::from_millis(5));
+        s.sleep(Duration::from_millis(9));
+        assert_eq!(
+            s.slept(),
+            vec![Duration::from_millis(5), Duration::from_millis(9)]
+        );
+    }
+}

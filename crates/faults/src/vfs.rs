@@ -1,0 +1,250 @@
+//! The syscall-routing trait and its production passthrough.
+//!
+//! Every filesystem operation the artifact store performs goes through a
+//! [`Vfs`], tagged with a stable *site* label (a `&'static str` naming the
+//! call site, e.g. `save.fsync.tmp`). Production code pays one dynamic
+//! dispatch per syscall — noise next to the syscall itself — while tests
+//! substitute [`crate::ChaosVfs`] to fail or crash-halt any operation.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The operation class of a [`Vfs`] call — what a fault plan keys on when
+/// it distinguishes reads (safe to fail without losing data) from the
+/// mutating operations a crash can tear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum VfsOp {
+    /// `create_dir_all`.
+    CreateDirAll,
+    /// Directory listing.
+    ReadDir,
+    /// Whole-file read.
+    Read,
+    /// Whole-file read as UTF-8.
+    ReadToString,
+    /// Create + write a whole file (no durability until [`VfsOp::Fsync`]).
+    Write,
+    /// Flush a file (or directory) to stable storage.
+    Fsync,
+    /// Atomic rename.
+    Rename,
+    /// Unlink a file.
+    RemoveFile,
+    /// Copy a file (the quarantine cross-filesystem fallback).
+    Copy,
+}
+
+impl VfsOp {
+    /// Whether the operation mutates the filesystem — the class a
+    /// write-failure plan (degraded-mode simulation) fails while leaving
+    /// reads intact.
+    pub fn is_mutation(self) -> bool {
+        matches!(
+            self,
+            VfsOp::CreateDirAll
+                | VfsOp::Write
+                | VfsOp::Fsync
+                | VfsOp::Rename
+                | VfsOp::RemoveFile
+                | VfsOp::Copy
+        )
+    }
+
+    /// A short stable name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            VfsOp::CreateDirAll => "create_dir_all",
+            VfsOp::ReadDir => "read_dir",
+            VfsOp::Read => "read",
+            VfsOp::ReadToString => "read_to_string",
+            VfsOp::Write => "write",
+            VfsOp::Fsync => "fsync",
+            VfsOp::Rename => "rename",
+            VfsOp::RemoveFile => "remove_file",
+            VfsOp::Copy => "copy",
+        }
+    }
+}
+
+/// Injectable filesystem operations. Implementations must be shareable
+/// across server workers (`Send + Sync`) and printable in server state
+/// dumps (`Debug`).
+///
+/// `site` is a stable label of the *call site* (see
+/// `betalike_store::disk::site`); fault plans address operations by site
+/// and the torture suite asserts full site coverage.
+pub trait Vfs: std::fmt::Debug + Send + Sync {
+    /// `std::fs::create_dir_all`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O failure.
+    fn create_dir_all(&self, site: &'static str, path: &Path) -> io::Result<()>;
+
+    /// Directory listing, **sorted** so iteration order never depends on
+    /// the filesystem (determinism rule D1 extends to directory walks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O failure.
+    fn read_dir(&self, site: &'static str, path: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Whole-file read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O failure.
+    fn read(&self, site: &'static str, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Whole-file read as UTF-8.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O failure.
+    fn read_to_string(&self, site: &'static str, path: &Path) -> io::Result<String>;
+
+    /// Create (truncating) and write a whole file. Durability is *not*
+    /// implied — callers follow with [`Vfs::fsync`] before renaming into
+    /// place, exactly like the raw syscall sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O failure. A crash plan
+    /// may leave a torn prefix of `bytes` behind.
+    fn write(&self, site: &'static str, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Flush `path` (a file *or* a directory — directory fsync is what
+    /// makes a rename itself durable) to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O failure.
+    fn fsync(&self, site: &'static str, path: &Path) -> io::Result<()>;
+
+    /// Atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O failure.
+    fn rename(&self, site: &'static str, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Unlink a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O failure.
+    fn remove_file(&self, site: &'static str, path: &Path) -> io::Result<()>;
+
+    /// Copy a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O failure.
+    fn copy(&self, site: &'static str, from: &Path, to: &Path) -> io::Result<u64>;
+
+    /// Whether `path` exists. Not an injection point: existence probes
+    /// cannot fail in a way the store distinguishes from "absent", so a
+    /// chaos plan gains nothing by lying here.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The production [`Vfs`]: a direct passthrough to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn create_dir_all(&self, _site: &'static str, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn read_dir(&self, _site: &'static str, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            out.push(entry?.path());
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn read(&self, _site: &'static str, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn read_to_string(&self, _site: &'static str, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+
+    fn write(&self, _site: &'static str, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn fsync(&self, _site: &'static str, path: &Path) -> io::Result<()> {
+        // Opening read-only is enough: fsync(2) flushes the file (or, for
+        // a directory, the rename recorded in it) regardless of the open
+        // mode on the platforms this workspace targets.
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, _site: &'static str, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, _site: &'static str, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn copy(&self, _site: &'static str, from: &Path, to: &Path) -> io::Result<u64> {
+        std::fs::copy(from, to)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("betalike-vfs-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn real_vfs_roundtrip_and_sorted_listing() {
+        let dir = temp("roundtrip");
+        let v = RealVfs;
+        v.create_dir_all("t", &dir).unwrap();
+        v.write("t", &dir.join("b.txt"), b"beta").unwrap();
+        v.write("t", &dir.join("a.txt"), b"alpha").unwrap();
+        v.fsync("t", &dir.join("a.txt")).unwrap();
+        v.fsync("t", &dir).unwrap();
+        assert_eq!(v.read("t", &dir.join("a.txt")).unwrap(), b"alpha");
+        assert_eq!(v.read_to_string("t", &dir.join("b.txt")).unwrap(), "beta");
+        let listed = v.read_dir("t", &dir).unwrap();
+        assert_eq!(
+            listed,
+            vec![dir.join("a.txt"), dir.join("b.txt")],
+            "read_dir must sort"
+        );
+        v.rename("t", &dir.join("a.txt"), &dir.join("c.txt"))
+            .unwrap();
+        assert!(v.exists(&dir.join("c.txt")) && !v.exists(&dir.join("a.txt")));
+        assert_eq!(
+            v.copy("t", &dir.join("c.txt"), &dir.join("d.txt")).unwrap(),
+            5
+        );
+        v.remove_file("t", &dir.join("d.txt")).unwrap();
+        assert!(!v.exists(&dir.join("d.txt")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mutation_classes() {
+        assert!(VfsOp::Write.is_mutation() && VfsOp::Rename.is_mutation());
+        assert!(!VfsOp::Read.is_mutation() && !VfsOp::ReadDir.is_mutation());
+        assert_eq!(VfsOp::Fsync.name(), "fsync");
+    }
+}

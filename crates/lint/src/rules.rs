@@ -14,6 +14,7 @@
 //! | D3 | no ad-hoc `thread::spawn`/`scope`/`Builder` outside the pool |
 //! | D4 | no OS-entropy RNG construction outside test code |
 //! | P1 | no `.unwrap()`/`.expect()`/`panic!`/indexing in server+store |
+//! | F1 | no direct `fs::` syscalls in the store — all I/O routes the Vfs |
 //! | P2 | no `unsafe` outside the committed whitelist |
 //! | X1 | every server wire op is exposed by both clients and DESIGN.md |
 //! | X2 | every scheme name is wired through persist/oracle/battery/CI |
@@ -46,7 +47,7 @@ pub struct Finding {
 
 /// Rule IDs that `allow(...)` may name. S1/S2/B0 police the suppression
 /// machinery itself and cannot be suppressed with it.
-pub const SUPPRESSIBLE: &[&str] = &["D1", "D2", "D3", "D4", "P1", "P2", "X1", "X2"];
+pub const SUPPRESSIBLE: &[&str] = &["D1", "D2", "D3", "D4", "P1", "P2", "F1", "X1", "X2"];
 
 /// Crates whose output must be bit-identical across runs and thread
 /// counts: hash-order iteration (D1) is banned outright in them.
@@ -60,6 +61,7 @@ const DETERMINISTIC_PREFIXES: &[&str] = &[
     "crates/store/",
     "crates/microdata/",
     "crates/attacks/",
+    "crates/faults/",
 ];
 
 /// Files allowed to read wall clocks (D2): the bench/perf crate and
@@ -76,6 +78,12 @@ const THREAD_FILES: &[&str] = &[
 /// Crates whose non-test code must never panic on a request or decode
 /// path (P1): the TCP service and the snapshot store.
 const PANIC_FREE_PREFIXES: &[&str] = &["crates/server/src/", "crates/store/src/"];
+
+/// Crates whose non-test code must never touch the filesystem directly
+/// (F1): every syscall in the store routes through the injectable `Vfs`
+/// so the crash-point torture suite sees it. A bare `fs::` call here is a
+/// durability hole the fault harness cannot reach.
+const VFS_ONLY_PREFIXES: &[&str] = &["crates/store/src/"];
 
 /// The committed whitelist of files allowed to contain `unsafe` (P2).
 pub const UNSAFE_WHITELIST_PATH: &str = "crates/lint/unsafe_allow.txt";
@@ -127,6 +135,7 @@ pub fn check_file(file: &SourceFile, unsafe_whitelist: &BTreeSet<String>) -> Vec
     let clock_free = !starts_with_any(&file.path, CLOCK_PREFIXES);
     let thread_free = !THREAD_FILES.contains(&file.path.as_str());
     let panic_free = starts_with_any(&file.path, PANIC_FREE_PREFIXES);
+    let vfs_only = starts_with_any(&file.path, VFS_ONLY_PREFIXES);
     let unsafe_free = !unsafe_whitelist.contains(&file.path);
 
     for (i, t) in toks.iter().enumerate() {
@@ -230,6 +239,20 @@ pub fn check_file(file: &SourceFile, unsafe_whitelist: &BTreeSet<String>) -> Vec
                         .into(),
                     snippet: index_snippet(toks, i),
                 });
+            }
+            "fs" if vfs_only && !t.in_test && t.kind == TokenKind::Ident => {
+                if let Some(target) = path_member(toks, i) {
+                    out.push(finding(
+                        "F1",
+                        file,
+                        t,
+                        format!(
+                            "direct `fs::{target}` in the store; route the syscall through the \
+                             injectable Vfs (a named `site::` constant) so the crash-point \
+                             torture suite can reach it"
+                        ),
+                    ));
+                }
             }
             "unsafe" if unsafe_free && t.kind == TokenKind::Ident => {
                 out.push(finding(

@@ -185,6 +185,32 @@ fn p2_unsafe_outside_whitelist() {
     assert!(only(&ws.run(&whitelist), "P2").is_empty());
 }
 
+#[test]
+fn f1_direct_fs_calls_in_the_store() {
+    let bad = run(&[(
+        "crates/store/src/disk.rs",
+        "fn f() { let b = std::fs::read(\"x\"); }\n",
+    )]);
+    let hits = only(&bad, "F1");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!((hits[0].line, hits[0].col), (1, 23));
+    assert!(hits[0].message.contains("fs::read"));
+
+    // Twins: store test code may hit the real filesystem; other crates are
+    // not F1's business; `use std::fs;` alone (no member call) is inert.
+    let good = run(&[
+        (
+            "crates/store/src/disk.rs",
+            "#[cfg(test)]\nmod tests {\n    fn f() { let _ = std::fs::read(\"x\"); }\n}\n",
+        ),
+        (
+            "crates/conformance/src/lib.rs",
+            "fn f() { let _ = std::fs::read(\"x\"); }\n",
+        ),
+    ]);
+    assert!(only(&good, "F1").is_empty(), "{good:?}");
+}
+
 const DISPATCH: &str =
     "fn dispatch(op: &str) -> u32 {\n    match op {\n        \"ping\" => 1,\n        _ => 0,\n    }\n}\n";
 

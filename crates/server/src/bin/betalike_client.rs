@@ -1,7 +1,7 @@
 //! `betalike-client` — a command-line client for `betalike-serve`.
 //!
 //! ```text
-//! betalike-client --addr HOST:PORT <command> [flags]
+//! betalike-client --addr HOST:PORT [--retries N] [--retry-seed S] <command> [flags]
 //!
 //! commands:
 //!   ping                       round-trip a ping
@@ -17,6 +17,8 @@
 //!   verify --handle H          the independent conformance oracle's
 //!     [--battery]              verdict (plus the attack battery); exit 1
 //!                              if the artifact fails
+//!   health                     the server's health document: status,
+//!                              queue depth, shed count, store state
 //!   smoke [--rows N]           full publish → count → audit round trip,
 //!                              cross-checked bit-for-bit against the same
 //!                              computation done in-process; non-zero exit
@@ -24,16 +26,26 @@
 //!                              naming the op that failed
 //!   shutdown                   stop the server
 //!
+//! `--retries N` re-runs a command up to N extra times when the failure is
+//! *retryable* — the server answered `overloaded` / `degraded` /
+//! `deadline`, or closed the connection (a restart) — reconnecting before
+//! each attempt and backing off with the deterministic jittered schedule
+//! of `betalike_faults::RetryPolicy` (`--retry-seed` picks the jitter
+//! stream, default 0). Fatal rejections and mismatches never retry.
+//!
 //! exit codes:
 //!   0  success
-//!   1  runtime error (connect failure, server-side rejection, mismatch)
+//!   1  runtime error (connect failure, server-side rejection, mismatch,
+//!      retryable refusals still failing after the retry budget)
 //!   2  usage error (unknown command, missing or malformed flags) —
 //!      reported before any connection is opened
 //!   3  the server closed the connection before or during a response
+//!      (after exhausting any retry budget)
 //! ```
 
 use betalike::model::BetaLikeness;
 use betalike::{burel, perturb, BurelConfig};
+use betalike_faults::{RetryPolicy, Sleeper, ThreadSleeper};
 use betalike_metrics::audit::audit_partition;
 use betalike_microdata::census::{self, CensusConfig};
 use betalike_microdata::json::Json;
@@ -42,6 +54,7 @@ use betalike_server::artifact::AUDIT_METRIC;
 use betalike_server::{Algo, Client, ClientError, CountRequest, DatasetSpec, PublishRequest};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Exit code for a usage error — unknown command, missing or malformed
 /// flags. Distinct from runtime errors (1) so scripts can tell "my
@@ -56,10 +69,12 @@ const EXIT_USAGE: i32 = 2;
 /// wrong" without scraping messages.
 const EXIT_DISCONNECTED: i32 = 3;
 
-/// A failure with the process exit code it maps to.
+/// A failure with the process exit code it maps to, and whether a
+/// reconnect-and-retry could clear it (drives `--retries`).
 struct Failure {
     message: String,
     code: i32,
+    retryable: bool,
 }
 
 impl Failure {
@@ -67,13 +82,18 @@ impl Failure {
         Failure {
             message: message.into(),
             code: EXIT_USAGE,
+            retryable: false,
         }
     }
 }
 
 impl From<String> for Failure {
     fn from(message: String) -> Self {
-        Failure { message, code: 1 }
+        Failure {
+            message,
+            code: 1,
+            retryable: false,
+        }
     }
 }
 
@@ -83,14 +103,16 @@ impl From<&str> for Failure {
     }
 }
 
-/// Maps a client error during `op` to a [`Failure`], naming the op and
-/// giving mid-response disconnections their distinct exit code.
+/// Maps a client error during `op` to a [`Failure`], naming the op,
+/// giving mid-response disconnections their distinct exit code, and
+/// carrying the wire-level retryable classification through.
 fn op_failed(op: &str) -> impl Fn(ClientError) -> Failure + '_ {
     move |e| Failure {
         code: match e {
             ClientError::Disconnected(_) => EXIT_DISCONNECTED,
             _ => 1,
         },
+        retryable: e.is_retryable(),
         message: format!("op `{op}` failed: {e}"),
     }
 }
@@ -169,8 +191,40 @@ impl Args {
 /// lists them. Checked before any connection is opened so an unknown
 /// command is a usage error regardless of whether a server is reachable.
 const COMMANDS: &[&str] = &[
-    "ping", "datasets", "publish", "count", "audit", "verify", "smoke", "shutdown",
+    "ping", "datasets", "publish", "count", "audit", "verify", "health", "smoke", "shutdown",
 ];
+
+/// Dials `addr` and runs one command attempt per fresh connection,
+/// re-running *retryable* failures with the policy's deterministic
+/// jittered backoff. Connect failures are fatal — "nothing is listening"
+/// is not an overload signal — and the last attempt's failure is returned
+/// as-is, so exit codes (1 vs 3) survive the retry wrapper.
+fn attempt(
+    addr: &str,
+    policy: &RetryPolicy,
+    mut f: impl FnMut(&mut Client) -> Result<(), Failure>,
+) -> Result<(), Failure> {
+    let attempts = policy.max_attempts.max(1);
+    for attempt in 1..=attempts {
+        let mut client =
+            Client::connect(addr).map_err(|e| Failure::from(format!("connect {addr}: {e}")))?;
+        match f(&mut client) {
+            Ok(()) => return Ok(()),
+            Err(failure) => {
+                if attempt >= attempts || !failure.retryable {
+                    return Err(failure);
+                }
+                eprintln!(
+                    "betalike-client: attempt {attempt}/{attempts} failed retryably \
+                     ({}); backing off",
+                    failure.message
+                );
+                ThreadSleeper.sleep(Duration::from_millis(policy.delay_ms(attempt)));
+            }
+        }
+    }
+    Err(Failure::from("retry loop made no attempt"))
+}
 
 fn run() -> Result<(), Failure> {
     let args = Args::parse().map_err(Failure::usage)?;
@@ -182,72 +236,88 @@ fn run() -> Result<(), Failure> {
         )));
     }
     let addr = args.required("addr").map_err(Failure::usage)?;
-    let mut client =
-        Client::connect(addr).map_err(|e| Failure::from(format!("connect {addr}: {e}")))?;
+    let retries: u32 = args.num("retries", 0u32).map_err(Failure::usage)?;
+    let retry_seed: u64 = args.num("retry-seed", 0u64).map_err(Failure::usage)?;
+    let policy = RetryPolicy::standard(retries.saturating_add(1), retry_seed);
     match args.command.as_str() {
-        "ping" => {
+        "ping" => attempt(addr, &policy, |client| {
             client.ping().map_err(op_failed("ping"))?;
             println!("pong");
             Ok(())
-        }
-        "datasets" => {
+        }),
+        "datasets" => attempt(addr, &policy, |client| {
             let doc = client.datasets().map_err(op_failed("datasets"))?;
             println!("{}", doc.pretty());
             Ok(())
-        }
+        }),
         "publish" => {
             let request = publish_request(&args).map_err(Failure::usage)?;
-            let reply = client.publish(&request).map_err(op_failed("publish"))?;
-            println!(
-                "{} kind={} cached={}{}",
-                reply.handle,
-                reply.kind,
-                reply.cached,
-                reply.ecs.map(|n| format!(" ecs={n}")).unwrap_or_default()
-            );
-            Ok(())
+            attempt(addr, &policy, |client| {
+                let reply = client.publish(&request).map_err(op_failed("publish"))?;
+                println!(
+                    "{} kind={} cached={}{}",
+                    reply.handle,
+                    reply.kind,
+                    reply.cached,
+                    reply.ecs.map(|n| format!(" ecs={n}")).unwrap_or_default()
+                );
+                Ok(())
+            })
         }
         "count" => {
             let request = count_request(&args).map_err(Failure::usage)?;
-            let reply = client.count(&request).map_err(op_failed("count"))?;
-            match reply.exact {
-                Some(exact) => println!("estimate={} exact={exact}", reply.estimate),
-                None => println!("estimate={}", reply.estimate),
-            }
-            Ok(())
+            attempt(addr, &policy, |client| {
+                let reply = client.count(&request).map_err(op_failed("count"))?;
+                match reply.exact {
+                    Some(exact) => println!("estimate={} exact={exact}", reply.estimate),
+                    None => println!("estimate={}", reply.estimate),
+                }
+                Ok(())
+            })
         }
         "audit" => {
-            let doc = client
-                .audit(args.required("handle").map_err(Failure::usage)?)
-                .map_err(op_failed("audit"))?;
-            println!("{}", doc.pretty());
-            Ok(())
+            let handle = args.required("handle").map_err(Failure::usage)?;
+            attempt(addr, &policy, |client| {
+                let doc = client.audit(handle).map_err(op_failed("audit"))?;
+                println!("{}", doc.pretty());
+                Ok(())
+            })
         }
         "verify" => {
+            let handle = args.required("handle").map_err(Failure::usage)?;
             let battery = args.one("battery").is_some();
-            let doc = client
-                .verify(args.required("handle").map_err(Failure::usage)?, battery)
-                .map_err(op_failed("verify"))?;
-            println!("{}", doc.pretty());
-            let pass = doc.get("pass").and_then(Json::as_bool).unwrap_or(false);
-            let battery_pass = doc
-                .get("battery_pass")
-                .and_then(Json::as_bool)
-                .unwrap_or(true);
-            if !(pass && battery_pass) {
-                return Err(Failure::from("artifact failed conformance verification"));
-            }
-            Ok(())
+            attempt(addr, &policy, |client| {
+                let doc = client
+                    .verify(handle, battery)
+                    .map_err(op_failed("verify"))?;
+                println!("{}", doc.pretty());
+                let pass = doc.get("pass").and_then(Json::as_bool).unwrap_or(false);
+                let battery_pass = doc
+                    .get("battery_pass")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(true);
+                if !(pass && battery_pass) {
+                    return Err(Failure::from("artifact failed conformance verification"));
+                }
+                Ok(())
+            })
         }
-        "smoke" => smoke(
-            &mut client,
-            args.num("rows", 2_000usize).map_err(Failure::usage)?,
-        ),
-        "shutdown" => {
+        "health" => attempt(addr, &policy, |client| {
+            let doc = client.health().map_err(op_failed("health"))?;
+            println!("{}", doc.pretty());
+            Ok(())
+        }),
+        // The smoke is idempotent end to end (publishes are
+        // content-addressed), so the whole round trip re-runs per attempt.
+        "smoke" => {
+            let rows = args.num("rows", 2_000usize).map_err(Failure::usage)?;
+            attempt(addr, &policy, |client| smoke(client, rows))
+        }
+        "shutdown" => attempt(addr, &policy, |client| {
             client.shutdown_server().map_err(op_failed("shutdown"))?;
             println!("server stopping");
             Ok(())
-        }
+        }),
         // Unreachable: the command was validated against COMMANDS above.
         other => Err(Failure::usage(format!("unknown command `{other}`"))),
     }
@@ -476,7 +546,8 @@ mod tests {
         // set `run` accepts (every arm in its match).
         for cmd in COMMANDS {
             assert!([
-                "ping", "datasets", "publish", "count", "audit", "verify", "smoke", "shutdown"
+                "ping", "datasets", "publish", "count", "audit", "verify", "health", "smoke",
+                "shutdown"
             ]
             .contains(cmd));
         }
@@ -486,5 +557,22 @@ mod tests {
     fn io_errors_are_runtime_not_disconnect() {
         let io = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset");
         assert_eq!(exit_code(&Err(op_failed("ping")(ClientError::Io(io)))), 1);
+    }
+
+    #[test]
+    fn retryable_classification_flows_into_failures() {
+        // Wire-level retryable refusals drive `--retries`; fatal
+        // rejections and local mismatches never do.
+        let shed = op_failed("publish")(ClientError::Retryable {
+            code: "overloaded".into(),
+            message: "queue full".into(),
+        });
+        assert!(shed.retryable);
+        assert_eq!(exit_code(&Err(shed)), 1);
+        let gone = op_failed("count")(ClientError::Disconnected("mid-response".into()));
+        assert!(gone.retryable, "a restarting server is worth re-dialing");
+        assert!(!op_failed("publish")(ClientError::Server("β out of range".into())).retryable);
+        assert!(!Failure::from("op `count` estimate mismatch").retryable);
+        assert!(!Failure::usage("unknown flag").retryable);
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! betalike-serve [--addr HOST:PORT] [--threads N] [--preload SPEC]
-//!                [--data-dir DIR]
+//!                [--data-dir DIR] [--queue N] [--read-timeout-ms MS]
+//!                [--idle-timeout-ms MS] [--request-timeout-ms MS]
 //! ```
 //!
 //! * `--addr` defaults to `127.0.0.1:7878`; port `0` binds an ephemeral
@@ -16,17 +17,51 @@
 //!   processes are lazily loaded and served bit-identically — no
 //!   recomputation on restart. Inspect the directory offline with
 //!   `betalike-store`.
+//! * `--queue` bounds the admission queue (default 64): connections
+//!   beyond busy workers + queue are refused with one retryable
+//!   `overloaded` error line instead of piling up unread.
+//! * `--read-timeout-ms` sets the worker read poll tick (default 200) —
+//!   the shutdown-latency bound and the resolution of the two timeouts
+//!   below. `--idle-timeout-ms` closes connections idle between requests
+//!   (0 = never, the default); `--request-timeout-ms` bounds how long a
+//!   started request line may take to finish (0 = never), answering a
+//!   retryable `deadline` error on expiry. See DESIGN.md §12.
+//!
+//! Each timing/queue flag also reads an environment fallback when the
+//! flag is absent: `BETALIKE_READ_TIMEOUT_MS`, `BETALIKE_IDLE_TIMEOUT_MS`,
+//! `BETALIKE_REQUEST_TIMEOUT_MS`, `BETALIKE_QUEUE` — so a supervisor can
+//! retune a deployment without editing its unit files.
 //!
 //! The process runs until a client sends `{"op":"shutdown"}`.
 
 use betalike_server::{serve, DatasetSpec, ServerConfig};
 use std::io::Write;
 
+/// The flag value, or its `BETALIKE_*` environment fallback, parsed — a
+/// malformed value from either source is a usage error (exit 2).
+fn numeric(flag: &str, env: &str, cli: Option<String>) -> u64 {
+    let (source, text) = match cli {
+        Some(text) => (flag.to_string(), text),
+        None => match std::env::var(env) {
+            Ok(text) => (env.to_string(), text),
+            Err(_) => return 0,
+        },
+    };
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{source} expects a non-negative number, got `{text}`");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let mut cfg = ServerConfig {
         addr: "127.0.0.1:7878".into(),
         ..Default::default()
     };
+    let mut read_timeout = None;
+    let mut idle_timeout = None;
+    let mut request_timeout = None;
+    let mut queue = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -51,16 +86,37 @@ fn main() {
                 }
             },
             "--data-dir" => cfg.data_dir = Some(value("--data-dir").into()),
+            "--read-timeout-ms" => read_timeout = Some(value("--read-timeout-ms")),
+            "--idle-timeout-ms" => idle_timeout = Some(value("--idle-timeout-ms")),
+            "--request-timeout-ms" => request_timeout = Some(value("--request-timeout-ms")),
+            "--queue" => queue = Some(value("--queue")),
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: betalike-serve [--addr HOST:PORT] [--threads N] [--preload SPEC] \
-                     [--data-dir DIR]"
+                     [--data-dir DIR] [--queue N] [--read-timeout-ms MS] [--idle-timeout-ms MS] \
+                     [--request-timeout-ms MS]"
                 );
                 std::process::exit(2);
             }
         }
     }
+    cfg.read_timeout_ms = numeric(
+        "--read-timeout-ms",
+        "BETALIKE_READ_TIMEOUT_MS",
+        read_timeout,
+    );
+    cfg.idle_timeout_ms = numeric(
+        "--idle-timeout-ms",
+        "BETALIKE_IDLE_TIMEOUT_MS",
+        idle_timeout,
+    );
+    cfg.request_timeout_ms = numeric(
+        "--request-timeout-ms",
+        "BETALIKE_REQUEST_TIMEOUT_MS",
+        request_timeout,
+    );
+    cfg.queue = numeric("--queue", "BETALIKE_QUEUE", queue) as usize;
     let handle = match serve(&cfg) {
         Ok(handle) => handle,
         Err(e) => {

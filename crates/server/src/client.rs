@@ -1,12 +1,20 @@
 //! A tiny blocking client for the wire protocol — what the integration
 //! tests, the perf harness's `serve` mode, and the `betalike-client`
 //! binary all speak through.
+//!
+//! Retry-aware: the server's *retryable* refusals (`overloaded`,
+//! `degraded`, `deadline` — see DESIGN.md §12) surface as
+//! [`ClientError::Retryable`], and [`with_retries`] re-dials with a
+//! deterministic jittered backoff ([`betalike_faults::RetryPolicy`]) until
+//! the call succeeds, a fatal error appears, or attempts run out.
 
 use crate::wire::{CountRequest, PublishRequest};
+use betalike_faults::{RetryPolicy, Sleeper};
 use betalike_microdata::json::Json;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Everything a call can fail with.
 #[derive(Debug)]
@@ -20,10 +28,34 @@ pub enum ClientError {
     /// distinct from [`ClientError::Protocol`] so a truncated response is
     /// not misreported as malformed JSON.
     Disconnected(String),
-    /// The server answered `ok: false`.
+    /// The server refused the request *retryably* (`retryable: true` on
+    /// the wire): it shed the connection under overload, its store is
+    /// degraded, or a deadline expired. `code` is the stable machine code
+    /// (`overloaded` / `degraded` / `deadline`); backing off and retrying
+    /// the identical request is expected to eventually succeed.
+    Retryable {
+        /// Stable machine code from the wire response.
+        code: String,
+        /// Human-readable server message.
+        message: String,
+    },
+    /// The server answered `ok: false` (fatal for the request as written).
     Server(String),
     /// The server answered something that is not a protocol response.
     Protocol(String),
+}
+
+impl ClientError {
+    /// Whether backing off and retrying the identical request can
+    /// succeed: explicit [`ClientError::Retryable`] refusals, plus
+    /// [`ClientError::Disconnected`] (a draining or restarting server —
+    /// re-dialing reaches its successor).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Retryable { .. } | ClientError::Disconnected(_)
+        )
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -31,6 +63,9 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "i/o: {e}"),
             ClientError::Disconnected(msg) => write!(f, "disconnected: {msg}"),
+            ClientError::Retryable { code, message } => {
+                write!(f, "retryable ({code}): {message}")
+            }
             ClientError::Server(msg) => write!(f, "server: {msg}"),
             ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
         }
@@ -102,11 +137,33 @@ impl Client {
     /// instead of answering is `UnexpectedEof` — both the empty read and
     /// the *partial* line without a terminating `\n` (a mid-response
     /// close, which would otherwise be misdiagnosed downstream as a JSON
-    /// parse error).
+    /// parse error). A send that dies on a peer close (`BrokenPipe` /
+    /// `ConnectionReset` / `ConnectionAborted` — a shedding server writes
+    /// its one refusal line and hangs up, racing our write) first drains
+    /// any buffered response so the caller sees the refusal's code, and
+    /// otherwise surfaces as `UnexpectedEof` like every other disconnect.
     pub fn call_raw(&mut self, line: &str) -> std::io::Result<String> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        let sent = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush());
+        if let Err(e) = sent {
+            use std::io::ErrorKind::{BrokenPipe, ConnectionAborted, ConnectionReset};
+            if !matches!(e.kind(), BrokenPipe | ConnectionReset | ConnectionAborted) {
+                return Err(e);
+            }
+            let mut response = String::new();
+            if let Ok(n) = self.reader.read_line(&mut response) {
+                if n > 0 && response.ends_with('\n') {
+                    return Ok(response.trim_end_matches(['\n', '\r']).to_string());
+                }
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("server closed the connection before the request was sent ({e})"),
+            ));
+        }
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
@@ -132,7 +189,8 @@ impl Client {
     /// [`ClientError::Server`] when the server rejects the request,
     /// [`ClientError::Protocol`] when the response is not protocol JSON,
     /// [`ClientError::Disconnected`] when the server closes the connection
-    /// before or during the response.
+    /// before the request is fully sent, or before or during the
+    /// response.
     pub fn call(&mut self, request: &Json) -> Result<Json, ClientError> {
         let line = self.call_raw(&request.compact()).map_err(|e| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -145,12 +203,22 @@ impl Client {
             Json::parse(&line).map_err(|e| ClientError::Protocol(format!("{e} in `{line}`")))?;
         match doc.get("ok").and_then(Json::as_bool) {
             Some(true) => Ok(doc),
-            Some(false) => Err(ClientError::Server(
-                doc.get("error")
+            Some(false) => {
+                let message = doc
+                    .get("error")
                     .and_then(Json::as_str)
                     .unwrap_or("unspecified server error")
-                    .to_string(),
-            )),
+                    .to_string();
+                if doc.get("retryable").and_then(Json::as_bool) == Some(true) {
+                    let code = doc
+                        .get("code")
+                        .and_then(Json::as_str)
+                        .unwrap_or("retryable")
+                        .to_string();
+                    return Err(ClientError::Retryable { code, message });
+                }
+                Err(ClientError::Server(message))
+            }
             None => Err(ClientError::Protocol(format!("no `ok` member in `{line}`"))),
         }
     }
@@ -255,6 +323,26 @@ impl Client {
         ]))
     }
 
+    /// Fetches the server's health document: status, worker/queue gauges,
+    /// shed count, and store state (see DESIGN.md §12).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`], plus [`ClientError::Protocol`] if the reply
+    /// lacks the `status` member.
+    pub fn health(&mut self) -> Result<Json, ClientError> {
+        let doc = self.call(&Json::Obj(vec![(
+            "op".to_string(),
+            Json::Str("health".into()),
+        )]))?;
+        if doc.get("status").is_none() {
+            return Err(ClientError::Protocol(
+                "health reply missing `status`".into(),
+            ));
+        }
+        Ok(doc)
+    }
+
     /// Asks the server to stop accepting connections and drain.
     ///
     /// # Errors
@@ -266,5 +354,237 @@ impl Client {
             Json::Str("shutdown".into()),
         )]))
         .map(|_| ())
+    }
+}
+
+/// Runs `f` against an existing connection, retrying *explicitly
+/// retryable* server refusals ([`ClientError::Retryable`] — the server
+/// answered, so the connection is still usable) with the policy's
+/// deterministic backoff. Disconnects are NOT retried here: a dead
+/// connection cannot carry another attempt — use [`with_retries`] to
+/// re-dial.
+///
+/// # Errors
+///
+/// The first non-retryable error, or the last error once
+/// `policy.max_attempts` attempts are exhausted.
+pub fn retry_call<T>(
+    client: &mut Client,
+    policy: &RetryPolicy,
+    sleeper: &dyn Sleeper,
+    mut f: impl FnMut(&mut Client) -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    let attempts = policy.max_attempts.max(1);
+    for attempt in 1..=attempts {
+        match f(client) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                let retry_here = matches!(e, ClientError::Retryable { .. });
+                if attempt >= attempts || !retry_here {
+                    return Err(e);
+                }
+                sleeper.sleep(Duration::from_millis(policy.delay_ms(attempt)));
+            }
+        }
+    }
+    Err(ClientError::Protocol("retry loop made no attempt".into()))
+}
+
+/// Dials `addr` and runs `f` on a fresh connection, retrying retryable
+/// failures — [`ClientError::Retryable`] refusals *and*
+/// [`ClientError::Disconnected`] — with the policy's deterministic
+/// jittered backoff, reconnecting before every attempt. Connect failures
+/// are fatal ([`ClientError::Io`]): "nothing is listening" is not an
+/// overload signal.
+///
+/// The closure must be idempotent: an attempt that was answered but lost
+/// mid-response is re-run in full.
+///
+/// # Errors
+///
+/// The first fatal error, or the last retryable error once
+/// `policy.max_attempts` attempts are exhausted (so an exhausted
+/// [`ClientError::Disconnected`] still maps to `betalike-client`'s
+/// disconnect exit code).
+pub fn with_retries<T>(
+    addr: &str,
+    policy: &RetryPolicy,
+    sleeper: &dyn Sleeper,
+    mut f: impl FnMut(&mut Client) -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    let attempts = policy.max_attempts.max(1);
+    for attempt in 1..=attempts {
+        let mut client = Client::connect(addr)?;
+        match f(&mut client) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if attempt >= attempts || !e.is_retryable() {
+                    return Err(e);
+                }
+                sleeper.sleep(Duration::from_millis(policy.delay_ms(attempt)));
+            }
+        }
+    }
+    Err(ClientError::Protocol("retry loop made no attempt".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{error_response, ok_response, retryable_error, ERR_OVERLOADED};
+    use betalike_faults::RecordingSleeper;
+    use std::net::TcpListener;
+
+    /// A scripted one-shot server: each accepted connection reads one
+    /// request line, writes the next scripted reply (empty string =
+    /// close without answering), and hangs up.
+    fn scripted(replies: Vec<String>) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            for reply in replies {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                let _ = reader.read_line(&mut line);
+                if reply.is_empty() {
+                    continue; // drop: the client sees a disconnect
+                }
+                let mut stream = stream;
+                stream.write_all((reply + "\n").as_bytes()).unwrap();
+                stream.flush().unwrap();
+            }
+        });
+        (addr, handle)
+    }
+
+    fn ping(client: &mut Client) -> Result<(), ClientError> {
+        client.ping()
+    }
+
+    #[test]
+    fn retryable_refusals_are_classified_with_their_code() {
+        let (addr, server) = scripted(vec![retryable_error(ERR_OVERLOADED, "busy").compact()]);
+        let mut client = Client::connect(&addr).unwrap();
+        let err = client.ping().unwrap_err();
+        match &err {
+            ClientError::Retryable { code, message } => {
+                assert_eq!(code, "overloaded");
+                assert_eq!(message, "busy");
+            }
+            other => panic!("expected Retryable, got {other:?}"),
+        }
+        assert!(err.is_retryable());
+        assert!(!ClientError::Server("nope".into()).is_retryable());
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn send_side_peer_close_is_a_retryable_disconnect() {
+        // A shedding server hangs up while the client is still writing;
+        // the write dies on EPIPE / ECONNRESET. That must classify as
+        // Disconnected (retryable), never as a fatal i/o error — under
+        // flood every `--retries` client would otherwise exit hard.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream); // close without reading: queued bytes draw an RST
+        });
+        let mut client = Client::connect(&addr).unwrap();
+        server.join().unwrap();
+        // Large enough to overrun every socket buffer, so write_all
+        // cannot complete before the peer's reset is observed.
+        let big = "x".repeat(8 << 20);
+        let err = client
+            .call(&Json::Obj(vec![("pad".into(), Json::Str(big))]))
+            .unwrap_err();
+        assert!(
+            matches!(err, ClientError::Disconnected(_)),
+            "expected Disconnected, got {err:?}"
+        );
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn with_retries_backs_off_deterministically_then_succeeds() {
+        let pong = ok_response(vec![("pong".into(), Json::Bool(true))]).compact();
+        let (addr, server) = scripted(vec![
+            retryable_error(ERR_OVERLOADED, "busy").compact(),
+            retryable_error(ERR_OVERLOADED, "busy").compact(),
+            pong,
+        ]);
+        let policy = RetryPolicy::standard(4, 7);
+        let sleeper = RecordingSleeper::new();
+        with_retries(&addr, &policy, &sleeper, ping).unwrap();
+        let slept: Vec<u64> = sleeper
+            .slept()
+            .iter()
+            .map(|d| d.as_millis() as u64)
+            .collect();
+        // Two refusals → two backoffs, exactly the policy's schedule
+        // prefix (the jitter is seeded, so this is reproducible).
+        assert_eq!(slept, vec![policy.delay_ms(1), policy.delay_ms(2)]);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn fatal_server_errors_are_never_retried() {
+        let (addr, server) = scripted(vec![error_response("nope").compact()]);
+        let policy = RetryPolicy::standard(5, 0);
+        let sleeper = RecordingSleeper::new();
+        let err = with_retries(&addr, &policy, &sleeper, ping).unwrap_err();
+        assert!(matches!(err, ClientError::Server(_)), "got {err:?}");
+        assert!(sleeper.slept().is_empty(), "fatal errors must not back off");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn disconnects_are_retried_by_reconnecting() {
+        let pong = ok_response(vec![("pong".into(), Json::Bool(true))]).compact();
+        let (addr, server) = scripted(vec![String::new(), pong]);
+        let policy = RetryPolicy::standard(3, 11);
+        let sleeper = RecordingSleeper::new();
+        with_retries(&addr, &policy, &sleeper, ping).unwrap();
+        assert_eq!(sleeper.slept().len(), 1);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn exhausted_retries_return_the_last_retryable_error() {
+        let replies = vec![String::new(), String::new()];
+        let (addr, server) = scripted(replies);
+        let policy = RetryPolicy::standard(2, 3);
+        let sleeper = RecordingSleeper::new();
+        let err = with_retries(&addr, &policy, &sleeper, ping).unwrap_err();
+        // Still a Disconnected — betalike-client's exit-3 mapping survives
+        // the retry wrapper.
+        assert!(matches!(err, ClientError::Disconnected(_)), "got {err:?}");
+        assert_eq!(sleeper.slept().len(), 1, "n attempts → n-1 backoffs");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retry_call_reuses_the_connection_for_refusals_only() {
+        let pong = ok_response(vec![("pong".into(), Json::Bool(true))]).compact();
+        // One connection answering twice: a refusal, then success.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut stream = stream;
+            for reply in [retryable_error(ERR_OVERLOADED, "busy").compact(), pong] {
+                let mut line = String::new();
+                let _ = reader.read_line(&mut line);
+                stream.write_all((reply + "\n").as_bytes()).unwrap();
+            }
+        });
+        let policy = RetryPolicy::standard(3, 1);
+        let sleeper = RecordingSleeper::new();
+        let mut client = Client::connect(&addr).unwrap();
+        retry_call(&mut client, &policy, &sleeper, ping).unwrap();
+        assert_eq!(sleeper.slept().len(), 1);
+        server.join().unwrap();
     }
 }

@@ -45,7 +45,7 @@ pub mod registry;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError, CountReply, PublishReply};
+pub use client::{retry_call, with_retries, Client, ClientError, CountReply, PublishReply};
 pub use registry::{Dataset, DatasetSpec, Registry};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use wire::{Algo, CountRequest, PublishRequest};

@@ -1,32 +1,65 @@
 //! The resident TCP service: acceptor, worker pool, request dispatch.
 //!
 //! One acceptor thread hands accepted connections to a fixed pool of
-//! worker threads over a channel; each worker owns a connection for its
-//! lifetime and processes newline-delimited JSON requests in order (see
-//! [`crate::wire`]). All published state lives in one shared `State`:
+//! worker threads over a *bounded* channel; each worker owns a connection
+//! for its lifetime and processes newline-delimited JSON requests in order
+//! (see [`crate::wire`]). All published state lives in one shared `State`:
 //! the dataset registry and a content-addressed artifact cache whose
 //! entries are computed at most once and then served lock-free (workers
 //! hold `Arc`s; the cache mutex guards only map lookups).
+//!
+//! # Overload protection (DESIGN.md §12)
+//!
+//! Admission is bounded: when every worker is busy and the queue holds
+//! [`ServerConfig::queue`] waiting connections, further arrivals are
+//! *shed* — the acceptor writes one retryable
+//! [`crate::wire::ERR_OVERLOADED`] error line and closes, instead of
+//! letting connections pile up unread until the kernel backlog turns them
+//! into opaque resets. Workers poll reads on a configurable tick
+//! ([`ServerConfig::read_timeout_ms`]) so idle and half-written requests
+//! can expire ([`ServerConfig::idle_timeout_ms`] /
+//! [`ServerConfig::request_timeout_ms`]); cold-cache publishes accept an
+//! optional `deadline_ms` after which the worker answers a retryable
+//! `deadline` error while the computation continues in the background.
+//! When the durable store reports persistent write failures the server
+//! turns read-only: cold publishes are refused with a retryable `degraded`
+//! error, everything already resident or stored keeps serving. The
+//! `health` op reports all of it.
 //!
 //! Shutdown is cooperative: a `shutdown` request (or
 //! [`ServerHandle::shutdown`]) raises a flag and pokes the acceptor with a
 //! loopback connection; the acceptor stops handing out connections, the
 //! channel closes, and workers exit once their current connections finish.
+//! Workers observe the flag within one read tick, so shutdown latency is
+//! bounded by `read_timeout_ms` plus the in-flight request.
 
 use crate::artifact::Artifact;
 use crate::registry::{DatasetSpec, Registry};
-use crate::wire::{error_response, ok_response, CountRequest, PublishRequest};
+use crate::wire::{
+    error_response, ok_response, retryable_error, CountRequest, PublishRequest, ERR_DEADLINE,
+    ERR_DEGRADED, ERR_OVERLOADED,
+};
+use betalike_faults::{RealVfs, Vfs};
 use betalike_microdata::json::Json;
 use betalike_query::{AggQuery, RangePred};
 use betalike_store::ArtifactStore;
+use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// Admission-queue depth when [`ServerConfig::queue`] is `0`.
+pub const DEFAULT_QUEUE: usize = 64;
+/// Read poll tick in milliseconds when [`ServerConfig::read_timeout_ms`]
+/// is `0`. This is also the shutdown-latency bound for idle workers.
+pub const DEFAULT_READ_TIMEOUT_MS: u64 = 200;
+/// Poll step for deadline-bounded publishes, milliseconds.
+const PUBLISH_POLL_MS: u64 = 10;
 
 /// How a server is started.
 #[derive(Debug, Clone)]
@@ -52,6 +85,30 @@ pub struct ServerConfig {
     /// a restarted server answers `count`/`audit` for them bit-identically
     /// with zero pipeline recomputation.
     pub data_dir: Option<PathBuf>,
+    /// Read poll tick in milliseconds (`0` →
+    /// [`DEFAULT_READ_TIMEOUT_MS`]). Every `read_timeout_ms` a parked
+    /// worker wakes to check the shutdown flag and the idle/request
+    /// timers, so this bounds shutdown latency — and is the resolution of
+    /// the two timeouts below.
+    pub read_timeout_ms: u64,
+    /// Idle-connection timeout in milliseconds (`0` = never). A
+    /// connection that sends no byte of a next request for this long is
+    /// closed silently, freeing its sticky worker.
+    pub idle_timeout_ms: u64,
+    /// Mid-request timeout in milliseconds (`0` = never). Once the first
+    /// byte of a request line arrives, the newline must arrive within
+    /// this; otherwise the worker writes one retryable
+    /// [`crate::wire::ERR_DEADLINE`] error and closes the connection.
+    pub request_timeout_ms: u64,
+    /// Bounded admission-queue depth (`0` → [`DEFAULT_QUEUE`]): how many
+    /// accepted connections may wait for a worker before new arrivals are
+    /// shed with a retryable [`crate::wire::ERR_OVERLOADED`] error.
+    pub queue: usize,
+    /// Filesystem the durable store performs its syscalls through
+    /// (`None` → the real filesystem). Injecting a
+    /// [`betalike_faults::ChaosVfs`] here lets tests drive the server into
+    /// degraded mode deterministically.
+    pub vfs: Option<Arc<dyn Vfs>>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +118,11 @@ impl Default for ServerConfig {
             threads: 0,
             preload: None,
             data_dir: None,
+            read_timeout_ms: 0,
+            idle_timeout_ms: 0,
+            request_timeout_ms: 0,
+            queue: 0,
+            vfs: None,
         }
     }
 }
@@ -73,6 +135,22 @@ pub(crate) struct State {
     store: Option<ArtifactStore>,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    /// Worker-pool size (for `health`).
+    workers: usize,
+    /// Admission-queue capacity (for `health`).
+    queue_capacity: usize,
+    /// Accepted connections waiting for a worker (acceptor increments
+    /// after a successful enqueue, the worker decrements after dequeue).
+    queue_depth: AtomicI64,
+    /// Connections shed with `overloaded` since startup.
+    shed: AtomicU64,
+    /// Handles a detached background publisher is currently computing
+    /// (deadline-bounded publishes claim here so at most one background
+    /// thread runs per handle).
+    inflight: Mutex<BTreeSet<String>>,
+    read_timeout_ms: u64,
+    idle_timeout_ms: u64,
+    request_timeout_ms: u64,
 }
 
 /// A running server: its bound address plus the thread handles needed to
@@ -123,7 +201,11 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
     let store = match &cfg.data_dir {
         None => None,
         Some(dir) => {
-            let (store, quarantined) = ArtifactStore::open(dir).map_err(|e| {
+            let vfs: Arc<dyn Vfs> = match &cfg.vfs {
+                Some(vfs) => Arc::clone(vfs),
+                None => Arc::new(RealVfs),
+            };
+            let (store, quarantined) = ArtifactStore::open_with(dir, vfs).map_err(|e| {
                 std::io::Error::other(format!("open data dir {}: {e}", dir.display()))
             })?;
             for handle in quarantined {
@@ -139,17 +221,30 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
     } else {
         cfg.threads
     };
+    let queue = if cfg.queue == 0 {
+        DEFAULT_QUEUE
+    } else {
+        cfg.queue
+    };
     let state = Arc::new(State {
         registry: Registry::new(),
         artifacts: crate::registry::LazyMap::default(),
         store,
         shutdown: AtomicBool::new(false),
         addr,
+        workers: threads,
+        queue_capacity: queue,
+        queue_depth: AtomicI64::new(0),
+        shed: AtomicU64::new(0),
+        inflight: Mutex::new(BTreeSet::new()),
+        read_timeout_ms: cfg.read_timeout_ms,
+        idle_timeout_ms: cfg.idle_timeout_ms,
+        request_timeout_ms: cfg.request_timeout_ms,
     });
     if let Some(spec) = &cfg.preload {
         state.registry.dataset(spec);
     }
-    let (tx, rx) = channel::<TcpStream>();
+    let (tx, rx) = sync_channel::<TcpStream>(queue);
     let rx = Arc::new(Mutex::new(rx));
     let workers: Vec<JoinHandle<()>> = (0..threads)
         .map(|_| {
@@ -176,15 +271,22 @@ fn initiate_shutdown(state: &State) {
     let _ = TcpStream::connect(state.addr);
 }
 
-fn acceptor_loop(listener: &TcpListener, tx: &Sender<TcpStream>, state: &State) {
+fn acceptor_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, state: &State) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 if state.shutdown.load(Ordering::SeqCst) {
                     break; // the poke connection (or late arrival) is dropped
                 }
-                if tx.send(stream).is_err() {
-                    break;
+                match tx.try_send(stream) {
+                    Ok(()) => {
+                        state.queue_depth.fetch_add(1, Ordering::SeqCst);
+                    }
+                    // Every worker is busy and the queue is at capacity:
+                    // shed with an explicit retryable error instead of
+                    // parking the connection unread.
+                    Err(TrySendError::Full(stream)) => shed_connection(state, stream),
+                    Err(TrySendError::Disconnected(_)) => break,
                 }
             }
             Err(_) => {
@@ -201,6 +303,23 @@ fn acceptor_loop(listener: &TcpListener, tx: &Sender<TcpStream>, state: &State) 
     // Dropping `tx` (by returning) closes the channel; idle workers exit.
 }
 
+/// Refuses one connection with a retryable `overloaded` error line. Runs
+/// on the acceptor thread, so the write carries a short timeout — a peer
+/// that never reads cannot stall admission.
+fn shed_connection(state: &State, mut stream: TcpStream) {
+    state.shed.fetch_add(1, Ordering::SeqCst);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_millis(1000)));
+    let reply = retryable_error(
+        ERR_OVERLOADED,
+        "server overloaded: admission queue is full; back off and retry",
+    );
+    let _ = stream
+        .write_all((reply.compact() + "\n").as_bytes())
+        .and_then(|()| stream.flush());
+    // Dropping the stream closes it; the client sees the error line, then EOF.
+}
+
 fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &Arc<State>) {
     loop {
         let stream = {
@@ -208,20 +327,37 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &Arc<State>) {
             guard.recv()
         };
         match stream {
-            Ok(stream) => handle_connection(stream, state),
+            Ok(stream) => {
+                state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                handle_connection(stream, state);
+            }
             Err(_) => break, // channel closed: shutdown
         }
     }
 }
 
+/// `timeout_ms` expressed in whole read ticks (rounded up); `0` = never.
+fn ticks_for(timeout_ms: u64, tick_ms: u64) -> u64 {
+    if timeout_ms == 0 {
+        0
+    } else {
+        timeout_ms.div_ceil(tick_ms).max(1)
+    }
+}
+
 /// Processes one connection's requests in order until EOF, an I/O error,
-/// a `shutdown` request, or server shutdown.
+/// a `shutdown` request, server shutdown, or a timeout expiry.
 ///
-/// Reads run under a short timeout so a worker parked on an idle
-/// connection still observes shutdown. Lines are accumulated as *bytes*
-/// (`read_until`) and validated as UTF-8 only once complete:
-/// `read_line`'s guard would discard already-consumed bytes if a timeout
-/// fired mid-multibyte character, silently corrupting request framing.
+/// Reads run under a configurable poll tick ([`ServerConfig::
+/// read_timeout_ms`]) so a worker parked on an idle connection still
+/// observes shutdown within one tick. The same tick drives two timers,
+/// both counted in ticks and reset per request line: the *idle* timer
+/// (no byte of a next request yet → close silently) and the *request*
+/// timer (line started but unfinished → answer a retryable `deadline`
+/// error, then close). Lines are accumulated as *bytes* (`read_until`)
+/// and validated as UTF-8 only once complete: `read_line`'s guard would
+/// discard already-consumed bytes if a timeout fired mid-multibyte
+/// character, silently corrupting request framing.
 fn handle_connection(stream: TcpStream, state: &Arc<State>) {
     let Ok(writer) = stream.try_clone() else {
         return;
@@ -229,17 +365,26 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) {
     // Responses are one small frame each; without NODELAY, Nagle holds
     // them back against the peer's delayed ACK (~40ms per round trip).
     let _ = stream.set_nodelay(true);
+    let tick_ms = if state.read_timeout_ms == 0 {
+        DEFAULT_READ_TIMEOUT_MS
+    } else {
+        state.read_timeout_ms
+    };
     if stream
-        .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+        .set_read_timeout(Some(std::time::Duration::from_millis(tick_ms)))
         .is_err()
     {
         return;
     }
+    let idle_ticks_max = ticks_for(state.idle_timeout_ms, tick_ms);
+    let request_ticks_max = ticks_for(state.request_timeout_ms, tick_ms);
     let mut writer = writer;
     let mut reader = BufReader::new(stream);
     let mut raw = Vec::new();
     loop {
         raw.clear();
+        let mut idle_ticks: u64 = 0;
+        let mut request_ticks: u64 = 0;
         loop {
             match reader.read_until(b'\n', &mut raw) {
                 Ok(0) => return, // EOF
@@ -252,9 +397,27 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) {
                 {
                     // Bytes that arrived before the timeout stay appended
                     // to `raw`; keep accumulating unless the server is
-                    // draining.
+                    // draining or a timer expired.
                     if state.shutdown.load(Ordering::SeqCst) {
                         return;
+                    }
+                    if raw.is_empty() {
+                        idle_ticks += 1;
+                        if idle_ticks_max != 0 && idle_ticks >= idle_ticks_max {
+                            return; // idle expiry: close silently
+                        }
+                    } else {
+                        request_ticks += 1;
+                        if request_ticks_max != 0 && request_ticks >= request_ticks_max {
+                            let reply = retryable_error(
+                                ERR_DEADLINE,
+                                "request deadline: the line did not complete in time",
+                            );
+                            let _ = writer
+                                .write_all((reply.compact() + "\n").as_bytes())
+                                .and_then(|()| writer.flush());
+                            return;
+                        }
                     }
                 }
                 Err(_) => return, // broken connection
@@ -351,33 +514,199 @@ fn dispatch(state: &Arc<State>, op: &str, doc: &Json) -> Result<Json, String> {
             Ok(ok_response(members))
         }
         "verify" => verify(state, doc),
+        "health" => Ok(health(state)),
         other => Err(format!(
             "unknown op `{other}` (expected ping | datasets | publish | count | audit | verify \
-             | shutdown)"
+             | health | shutdown)"
         )),
     }
 }
 
+/// The `health` op: liveness plus the overload and durability gauges —
+/// queue depth and capacity, connections shed, resident artifacts, store
+/// status (`none` / `ok` / `degraded`) and its consecutive write-failure
+/// count, and the effective timeout settings. Never touches an artifact,
+/// so it stays cheap under load.
+fn health(state: &Arc<State>) -> Json {
+    let store_degraded = state.store.as_ref().is_some_and(ArtifactStore::degraded);
+    let status = if store_degraded { "degraded" } else { "ok" };
+    let mut members = vec![
+        ("status".to_string(), Json::Str(status.into())),
+        ("workers".to_string(), Json::Num(state.workers as f64)),
+        (
+            "queue_capacity".to_string(),
+            Json::Num(state.queue_capacity as f64),
+        ),
+        (
+            "queue_depth".to_string(),
+            Json::Num(state.queue_depth.load(Ordering::SeqCst).max(0) as f64),
+        ),
+        (
+            "shed".to_string(),
+            Json::Num(state.shed.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "artifacts".to_string(),
+            Json::Num(state.artifacts.keys().len() as f64),
+        ),
+        (
+            "read_timeout_ms".to_string(),
+            Json::Num(if state.read_timeout_ms == 0 {
+                DEFAULT_READ_TIMEOUT_MS
+            } else {
+                state.read_timeout_ms
+            } as f64),
+        ),
+        (
+            "idle_timeout_ms".to_string(),
+            Json::Num(state.idle_timeout_ms as f64),
+        ),
+        (
+            "request_timeout_ms".to_string(),
+            Json::Num(state.request_timeout_ms as f64),
+        ),
+    ];
+    match &state.store {
+        None => members.push(("store".to_string(), Json::Str("none".into()))),
+        Some(store) => {
+            let store_status = if store.degraded() { "degraded" } else { "ok" };
+            members.push(("store".to_string(), Json::Str(store_status.into())));
+            members.push((
+                "stored".to_string(),
+                Json::Num(store.handles().len() as f64),
+            ));
+            members.push((
+                "write_failures".to_string(),
+                Json::Num(store.write_failures() as f64),
+            ));
+        }
+    }
+    ok_response(members)
+}
+
 fn publish(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
     let request = PublishRequest::from_json(doc)?;
+    let deadline_ms = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or("`deadline_ms` must be a non-negative integer")?,
+        ),
+    };
     let handle = request.handle();
     // A handle persisted by a previous process is *loaded*, not recomputed
     // (and counts as cached: the publish work already happened).
-    let mut fresh = false;
-    let artifact = match resident_or_stored(state, &handle) {
-        Ok(Some(artifact)) => artifact,
+    match resident_or_stored(state, &handle) {
+        Ok(Some(artifact)) => return Ok(publish_ack(state, &request, handle, &artifact, false)),
         Ok(None) | Err(_) => {
             // Unknown (or quarantined-as-corrupt, already logged): compute.
-            let artifact = state.artifacts.get_or_init(&handle, || {
-                fresh = true;
-                Artifact::publish(&state.registry, &request)
-            })?;
-            if fresh {
-                persist(state, &artifact);
-            }
-            artifact
         }
+    }
+    // Cold path. A degraded store could not persist the result, and a
+    // server that keeps accumulating publishes it cannot make durable is
+    // quietly breaking its own restart contract — refuse retryably and
+    // keep serving what already exists. Each refused publish first probes
+    // the disk, so the first retry after the disk recovers goes through.
+    if let Some(store) = &state.store {
+        if store.degraded() && store.probe().is_err() {
+            return Ok(retryable_error(
+                ERR_DEGRADED,
+                &format!(
+                    "store is degraded (persistent write failures): publish of `{handle}` \
+                     refused; reads are still served — retry once the disk recovers"
+                ),
+            ));
+        }
+    }
+    if let Some(ms) = deadline_ms {
+        return publish_with_deadline(state, request, handle, ms);
+    }
+    let mut fresh = false;
+    let artifact = state.artifacts.get_or_init(&handle, || {
+        fresh = true;
+        Artifact::publish(&state.registry, &request)
+    })?;
+    if fresh {
+        persist(state, &artifact);
+    }
+    Ok(publish_ack(state, &request, handle, &artifact, fresh))
+}
+
+/// A cold-cache publish bounded by `deadline_ms`: the computation runs on
+/// a detached background thread (at most one per handle, via the
+/// `inflight` claim set) while this worker polls for the result. If the
+/// deadline expires first, the requester gets a retryable `deadline`
+/// error and the computation keeps going — a later identical publish
+/// collects the finished artifact from the cache.
+fn publish_with_deadline(
+    state: &Arc<State>,
+    request: PublishRequest,
+    handle: String,
+    deadline_ms: u64,
+) -> Result<Json, String> {
+    let claimed = {
+        let mut inflight = state.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        inflight.insert(handle.clone())
     };
+    if claimed {
+        let state = Arc::clone(state);
+        let handle = handle.clone();
+        let request = request.clone();
+        std::thread::spawn(move || {
+            // The claim must be released even if the pipeline panics
+            // (mirroring the catch_unwind around foreground dispatch).
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                let mut fresh = false;
+                let computed = state.artifacts.get_or_init(&handle, || {
+                    fresh = true;
+                    Artifact::publish(&state.registry, &request)
+                });
+                if fresh {
+                    if let Ok(artifact) = &computed {
+                        persist(&state, artifact);
+                    }
+                }
+            }));
+            if run.is_err() {
+                eprintln!("betalike-serve: background publish of `{handle}` panicked");
+            }
+            let mut inflight = state.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            inflight.remove(&handle);
+        });
+    }
+    let mut waited_ms: u64 = 0;
+    loop {
+        match state.artifacts.get(&handle) {
+            Some(Ok(artifact)) => {
+                return Ok(publish_ack(state, &request, handle, &artifact, true));
+            }
+            Some(Err(e)) => return Err(format!("publish for `{handle}` had failed: {e}")),
+            None => {}
+        }
+        if waited_ms >= deadline_ms {
+            return Ok(retryable_error(
+                ERR_DEADLINE,
+                &format!(
+                    "deadline of {deadline_ms}ms expired before `{handle}` was ready; the \
+                     computation continues in the background — retry to collect it"
+                ),
+            ));
+        }
+        let step = (deadline_ms - waited_ms).clamp(1, PUBLISH_POLL_MS);
+        std::thread::sleep(std::time::Duration::from_millis(step));
+        waited_ms += step;
+    }
+}
+
+/// The acknowledgment for a successful publish. `fresh` means the work
+/// was done for this request (`cached: false`).
+fn publish_ack(
+    state: &Arc<State>,
+    request: &PublishRequest,
+    handle: String,
+    artifact: &Arc<Artifact>,
+    fresh: bool,
+) -> Json {
     let mut members = vec![
         ("handle".to_string(), Json::Str(handle)),
         (
@@ -400,13 +729,13 @@ fn publish(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
             Json::Bool(store.entry(&artifact.handle).is_some()),
         ));
     }
-    Ok(ok_response(members))
+    ok_response(members)
 }
 
 /// Write-through persistence of a freshly computed artifact. Failure to
 /// persist never fails the publish — the artifact is resident and
 /// serveable — but is logged and visible as `persisted: false` in the
-/// acknowledgment.
+/// acknowledgment (and counts toward the store's degraded trip wire).
 fn persist(state: &Arc<State>, artifact: &Arc<Artifact>) {
     let Some(store) = &state.store else {
         return;

@@ -3,10 +3,19 @@
 //! Every request and response is one [`Json`] object rendered with
 //! [`Json::compact`] and terminated by `\n`. Requests carry an `"op"`
 //! member (`ping`, `datasets`, `publish`, `count`, `audit`, `verify`,
-//! `shutdown`); responses always carry `"ok"` (and `"error"` when
-//! `false`). The `verify` op takes a `handle` plus an optional boolean
-//! `battery` and answers with the independent conformance oracle's verdict
-//! document (see the `betalike-conformance` crate).
+//! `health`, `shutdown`); responses always carry `"ok"` (and `"error"`
+//! when `false`). The `verify` op takes a `handle` plus an optional
+//! boolean `battery` and answers with the independent conformance oracle's
+//! verdict document (see the `betalike-conformance` crate). The `health`
+//! op reports queue depth, shed count and store status without touching
+//! any artifact.
+//!
+//! Errors come in two classes (DESIGN.md §12): *fatal* rejections carry
+//! only `ok: false` + `error`, while *retryable* conditions — the server
+//! shedding load, a degraded store, a publish deadline expiring — add
+//! `retryable: true` and a stable `code` ([`ERR_OVERLOADED`],
+//! [`ERR_DEGRADED`], [`ERR_DEADLINE`]) so clients can back off and retry
+//! without scraping messages.
 //!
 //! Publications are *content-addressed*: the handle of a publish request is
 //! an FNV-1a hash of its canonical parameter string, so equal requests from
@@ -310,6 +319,28 @@ pub fn error_response(message: &str) -> Json {
     ])
 }
 
+/// Retryable error code: the admission queue is full and the connection
+/// was shed.
+pub const ERR_OVERLOADED: &str = "overloaded";
+/// Retryable error code: the store has persistent write failures, so the
+/// server is read-only (publishes refused, counts/audits still served).
+pub const ERR_DEGRADED: &str = "degraded";
+/// Retryable error code: the request's deadline expired before the answer
+/// was ready (the work may continue in the background).
+pub const ERR_DEADLINE: &str = "deadline";
+
+/// A *retryable* error response: `ok: false` plus a stable machine `code`
+/// and `retryable: true`. Clients back off and retry these; plain
+/// [`error_response`] rejections are fatal for the request as written.
+pub fn retryable_error(code: &str, message: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str(message.into())),
+        ("code".to_string(), Json::Str(code.into())),
+        ("retryable".to_string(), Json::Bool(true)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +433,10 @@ mod tests {
         assert_eq!(
             error_response("nope").compact(),
             r#"{"ok":false,"error":"nope"}"#
+        );
+        assert_eq!(
+            retryable_error(ERR_OVERLOADED, "queue full").compact(),
+            r#"{"ok":false,"error":"queue full","code":"overloaded","retryable":true}"#
         );
     }
 }

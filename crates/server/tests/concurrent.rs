@@ -19,6 +19,7 @@ fn start() -> betalike_server::ServerHandle {
             seed: 3,
         }),
         data_dir: None,
+        ..Default::default()
     })
     .expect("bind an ephemeral port")
 }

@@ -28,6 +28,7 @@ fn start(data_dir: &std::path::Path) -> ServerHandle {
         threads: 4,
         preload: None,
         data_dir: Some(data_dir.to_path_buf()),
+        ..Default::default()
     })
     .expect("bind an ephemeral port")
 }

@@ -194,7 +194,14 @@ fn export_json(store: &ArtifactStore, handle: &str, out: Option<&str>) -> Result
     let text = doc.pretty() + "\n";
     match out {
         Some(path) => {
-            std::fs::write(path, text).map_err(|e| Failure::error(format!("write {path}: {e}")))?
+            use betalike_faults::{RealVfs, Vfs};
+            RealVfs
+                .write(
+                    "export-json.write",
+                    std::path::Path::new(path),
+                    text.as_bytes(),
+                )
+                .map_err(|e| Failure::error(format!("write {path}: {e}")))?
         }
         None => print!("{text}"),
     }

@@ -11,22 +11,34 @@
 //! ```
 //!
 //! Atomicity: artifact files and the `MANIFEST` are both written to a
-//! temporary sibling, fsynced, then renamed into place — a crash leaves
-//! either the old state or the new state, never a torn file. A crash
-//! *between* the artifact rename and the manifest rewrite leaves an orphan
-//! `.bpub`, which [`ArtifactStore::open`] adopts back into the manifest if
-//! it reads cleanly (and quarantines otherwise). Manifest entries whose
-//! file is missing or fails its whole-file FNV-1a checksum are quarantined
-//! on open rather than served.
+//! temporary sibling, fsynced, renamed into place, and the containing
+//! directory fsynced — a crash leaves either the old state or the new
+//! state, never a torn file. A crash *between* the artifact rename and the
+//! manifest rewrite leaves an orphan `.bpub`, which [`ArtifactStore::open`]
+//! adopts back into the manifest if it reads cleanly (and quarantines
+//! otherwise). Manifest entries whose file is missing or fails its
+//! whole-file FNV-1a checksum are quarantined on open rather than served;
+//! a *transient* read error (anything other than `NotFound`, after an
+//! `Interrupted` retry) fails the open instead — quarantining on a
+//! transient error could shadow a healthy copy.
+//!
+//! Every syscall goes through an injectable [`Vfs`] (see
+//! `betalike-faults`), tagged with one of the [`site`] labels below; the
+//! crash-point torture suite in `crates/faults/tests/torture.rs` kills the
+//! store at every site and asserts these recovery invariants hold. A new
+//! syscall site added without a [`site`] constant (or bypassing the Vfs —
+//! lint rule F1) is a test failure.
 
 use crate::bpub::{publication_from_slice, publication_to_vec, PublicationSnapshot};
 use crate::error::{Result, StoreError};
+use betalike_faults::{RealVfs, Vfs};
 use betalike_microdata::hash::fnv1a64;
 use betalike_microdata::json::Json;
 use std::collections::BTreeMap;
-use std::io::Write;
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// The manifest file name.
 pub const MANIFEST: &str = "MANIFEST";
@@ -35,7 +47,93 @@ pub const ARTIFACTS_DIR: &str = "artifacts";
 /// Subdirectory corrupt files are moved into.
 pub const QUARANTINE_DIR: &str = "quarantine";
 
+/// Consecutive [`ArtifactStore::save`] failures after which
+/// [`ArtifactStore::degraded`] reports true and the server stops accepting
+/// publishes (counts/audits keep serving).
+pub const DEGRADED_AFTER: u32 = 3;
+
 const MANIFEST_VERSION: f64 = 1.0;
+
+/// Stable labels for every [`Vfs`] call site in this module. The torture
+/// suite asserts it observed exactly [`site::VFS_SITES`] — adding a
+/// syscall here without extending the roster fails that suite, the same
+/// way a new attack must join `AttackKind::ALL`.
+pub mod site {
+    /// `create_dir_all(artifacts/)` during open.
+    pub const OPEN_MKDIR_ARTIFACTS: &str = "open.mkdir.artifacts";
+    /// `create_dir_all(quarantine/)` during open.
+    pub const OPEN_MKDIR_QUARANTINE: &str = "open.mkdir.quarantine";
+    /// Manifest read during open.
+    pub const OPEN_READ_MANIFEST: &str = "open.read.manifest";
+    /// Directory scans for stale `*.tmp` leftovers during open.
+    pub const OPEN_SCAN_TMP: &str = "open.scan.tmp";
+    /// Removal of a stale `*.tmp` leftover during open.
+    pub const OPEN_REMOVE_TMP: &str = "open.remove.tmp";
+    /// Checksum re-read of a manifest entry's file during open.
+    pub const OPEN_READ_ARTIFACT: &str = "open.read.artifact";
+    /// `artifacts/` scan for orphan `.bpub` files during open.
+    pub const OPEN_SCAN_ORPHANS: &str = "open.scan.orphans";
+    /// Read of an orphan `.bpub` candidate during open.
+    pub const OPEN_READ_ORPHAN: &str = "open.read.orphan";
+    /// Tempfile write of an artifact during save.
+    pub const SAVE_WRITE_TMP: &str = "save.write.tmp";
+    /// Tempfile fsync of an artifact during save.
+    pub const SAVE_FSYNC_TMP: &str = "save.fsync.tmp";
+    /// Rename of an artifact tempfile into place.
+    pub const SAVE_RENAME: &str = "save.rename";
+    /// Directory fsync making the artifact rename durable.
+    pub const SAVE_FSYNC_DIR: &str = "save.fsync.dir";
+    /// Tempfile write of the manifest.
+    pub const MANIFEST_WRITE_TMP: &str = "manifest.write.tmp";
+    /// Tempfile fsync of the manifest.
+    pub const MANIFEST_FSYNC_TMP: &str = "manifest.fsync.tmp";
+    /// Rename of the manifest tempfile into place.
+    pub const MANIFEST_RENAME: &str = "manifest.rename";
+    /// Directory fsync making the manifest rename durable.
+    pub const MANIFEST_FSYNC_DIR: &str = "manifest.fsync.dir";
+    /// Artifact read during [`super::ArtifactStore::load`].
+    pub const LOAD_READ_ARTIFACT: &str = "load.read.artifact";
+    /// Artifact unlink during [`super::ArtifactStore::remove`].
+    pub const REMOVE_ARTIFACT: &str = "remove.artifact";
+    /// Move of a damaged file into `quarantine/`.
+    pub const QUARANTINE_RENAME: &str = "quarantine.rename";
+    /// Cross-filesystem quarantine fallback: copy into `quarantine/`.
+    pub const QUARANTINE_FALLBACK_COPY: &str = "quarantine.fallback.copy";
+    /// Cross-filesystem quarantine fallback: unlink the original.
+    pub const QUARANTINE_FALLBACK_REMOVE: &str = "quarantine.fallback.remove";
+    /// Probe-file write during [`super::ArtifactStore::probe`].
+    pub const PROBE_WRITE: &str = "probe.write";
+    /// Probe-file unlink during [`super::ArtifactStore::probe`].
+    pub const PROBE_REMOVE: &str = "probe.remove";
+
+    /// Every site label above — the coverage roster the torture suite
+    /// checks both directions (no unobserved site, no unlisted site).
+    pub const VFS_SITES: &[&str] = &[
+        OPEN_MKDIR_ARTIFACTS,
+        OPEN_MKDIR_QUARANTINE,
+        OPEN_READ_MANIFEST,
+        OPEN_SCAN_TMP,
+        OPEN_REMOVE_TMP,
+        OPEN_READ_ARTIFACT,
+        OPEN_SCAN_ORPHANS,
+        OPEN_READ_ORPHAN,
+        SAVE_WRITE_TMP,
+        SAVE_FSYNC_TMP,
+        SAVE_RENAME,
+        SAVE_FSYNC_DIR,
+        MANIFEST_WRITE_TMP,
+        MANIFEST_FSYNC_TMP,
+        MANIFEST_RENAME,
+        MANIFEST_FSYNC_DIR,
+        LOAD_READ_ARTIFACT,
+        REMOVE_ARTIFACT,
+        QUARANTINE_RENAME,
+        QUARANTINE_FALLBACK_COPY,
+        QUARANTINE_FALLBACK_REMOVE,
+        PROBE_WRITE,
+        PROBE_REMOVE,
+    ];
+}
 
 /// One manifest row: everything needed to detect a damaged artifact
 /// without parsing it.
@@ -59,59 +157,87 @@ pub struct StoreEntry {
 #[derive(Debug)]
 pub struct ArtifactStore {
     root: PathBuf,
+    vfs: Arc<dyn Vfs>,
     entries: Mutex<BTreeMap<String, StoreEntry>>,
+    write_failures: AtomicU32,
 }
 
 impl ArtifactStore {
-    /// Opens (creating if needed) the store under `root`.
-    ///
-    /// Scans the manifest, verifies every entry's file against its
-    /// recorded checksum, quarantines damaged or missing-checksum files,
-    /// adopts readable orphan `.bpub` files the manifest does not know
-    /// (crash recovery), and removes stale `*.tmp` leftovers. Returns the
-    /// store plus the handles that were quarantined.
+    /// Opens (creating if needed) the store under `root`, on the real
+    /// filesystem. Equivalent to [`ArtifactStore::open_with`] and
+    /// [`RealVfs`].
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures and a malformed manifest (a manifest that
-    /// fails to parse is a data-loss condition surfaced to the operator,
-    /// not silently reset).
+    /// See [`ArtifactStore::open_with`].
     pub fn open(root: impl Into<PathBuf>) -> Result<(Self, Vec<String>)> {
-        let root = root.into();
-        std::fs::create_dir_all(root.join(ARTIFACTS_DIR))?;
-        std::fs::create_dir_all(root.join(QUARANTINE_DIR))?;
+        Self::open_with(root, Arc::new(RealVfs))
+    }
 
-        let mut entries = read_manifest(&root)?;
+    /// Opens (creating if needed) the store under `root`, routing every
+    /// syscall through `vfs`.
+    ///
+    /// Scans the manifest, verifies every entry's file against its
+    /// recorded checksum, quarantines damaged files (dropping rows whose
+    /// file is simply gone), adopts readable orphan `.bpub` files the
+    /// manifest does not know (crash recovery), and removes stale `*.tmp`
+    /// leftovers. Returns the store plus the handles that were quarantined
+    /// or dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures — including *transient* read errors while
+    /// verifying an entry (quarantining on those could shadow a healthy
+    /// copy; the caller retries the open instead) — and a malformed
+    /// manifest (a manifest that fails to parse is a data-loss condition
+    /// surfaced to the operator, not silently reset).
+    pub fn open_with(root: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> Result<(Self, Vec<String>)> {
+        let root = root.into();
+        vfs.create_dir_all(site::OPEN_MKDIR_ARTIFACTS, &root.join(ARTIFACTS_DIR))?;
+        vfs.create_dir_all(site::OPEN_MKDIR_QUARANTINE, &root.join(QUARANTINE_DIR))?;
+
+        let mut entries = read_manifest(vfs.as_ref(), &root)?;
         let mut quarantined = Vec::new();
 
         // Drop stale temporaries from interrupted writes.
         for dir in [root.join(ARTIFACTS_DIR), root.clone()] {
-            for entry in std::fs::read_dir(&dir)? {
-                let path = entry?.path();
+            for path in vfs.read_dir(site::OPEN_SCAN_TMP, &dir)? {
                 if path.extension().is_some_and(|e| e == "tmp") {
-                    let _ = std::fs::remove_file(&path);
+                    let _ = vfs.remove_file(site::OPEN_REMOVE_TMP, &path);
                 }
             }
         }
 
-        // Verify every manifest entry's file.
+        // Verify every manifest entry's file, classifying read errors:
+        // only an actual checksum mismatch quarantines. A missing file
+        // just drops the stale row; any other error (after retrying
+        // `Interrupted`) aborts the open — it says nothing about the
+        // bytes, and moving the file aside on it could bury the only
+        // healthy copy.
         let handles: Vec<String> = entries.keys().cloned().collect();
         for handle in handles {
             let path = artifact_path(&root, &handle);
-            let ok = match (std::fs::read(&path), entries.get(&handle)) {
-                (Ok(bytes), Some(entry)) => fnv1a64(&bytes) == entry.checksum,
-                _ => false,
-            };
-            if !ok {
-                quarantine_file(&root, &handle);
-                entries.remove(&handle);
-                quarantined.push(handle);
+            match read_retrying_interrupts(vfs.as_ref(), site::OPEN_READ_ARTIFACT, &path) {
+                Ok(bytes) => {
+                    let ok = entries
+                        .get(&handle)
+                        .is_some_and(|entry| fnv1a64(&bytes) == entry.checksum);
+                    if !ok {
+                        quarantine_file(vfs.as_ref(), &root, &handle);
+                        entries.remove(&handle);
+                        quarantined.push(handle);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    entries.remove(&handle);
+                    quarantined.push(handle);
+                }
+                Err(e) => return Err(e.into()),
             }
         }
 
         // Adopt readable orphans (artifact renamed, manifest write lost).
-        for dir_entry in std::fs::read_dir(root.join(ARTIFACTS_DIR))? {
-            let path = dir_entry?.path();
+        for path in vfs.read_dir(site::OPEN_SCAN_ORPHANS, &root.join(ARTIFACTS_DIR))? {
             if path.extension().map_or(true, |e| e != "bpub") {
                 continue;
             }
@@ -125,8 +251,16 @@ impl ArtifactStore {
             if entries.contains_key(&handle) {
                 continue;
             }
-            let adopted = std::fs::read(&path).ok().and_then(|bytes| {
-                let snap = publication_from_slice(&bytes).ok()?;
+            let bytes = match read_retrying_interrupts(vfs.as_ref(), site::OPEN_READ_ORPHAN, &path)
+            {
+                Ok(bytes) => bytes,
+                // Raced away (e.g. by a concurrent opener): nothing to adopt.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                // Same transient-error rule as above: don't judge a file
+                // we could not read.
+                Err(e) => return Err(e.into()),
+            };
+            let adopted = publication_from_slice(&bytes).ok().and_then(|snap| {
                 (snap.params.handle == handle).then(|| StoreEntry {
                     handle: handle.clone(),
                     canonical: snap.params.canonical,
@@ -139,7 +273,7 @@ impl ArtifactStore {
                     entries.insert(handle, entry);
                 }
                 None => {
-                    quarantine_file(&root, &handle);
+                    quarantine_file(vfs.as_ref(), &root, &handle);
                     quarantined.push(handle);
                 }
             }
@@ -147,7 +281,9 @@ impl ArtifactStore {
 
         let store = ArtifactStore {
             root,
+            vfs,
             entries: Mutex::new(entries),
+            write_failures: AtomicU32::new(0),
         };
         store.rewrite_manifest()?;
         Ok((store, quarantined))
@@ -183,15 +319,66 @@ impl ArtifactStore {
         artifact_path(&self.root, handle)
     }
 
+    /// Consecutive [`ArtifactStore::save`] failures since the last
+    /// success.
+    pub fn write_failures(&self) -> u32 {
+        self.write_failures.load(Ordering::SeqCst)
+    }
+
+    /// Whether the store has seen [`DEGRADED_AFTER`] or more consecutive
+    /// save failures — the server's cue to enter read-only degraded mode
+    /// (publishes shed with a retryable error, reads keep serving).
+    pub fn degraded(&self) -> bool {
+        self.write_failures() >= DEGRADED_AFTER
+    }
+
+    /// Checks whether the disk can take writes again by writing and
+    /// unlinking a small probe file in `artifacts/`. A successful probe
+    /// resets the failure counter (clearing [`ArtifactStore::degraded`]);
+    /// a failed one leaves it untouched — probing is how a degraded
+    /// server discovers recovery without risking a real artifact. The
+    /// `.tmp` suffix means a probe stranded by a crash is swept by the
+    /// next open's stale-tempfile cleanup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O failure of the probe write or unlink.
+    pub fn probe(&self) -> Result<()> {
+        let path = self.root.join(ARTIFACTS_DIR).join(".probe.tmp");
+        self.vfs
+            .write(site::PROBE_WRITE, &path, b"betalike probe")?;
+        self.vfs.remove_file(site::PROBE_REMOVE, &path)?;
+        self.write_failures.store(0, Ordering::SeqCst);
+        Ok(())
+    }
+
     /// Persists a publication: serialize, write `artifacts/<handle>.bpub`
-    /// atomically (temp file + fsync + rename), then rewrite the manifest
-    /// atomically.
+    /// atomically (temp file + fsync + rename + directory fsync), then
+    /// rewrite the manifest atomically. Tracks consecutive failures for
+    /// [`ArtifactStore::degraded`].
     ///
     /// # Errors
     ///
     /// Propagates serialization and I/O failures; `Malformed` on a handle
     /// that is not a safe file name.
     pub fn save(&self, snap: &PublicationSnapshot) -> Result<StoreEntry> {
+        let result = self.save_inner(snap);
+        match &result {
+            Ok(_) => self.write_failures.store(0, Ordering::SeqCst),
+            // Saturate: a disk that stays broken for 2^32 publishes must
+            // not wrap back to "healthy".
+            Err(_) => {
+                let _ = self
+                    .write_failures
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                        Some(n.saturating_add(1))
+                    });
+            }
+        }
+        result
+    }
+
+    fn save_inner(&self, snap: &PublicationSnapshot) -> Result<StoreEntry> {
         let handle = snap.params.handle.clone();
         validate_handle(&handle)?;
         let bytes = publication_to_vec(snap)?;
@@ -201,7 +388,12 @@ impl ArtifactStore {
             checksum: fnv1a64(&bytes),
             bytes: bytes.len() as u64,
         };
-        write_atomically(&self.path_of(&handle), &bytes)?;
+        write_atomically(
+            self.vfs.as_ref(),
+            &AtomicWriteSites::ARTIFACT,
+            &self.path_of(&handle),
+            &bytes,
+        )?;
         {
             let mut entries = self.lock();
             entries.insert(handle, entry.clone());
@@ -226,7 +418,9 @@ impl ArtifactStore {
         let Some(entry) = self.entry(handle) else {
             return Ok(None);
         };
-        let bytes = std::fs::read(self.path_of(handle))?;
+        let bytes = self
+            .vfs
+            .read(site::LOAD_READ_ARTIFACT, &self.path_of(handle))?;
         let got = fnv1a64(&bytes);
         if got != entry.checksum {
             return Err(StoreError::Corrupt {
@@ -256,7 +450,7 @@ impl ArtifactStore {
     /// Propagates the manifest rewrite failure.
     pub fn quarantine(&self, handle: &str) -> Result<bool> {
         let removed = self.lock().remove(handle).is_some();
-        let moved = quarantine_file(&self.root, handle);
+        let moved = quarantine_file(self.vfs.as_ref(), &self.root, handle);
         if removed {
             self.rewrite_manifest()?;
         }
@@ -272,8 +466,8 @@ impl ArtifactStore {
     pub fn remove(&self, handle: &str) -> Result<bool> {
         let removed = self.lock().remove(handle).is_some();
         let path = self.path_of(handle);
-        if path.exists() {
-            std::fs::remove_file(&path)?;
+        if self.vfs.exists(&path) {
+            self.vfs.remove_file(site::REMOVE_ARTIFACT, &path)?;
         }
         if removed {
             self.rewrite_manifest()?;
@@ -328,7 +522,12 @@ impl ArtifactStore {
             ("version".into(), Json::Num(MANIFEST_VERSION)),
             ("artifacts".into(), Json::Arr(rows)),
         ]);
-        write_atomically(&self.root.join(MANIFEST), (doc.pretty() + "\n").as_bytes())
+        write_atomically(
+            self.vfs.as_ref(),
+            &AtomicWriteSites::MANIFEST,
+            &self.root.join(MANIFEST),
+            (doc.pretty() + "\n").as_bytes(),
+        )
     }
 }
 
@@ -351,44 +550,92 @@ fn validate_handle(handle: &str) -> Result<()> {
     Ok(())
 }
 
+/// Retries `Interrupted` reads (a signal landing mid-`read(2)`) a few
+/// times before giving up; every other error is returned to the caller
+/// for classification.
+fn read_retrying_interrupts(vfs: &dyn Vfs, site: &'static str, path: &Path) -> io::Result<Vec<u8>> {
+    let mut last = None;
+    for _ in 0..3 {
+        match vfs.read(site, path) {
+            Ok(bytes) => return Ok(bytes),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::from(io::ErrorKind::Interrupted)))
+}
+
 /// Best-effort move of an artifact file into quarantine; returns whether a
 /// file was moved. Quarantined files are kept, never overwritten: if the
 /// same handle is quarantined again (republished, then corrupted again) a
 /// numeric suffix preserves the earlier copy for forensics.
-fn quarantine_file(root: &Path, handle: &str) -> bool {
+fn quarantine_file(vfs: &dyn Vfs, root: &Path, handle: &str) -> bool {
     let from = artifact_path(root, handle);
-    if !from.exists() {
+    if !vfs.exists(&from) {
         return false;
     }
     let dir = root.join(QUARANTINE_DIR);
     let mut to = dir.join(format!("{handle}.bpub"));
     let mut n = 1u32;
-    while to.exists() && n <= 1_000 {
+    while vfs.exists(&to) && n <= 1_000 {
         to = dir.join(format!("{handle}.bpub.{n}"));
         n += 1;
     }
-    std::fs::rename(&from, &to).is_ok() || {
+    vfs.rename(site::QUARANTINE_RENAME, &from, &to).is_ok() || {
         // Cross-filesystem fallback (quarantine/ is under root, so this
         // should never trigger; keep the file out of service regardless).
-        std::fs::copy(&from, &to).is_ok() && std::fs::remove_file(&from).is_ok()
+        vfs.copy(site::QUARANTINE_FALLBACK_COPY, &from, &to).is_ok()
+            && vfs
+                .remove_file(site::QUARANTINE_FALLBACK_REMOVE, &from)
+                .is_ok()
     }
 }
 
-/// Temp-file-then-rename write: readers never observe a torn file.
-fn write_atomically(path: &Path, bytes: &[u8]) -> Result<()> {
+/// The four site labels of one atomic write, so the artifact and manifest
+/// sequences stay distinguishable in a failure schedule.
+struct AtomicWriteSites {
+    write: &'static str,
+    fsync_tmp: &'static str,
+    rename: &'static str,
+    fsync_dir: &'static str,
+}
+
+impl AtomicWriteSites {
+    const ARTIFACT: AtomicWriteSites = AtomicWriteSites {
+        write: site::SAVE_WRITE_TMP,
+        fsync_tmp: site::SAVE_FSYNC_TMP,
+        rename: site::SAVE_RENAME,
+        fsync_dir: site::SAVE_FSYNC_DIR,
+    };
+    const MANIFEST: AtomicWriteSites = AtomicWriteSites {
+        write: site::MANIFEST_WRITE_TMP,
+        fsync_tmp: site::MANIFEST_FSYNC_TMP,
+        rename: site::MANIFEST_RENAME,
+        fsync_dir: site::MANIFEST_FSYNC_DIR,
+    };
+}
+
+/// Temp-file-then-rename write with a trailing directory fsync: readers
+/// never observe a torn file, and the rename itself survives a crash.
+fn write_atomically(
+    vfs: &dyn Vfs,
+    sites: &AtomicWriteSites,
+    path: &Path,
+    bytes: &[u8],
+) -> Result<()> {
     let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
+    vfs.write(sites.write, &tmp, bytes)?;
+    vfs.fsync(sites.fsync_tmp, &tmp)?;
+    vfs.rename(sites.rename, &tmp, path)?;
+    if let Some(parent) = path.parent() {
+        vfs.fsync(sites.fsync_dir, parent)?;
     }
-    std::fs::rename(&tmp, path)?;
     Ok(())
 }
 
-fn read_manifest(root: &Path) -> Result<BTreeMap<String, StoreEntry>> {
+fn read_manifest(vfs: &dyn Vfs, root: &Path) -> Result<BTreeMap<String, StoreEntry>> {
     let path = root.join(MANIFEST);
-    let text = match std::fs::read_to_string(&path) {
+    let text = match vfs.read_to_string(site::OPEN_READ_MANIFEST, &path) {
         Ok(text) => text,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
         Err(e) => return Err(e.into()),
@@ -562,6 +809,25 @@ mod tests {
     }
 
     #[test]
+    fn missing_file_drops_row_without_quarantine_move() {
+        let root = temp_root("missing-row");
+        let (store, _) = ArtifactStore::open(&root).unwrap();
+        store.save(&snapshot("pub-gone")).unwrap();
+        store.save(&snapshot("pub-kept")).unwrap();
+        drop(store);
+        std::fs::remove_file(artifact_path(&root, "pub-gone")).unwrap();
+        let (store, quarantined) = ArtifactStore::open(&root).unwrap();
+        assert_eq!(quarantined, vec!["pub-gone".to_string()]);
+        assert_eq!(store.handles(), vec!["pub-kept".to_string()]);
+        // Nothing to move: quarantine/ stays empty.
+        let q: Vec<_> = std::fs::read_dir(root.join(QUARANTINE_DIR))
+            .unwrap()
+            .collect();
+        assert!(q.is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn remove_deletes_file_and_row() {
         let root = temp_root("remove");
         let (store, _) = ArtifactStore::open(&root).unwrap();
@@ -640,5 +906,11 @@ mod tests {
             assert!(validate_handle(bad).is_err(), "{bad:?} accepted");
         }
         assert!(validate_handle("pub-0123abcd").is_ok());
+    }
+
+    #[test]
+    fn site_roster_has_no_duplicates() {
+        let set: std::collections::BTreeSet<_> = site::VFS_SITES.iter().collect();
+        assert_eq!(set.len(), site::VFS_SITES.len());
     }
 }
