@@ -39,10 +39,19 @@ impl AnatomyBaseline {
     /// Estimated count of tuples among `qi_matches` whose SA code lies in
     /// `[sa_lo, sa_hi]`: `|S_t| · Σ_{v ∈ range} p_v`.
     pub fn estimate(&self, qi_matches: &[RowId], sa_lo: u32, sa_hi: u32) -> f64 {
+        self.estimate_from_len(qi_matches.len(), sa_lo, sa_hi)
+    }
+
+    /// [`AnatomyBaseline::estimate`] from the selection *size* alone — the
+    /// published answer never depends on which rows matched, so callers
+    /// that can count `|S_t|` without materializing it (the aggregate
+    /// catalog of `betalike-query`) get a bit-identical answer through
+    /// here.
+    pub fn estimate_from_len(&self, num_matches: usize, sa_lo: u32, sa_hi: u32) -> f64 {
         let range_mass: f64 = (sa_lo..=sa_hi.min(self.sa_dist.m() as u32 - 1))
             .map(|v| self.sa_dist.freq(v))
             .sum();
-        qi_matches.len() as f64 * range_mass
+        num_matches as f64 * range_mass
     }
 }
 

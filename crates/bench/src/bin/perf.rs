@@ -41,10 +41,18 @@
 //! recovery-to-first-answer time — process start through store recovery
 //! to the first served count over a freshly opened data dir.
 //!
+//! Since PR 7 it also measures *indexed answering* (`catalog` section):
+//! per dataset size, count-query throughput through the per-artifact
+//! aggregate catalog (`betalike_query::Catalog`) versus the row-scan path
+//! — the same workload, bit-identical answers, different asymptotics —
+//! plus an end-to-end comparison of two servers (one `--no-catalog`)
+//! replaying the same count workload over TCP.
+//!
 //! ```text
 //! cargo run --release -p betalike-bench --bin perf -- --rows 200000
 //! cargo run --release -p betalike-bench --bin perf -- smoke --out perf-smoke.json
 //! cargo run --release -p betalike-bench --bin perf -- serve
+//! cargo run --release -p betalike-bench --bin perf -- catalog
 //! cargo run --release -p betalike-bench --bin perf -- check --file perf-smoke.json
 //! ```
 //!
@@ -54,13 +62,15 @@
 //!   what CI runs on every push;
 //! * `serve` — only the serve-throughput section (quick iteration on the
 //!   server);
+//! * `catalog` — only the catalog-vs-scan section (quick iteration on the
+//!   query planner; prints, never writes);
 //! * `check` — parse `--file` and validate it against the trajectory
 //!   schema (the checked-in schema *is* this binary's `check_schema`);
 //!   non-zero exit on any violation, so CI catches a malformed artifact
 //!   before uploading it.
 //!
 //! `--rows N` replaces the default 10k/50k/200k grid with the single size
-//! N; `--out FILE` overrides the default `BENCH_6.json`.
+//! N; `--out FILE` overrides the default `BENCH_7.json`.
 
 use betalike::bucketize::dp_partition;
 use betalike::burel::rows_per_bucket;
@@ -100,12 +110,13 @@ fn main() {
     }
     let smoke = sub == "smoke";
     let serve_only = sub == "serve";
+    let catalog_only = sub == "catalog";
     let explicit_out = args.extra.contains_key("out");
     let out_path = args
         .extra
         .get("out")
         .cloned()
-        .unwrap_or_else(|| "BENCH_6.json".into());
+        .unwrap_or_else(|| "BENCH_7.json".into());
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     // On a single-core host 4 threads still exercise the pool (and honestly
     // record the oversubscription cost); on real hardware N = all cores.
@@ -127,6 +138,14 @@ fn main() {
         qi.len()
     );
 
+    if catalog_only {
+        let serve_rows = row_grid.iter().copied().max().unwrap_or(50_000).min(50_000);
+        let catalog = measure_catalog(&row_grid, 300, iters, &qi, serve_rows, 300);
+        print_catalog(&catalog);
+        println!("(catalog mode prints only; run the full harness to write a trajectory document)");
+        return;
+    }
+
     let mut measurements: Vec<Measurement> = Vec::new();
     if !serve_only {
         for &rows in &row_grid {
@@ -144,8 +163,8 @@ fn main() {
     let serve = measure_serve(serve_rows, serve_queries, &[1, parallel_threads]);
     print_serve(&serve);
 
-    let (store, verify, faults) = if serve_only {
-        (Vec::new(), Vec::new(), None)
+    let (store, verify, faults, catalog) = if serve_only {
+        (Vec::new(), Vec::new(), None, None)
     } else {
         let store = measure_store(&row_grid, iters);
         print_store(&store);
@@ -158,7 +177,21 @@ fn main() {
         };
         let faults = measure_faults(faults_rows, faults_queries, flood_clients);
         print_faults(&faults);
-        (store, verify, Some(faults))
+        let (catalog_queries, catalog_serve_rows, catalog_serve_queries) = if smoke {
+            (100, 2_000, 100)
+        } else {
+            (300, 50_000, 300)
+        };
+        let catalog = measure_catalog(
+            &row_grid,
+            catalog_queries,
+            iters,
+            &qi,
+            catalog_serve_rows,
+            catalog_serve_queries,
+        );
+        print_catalog(&catalog);
+        (store, verify, Some(faults), Some(catalog))
     };
 
     if serve_only && !explicit_out {
@@ -173,6 +206,7 @@ fn main() {
         &store,
         &verify,
         faults.as_ref(),
+        catalog.as_ref(),
         cpus,
         parallel_threads,
         iters,
@@ -408,14 +442,66 @@ fn check_schema(doc: &Json) -> Result<String, String> {
             return Err(format!("faults.recovery: secs = {secs} is not > 0"));
         }
     }
+    // The `catalog` section exists from PR 7 on; earlier committed
+    // trajectory files (BENCH_2..6) must still validate.
+    let catalog = match doc.get("catalog") {
+        Some(catalog) => catalog,
+        None if pr < 7.0 => {
+            return Ok(format!(
+                "{} stage measurements, {} serve points, {} store points, {} verify points, \
+                 {} overload points, pre-PR7 document without a catalog section",
+                measurements.len(),
+                clients.len(),
+                points.len(),
+                verify_points.len(),
+                overload.len()
+            ))
+        }
+        None => return Err("missing object `catalog` (required from pr 7 on)".into()),
+    };
+    num(catalog, "workload_queries").map_err(|e| format!("catalog: {e}"))?;
+    let catalog_points = catalog
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or("catalog: missing array `points`")?;
+    // A serve-only document (empty measurements) may skip the catalog
+    // measurements; a full or smoke run must carry them.
+    if catalog_points.is_empty() && !measurements.is_empty() {
+        return Err("catalog: `points` must not be empty".into());
+    }
+    for (i, p) in catalog_points.iter().enumerate() {
+        let ctx = |e: String| format!("catalog.points[{i}]: {e}");
+        num(p, "rows").map_err(ctx)?;
+        text(p, "algo").map_err(ctx)?;
+        for key in ["scan_qps", "catalog_qps"] {
+            let v = num(p, key).map_err(ctx)?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("catalog.points[{i}]: {key} = {v} is not > 0"));
+            }
+        }
+    }
+    if !catalog_points.is_empty() {
+        let serve = catalog
+            .get("serve")
+            .ok_or("catalog: missing object `serve`")?;
+        num(serve, "rows").map_err(|e| format!("catalog.serve: {e}"))?;
+        num(serve, "queries").map_err(|e| format!("catalog.serve: {e}"))?;
+        for key in ["scan_qps", "catalog_qps"] {
+            let v = num(serve, key).map_err(|e| format!("catalog.serve: {e}"))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("catalog.serve: {key} = {v} is not > 0"));
+            }
+        }
+    }
     Ok(format!(
         "{} stage measurements, {} serve points, {} store points, {} verify points, \
-         {} overload points",
+         {} overload points, {} catalog points",
         measurements.len(),
         clients.len(),
         points.len(),
         verify_points.len(),
-        overload.len()
+        overload.len(),
+        catalog_points.len()
     ))
 }
 
@@ -1000,6 +1086,208 @@ fn measure_faults(rows: usize, num_queries: usize, flood_clients: usize) -> Faul
     }
 }
 
+/// One catalog point: count-query throughput through the aggregate
+/// catalog versus the row-scan path, same workload, at one dataset size
+/// and publication form.
+struct CatalogPoint {
+    rows: usize,
+    algo: &'static str,
+    scan_qps: f64,
+    catalog_qps: f64,
+}
+
+/// The `catalog` section of the trajectory document.
+struct CatalogMeasurement {
+    workload_queries: usize,
+    points: Vec<CatalogPoint>,
+    serve_rows: usize,
+    serve_queries: usize,
+    /// End-to-end count qps of a `--no-catalog` server (1 client,
+    /// `exact: true`, result cache off).
+    serve_scan_qps: f64,
+    /// Same server configuration with catalogs on.
+    serve_catalog_qps: f64,
+}
+
+/// Measures the `catalog` section: per dataset size, exact-count
+/// throughput over the same workload through `PublishedAnswerer::exact`
+/// (catalog) versus `exact_scan` (row scan) for an EC-grouped BUREL
+/// catalog and a block-grouped Anatomy catalog — asserting bitwise
+/// equality before timing — plus the end-to-end server comparison.
+fn measure_catalog(
+    row_grid: &[usize],
+    num_queries: usize,
+    iters: usize,
+    qi: &[usize],
+    serve_rows: usize,
+    serve_queries: usize,
+) -> CatalogMeasurement {
+    use betalike_query::{generate_workload, PublishedAnswerer, WorkloadConfig};
+    use std::sync::Arc;
+
+    let mut points = Vec::new();
+    for &rows in row_grid {
+        let table = Arc::new(census::generate(&CensusConfig::new(rows, 42)));
+        let workload = generate_workload(
+            &table,
+            &WorkloadConfig {
+                qi_pool: qi.to_vec(),
+                sa: SA,
+                lambda: 2,
+                theta: 0.1,
+                num_queries,
+                seed: 7,
+            },
+        );
+        let partition =
+            burel(&table, qi, SA, &BurelConfig::new(BETA).with_seed(42)).expect("BUREL");
+        let answerers = [
+            (
+                "burel",
+                PublishedAnswerer::generalized(Arc::clone(&table), &partition),
+            ),
+            (
+                "anatomy",
+                PublishedAnswerer::anatomy(Arc::clone(&table), SA),
+            ),
+        ];
+        for (algo, answerer) in &answerers {
+            // The whole point is bit-identity: a fast wrong answer must
+            // fail the harness before it gets timed.
+            for q in &workload {
+                assert_eq!(
+                    answerer.exact(q),
+                    answerer.exact_scan(q),
+                    "catalog diverged from scan for {algo}"
+                );
+            }
+            let scan = best_of(iters, || {
+                workload
+                    .iter()
+                    .fold(0u64, |acc, q| acc.wrapping_add(answerer.exact_scan(q)))
+            });
+            let catalog = best_of(iters, || {
+                workload
+                    .iter()
+                    .fold(0u64, |acc, q| acc.wrapping_add(answerer.exact(q)))
+            });
+            points.push(CatalogPoint {
+                rows,
+                algo,
+                scan_qps: num_queries as f64 / scan.as_secs_f64().max(1e-12),
+                catalog_qps: num_queries as f64 / catalog.as_secs_f64().max(1e-12),
+            });
+        }
+    }
+
+    let serve_scan_qps = catalog_serve_qps(serve_rows, serve_queries, qi, false);
+    let serve_catalog_qps = catalog_serve_qps(serve_rows, serve_queries, qi, true);
+    CatalogMeasurement {
+        workload_queries: num_queries,
+        points,
+        serve_rows,
+        serve_queries,
+        serve_scan_qps,
+        serve_catalog_qps,
+    }
+}
+
+/// End-to-end count qps of one server configuration: publish a BUREL
+/// artifact, replay `num_queries` exact counts over one TCP connection.
+/// The result cache is off in both configurations so the comparison
+/// isolates the answer path itself.
+fn catalog_serve_qps(rows: usize, num_queries: usize, qi: &[usize], catalog: bool) -> f64 {
+    use betalike_server::{
+        serve, Algo, Client, CountRequest, DatasetSpec, PublishRequest, ServerConfig,
+    };
+
+    let server = serve(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        catalog,
+        result_cache: 0,
+        ..Default::default()
+    })
+    .expect("bind an ephemeral port");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let request = PublishRequest::new(DatasetSpec::Census { rows, seed: 42 }, Algo::Burel);
+    let handle = client.publish(&request).expect("publish").handle;
+    let table = census::generate(&CensusConfig::new(rows, 42));
+    let workload = betalike_query::generate_workload(
+        &table,
+        &betalike_query::WorkloadConfig {
+            qi_pool: qi.to_vec(),
+            sa: SA,
+            lambda: 2,
+            theta: 0.1,
+            num_queries,
+            seed: 7,
+        },
+    );
+    let lines: Vec<String> = workload
+        .iter()
+        .map(|q| {
+            CountRequest {
+                handle: handle.clone(),
+                qi_preds: q.qi_preds.clone(),
+                sa_lo: q.sa_pred.lo,
+                sa_hi: q.sa_pred.hi,
+                exact: true,
+            }
+            .to_json()
+            .compact()
+        })
+        .collect();
+    let (_, elapsed) = betalike_bench::time_it(|| {
+        for line in &lines {
+            let resp = client.call_raw(line).expect("count");
+            assert!(
+                resp.contains("\"ok\":true"),
+                "served error during catalog bench: {resp}"
+            );
+        }
+    });
+    drop(client);
+    server.shutdown_and_join();
+    lines.len() as f64 / elapsed.as_secs_f64().max(1e-12)
+}
+
+/// Prints the catalog-vs-scan table.
+fn print_catalog(catalog: &CatalogMeasurement) {
+    println!(
+        "catalog: exact-count throughput, aggregate catalog vs row scan \
+         ({} queries/workload, bit-identical answers)",
+        catalog.workload_queries
+    );
+    let rows: Vec<Vec<String>> = catalog
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.rows.to_string(),
+                p.algo.to_string(),
+                format!("{:.0}", p.scan_qps),
+                format!("{:.0}", p.catalog_qps),
+                format!("{:.1}x", p.catalog_qps / p.scan_qps.max(1e-12)),
+            ]
+        })
+        .collect();
+    print_table(
+        &["rows", "algo", "scan qps", "catalog qps", "speedup"],
+        &rows,
+    );
+    println!(
+        "serve end-to-end ({} rows, {} exact counts, 1 client, cache off): \
+         {:.0} qps without catalog, {:.0} qps with ({:.1}x)",
+        catalog.serve_rows,
+        catalog.serve_queries,
+        catalog.serve_scan_qps,
+        catalog.serve_catalog_qps,
+        catalog.serve_catalog_qps / catalog.serve_scan_qps.max(1e-12)
+    );
+    println!();
+}
+
 /// Prints the resilience tables.
 fn print_faults(faults: &FaultsMeasurement) {
     println!("faults: overload latency (2 workers) with vs without shedding");
@@ -1167,6 +1455,7 @@ fn to_json(
     store: &[StorePoint],
     verify: &[VerifyPoint],
     faults: Option<&FaultsMeasurement>,
+    catalog: Option<&CatalogMeasurement>,
     cpus: usize,
     parallel_threads: usize,
     iters: usize,
@@ -1237,6 +1526,39 @@ fn to_json(
                 .collect()
         })
         .unwrap_or_default();
+    let catalog_points: Vec<Json> = catalog
+        .map(|c| {
+            c.points
+                .iter()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("rows".into(), Json::Num(p.rows as f64)),
+                        ("algo".into(), Json::Str(p.algo.into())),
+                        ("scan_qps".into(), Json::Num(p.scan_qps)),
+                        ("catalog_qps".into(), Json::Num(p.catalog_qps)),
+                    ])
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut catalog_members = vec![
+        (
+            "workload_queries".into(),
+            Json::Num(catalog.map_or(0, |c| c.workload_queries) as f64),
+        ),
+        ("points".into(), Json::Arr(catalog_points)),
+    ];
+    if let Some(c) = catalog {
+        catalog_members.push((
+            "serve".into(),
+            Json::Obj(vec![
+                ("rows".into(), Json::Num(c.serve_rows as f64)),
+                ("queries".into(), Json::Num(c.serve_queries as f64)),
+                ("scan_qps".into(), Json::Num(c.serve_scan_qps)),
+                ("catalog_qps".into(), Json::Num(c.serve_catalog_qps)),
+            ]),
+        ));
+    }
     let mut faults_members = vec![("overload".into(), Json::Arr(overload_points))];
     if let Some(f) = faults {
         faults_members.push((
@@ -1255,7 +1577,7 @@ fn to_json(
         ));
     }
     Json::Obj(vec![
-        ("pr".into(), Json::Num(6.0)),
+        ("pr".into(), Json::Num(7.0)),
         ("harness".into(), Json::Str("perf".into())),
         ("dataset".into(), Json::Str("CENSUS (synthetic)".into())),
         ("beta".into(), Json::Num(BETA)),
@@ -1291,5 +1613,6 @@ fn to_json(
             Json::Obj(vec![("points".into(), Json::Arr(verify_points))]),
         ),
         ("faults".into(), Json::Obj(faults_members)),
+        ("catalog".into(), Json::Obj(catalog_members)),
     ])
 }

@@ -262,6 +262,7 @@ pub fn publish_snapshot(table: &Table, spec: &PublishSpec) -> Result<Publication
         table: table.clone(),
         form,
         audit,
+        catalog: None,
     })
 }
 

@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 
 /// Non-Rust files that participate in the workspace rules (X1/X2 check
 /// them as prose/config surfaces).
-const EXTRA_FILES: &[&str] = &["DESIGN.md", ".github/workflows/ci.yml"];
+const EXTRA_FILES: &[&str] = &["DESIGN.md", "docs/WIRE.md", ".github/workflows/ci.yml"];
 
 /// The loaded workspace: every file the rules look at, with root-relative
 /// forward-slash paths.

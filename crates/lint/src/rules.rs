@@ -16,8 +16,8 @@
 //! | P1 | no `.unwrap()`/`.expect()`/`panic!`/indexing in server+store |
 //! | F1 | no direct `fs::` syscalls in the store — all I/O routes the Vfs |
 //! | P2 | no `unsafe` outside the committed whitelist |
-//! | X1 | every server wire op is exposed by both clients and DESIGN.md |
-//! | X2 | every scheme name is wired through persist/oracle/battery/CI |
+//! | X1 | every server wire op is exposed by both clients and the docs |
+//! | X2 | every scheme name is wired through persist/oracle/battery/CI/docs |
 //! | S1 | suppression comments must parse and carry a reason |
 //! | S2 | suppressions must match a finding (no stale allows) |
 //! | B0 | baseline entries must match a finding (may only shrink) |
@@ -96,7 +96,10 @@ const OP_CODE_SURFACES: &[&str] = &[
     "crates/server/src/client.rs",
     "crates/server/src/bin/betalike_client.rs",
 ];
-const DESIGN_DOC: &str = "DESIGN.md";
+/// Documentation surfaces every wire op must be named in (X1, as a
+/// backtick-quoted name): the design rationale and the normative wire
+/// reference.
+const OP_DOC_SURFACES: &[&str] = &["DESIGN.md", "docs/WIRE.md"];
 
 /// Where the canonical scheme list lives (X2): the wire `Algo` enum.
 const SCHEME_SOURCE: &str = "crates/server/src/wire.rs";
@@ -110,6 +113,7 @@ const SCHEME_SITES: &[&str] = &[
     "crates/conformance/src/battery.rs",
     ".github/workflows/ci.yml",
     "DESIGN.md",
+    "docs/WIRE.md",
 ];
 
 fn starts_with_any(path: &str, prefixes: &[&str]) -> bool {
@@ -394,7 +398,7 @@ pub fn wire_schemes(wire: &SourceFile) -> Vec<String> {
 }
 
 /// X1: every op the server dispatches must be reachable from both client
-/// surfaces and documented in DESIGN.md.
+/// surfaces and documented in DESIGN.md §8 and docs/WIRE.md.
 pub fn check_wire_ops(files: &[SourceFile]) -> Vec<Finding> {
     let Some(server) = files.iter().find(|f| f.path == SERVER_DISPATCH) else {
         return Vec::new();
@@ -419,7 +423,10 @@ pub fn check_wire_ops(files: &[SourceFile]) -> Vec<Finding> {
                 });
             }
         }
-        if let Some(doc) = files.iter().find(|f| f.path == DESIGN_DOC) {
+        for surface in OP_DOC_SURFACES {
+            let Some(doc) = files.iter().find(|f| &f.path == surface) else {
+                continue;
+            };
             if !doc.text.contains(&format!("`{op}`")) {
                 out.push(Finding {
                     rule: "X1",
@@ -428,9 +435,9 @@ pub fn check_wire_ops(files: &[SourceFile]) -> Vec<Finding> {
                     col,
                     message: format!(
                         "wire op `{op}` is dispatched by the server but never named (as \
-                         `{op}` in backticks) in {DESIGN_DOC} §8"
+                         `{op}` in backticks) in {surface}"
                     ),
-                    snippet: format!("{op}@{DESIGN_DOC}"),
+                    snippet: format!("{op}@{surface}"),
                 });
             }
         }

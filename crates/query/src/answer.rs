@@ -19,8 +19,23 @@ use betalike_microdata::{AttrKind, RowId, Table};
 /// Each predicate resolved to its column slice once per query, so the row
 /// scan touches only slices. Every scanning answer path (exact counts, QI
 /// selections, [`crate::PublishedAnswerer`], the figure binaries) compiles
-/// predicates through here instead of calling `Table::value` per cell.
-fn compile_preds<'a>(
+/// predicates through here instead of calling `Table::value` per cell;
+/// the aggregate-catalog planner ([`crate::Catalog::plan`]) consumes the
+/// same predicate list to split it into covered and residual parts.
+///
+/// ```
+/// use betalike_query::{compile_preds, RangePred};
+/// use betalike_microdata::synthetic::{random_table, SyntheticConfig};
+///
+/// let t = random_table(&SyntheticConfig::default());
+/// let preds = [RangePred { attr: 0, lo: 0, hi: 3 }];
+/// let compiled = compile_preds(&t, preds.iter());
+/// assert_eq!(compiled.len(), 1);
+/// let (col, p) = &compiled[0];
+/// assert_eq!(col.len(), t.num_rows());
+/// assert_eq!(p.attr, 0);
+/// ```
+pub fn compile_preds<'a>(
     table: &'a Table,
     preds: impl IntoIterator<Item = &'a RangePred>,
 ) -> Vec<(&'a [u32], RangePred)> {

@@ -26,7 +26,10 @@
 //! [`PublishedAnswerer`] bundles any of the three forms with a shared
 //! handle on the original table, so a resident publisher (the
 //! `betalike-server` crate) computes a publication once and answers many
-//! queries from it without re-deriving state.
+//! queries from it without re-deriving state. It also derives a
+//! [`Catalog`] — per-group aggregate summaries that answer counts in
+//! `O(groups touched)` or `O(log n)` instead of `O(rows)`, bit-identically
+//! to the scan paths (see [`catalog`] for the layout and the planner).
 //!
 //! [`relative_error`] / [`median_relative_error`] implement the error
 //! measure of Figures 8 and 9 (queries with a zero exact answer are
@@ -35,14 +38,18 @@
 // Backstops betalike-lint rule P2: stronger than the workspace-level
 // `unsafe_code = "deny"` because `forbid` cannot be overridden locally.
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod answer;
+pub mod catalog;
 pub mod published;
 pub mod workload;
 
-pub use answer::{estimate_anatomy, estimate_perturbed, exact_count, qi_matches, GeneralizedView};
+pub use answer::{
+    compile_preds, estimate_anatomy, estimate_perturbed, exact_count, qi_matches, GeneralizedView,
+};
+pub use catalog::{Catalog, CatalogPlan, CatalogSpec, GroupingSpec, CATALOG_VERSION};
 pub use published::PublishedAnswerer;
 pub use workload::{generate_workload, AggQuery, RangePred, WorkloadConfig};
 

@@ -15,7 +15,8 @@
 //! tests of `betalike-server` rely on exactly that.
 
 use crate::answer::{estimate_anatomy, estimate_perturbed, exact_count, GeneralizedView};
-use crate::workload::AggQuery;
+use crate::catalog::{Catalog, CatalogSpec};
+use crate::workload::{AggQuery, RangePred};
 use betalike::error::Result;
 use betalike::perturb::PerturbedTable;
 use betalike_baselines::anatomy::AnatomyBaseline;
@@ -36,39 +37,90 @@ enum Form {
 
 /// One published artifact, resident in memory, answering aggregate
 /// `COUNT(*)` queries without re-deriving any publication state per call.
+///
+/// By default an answerer also derives a [`Catalog`], so counts resolve
+/// from per-group summaries instead of row scans — bit-identically, which
+/// the `_opt` constructors let tests and benchmarks verify by opting out.
+///
+/// ```
+/// use betalike_query::{PublishedAnswerer, generate_workload, WorkloadConfig};
+/// use betalike::{burel, BurelConfig};
+/// use betalike_microdata::synthetic::{random_table, SyntheticConfig};
+/// use std::sync::Arc;
+///
+/// let table = Arc::new(random_table(&SyntheticConfig::default()));
+/// let partition = burel(&table, &[0, 1], 2, &BurelConfig::new(4.0)).unwrap();
+/// let fast = PublishedAnswerer::generalized(Arc::clone(&table), &partition);
+/// let scan = PublishedAnswerer::generalized_opt(Arc::clone(&table), &partition, false);
+/// assert!(fast.catalog().is_some() && scan.catalog().is_none());
+/// let cfg = WorkloadConfig { qi_pool: vec![0, 1], sa: 2, lambda: 2,
+///                            theta: 0.2, num_queries: 5, seed: 1 };
+/// for q in &generate_workload(&table, &cfg) {
+///     assert_eq!(fast.exact(q), scan.exact(q));
+///     let (f, s) = (fast.estimate(q).unwrap(), scan.estimate(q).unwrap());
+///     assert_eq!(f.to_bits(), s.to_bits());
+/// }
+/// ```
 #[derive(Debug, Clone)]
 pub struct PublishedAnswerer {
     source: Arc<Table>,
     form: Form,
+    catalog: Option<Arc<Catalog>>,
 }
 
 impl PublishedAnswerer {
     /// Wraps a generalized publication: the per-EC boxes and sorted SA lists
-    /// are built once, here.
+    /// are built once, here, along with the aggregate catalog.
     pub fn generalized(source: Arc<Table>, partition: &Partition) -> Self {
+        Self::generalized_opt(source, partition, true)
+    }
+
+    /// [`PublishedAnswerer::generalized`] with the catalog optional —
+    /// `catalog: false` keeps only the scanning paths (benchmarking, and
+    /// serving with `--no-catalog`).
+    pub fn generalized_opt(source: Arc<Table>, partition: &Partition, catalog: bool) -> Self {
         let view = GeneralizedView::new(&source, partition);
+        let catalog = catalog.then(|| Arc::new(Catalog::for_partition(&source, partition)));
         PublishedAnswerer {
             source,
             form: Form::Generalized(view),
+            catalog,
         }
     }
 
     /// Wraps a perturbed publication (`source` is the *original* table the
     /// publisher keeps for exact answers; `published` carries the randomized
-    /// copy recipients see).
+    /// copy recipients see). Builds the aggregate catalog.
     pub fn perturbed(source: Arc<Table>, published: PerturbedTable) -> Self {
+        Self::perturbed_opt(source, published, true)
+    }
+
+    /// [`PublishedAnswerer::perturbed`] with the catalog optional.
+    pub fn perturbed_opt(source: Arc<Table>, published: PerturbedTable, catalog: bool) -> Self {
+        let catalog = catalog.then(|| {
+            Arc::new(Catalog::for_table(&source, published.sa).with_perturbed_overlay(&published))
+        });
         PublishedAnswerer {
             source,
             form: Form::Perturbed(published),
+            catalog,
         }
     }
 
-    /// Wraps an Anatomy-style publication of `source`'s SA column.
+    /// Wraps an Anatomy-style publication of `source`'s SA column. Builds
+    /// the aggregate catalog.
     pub fn anatomy(source: Arc<Table>, sa: usize) -> Self {
+        Self::anatomy_opt(source, sa, true)
+    }
+
+    /// [`PublishedAnswerer::anatomy`] with the catalog optional.
+    pub fn anatomy_opt(source: Arc<Table>, sa: usize, catalog: bool) -> Self {
         let baseline = AnatomyBaseline::publish(&source, sa);
+        let catalog = catalog.then(|| Arc::new(Catalog::for_table(&source, sa)));
         PublishedAnswerer {
             source,
             form: Form::Anatomy(baseline),
+            catalog,
         }
     }
 
@@ -97,14 +149,96 @@ impl PublishedAnswerer {
         }
     }
 
+    /// The aggregate catalog, when one was built.
+    pub fn catalog(&self) -> Option<&Arc<Catalog>> {
+        self.catalog.as_ref()
+    }
+
+    /// The persistable spec of the catalog, when one was built (see
+    /// [`CatalogSpec`]).
+    pub fn catalog_spec(&self) -> Option<CatalogSpec> {
+        self.catalog.as_ref().map(|c| c.spec())
+    }
+
+    /// Rebuilds the catalog from a persisted spec, replacing any current
+    /// one. `partition` must be the artifact's partition for generalized
+    /// forms. Restore paths call this so a stored grouping is honored
+    /// verbatim; version-skewed specs are the *caller's* cue to fall back
+    /// to the default build instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Catalog::from_spec`]'s structural validation.
+    pub fn rebuild_catalog(
+        &mut self,
+        partition: Option<&Partition>,
+        spec: &CatalogSpec,
+    ) -> std::result::Result<(), String> {
+        let catalog = match &self.form {
+            Form::Generalized(_) => {
+                let p = partition.ok_or("generalized catalog needs the partition")?;
+                Catalog::from_spec(&self.source, Some(p), p.sa(), spec)?
+            }
+            Form::Perturbed(published) => {
+                Catalog::from_spec(&self.source, None, published.sa, spec)?
+                    .with_perturbed_overlay(published)
+            }
+            Form::Anatomy(baseline) => Catalog::from_spec(&self.source, None, baseline.sa(), spec)?,
+        };
+        self.catalog = Some(Arc::new(catalog));
+        Ok(())
+    }
+
     /// Estimated `COUNT(*)` from the published form, bit-identical to the
-    /// corresponding free-function estimator.
+    /// corresponding free-function estimator whether or not the catalog
+    /// path answers it (see [`crate::catalog`] for the argument).
     ///
     /// # Errors
     ///
     /// Propagates a singular-matrix failure from perturbation
     /// reconstruction; the other forms cannot fail.
     pub fn estimate(&self, query: &AggQuery) -> Result<f64> {
+        let Some(catalog) = &self.catalog else {
+            return self.estimate_scan(query);
+        };
+        match &self.form {
+            Form::Generalized(_) => Ok(catalog.estimate_generalized(query)),
+            Form::Perturbed(published) => {
+                let (matched, counts) = catalog.perturbed_observed(published, query);
+                if matched == 0 {
+                    return Ok(0.0);
+                }
+                let recon = published.plan.reconstruct(&counts)?;
+                let mut total = 0.0;
+                for (i, &v) in published.plan.support().iter().enumerate() {
+                    if query.sa_pred.matches(v) {
+                        total += recon[i].max(0.0);
+                    }
+                }
+                Ok(total)
+            }
+            Form::Anatomy(baseline) => {
+                let matched = catalog.count(&self.source, &query.qi_preds);
+                Ok(
+                    baseline.estimate_from_len(
+                        matched as usize,
+                        query.sa_pred.lo,
+                        query.sa_pred.hi,
+                    ),
+                )
+            }
+        }
+    }
+
+    /// [`PublishedAnswerer::estimate`] forced through the row-scanning
+    /// free functions, ignoring the catalog — the equivalence tests and
+    /// the `perf` crossover benchmark compare against this.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a singular-matrix failure from perturbation
+    /// reconstruction; the other forms cannot fail.
+    pub fn estimate_scan(&self, query: &AggQuery) -> Result<f64> {
         match &self.form {
             Form::Generalized(view) => Ok(view.estimate(query)),
             Form::Perturbed(published) => estimate_perturbed(published, query),
@@ -113,8 +247,25 @@ impl PublishedAnswerer {
     }
 
     /// Exact `COUNT(*)` on the original table (the publisher-side ground
-    /// truth used for relative-error reporting).
+    /// truth used for relative-error reporting) — from catalog summaries
+    /// when available, always equal to [`PublishedAnswerer::exact_scan`].
     pub fn exact(&self, query: &AggQuery) -> u64 {
+        match &self.catalog {
+            Some(catalog) => {
+                let preds: Vec<RangePred> = query
+                    .qi_preds
+                    .iter()
+                    .chain([&query.sa_pred])
+                    .copied()
+                    .collect();
+                catalog.count(&self.source, &preds)
+            }
+            None => exact_count(&self.source, query),
+        }
+    }
+
+    /// [`PublishedAnswerer::exact`] forced through the full row scan.
+    pub fn exact_scan(&self, query: &AggQuery) -> u64 {
         exact_count(&self.source, query)
     }
 }

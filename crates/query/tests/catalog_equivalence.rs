@@ -1,0 +1,144 @@
+//! The catalog's core contract, as a property: for **every** publication
+//! form and arbitrary tables and queries, the catalog-backed answer is
+//! *bitwise* equal to the scan path's — `estimate` vs `estimate_scan`
+//! down to the f64 bits, `exact` vs `exact_scan` exactly.
+//!
+//! The generated shapes deliberately include the degenerate end of the
+//! spectrum (single-row tables, cardinality-2 domains, empty predicate
+//! lists, whole-domain and point ranges) and published-QI subsets, so
+//! exact counts mix catalog-covered predicates with residual ones that
+//! only the per-group row scan can answer.
+
+use betalike::model::{BetaLikeness, BoundKind};
+use betalike::{burel, perturb, BurelConfig};
+use betalike_baselines::constraints::LikenessConstraint;
+use betalike_baselines::mondrian::{mondrian, MondrianConfig};
+use betalike_baselines::sabre::{sabre, SabreConfig};
+use betalike_microdata::synthetic::{random_table, SaShape, SyntheticConfig};
+use betalike_microdata::Table;
+use betalike_query::{AggQuery, PublishedAnswerer, RangePred};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Folds a raw `(attr, lo, hi)` triple into a valid predicate over the
+/// table's QI attributes (the SA is predicated separately).
+fn pred(table: &Table, raw: (usize, u32, u32)) -> RangePred {
+    let attr = raw.0 % (table.schema().arity() - 1);
+    let card = table.schema().attribute(attr).unwrap().cardinality() as u32;
+    let (mut lo, mut hi) = (raw.1 % card, raw.2 % card);
+    if lo > hi {
+        std::mem::swap(&mut lo, &mut hi);
+    }
+    RangePred { attr, lo, hi }
+}
+
+/// Asserts the two answer paths agree bitwise on `query`.
+fn assert_paths_agree(answerer: &PublishedAnswerer, query: &AggQuery, what: &str) {
+    let catalog = answerer.estimate(query);
+    let scan = answerer.estimate_scan(query);
+    match (catalog, scan) {
+        (Ok(c), Ok(s)) => assert_eq!(c.to_bits(), s.to_bits(), "{what} estimate {query:?}"),
+        (c, s) => assert_eq!(c.is_err(), s.is_err(), "{what} error parity {query:?}"),
+    }
+    assert_eq!(
+        answerer.exact(query),
+        answerer.exact_scan(query),
+        "{what} exact {query:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All five schemes, arbitrary tables and queries: the catalog path
+    /// must be indistinguishable from the scan path, bit for bit.
+    #[test]
+    fn catalog_answers_are_bitwise_equal_to_scans(
+        rows in 1usize..220,
+        qi_attrs in 1usize..4,
+        qi_card in 2usize..9,
+        sa_card in 2usize..7,
+        seed in 0u64..1_000_000,
+        qi_n_raw in 0usize..4,
+        raw_preds in proptest::collection::vec((0usize..8, 0u32..64, 0u32..64), 0..5),
+        sa_raw in (0u32..64, 0u32..64),
+    ) {
+        let table = Arc::new(random_table(&SyntheticConfig {
+            rows,
+            qi_attrs,
+            qi_cardinality: qi_card,
+            sa_cardinality: sa_card,
+            sa_shape: SaShape::Zipf(1.0),
+            seed,
+        }));
+        let sa = qi_attrs; // synthetic tables put the SA last
+        let qi_n = 1 + qi_n_raw % qi_attrs; // published QI subset: 1..=qi_attrs
+        let qi: Vec<usize> = (0..qi_n).collect();
+
+        let (mut sa_lo, mut sa_hi) = (sa_raw.0 % sa_card as u32, sa_raw.1 % sa_card as u32);
+        if sa_lo > sa_hi {
+            std::mem::swap(&mut sa_lo, &mut sa_hi);
+        }
+        let sa_pred = RangePred { attr: sa, lo: sa_lo, hi: sa_hi };
+        let all_preds: Vec<RangePred> =
+            raw_preds.iter().map(|&raw| pred(&table, raw)).collect();
+        // Only predicates inside the published QI subset are answerable by
+        // `estimate` on generalized forms; `exact` takes them all — the
+        // ones outside the catalog's covered set exercise the residual
+        // row-scan.
+        let covered_only: Vec<RangePred> = all_preds
+            .iter()
+            .filter(|p| p.attr < qi_n)
+            .cloned()
+            .collect();
+        let narrow = AggQuery { qi_preds: covered_only, sa_pred };
+        let wide = AggQuery { qi_preds: all_preds, sa_pred };
+        let empty = AggQuery { qi_preds: vec![], sa_pred };
+
+        let mut answerers: Vec<(&str, PublishedAnswerer)> = Vec::new();
+        if let Ok(p) = burel(&table, &qi, sa, &BurelConfig::new(4.0).with_seed(7)) {
+            answerers.push(("burel", PublishedAnswerer::generalized(Arc::clone(&table), &p)));
+        }
+        if let Ok(p) = sabre(&table, &qi, sa, &SabreConfig::new(0.6).with_seed(7)) {
+            answerers.push(("sabre", PublishedAnswerer::generalized(Arc::clone(&table), &p)));
+        }
+        if let Ok(model) = BetaLikeness::with_bound(4.0, BoundKind::Enhanced) {
+            let c = LikenessConstraint::new(&table, sa, model);
+            if let Ok(p) = mondrian(&table, &qi, sa, &c, &MondrianConfig::default()) {
+                answerers.push((
+                    "mondrian",
+                    PublishedAnswerer::generalized(Arc::clone(&table), &p),
+                ));
+            }
+        }
+        answerers.push(("anatomy", PublishedAnswerer::anatomy(Arc::clone(&table), sa)));
+        if let Ok(model) = BetaLikeness::new(3.0) {
+            if let Ok(published) = perturb(&table, sa, &model, 7) {
+                answerers.push((
+                    "perturb",
+                    PublishedAnswerer::perturbed(Arc::clone(&table), published),
+                ));
+            }
+        }
+        // Anatomy always publishes, so the property is never vacuous.
+        prop_assert!(!answerers.is_empty());
+
+        for (name, answerer) in &answerers {
+            prop_assert!(answerer.catalog().is_some(), "{name} built a catalog");
+            assert_paths_agree(answerer, &narrow, name);
+            assert_paths_agree(answerer, &empty, name);
+            // Generalized estimators reject predicates outside the
+            // published QI; the mixed covered+residual query still must
+            // agree on *exact* counts for every form.
+            prop_assert_eq!(
+                answerer.exact(&wide),
+                answerer.exact_scan(&wide),
+                "{} exact with residual preds",
+                name
+            );
+            if matches!(answerer.kind(), "anatomy" | "perturbed") {
+                assert_paths_agree(answerer, &wide, name);
+            }
+        }
+    }
+}

@@ -166,6 +166,58 @@ fn all_singleton_ecs_match_free_functions_bitwise() {
 }
 
 #[test]
+fn covered_and_residual_straddling_predicates() {
+    // Publish with a one-attribute QI out of three, so the EC catalog
+    // covers attrs {0, sa} only: predicates on attrs 1 and 2 must take the
+    // residual row-scan, while straddling ranges on attr 0 force the
+    // per-group paths (binary search or row scan) instead of prefix sums.
+    let table = Arc::new(random_table(&SyntheticConfig {
+        rows: 150,
+        qi_attrs: 3,
+        qi_cardinality: 6,
+        sa_cardinality: 5,
+        seed: 13,
+        ..Default::default()
+    }));
+    let sa = 3;
+    let partition = betalike::burel(
+        &table,
+        &[0],
+        sa,
+        &betalike::BurelConfig::new(4.0).with_seed(5),
+    )
+    .unwrap();
+    let answerer = PublishedAnswerer::generalized(Arc::clone(&table), &partition);
+    let catalog = answerer.catalog().expect("catalog is on by default");
+    let p = |attr, lo, hi| RangePred { attr, lo, hi };
+    for qi_preds in [
+        vec![p(0, 1, 4)],                         // covered straddle only
+        vec![p(1, 2, 5)],                         // residual only
+        vec![p(0, 1, 4), p(1, 2, 5)],             // covered + residual
+        vec![p(0, 2, 3), p(1, 0, 4), p(2, 1, 5)], // covered + two residuals
+        vec![p(0, 0, 5), p(2, 2, 2)],             // whole-domain covered + residual point
+    ] {
+        for (sa_lo, sa_hi) in [(0, 4), (1, 3), (2, 2)] {
+            let q = AggQuery {
+                qi_preds: qi_preds.clone(),
+                sa_pred: p(sa, sa_lo, sa_hi),
+            };
+            // The planner really does split this workload: whole-domain
+            // predicates land in neither part, attr 0 / the SA are
+            // covered, attrs 1 and 2 are residual.
+            let all: Vec<RangePred> = q.qi_preds.iter().cloned().chain([q.sa_pred]).collect();
+            let plan = catalog.plan(&all);
+            assert!(plan.residual.iter().all(|r| r.attr == 1 || r.attr == 2));
+            assert!(plan.covered.iter().all(|c| c.attr == 0 || c.attr == sa));
+            let exact = answerer.exact(&q);
+            assert_eq!(exact, answerer.exact_scan(&q), "query {q:?}");
+            assert_eq!(exact, exact_count(&table, &q), "query {q:?}");
+            assert_eq!(exact, catalog.count(&table, &all), "query {q:?}");
+        }
+    }
+}
+
+#[test]
 fn perturbed_empty_and_tiny_selections() {
     // qi_cardinality 4 guarantees codes ≥ 4 never occur, so a predicate
     // on them selects nothing — the reconstruction path must short-circuit

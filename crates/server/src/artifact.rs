@@ -55,6 +55,21 @@ impl Artifact {
     /// Returns a wire-level message for invalid parameters or an algorithm
     /// failure (e.g. an unsatisfiable β).
     pub fn publish(registry: &Registry, request: &PublishRequest) -> Result<Arc<Self>, String> {
+        Self::publish_opt(registry, request, true)
+    }
+
+    /// [`Artifact::publish`] with the aggregate catalog optional. A server
+    /// started with `--no-catalog` passes `false` and serves every count
+    /// through the scan path; answers are bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// As [`Artifact::publish`].
+    pub fn publish_opt(
+        registry: &Registry,
+        request: &PublishRequest,
+        catalog: bool,
+    ) -> Result<Arc<Self>, String> {
         let request = request.clone().normalized();
         let dataset = registry.dataset(&request.dataset);
         let table = Arc::clone(&dataset.table);
@@ -81,7 +96,7 @@ impl Artifact {
                 let keys = registry.hilbert_keys(&dataset, &qi);
                 let cfg = BurelConfig::new(request.beta).with_seed(request.seed);
                 let p = burel_with_keys(&table, &qi, sa, &cfg, &keys).map_err(|e| e.to_string())?;
-                let ans = PublishedAnswerer::generalized(Arc::clone(&table), &p);
+                let ans = PublishedAnswerer::generalized_opt(Arc::clone(&table), &p, catalog);
                 partition = Some(Arc::new(p));
                 ans
             }
@@ -89,7 +104,7 @@ impl Artifact {
                 let keys = registry.hilbert_keys(&dataset, &qi);
                 let cfg = SabreConfig::new(request.t).with_seed(request.seed);
                 let p = sabre_with_keys(&table, &qi, sa, &cfg, &keys).map_err(|e| e.to_string())?;
-                let ans = PublishedAnswerer::generalized(Arc::clone(&table), &p);
+                let ans = PublishedAnswerer::generalized_opt(Arc::clone(&table), &p, catalog);
                 partition = Some(Arc::new(p));
                 ans
             }
@@ -99,17 +114,17 @@ impl Artifact {
                 let c = LikenessConstraint::new(&table, sa, model);
                 let p = mondrian(&table, &qi, sa, &c, &MondrianConfig::default())
                     .map_err(|e| e.to_string())?;
-                let ans = PublishedAnswerer::generalized(Arc::clone(&table), &p);
+                let ans = PublishedAnswerer::generalized_opt(Arc::clone(&table), &p, catalog);
                 partition = Some(Arc::new(p));
                 ans
             }
-            Algo::Anatomy => PublishedAnswerer::anatomy(Arc::clone(&table), sa),
+            Algo::Anatomy => PublishedAnswerer::anatomy_opt(Arc::clone(&table), sa, catalog),
             Algo::Perturb => {
                 let model = BetaLikeness::new(request.beta).map_err(|e| e.to_string())?;
                 let published =
                     perturb(&table, sa, &model, request.seed).map_err(|e| e.to_string())?;
                 alphas = Some(published.plan.alphas().to_vec());
-                PublishedAnswerer::perturbed(Arc::clone(&table), published)
+                PublishedAnswerer::perturbed_opt(Arc::clone(&table), published, catalog)
             }
         };
         Ok(Arc::new(Artifact {

@@ -4,6 +4,7 @@
 //! betalike-serve [--addr HOST:PORT] [--threads N] [--preload SPEC]
 //!                [--data-dir DIR] [--queue N] [--read-timeout-ms MS]
 //!                [--idle-timeout-ms MS] [--request-timeout-ms MS]
+//!                [--no-catalog] [--result-cache N]
 //! ```
 //!
 //! * `--addr` defaults to `127.0.0.1:7878`; port `0` binds an ephemeral
@@ -26,11 +27,20 @@
 //!   (0 = never, the default); `--request-timeout-ms` bounds how long a
 //!   started request line may take to finish (0 = never), answering a
 //!   retryable `deadline` error on expiry. See DESIGN.md §12.
+//! * `--no-catalog` publishes and restores artifacts without aggregate
+//!   catalogs, forcing every `count` through the row-scan path — answers
+//!   are bit-identical, only slower (the A/B the `perf catalog` benchmark
+//!   measures; see DESIGN.md §13 and the README "Query performance"
+//!   quickstart).
+//! * `--result-cache` caps the per-process `count` result cache in
+//!   entries (default 1024; `0` disables it). Hits replay the stored
+//!   response byte-identically; `health` reports hit/miss/size gauges.
 //!
 //! Each timing/queue flag also reads an environment fallback when the
 //! flag is absent: `BETALIKE_READ_TIMEOUT_MS`, `BETALIKE_IDLE_TIMEOUT_MS`,
-//! `BETALIKE_REQUEST_TIMEOUT_MS`, `BETALIKE_QUEUE` — so a supervisor can
-//! retune a deployment without editing its unit files.
+//! `BETALIKE_REQUEST_TIMEOUT_MS`, `BETALIKE_QUEUE`,
+//! `BETALIKE_RESULT_CACHE` — so a supervisor can retune a deployment
+//! without editing its unit files.
 //!
 //! The process runs until a client sends `{"op":"shutdown"}`.
 
@@ -62,6 +72,7 @@ fn main() {
     let mut idle_timeout = None;
     let mut request_timeout = None;
     let mut queue = None;
+    let mut result_cache = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -90,12 +101,14 @@ fn main() {
             "--idle-timeout-ms" => idle_timeout = Some(value("--idle-timeout-ms")),
             "--request-timeout-ms" => request_timeout = Some(value("--request-timeout-ms")),
             "--queue" => queue = Some(value("--queue")),
+            "--no-catalog" => cfg.catalog = false,
+            "--result-cache" => result_cache = Some(value("--result-cache")),
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: betalike-serve [--addr HOST:PORT] [--threads N] [--preload SPEC] \
                      [--data-dir DIR] [--queue N] [--read-timeout-ms MS] [--idle-timeout-ms MS] \
-                     [--request-timeout-ms MS]"
+                     [--request-timeout-ms MS] [--no-catalog] [--result-cache N]"
                 );
                 std::process::exit(2);
             }
@@ -117,6 +130,12 @@ fn main() {
         request_timeout,
     );
     cfg.queue = numeric("--queue", "BETALIKE_QUEUE", queue) as usize;
+    // Unlike the flags above, the cache default is non-zero (`0` means
+    // *disabled*), so only an explicit flag or environment value overrides.
+    if result_cache.is_some() || std::env::var("BETALIKE_RESULT_CACHE").is_ok() {
+        cfg.result_cache =
+            numeric("--result-cache", "BETALIKE_RESULT_CACHE", result_cache) as usize;
+    }
     let handle = match serve(&cfg) {
         Ok(handle) => handle,
         Err(e) => {

@@ -42,6 +42,7 @@ pub mod artifact;
 pub mod client;
 pub mod persist;
 pub mod registry;
+pub(crate) mod result_cache;
 pub mod server;
 pub mod wire;
 

@@ -18,9 +18,41 @@ use crate::wire::{Algo, PublishRequest};
 use betalike::perturb::{PerturbationPlan, PerturbedTable};
 use betalike_metrics::Partition;
 use betalike_microdata::{Table, Value};
-use betalike_query::PublishedAnswerer;
-use betalike_store::{FormSnapshot, PubParams, PublicationSnapshot};
+use betalike_query::{CatalogSpec, GroupingSpec, PublishedAnswerer, CATALOG_VERSION};
+use betalike_store::{CatalogSnapshot, FormSnapshot, PubParams, PublicationSnapshot};
 use std::sync::Arc;
+
+/// Lowers a query-side catalog spec into its storage mirror.
+fn catalog_to_snapshot(spec: &CatalogSpec) -> CatalogSnapshot {
+    let (grouping, block_rows, perm) = match &spec.grouping {
+        GroupingSpec::Ecs => (0u8, 0u32, Vec::new()),
+        GroupingSpec::Blocks { block_rows, perm } => (1u8, *block_rows, perm.clone()),
+    };
+    CatalogSnapshot {
+        version: spec.version,
+        grouping,
+        block_rows,
+        perm,
+        covered: spec.covered.iter().map(|&a| a as u32).collect(),
+    }
+}
+
+/// Lifts a stored catalog descriptor back into the query-side spec.
+fn catalog_from_snapshot(c: &CatalogSnapshot) -> Result<CatalogSpec, String> {
+    let grouping = match c.grouping {
+        0 => GroupingSpec::Ecs,
+        1 => GroupingSpec::Blocks {
+            block_rows: c.block_rows,
+            perm: c.perm.clone(),
+        },
+        tag => return Err(format!("unknown stored catalog grouping tag {tag}")),
+    };
+    Ok(CatalogSpec {
+        version: c.version,
+        grouping,
+        covered: c.covered.iter().map(|&a| a as usize).collect(),
+    })
+}
 
 /// Captures an artifact for persistence. Forces the audit (computed at
 /// most once per artifact anyway) so restarted servers serve the stored
@@ -75,10 +107,34 @@ pub fn snapshot(artifact: &Artifact) -> PublicationSnapshot {
         table: (*artifact.dataset.table).clone(),
         form,
         audit: artifact.audit().cloned(),
+        catalog: artifact
+            .answerer
+            .catalog_spec()
+            .as_ref()
+            .map(catalog_to_snapshot),
     }
 }
 
+/// [`restore`] with the aggregate catalog optional (mirroring
+/// [`Artifact::publish_opt`]); a server running `--no-catalog` restores
+/// scan-only answerers and ignores any stored catalog descriptor.
+///
+/// # Errors
+///
+/// As [`restore`].
+pub fn restore_opt(snap: PublicationSnapshot, catalog: bool) -> Result<Arc<Artifact>, String> {
+    restore_inner(snap, catalog)
+}
+
 /// Rebuilds a serving-ready artifact from a snapshot.
+///
+/// A stored catalog descriptor whose version matches this build is honored
+/// verbatim (the stored grouping wins over a fresh derivation); a
+/// descriptor from a *different* catalog version is discarded and the
+/// default catalog is rebuilt from scratch — the rebuild-on-version-skew
+/// policy of `DESIGN.md` §13. A descriptor that is structurally invalid
+/// for this publication fails the restore (the file passed its checksums,
+/// so this is writer-side corruption, and the caller quarantines it).
 ///
 /// # Errors
 ///
@@ -88,6 +144,10 @@ pub fn snapshot(artifact: &Artifact) -> PublicationSnapshot {
 /// outside the stored schema, or a partition that does not cover the
 /// stored table.
 pub fn restore(snap: PublicationSnapshot) -> Result<Arc<Artifact>, String> {
+    restore_inner(snap, true)
+}
+
+fn restore_inner(snap: PublicationSnapshot, catalog: bool) -> Result<Arc<Artifact>, String> {
     let p = &snap.params;
     let algo = Algo::parse(&p.algo)?;
     let rows_arg = match p.dataset_name.as_str() {
@@ -143,7 +203,7 @@ pub fn restore(snap: PublicationSnapshot) -> Result<Arc<Artifact>, String> {
 
     let mut partition = None;
     let mut alphas = None;
-    let answerer = match snap.form {
+    let mut answerer = match snap.form {
         FormSnapshot::Generalized { ecs } => {
             if qi.contains(&sa) || ecs.iter().any(Vec::is_empty) {
                 return Err("stored partition is structurally invalid".into());
@@ -155,7 +215,7 @@ pub fn restore(snap: PublicationSnapshot) -> Result<Arc<Artifact>, String> {
             let part = Partition::new(qi.clone(), sa, ecs);
             part.validate_cover(table.num_rows())
                 .map_err(|e| format!("stored partition does not cover the table: {e}"))?;
-            let ans = PublishedAnswerer::generalized(Arc::clone(&table), &part);
+            let ans = PublishedAnswerer::generalized_opt(Arc::clone(&table), &part, catalog);
             partition = Some(Arc::new(part));
             ans
         }
@@ -189,10 +249,26 @@ pub fn restore(snap: PublicationSnapshot) -> Result<Arc<Artifact>, String> {
                 sa,
             };
             alphas = Some(published.plan.alphas().to_vec());
-            PublishedAnswerer::perturbed(Arc::clone(&table), published)
+            PublishedAnswerer::perturbed_opt(Arc::clone(&table), published, catalog)
         }
-        FormSnapshot::Anatomy => PublishedAnswerer::anatomy(Arc::clone(&table), sa),
+        FormSnapshot::Anatomy => PublishedAnswerer::anatomy_opt(Arc::clone(&table), sa, catalog),
     };
+
+    if catalog {
+        if let Some(stored) = &snap.catalog {
+            if stored.version == CATALOG_VERSION {
+                let spec = catalog_from_snapshot(stored)?;
+                // The constructors above already derived the default
+                // catalog; only rebuild when the stored grouping differs.
+                if answerer.catalog_spec().as_ref() != Some(&spec) {
+                    answerer
+                        .rebuild_catalog(partition.as_deref(), &spec)
+                        .map_err(|e| format!("stored catalog descriptor: {e}"))?;
+                }
+            }
+            // Version skew: keep the freshly derived default catalog.
+        }
+    }
 
     Ok(Artifact::restored(
         p.handle.clone(),

@@ -1,0 +1,239 @@
+//! A bounded LRU cache of `count` responses, keyed by the compiled query.
+//!
+//! Every artifact is content-addressed and every estimator deterministic,
+//! so a `count` response is a pure function of `(handle, predicates,
+//! SA range, exact?)` — the cache stores the *response document itself*
+//! and replays it verbatim, making a hit byte-identical to the miss that
+//! populated it. Entries are invalidated per handle whenever the handle's
+//! resident artifact could change: a fresh publish (e.g. recomputation
+//! after a quarantine) or a stored artifact being quarantined.
+//!
+//! The map is a `BTreeMap` (betalike-lint rule D1: no `HashMap` in
+//! serving crates) with a second tick-ordered index providing O(log n)
+//! least-recently-used eviction. Hit/miss/size gauges surface through the
+//! `health` op.
+
+use betalike_microdata::json::Json;
+use betalike_query::RangePred;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Result-cache capacity (entries) of [`crate::server::ServerConfig`]'s
+/// `Default` impl. `result_cache: 0` disables caching entirely.
+pub const DEFAULT_RESULT_CACHE: usize = 1024;
+
+/// Point-in-time cache gauges for the `health` op.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CacheStats {
+    /// Lookups answered from the cache since startup.
+    pub hits: u64,
+    /// Lookups that fell through to the answerer since startup.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub len: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// key → (last-use tick, cached response).
+    map: BTreeMap<String, (u64, Json)>,
+    /// last-use tick → key; the smallest tick is the LRU victim.
+    order: BTreeMap<u64, String>,
+    /// Monotone use counter; ticks are never reused.
+    tick: u64,
+}
+
+/// The cache. Capacity `0` turns every operation into a no-op.
+#[derive(Debug)]
+pub(crate) struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// The canonical cache key for one `count` request: handle, the QI
+/// predicates *in request order*, the SA range, and the exact flag. Two
+/// requests map to the same key exactly when the wire protocol guarantees
+/// them the same response document.
+pub(crate) fn cache_key(
+    handle: &str,
+    qi_preds: &[RangePred],
+    sa_lo: u32,
+    sa_hi: u32,
+    exact: bool,
+) -> String {
+    use std::fmt::Write;
+    let mut key = String::with_capacity(handle.len() + 16 + 16 * qi_preds.len());
+    key.push_str(handle);
+    key.push('|');
+    for p in qi_preds {
+        let _ = write!(key, "{}:{}-{},", p.attr, p.lo, p.hi);
+    }
+    let _ = write!(key, "|{sa_lo}-{sa_hi}|{}", u8::from(exact));
+    key
+}
+
+impl ResultCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The cached response for `key`, refreshing its recency on a hit.
+    pub(crate) fn get(&self, key: &str) -> Option<Json> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let inner = &mut *guard;
+        let Some((tick, response)) = inner.map.get_mut(key) else {
+            drop(guard);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        inner.order.remove(tick);
+        inner.tick += 1;
+        *tick = inner.tick;
+        inner.order.insert(inner.tick, key.to_string());
+        let response = response.clone();
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(response)
+    }
+
+    /// Caches `response` under `key`, evicting the least-recently-used
+    /// entry when full. Racing inserts of the same key both store the same
+    /// deterministic document, so last-writer-wins is harmless.
+    pub(crate) fn insert(&self, key: String, response: Json) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((old_tick, _)) = inner.map.get(&key) {
+            let old_tick = *old_tick;
+            inner.order.remove(&old_tick);
+        } else if inner.map.len() >= self.capacity {
+            if let Some((&victim_tick, _)) = inner.order.iter().next() {
+                if let Some(victim_key) = inner.order.remove(&victim_tick) {
+                    inner.map.remove(&victim_key);
+                }
+            }
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.order.insert(tick, key.clone());
+        inner.map.insert(key, (tick, response));
+    }
+
+    /// Drops every entry belonging to `handle`. Called when the handle's
+    /// artifact is (re)computed or its stored form is quarantined.
+    pub(crate) fn invalidate(&self, handle: &str) {
+        if self.capacity == 0 {
+            return;
+        }
+        let prefix = format!("{handle}|");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let doomed: Vec<String> = inner
+            .map
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&prefix))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in doomed {
+            if let Some((tick, _)) = inner.map.remove(&key) {
+                inner.order.remove(&tick);
+            }
+        }
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        let len = {
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.map.len()
+        };
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(n: f64) -> Json {
+        Json::Obj(vec![("estimate".into(), Json::Num(n))])
+    }
+
+    #[test]
+    fn hit_replays_the_stored_document_verbatim() {
+        let cache = ResultCache::new(8);
+        let key = cache_key("pub-a", &[], 0, 3, false);
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), doc(41.0));
+        let hit = cache.get(&key).expect("hit");
+        assert_eq!(hit.compact(), doc(41.0).compact());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn keys_distinguish_preds_order_range_and_exact() {
+        let p = |attr, lo, hi| RangePred { attr, lo, hi };
+        let base = cache_key("pub-a", &[p(0, 1, 2), p(1, 3, 4)], 0, 5, false);
+        for other in [
+            cache_key("pub-b", &[p(0, 1, 2), p(1, 3, 4)], 0, 5, false),
+            cache_key("pub-a", &[p(1, 3, 4), p(0, 1, 2)], 0, 5, false),
+            cache_key("pub-a", &[p(0, 1, 2), p(1, 3, 4)], 0, 6, false),
+            cache_key("pub-a", &[p(0, 1, 2), p(1, 3, 4)], 0, 5, true),
+            cache_key("pub-a", &[p(0, 1, 2)], 0, 5, false),
+        ] {
+            assert_ne!(base, other);
+        }
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used() {
+        let cache = ResultCache::new(2);
+        cache.insert("a|x".into(), doc(1.0));
+        cache.insert("b|y".into(), doc(2.0));
+        assert!(cache.get("a|x").is_some()); // refresh `a|x`; `b|y` is now LRU
+        cache.insert("c|z".into(), doc(3.0));
+        assert!(cache.get("b|y").is_none(), "LRU entry evicted");
+        assert!(cache.get("a|x").is_some());
+        assert!(cache.get("c|z").is_some());
+        assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn invalidation_is_per_handle() {
+        let cache = ResultCache::new(8);
+        cache.insert(cache_key("pub-a", &[], 0, 1, false), doc(1.0));
+        cache.insert(cache_key("pub-a", &[], 0, 2, false), doc(2.0));
+        cache.insert(cache_key("pub-b", &[], 0, 1, false), doc(3.0));
+        cache.invalidate("pub-a");
+        assert!(cache.get(&cache_key("pub-a", &[], 0, 1, false)).is_none());
+        assert!(cache.get(&cache_key("pub-a", &[], 0, 2, false)).is_none());
+        assert!(cache.get(&cache_key("pub-b", &[], 0, 1, false)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_everything() {
+        let cache = ResultCache::new(0);
+        cache.insert("a|x".into(), doc(1.0));
+        assert!(cache.get("a|x").is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (0, 0, 0));
+    }
+}

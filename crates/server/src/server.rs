@@ -35,6 +35,7 @@
 
 use crate::artifact::Artifact;
 use crate::registry::{DatasetSpec, Registry};
+use crate::result_cache::{cache_key, ResultCache, DEFAULT_RESULT_CACHE};
 use crate::wire::{
     error_response, ok_response, retryable_error, CountRequest, PublishRequest, ERR_DEADLINE,
     ERR_DEGRADED, ERR_OVERLOADED,
@@ -109,6 +110,16 @@ pub struct ServerConfig {
     /// [`betalike_faults::ChaosVfs`] here lets tests drive the server into
     /// degraded mode deterministically.
     pub vfs: Option<Arc<dyn Vfs>>,
+    /// Whether published artifacts carry an aggregate catalog
+    /// (`betalike_query::Catalog`) so `count` resolves from per-group
+    /// summaries instead of row scans. Answers are bit-identical either
+    /// way (the `--no-catalog` flag sets this `false` for A/B timing).
+    pub catalog: bool,
+    /// Capacity (entries) of the per-process `count` result cache; `0`
+    /// disables it. A hit replays the stored response document, so hit
+    /// and miss responses are byte-identical. Entries are invalidated per
+    /// handle on fresh publishes and quarantines.
+    pub result_cache: usize,
 }
 
 impl Default for ServerConfig {
@@ -123,6 +134,8 @@ impl Default for ServerConfig {
             request_timeout_ms: 0,
             queue: 0,
             vfs: None,
+            catalog: true,
+            result_cache: DEFAULT_RESULT_CACHE,
         }
     }
 }
@@ -151,6 +164,10 @@ pub(crate) struct State {
     read_timeout_ms: u64,
     idle_timeout_ms: u64,
     request_timeout_ms: u64,
+    /// Whether publishes/restores derive aggregate catalogs.
+    catalog: bool,
+    /// The `count` result cache (capacity 0 = disabled).
+    results: ResultCache,
 }
 
 /// A running server: its bound address plus the thread handles needed to
@@ -240,6 +257,8 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
         read_timeout_ms: cfg.read_timeout_ms,
         idle_timeout_ms: cfg.idle_timeout_ms,
         request_timeout_ms: cfg.request_timeout_ms,
+        catalog: cfg.catalog,
+        results: ResultCache::new(cfg.result_cache),
     });
     if let Some(spec) = &cfg.preload {
         state.registry.dataset(spec);
@@ -525,8 +544,9 @@ fn dispatch(state: &Arc<State>, op: &str, doc: &Json) -> Result<Json, String> {
 /// The `health` op: liveness plus the overload and durability gauges —
 /// queue depth and capacity, connections shed, resident artifacts, store
 /// status (`none` / `ok` / `degraded`) and its consecutive write-failure
-/// count, and the effective timeout settings. Never touches an artifact,
-/// so it stays cheap under load.
+/// count, the effective timeout settings, whether catalogs are enabled,
+/// and the result-cache gauges (capacity/size/hits/misses). Never touches
+/// an artifact, so it stays cheap under load.
 fn health(state: &Arc<State>) -> Json {
     let store_degraded = state.store.as_ref().is_some_and(ArtifactStore::degraded);
     let status = if store_degraded { "degraded" } else { "ok" };
@@ -565,7 +585,24 @@ fn health(state: &Arc<State>) -> Json {
             "request_timeout_ms".to_string(),
             Json::Num(state.request_timeout_ms as f64),
         ),
+        ("catalog".to_string(), Json::Bool(state.catalog)),
     ];
+    let cache = state.results.stats();
+    members.extend([
+        (
+            "result_cache_capacity".to_string(),
+            Json::Num(state.results.capacity() as f64),
+        ),
+        ("result_cache_size".to_string(), Json::Num(cache.len as f64)),
+        (
+            "result_cache_hits".to_string(),
+            Json::Num(cache.hits as f64),
+        ),
+        (
+            "result_cache_misses".to_string(),
+            Json::Num(cache.misses as f64),
+        ),
+    ]);
     match &state.store {
         None => members.push(("store".to_string(), Json::Str("none".into()))),
         Some(store) => {
@@ -624,9 +661,12 @@ fn publish(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
     let mut fresh = false;
     let artifact = state.artifacts.get_or_init(&handle, || {
         fresh = true;
-        Artifact::publish(&state.registry, &request)
+        Artifact::publish_opt(&state.registry, &request, state.catalog)
     })?;
     if fresh {
+        // A fresh compute may follow a quarantine of the same handle:
+        // cached count responses for the old artifact must not survive it.
+        state.results.invalidate(&handle);
         persist(state, &artifact);
     }
     Ok(publish_ack(state, &request, handle, &artifact, fresh))
@@ -659,9 +699,10 @@ fn publish_with_deadline(
                 let mut fresh = false;
                 let computed = state.artifacts.get_or_init(&handle, || {
                     fresh = true;
-                    Artifact::publish(&state.registry, &request)
+                    Artifact::publish_opt(&state.registry, &request, state.catalog)
                 });
                 if fresh {
+                    state.results.invalidate(&handle);
                     if let Ok(artifact) = &computed {
                         persist(&state, artifact);
                     }
@@ -787,6 +828,20 @@ fn count(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
     let request = CountRequest::from_json(doc)?;
     let artifact = lookup(state, &request.handle)?;
     validate_preds(&artifact, &request)?;
+    // Deterministic artifact + deterministic estimators ⇒ the response is
+    // a pure function of the key; a cache hit replays the exact document
+    // a miss would compute (byte-identical on the wire). Errors are never
+    // cached — only responses that reached `ok_response`.
+    let key = cache_key(
+        &artifact.handle,
+        &request.qi_preds,
+        request.sa_lo,
+        request.sa_hi,
+        request.exact,
+    );
+    if let Some(cached) = state.results.get(&key) {
+        return Ok(cached);
+    }
     let query = AggQuery {
         qi_preds: request.qi_preds.clone(),
         sa_pred: RangePred {
@@ -806,7 +861,9 @@ fn count(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
             Json::Num(artifact.answerer.exact(&query) as f64),
         ));
     }
-    Ok(ok_response(members))
+    let response = ok_response(members);
+    state.results.insert(key, response.clone());
+    Ok(response)
 }
 
 fn lookup(state: &Arc<State>, handle: &str) -> Result<Arc<Artifact>, String> {
@@ -836,7 +893,7 @@ fn resident_or_stored(state: &Arc<State>, handle: &str) -> Result<Option<Arc<Art
     };
     match store.load(handle) {
         Ok(None) => Ok(None),
-        Ok(Some(snap)) => match crate::persist::restore(snap) {
+        Ok(Some(snap)) => match crate::persist::restore_opt(snap, state.catalog) {
             Ok(restored) => {
                 // Racing loaders resolve to one inserted artifact.
                 let artifact = state.artifacts.get_or_init(handle, || Ok(restored))?;
@@ -844,6 +901,7 @@ fn resident_or_stored(state: &Arc<State>, handle: &str) -> Result<Option<Arc<Art
             }
             Err(e) => {
                 let _ = store.quarantine(handle);
+                state.results.invalidate(handle);
                 eprintln!(
                     "betalike-serve: stored artifact `{handle}` failed to restore ({e}); quarantined"
                 );
@@ -864,6 +922,7 @@ fn resident_or_stored(state: &Arc<State>, handle: &str) -> Result<Option<Arc<Art
         // version skew) are permanent for this file: quarantine it.
         Err(e) => {
             let _ = store.quarantine(handle);
+            state.results.invalidate(handle);
             eprintln!("betalike-serve: stored artifact `{handle}` is corrupt ({e}); quarantined");
             Err(format!(
                 "stored artifact `{handle}` was corrupt and has been quarantined; republish to recompute"

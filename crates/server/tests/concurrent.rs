@@ -215,6 +215,60 @@ fn audit_and_every_algo_roundtrip() {
 }
 
 #[test]
+fn result_cache_and_no_catalog_are_byte_transparent() {
+    // Server A: defaults (catalogs on, result cache on). Server B: the
+    // `--no-catalog --result-cache 0` configuration. The same workload
+    // must read back byte-identical response lines from both servers —
+    // and from a replay on A, where every line is a cache hit.
+    let server_a = start();
+    let server_b = serve(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        catalog: false,
+        result_cache: 0,
+        ..Default::default()
+    })
+    .expect("bind an ephemeral port");
+
+    let mut a = Client::connect(server_a.addr()).unwrap();
+    let mut b = Client::connect(server_b.addr()).unwrap();
+    let handle = a.publish(&census_request(Algo::Burel)).unwrap().handle;
+    assert_eq!(
+        b.publish(&census_request(Algo::Burel)).unwrap().handle,
+        handle
+    );
+
+    let lines = workload_lines(&handle);
+    let first: Vec<String> = lines.iter().map(|l| a.call_raw(l).unwrap()).collect();
+    let replay: Vec<String> = lines.iter().map(|l| a.call_raw(l).unwrap()).collect();
+    let scan: Vec<String> = lines.iter().map(|l| b.call_raw(l).unwrap()).collect();
+    assert_eq!(first, replay, "cache hits must replay the miss bytes");
+    assert_eq!(first, scan, "scan-only answers must match the catalog path");
+
+    let health_a = a.health().unwrap();
+    assert_eq!(health_a.get("catalog").unwrap().as_bool(), Some(true));
+    let hits = health_a.get("result_cache_hits").unwrap().as_u64().unwrap();
+    assert!(
+        hits >= lines.len() as u64,
+        "replay hits recorded, got {hits}"
+    );
+    assert!(health_a.get("result_cache_size").unwrap().as_u64().unwrap() > 0);
+    let health_b = b.health().unwrap();
+    assert_eq!(health_b.get("catalog").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        health_b
+            .get("result_cache_capacity")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        0
+    );
+
+    server_a.shutdown_and_join();
+    server_b.shutdown_and_join();
+}
+
+#[test]
 fn wire_errors_are_reported_not_fatal() {
     let server = start();
     let mut client = Client::connect(server.addr()).unwrap();

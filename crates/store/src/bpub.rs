@@ -18,6 +18,9 @@
 //!                            support/priors/caps/gammas/alphas
 //!             2 anatomy:     (nothing — the histogram is derived)
 //! "audit"   presence flag + the ten `PartitionAudit` fields, raw bits
+//! "catalog" (optional) aggregate-catalog descriptor: catalog version,
+//!           grouping tag (0 ECs / 1 blocks), block size, the block row
+//!           permutation, and the covered attribute list
 //! "end"     (empty payload — truncation guard)
 //! ```
 //!
@@ -28,6 +31,15 @@
 //! the stored state by the same deterministic code that built them at
 //! publish time — which is exactly why a restored artifact answers
 //! bit-identically.
+//!
+//! The `catalog` section follows the same philosophy: only the grouping
+//! *descriptor* is stored; extents, sorted codes, posting lists and prefix
+//! sums are rebuilt deterministically. Files written before the section
+//! existed simply lack it, and readers rebuild the default catalog;
+//! readers seeing a catalog *version* they do not derive also rebuild
+//! (rebuild-on-version-skew, `DESIGN.md` §13), whereas a structurally
+//! invalid descriptor in a checksum-clean file is a writer bug and fails
+//! the load.
 
 use crate::codec::{read_prologue, write_prologue, Section, SectionWriter};
 use crate::error::{Result, StoreError};
@@ -121,6 +133,25 @@ impl FormSnapshot {
     }
 }
 
+/// The stored descriptor of a publication's aggregate catalog (the
+/// storage-side mirror of `betalike-query`'s `CatalogSpec`, kept free of
+/// query types). Everything heavy is rebuilt deterministically from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogSnapshot {
+    /// The catalog derivation version the writer used. Readers deriving a
+    /// different version discard the snapshot and rebuild from scratch.
+    pub version: u32,
+    /// Grouping tag: `0` = one group per equivalence class, `1` = blocks
+    /// of a row permutation.
+    pub grouping: u8,
+    /// Rows per block (tag `1`; `0` otherwise).
+    pub block_rows: u32,
+    /// The block row permutation (tag `1`; empty otherwise).
+    pub perm: Vec<u32>,
+    /// The covered attribute indices, in extent order.
+    pub covered: Vec<u32>,
+}
+
 /// One publication, fully decoded: parameters, source table, form state
 /// and the publish-time audit.
 #[derive(Debug, Clone)]
@@ -134,6 +165,9 @@ pub struct PublicationSnapshot {
     /// The privacy audit computed at publish time (`None` for forms
     /// without equivalence classes).
     pub audit: Option<PartitionAudit>,
+    /// The aggregate-catalog descriptor (`None` in files written before
+    /// the section existed, or when the writer served without a catalog).
+    pub catalog: Option<CatalogSnapshot>,
 }
 
 fn write_params(p: &PubParams, w: &mut impl Write) -> Result<()> {
@@ -364,6 +398,75 @@ fn read_audit(r: &mut impl BufRead) -> Result<Option<PartitionAudit>> {
     Ok(audit)
 }
 
+fn write_catalog(c: &CatalogSnapshot, rows: usize, w: &mut impl Write) -> Result<()> {
+    match c.grouping {
+        0 => {
+            if c.block_rows != 0 || !c.perm.is_empty() {
+                return Err(StoreError::malformed(
+                    "catalog",
+                    "EC-grouped catalog carries block state",
+                ));
+            }
+        }
+        1 => {
+            if c.block_rows == 0 {
+                return Err(StoreError::malformed(
+                    "catalog",
+                    "block-grouped catalog with zero block size",
+                ));
+            }
+            if c.perm.len() != rows {
+                return Err(StoreError::malformed(
+                    "catalog",
+                    "catalog permutation is not row-aligned with the table",
+                ));
+            }
+        }
+        tag => {
+            return Err(StoreError::malformed(
+                "catalog",
+                format!("unknown catalog grouping tag {tag}"),
+            ))
+        }
+    }
+    let mut s = SectionWriter::new("catalog");
+    s.u32(c.version);
+    s.u8(c.grouping);
+    s.u32(c.block_rows);
+    s.u32(c.perm.len() as u32);
+    for &r in &c.perm {
+        s.u32(r);
+    }
+    s.u32(c.covered.len() as u32);
+    for &a in &c.covered {
+        s.u32(a);
+    }
+    s.finish(w)
+}
+
+fn decode_catalog(s: &mut Section) -> Result<CatalogSnapshot> {
+    let version = s.u32()?;
+    let grouping = s.u8()?;
+    let block_rows = s.u32()?;
+    let n = s.u32()? as usize;
+    let mut perm = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        perm.push(s.u32()?);
+    }
+    let k = s.u32()? as usize;
+    let mut covered = Vec::with_capacity(k.min(1 << 16));
+    for _ in 0..k {
+        covered.push(s.u32()?);
+    }
+    Ok(CatalogSnapshot {
+        version,
+        grouping,
+        block_rows,
+        perm,
+        covered,
+    })
+}
+
 /// Writes a publication as a complete BPUB document.
 ///
 /// # Errors
@@ -378,6 +481,9 @@ pub fn write_publication<W: Write>(snap: &PublicationSnapshot, w: &mut W) -> Res
     table.finish(w)?;
     write_form(&snap.form, snap.table.num_rows(), w)?;
     write_audit(&snap.audit, w)?;
+    if let Some(c) = &snap.catalog {
+        write_catalog(c, snap.table.num_rows(), w)?;
+    }
     SectionWriter::new("end").finish(w)?;
     Ok(())
 }
@@ -397,12 +503,31 @@ pub fn read_publication<R: BufRead>(r: &mut R) -> Result<PublicationSnapshot> {
     let table = crate::btbl::table_from_slice(&nested)?;
     let form = read_form(r)?;
     let audit = read_audit(r)?;
-    Section::expect(r, "end")?.finish()?;
+    // The catalog section is optional: files written before it existed go
+    // straight to "end".
+    let mut next = Section::read(r)?;
+    let catalog = match next.name() {
+        "catalog" => {
+            let c = decode_catalog(&mut next)?;
+            next.finish()?;
+            next = Section::read(r)?;
+            Some(c)
+        }
+        _ => None,
+    };
+    if next.name() != "end" {
+        return Err(StoreError::malformed(
+            "end",
+            format!("expected section `end`, found `{}`", next.name()),
+        ));
+    }
+    next.finish()?;
     Ok(PublicationSnapshot {
         params,
         table,
         form,
         audit,
+        catalog,
     })
 }
 
@@ -467,6 +592,7 @@ mod tests {
             params: sample_params(),
             table,
             form,
+            catalog: None,
             audit: Some(PartitionAudit {
                 max_beta: 0.1 + 0.2, // deliberately non-representable exactly
                 avg_beta: 1.5,
@@ -531,6 +657,87 @@ mod tests {
             publication_to_vec(&snap),
             Err(StoreError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn catalog_section_roundtrips_and_is_optional() {
+        // EC-grouped descriptor.
+        let mut snap = sample_snapshot(FormSnapshot::Generalized {
+            ecs: (0..8u32).map(|i| (i * 5..(i + 1) * 5).collect()).collect(),
+        });
+        snap.catalog = Some(CatalogSnapshot {
+            version: 1,
+            grouping: 0,
+            block_rows: 0,
+            perm: vec![],
+            covered: vec![0, 1, 2],
+        });
+        let back = publication_from_slice(&publication_to_vec(&snap).unwrap()).unwrap();
+        assert_eq!(back.catalog, snap.catalog);
+        // Block-grouped descriptor with a full permutation.
+        let mut blocks = sample_snapshot(FormSnapshot::Anatomy);
+        blocks.audit = None;
+        blocks.catalog = Some(CatalogSnapshot {
+            version: 1,
+            grouping: 1,
+            block_rows: 16,
+            perm: (0..40u32).rev().collect(),
+            covered: vec![0, 1, 2],
+        });
+        let back = publication_from_slice(&publication_to_vec(&blocks).unwrap()).unwrap();
+        assert_eq!(back.catalog, blocks.catalog);
+        // Absent catalog (the pre-section layout) still round-trips.
+        blocks.catalog = None;
+        let back = publication_from_slice(&publication_to_vec(&blocks).unwrap()).unwrap();
+        assert_eq!(back.catalog, None);
+    }
+
+    #[test]
+    fn inconsistent_catalogs_fail_on_write() {
+        let base = || sample_snapshot(FormSnapshot::Anatomy);
+        // Row-misaligned permutation.
+        let mut snap = base();
+        snap.catalog = Some(CatalogSnapshot {
+            version: 1,
+            grouping: 1,
+            block_rows: 16,
+            perm: vec![0, 1, 2],
+            covered: vec![0, 1, 2],
+        });
+        assert!(matches!(
+            publication_to_vec(&snap),
+            Err(StoreError::Malformed { .. })
+        ));
+        // Zero block size.
+        let mut snap = base();
+        snap.catalog = Some(CatalogSnapshot {
+            version: 1,
+            grouping: 1,
+            block_rows: 0,
+            perm: (0..40).collect(),
+            covered: vec![0],
+        });
+        assert!(publication_to_vec(&snap).is_err());
+        // EC grouping carrying block state.
+        let mut snap = base();
+        snap.catalog = Some(CatalogSnapshot {
+            version: 1,
+            grouping: 0,
+            block_rows: 8,
+            perm: vec![],
+            covered: vec![0],
+        });
+        assert!(publication_to_vec(&snap).is_err());
+        // Unknown grouping tag.
+        let mut snap = base();
+        snap.catalog = Some(CatalogSnapshot {
+            version: 1,
+            grouping: 9,
+            block_rows: 0,
+            perm: vec![],
+            covered: vec![0],
+        });
+        assert!(publication_to_vec(&snap).is_err());
     }
 
     #[test]

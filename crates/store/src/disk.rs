@@ -729,6 +729,7 @@ mod tests {
             table,
             form: FormSnapshot::Anatomy,
             audit: None,
+            catalog: None,
         }
     }
 

@@ -46,7 +46,8 @@ pub mod disk;
 pub mod error;
 
 pub use bpub::{
-    publication_from_slice, publication_to_vec, FormSnapshot, PubParams, PublicationSnapshot,
+    publication_from_slice, publication_to_vec, CatalogSnapshot, FormSnapshot, PubParams,
+    PublicationSnapshot,
 };
 pub use btbl::{table_from_slice, table_to_vec};
 pub use disk::{ArtifactStore, StoreEntry};

@@ -49,6 +49,7 @@ fn snapshot(handle: &str) -> PublicationSnapshot {
         table,
         form: FormSnapshot::Anatomy,
         audit: None,
+        catalog: None,
     }
 }
 

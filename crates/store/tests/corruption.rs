@@ -53,6 +53,7 @@ fn snapshot() -> PublicationSnapshot {
                 .collect(),
         },
         audit: None,
+        catalog: None,
     }
 }
 

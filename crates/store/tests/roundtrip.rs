@@ -92,6 +92,7 @@ proptest! {
                     .collect(),
             },
             audit: Some(audit.clone()),
+            catalog: None,
         };
         let back = publication_from_slice(&publication_to_vec(&snap).unwrap()).unwrap();
         prop_assert_eq!(&back.table, &table);
@@ -133,6 +134,7 @@ proptest! {
                 alphas: plan.alphas().to_vec(),
             },
             audit: None,
+            catalog: None,
         };
         let back = publication_from_slice(&publication_to_vec(&snap).unwrap()).unwrap();
         let FormSnapshot::Perturbed { sa_column, alphas, priors, .. } = &back.form else {
