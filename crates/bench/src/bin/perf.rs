@@ -48,6 +48,15 @@
 //! plus an end-to-end comparison of two servers (one `--no-catalog`)
 //! replaying the same count workload over TCP.
 //!
+//! Since PR 8 the serve section also records client-observed latency
+//! quantiles (`p50_ms`/`p99_ms`/`p999_ms`, from a log-bucketed
+//! `betalike_obs::Histogram` shared across the client threads) — the
+//! single-client `qps` field is kept for trajectory continuity but
+//! deprecated in favour of them — and an `obs` section measures the
+//! cost of observability itself: the same warm count workload against
+//! two in-process servers, timings on vs `obs: false`, with the
+//! fractional overhead asserted ≤ 5% by the schema checker.
+//!
 //! ```text
 //! cargo run --release -p betalike-bench --bin perf -- --rows 200000
 //! cargo run --release -p betalike-bench --bin perf -- smoke --out perf-smoke.json
@@ -70,7 +79,7 @@
 //!   before uploading it.
 //!
 //! `--rows N` replaces the default 10k/50k/200k grid with the single size
-//! N; `--out FILE` overrides the default `BENCH_7.json`.
+//! N; `--out FILE` overrides the default `BENCH_8.json`.
 
 use betalike::bucketize::dp_partition;
 use betalike::burel::rows_per_bucket;
@@ -116,7 +125,7 @@ fn main() {
         .extra
         .get("out")
         .cloned()
-        .unwrap_or_else(|| "BENCH_7.json".into());
+        .unwrap_or_else(|| "BENCH_8.json".into());
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     // On a single-core host 4 threads still exercise the pool (and honestly
     // record the oversubscription cost); on real hardware N = all cores.
@@ -163,8 +172,8 @@ fn main() {
     let serve = measure_serve(serve_rows, serve_queries, &[1, parallel_threads]);
     print_serve(&serve);
 
-    let (store, verify, faults, catalog) = if serve_only {
-        (Vec::new(), Vec::new(), None, None)
+    let (store, verify, faults, catalog, obs) = if serve_only {
+        (Vec::new(), Vec::new(), None, None, None)
     } else {
         let store = measure_store(&row_grid, iters);
         print_store(&store);
@@ -191,7 +200,17 @@ fn main() {
             catalog_serve_queries,
         );
         print_catalog(&catalog);
-        (store, verify, Some(faults), Some(catalog))
+        // Even the smoke pass replays a decent workload: the overhead is
+        // a ratio of two ~millisecond measurements, so a small numerator
+        // would be noise-dominated against the 5% budget.
+        let (obs_rows, obs_queries, obs_passes) = if smoke {
+            (2_000, 400, 5)
+        } else {
+            (10_000, 400, 5)
+        };
+        let obs = measure_obs_overhead(obs_rows, obs_queries, obs_passes);
+        print_obs_overhead(&obs);
+        (store, verify, Some(faults), Some(catalog), Some(obs))
     };
 
     if serve_only && !explicit_out {
@@ -207,6 +226,7 @@ fn main() {
         &verify,
         faults.as_ref(),
         catalog.as_ref(),
+        obs.as_ref(),
         cpus,
         parallel_threads,
         iters,
@@ -314,6 +334,19 @@ fn check_schema(doc: &Json) -> Result<String, String> {
         let qps = num(c, "qps").map_err(ctx)?;
         if !qps.is_finite() || qps <= 0.0 {
             return Err(format!("serve.clients[{i}]: qps = {qps} is not > 0"));
+        }
+        // Latency quantiles exist from PR 8 on (`qps` is kept but
+        // deprecated); earlier committed trajectory files must validate.
+        if pr >= 8.0 {
+            let p50 = num(c, "p50_ms").map_err(ctx)?;
+            let p99 = num(c, "p99_ms").map_err(ctx)?;
+            let p999 = num(c, "p999_ms").map_err(ctx)?;
+            if !p50.is_finite() || p50 <= 0.0 || p50 > p99 || p99 > p999 {
+                return Err(format!(
+                    "serve.clients[{i}]: p50_ms = {p50} / p99_ms = {p99} / p999_ms = {p999} \
+                     are not ordered positive latencies"
+                ));
+            }
         }
     }
     // The `store` section exists from PR 4 on; earlier committed
@@ -493,6 +526,32 @@ fn check_schema(doc: &Json) -> Result<String, String> {
             }
         }
     }
+    // The `obs` overhead section exists from PR 8 on; earlier committed
+    // trajectory files (BENCH_2..7) must still validate, and a serve-only
+    // document (empty measurements) may skip the measurement.
+    match doc.get("obs") {
+        Some(obs) => {
+            for key in ["rows", "queries", "passes"] {
+                num(obs, key).map_err(|e| format!("obs: {e}"))?;
+            }
+            for key in ["on_secs", "off_secs"] {
+                let v = num(obs, key).map_err(|e| format!("obs: {e}"))?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!("obs: {key} = {v} is not > 0"));
+                }
+            }
+            let frac = num(obs, "overhead_frac").map_err(|e| format!("obs: {e}"))?;
+            // The observability contract itself: timings must cost less
+            // than 5% of the serving path (DESIGN.md §14).
+            if !frac.is_finite() || !(0.0..=0.05).contains(&frac) {
+                return Err(format!(
+                    "obs: overhead_frac = {frac} is outside the 5% observability budget"
+                ));
+            }
+        }
+        None if pr < 8.0 || measurements.is_empty() => {}
+        None => return Err("missing object `obs` (required from pr 8 on)".into()),
+    }
     Ok(format!(
         "{} stage measurements, {} serve points, {} store points, {} verify points, \
          {} overload points, {} catalog points",
@@ -592,7 +651,15 @@ struct ServePoint {
     clients: usize,
     total_queries: usize,
     secs: f64,
+    /// Aggregate throughput. Deprecated since PR 8 (a single-client rate
+    /// says little once latency quantiles are recorded); kept so older
+    /// trajectory tooling keeps parsing the document.
     qps: f64,
+    /// Client-observed per-request latency quantiles, merged across all
+    /// client threads through one log-bucketed obs histogram.
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
 }
 
 /// The serve-throughput section of the trajectory document.
@@ -659,16 +726,23 @@ fn measure_serve(rows: usize, num_queries: usize, client_counts: &[usize]) -> Se
 
     let mut points = Vec::new();
     for &clients in client_counts {
+        // One histogram shared by every client thread: atomic buckets, so
+        // recording from N threads needs no locking and the quantiles are
+        // the merged client-observed distribution.
+        let latency = betalike_obs::Histogram::new();
         let (_, elapsed) = betalike_bench::time_it(|| {
             // betalike-lint: allow(D3, reason = "perf harness simulates N independent TCP clients; the worker pool cannot model separate connections")
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..clients)
                     .map(|_| {
                         let lines = &lines;
+                        let latency = &latency;
                         s.spawn(move || {
                             let mut client = Client::connect(addr).expect("connect");
                             for line in lines {
+                                let t0 = std::time::Instant::now();
                                 let response = client.call_raw(line).expect("count");
+                                latency.record(t0.elapsed().as_nanos() as u64);
                                 assert!(
                                     response.contains("\"ok\":true"),
                                     "served error during perf: {response}"
@@ -684,11 +758,15 @@ fn measure_serve(rows: usize, num_queries: usize, client_counts: &[usize]) -> Se
         });
         let total = clients * lines.len();
         let secs = elapsed.as_secs_f64();
+        let (p50, p99, p999) = latency.snapshot().p50_p99_p999();
         points.push(ServePoint {
             clients,
             total_queries: total,
             secs,
             qps: total as f64 / secs.max(1e-12),
+            p50_ms: p50 as f64 / 1e6,
+            p99_ms: p99 as f64 / 1e6,
+            p999_ms: p999 as f64 / 1e6,
         });
     }
     server.shutdown_and_join();
@@ -696,6 +774,123 @@ fn measure_serve(rows: usize, num_queries: usize, client_counts: &[usize]) -> Se
         dataset_rows: rows,
         workload_queries: num_queries,
         points,
+    }
+}
+
+/// The `obs` section: what request timing itself costs. Criterion for the
+/// whole observability layer — DESIGN.md §14 promises that per-request
+/// timings stay under 5% of the serving path, and the schema checker
+/// holds every emitted document to it.
+struct ObsOverhead {
+    rows: usize,
+    queries: usize,
+    passes: usize,
+    /// Best-pass wall clock replaying the workload with timings on.
+    on_secs: f64,
+    /// Best-pass wall clock against an `obs: false` server.
+    off_secs: f64,
+    /// `max(0, (on - off) / off)` over the best passes.
+    overhead_frac: f64,
+}
+
+/// Replays one warm count workload against two in-process servers — one
+/// with request timings, one `obs: false` — and reports the fractional
+/// wall-clock cost of the timed path. Both servers run with the result
+/// cache disabled so every request pays the full lookup + catalog answer
+/// (a cache-hit replay would shrink the denominator and overstate the
+/// overhead), and each gets one untimed warm-up replay first. Passes
+/// alternate on/off and the best pass per server is compared, so a
+/// background hiccup lands on one pass, not one server.
+fn measure_obs_overhead(rows: usize, num_queries: usize, passes: usize) -> ObsOverhead {
+    use betalike_server::{
+        serve, Algo, Client, CountRequest, DatasetSpec, PublishRequest, ServerConfig,
+    };
+
+    let setup = |obs: bool| {
+        let server = serve(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            result_cache: 0,
+            obs,
+            ..Default::default()
+        })
+        .expect("bind an ephemeral port");
+        let addr = server.addr();
+        let spec = DatasetSpec::Census { rows, seed: 42 };
+        let handle = {
+            let mut client = Client::connect(addr).expect("connect");
+            client
+                .publish(&PublishRequest::new(spec, Algo::Burel))
+                .expect("publish")
+                .handle
+        };
+        (server, addr, handle)
+    };
+    let (server_on, addr_on, handle_on) = setup(true);
+    let (server_off, addr_off, handle_off) = setup(false);
+
+    let table = census::generate(&CensusConfig::new(rows, 42));
+    let workload = betalike_query::generate_workload(
+        &table,
+        &betalike_query::WorkloadConfig {
+            qi_pool: (0..3).collect(),
+            sa: SA,
+            lambda: 2,
+            theta: 0.1,
+            num_queries,
+            seed: 7,
+        },
+    );
+    let lines_for = |handle: &str| -> Vec<String> {
+        workload
+            .iter()
+            .map(|q| {
+                CountRequest {
+                    handle: handle.to_string(),
+                    qi_preds: q.qi_preds.clone(),
+                    sa_lo: q.sa_pred.lo,
+                    sa_hi: q.sa_pred.hi,
+                    exact: false,
+                }
+                .to_json()
+                .compact()
+            })
+            .collect()
+    };
+    let lines_on = lines_for(&handle_on);
+    let lines_off = lines_for(&handle_off);
+
+    let mut client_on = Client::connect(addr_on).expect("connect");
+    let mut client_off = Client::connect(addr_off).expect("connect");
+    let replay = |client: &mut Client, lines: &[String]| {
+        for line in lines {
+            let response = client.call_raw(line).expect("count");
+            assert!(
+                response.contains("\"ok\":true"),
+                "served error during obs overhead run: {response}"
+            );
+        }
+    };
+    // Warm-up: fault in the artifact and JIT-warm both connections.
+    replay(&mut client_on, &lines_on);
+    replay(&mut client_off, &lines_off);
+
+    let (mut on_secs, mut off_secs) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..passes {
+        let (_, on) = time_it(|| replay(&mut client_on, &lines_on));
+        let (_, off) = time_it(|| replay(&mut client_off, &lines_off));
+        on_secs = on_secs.min(on.as_secs_f64());
+        off_secs = off_secs.min(off.as_secs_f64());
+    }
+    server_on.shutdown_and_join();
+    server_off.shutdown_and_join();
+    ObsOverhead {
+        rows,
+        queries: num_queries,
+        passes,
+        on_secs,
+        off_secs,
+        overhead_frac: ((on_secs - off_secs) / off_secs.max(1e-12)).max(0.0),
     }
 }
 
@@ -1393,10 +1588,39 @@ fn print_serve(serve: &ServeMeasurement) {
                 p.total_queries.to_string(),
                 secs(Duration::from_secs_f64(p.secs)),
                 format!("{:.0}", p.qps),
+                format!("{:.3}", p.p50_ms),
+                format!("{:.3}", p.p99_ms),
+                format!("{:.3}", p.p999_ms),
             ]
         })
         .collect();
-    print_table(&["clients", "queries", "secs", "queries/sec"], &rows);
+    print_table(
+        &[
+            "clients",
+            "queries",
+            "secs",
+            "queries/sec",
+            "p50 ms",
+            "p99 ms",
+            "p99.9 ms",
+        ],
+        &rows,
+    );
+    println!();
+}
+
+/// Prints the observability-overhead comparison.
+fn print_obs_overhead(obs: &ObsOverhead) {
+    println!(
+        "observability overhead: {} count queries over census {} rows, best of {} passes\n\
+         timings on {} / off {} -> {:.2}% overhead (budget 5%)",
+        obs.queries,
+        obs.rows,
+        obs.passes,
+        secs(Duration::from_secs_f64(obs.on_secs)),
+        secs(Duration::from_secs_f64(obs.off_secs)),
+        obs.overhead_frac * 100.0
+    );
     println!();
 }
 
@@ -1456,6 +1680,7 @@ fn to_json(
     verify: &[VerifyPoint],
     faults: Option<&FaultsMeasurement>,
     catalog: Option<&CatalogMeasurement>,
+    obs: Option<&ObsOverhead>,
     cpus: usize,
     parallel_threads: usize,
     iters: usize,
@@ -1481,6 +1706,9 @@ fn to_json(
                 ("total_queries".into(), Json::Num(p.total_queries as f64)),
                 ("secs".into(), Json::Num(p.secs)),
                 ("qps".into(), Json::Num(p.qps)),
+                ("p50_ms".into(), Json::Num(p.p50_ms)),
+                ("p99_ms".into(), Json::Num(p.p99_ms)),
+                ("p999_ms".into(), Json::Num(p.p999_ms)),
             ])
         })
         .collect();
@@ -1576,8 +1804,8 @@ fn to_json(
             ]),
         ));
     }
-    Json::Obj(vec![
-        ("pr".into(), Json::Num(7.0)),
+    let mut members = vec![
+        ("pr".into(), Json::Num(8.0)),
         ("harness".into(), Json::Str("perf".into())),
         ("dataset".into(), Json::Str("CENSUS (synthetic)".into())),
         ("beta".into(), Json::Num(BETA)),
@@ -1614,5 +1842,19 @@ fn to_json(
         ),
         ("faults".into(), Json::Obj(faults_members)),
         ("catalog".into(), Json::Obj(catalog_members)),
-    ])
+    ];
+    if let Some(o) = obs {
+        members.push((
+            "obs".into(),
+            Json::Obj(vec![
+                ("rows".into(), Json::Num(o.rows as f64)),
+                ("queries".into(), Json::Num(o.queries as f64)),
+                ("passes".into(), Json::Num(o.passes as f64)),
+                ("on_secs".into(), Json::Num(o.on_secs)),
+                ("off_secs".into(), Json::Num(o.off_secs)),
+                ("overhead_frac".into(), Json::Num(o.overhead_frac)),
+            ]),
+        ));
+    }
+    Json::Obj(members)
 }

@@ -1,0 +1,580 @@
+//! The metrics registry: named counters, gauges and log-bucketed
+//! histograms behind atomics, with coherent snapshots.
+//!
+//! # Cost model
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s handed out
+//! by [`Registry::counter`] / [`Registry::gauge`] /
+//! [`Registry::histogram`]; callers register once (startup) and update
+//! lock-free forever after — one `fetch_add` per counter bump, two plus a
+//! branch-free bucket index per histogram record. The registry mutex is
+//! taken only to register, to [`Registry::snapshot`], and inside
+//! [`Registry::coherent`] blocks.
+//!
+//! # Bucket scheme
+//!
+//! Histograms are log-linear over `u64` values (the serving stack records
+//! nanoseconds): values below 16 get one exact bucket each; every octave
+//! `[2^k, 2^{k+1})` above that is split into 16 equal sub-buckets. That is
+//! [`NUM_BUCKETS`] = 976 fixed buckets (constant memory per histogram,
+//! ~7.6 KiB), and a quantile read back from a bucket's lower bound `r`
+//! satisfies `r <= exact_sample_quantile <= r + r/16` — a relative error
+//! bound of 1/16 that the property tests assert against exact sorted
+//! samples. Merging is per-bucket addition, so it is associative and
+//! commutative bucket-exactly.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Number of histogram buckets: 16 exact unit buckets, then 60 octaves
+/// (`2^4` through `2^63`) of 16 sub-buckets each.
+pub const NUM_BUCKETS: usize = 16 + 60 * 16;
+
+/// A monotone event counter. One `fetch_add` per increment.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero, detached from any registry (library code
+    /// that *may* be instrumented holds one of these by default; the
+    /// server swaps in registry-backed handles at startup).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, sizes, 0/1 states).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero, detached from any registry.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (negative to decrement).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The bucket a value lands in. Total over all of `u64`; monotone.
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        // Highest set bit is at position `top >= 4`; the next four bits
+        // select the sub-bucket within the octave.
+        let top = 63 - v.leading_zeros() as u64;
+        let sub = ((v >> (top - 4)) & 15) as usize;
+        (top as usize - 3) * 16 + sub
+    }
+}
+
+/// The inclusive lower bound of bucket `i` — the representative value
+/// quantile extraction reports.
+pub(crate) fn bucket_lower(i: usize) -> u64 {
+    if i < 16 {
+        i as u64
+    } else {
+        let top = (i / 16 + 3) as u32;
+        let sub = (i % 16) as u64;
+        (16 + sub) << (top - 4)
+    }
+}
+
+/// A log-bucketed histogram of `u64` values (the stack records latencies
+/// in nanoseconds). Constant memory, lock-free recording, mergeable
+/// snapshots, quantiles within a 1/16 relative error of the exact sorted
+/// sample (see the [module docs](self) for the scheme).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram detached from any registry.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one value: a bucket `fetch_add` plus the count/sum cells.
+    pub fn record(&self, v: u64) {
+        // `bucket_index` is total over u64, so this never indexes out of
+        // range; `get` keeps the non-panicking contract for P1 callers.
+        if let Some(bucket) = self.buckets.get(bucket_index(v)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the buckets (concurrent recorders may land
+    /// between cell reads; each cell itself is atomic).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`]: quantile extraction and merging
+/// happen here, off the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (wrapping beyond `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the lower bound `r` of the
+    /// bucket holding the exact rank-`ceil(q·count)` sample, so
+    /// `r <= exact <= r + r/16`. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower(i);
+            }
+        }
+        bucket_lower(NUM_BUCKETS - 1)
+    }
+
+    /// Median, 99th and 99.9th percentiles — the trio the serving stack
+    /// reports everywhere.
+    pub fn p50_p99_p999(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+
+    /// Adds `other` into `self`, bucket by bucket. Per-bucket addition is
+    /// associative and commutative, so merge order never changes any
+    /// quantile (the property tests pin this).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// [`HistogramSnapshot::merge`] by value.
+    #[must_use]
+    pub fn merged(mut self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        self.merge(other);
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// The process-wide metrics registry. See the [module docs](self) for the
+/// cost model; one instance lives in the server's shared state.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The counter named `name`, registering it at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            self.lock()
+                .counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge named `name`, registering it at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            self.lock()
+                .gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram named `name`, registering it empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            self.lock()
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Runs `f` under the snapshot lock, so a *group* of metric updates
+    /// becomes atomic with respect to [`Registry::snapshot`]: a snapshot
+    /// can never observe some of the group's updates without the rest.
+    /// This is how logically-linked gauges (queue depth and shed count,
+    /// say) stay mutually consistent in `health` reports.
+    ///
+    /// `f` must not call back into this registry (the lock is not
+    /// reentrant); update pre-registered handles only.
+    pub fn coherent<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.lock();
+        f()
+    }
+
+    /// One coherent picture of every registered metric, taken under the
+    /// same lock [`Registry::coherent`] blocks hold — so transitions made
+    /// inside those blocks are observed entirely or not at all.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A coherent point-in-time copy of a [`Registry`], sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` per counter, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, ascending by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` per histogram, ascending by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// The counter named `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The gauge named `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The histogram named `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Prometheus-style text exposition: counters and gauges as single
+    /// samples, histograms as summaries with `quantile` labels plus
+    /// `_sum` / `_count` rows. Metric names are prefixed `betalike_` and
+    /// sanitized (`.` and `-` become `_`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let name = prom_name(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let name = prom_name(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let name = prom_name(name);
+            let (p50, p99, p999) = h.p50_p99_p999();
+            out.push_str(&format!(
+                "# TYPE {name} summary\n\
+                 {name}{{quantile=\"0.5\"}} {p50}\n\
+                 {name}{{quantile=\"0.99\"}} {p99}\n\
+                 {name}{{quantile=\"0.999\"}} {p999}\n\
+                 {name}_sum {}\n\
+                 {name}_count {}\n",
+                h.sum(),
+                h.count()
+            ));
+        }
+        out
+    }
+}
+
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 9);
+    out.push_str("betalike_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_total() {
+        let mut last = 0usize;
+        for v in 0u64..5_000 {
+            let i = bucket_index(v);
+            assert!(i >= last, "index regressed at {v}");
+            assert!(bucket_lower(i) <= v, "lower bound exceeds {v}");
+            last = i;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        for i in 0..NUM_BUCKETS {
+            assert_eq!(bucket_index(bucket_lower(i)), i, "lower({i}) round-trip");
+        }
+    }
+
+    #[test]
+    fn quantiles_match_exact_small_values() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            for _ in 0..=v {
+                h.record(v);
+            }
+        }
+        let snap = h.snapshot();
+        // Values below 16 have exact buckets: quantiles equal the exact
+        // sorted-sample statistic precisely.
+        let mut sorted = Vec::new();
+        for v in 0..16u64 {
+            for _ in 0..=v {
+                sorted.push(v);
+            }
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            assert_eq!(snap.quantile(q), sorted[rank - 1], "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_error_bound_holds() {
+        let h = Histogram::new();
+        let mut sorted = Vec::new();
+        let mut x = 3u64;
+        for _ in 0..4_000 {
+            // Cheap deterministic spread over several octaves.
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = x >> (x % 50);
+            h.record(v);
+            sorted.push(v);
+        }
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let r = snap.quantile(q);
+            assert!(r <= exact, "q={q}: {r} > exact {exact}");
+            assert!(
+                exact <= r + r / 16,
+                "q={q}: exact {exact} above bound of {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let parts: Vec<HistogramSnapshot> = (0..3)
+            .map(|k| {
+                let h = Histogram::new();
+                for i in 0..200u64 {
+                    h.record(i * (k + 1) * 37 % 10_000);
+                }
+                h.snapshot()
+            })
+            .collect();
+        let abc = parts[0].clone().merged(&parts[1]).merged(&parts[2]);
+        let bc_a = parts[1].clone().merged(&parts[2]).merged(&parts[0]);
+        let cab = parts[2].clone().merged(&parts[0]).merged(&parts[1]);
+        assert_eq!(abc, bc_a);
+        assert_eq!(abc, cab);
+        assert_eq!(abc.count(), 600);
+    }
+
+    #[test]
+    fn registry_hands_out_shared_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+        reg.gauge("g").set(-5);
+        reg.histogram("h").record(100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("x"), Some(3));
+        assert_eq!(snap.gauge("g"), Some(-5));
+        assert_eq!(snap.histogram("h").map(HistogramSnapshot::count), Some(1));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    /// The health-coherence pin (ISSUE 9 bugfix): two gauges updated as a
+    /// pair inside `coherent` blocks must never be observed mid-
+    /// transition by `snapshot`, no matter how the threads interleave.
+    #[test]
+    fn coherent_updates_are_never_observed_half_applied() {
+        let reg = Arc::new(Registry::new());
+        let a = reg.gauge("pair.a");
+        let b = reg.gauge("pair.b");
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let writer = {
+                let (reg, stop) = (Arc::clone(&reg), Arc::clone(&stop));
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                s.spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        // Invariant: a + b == 0 at every snapshot.
+                        reg.coherent(|| {
+                            a.add(1);
+                            b.add(-1);
+                        });
+                    }
+                })
+            };
+            for _ in 0..2_000 {
+                let snap = reg.snapshot();
+                let (a, b) = (
+                    snap.gauge("pair.a").unwrap_or(0),
+                    snap.gauge("pair.b").unwrap_or(0),
+                );
+                assert_eq!(a + b, 0, "snapshot saw a half-applied transition");
+            }
+            stop.store(true, Ordering::SeqCst);
+            let _ = writer.join();
+        });
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = Registry::new();
+        reg.counter("op.count.requests").add(7);
+        reg.gauge("server.queue_depth").set(2);
+        let h = reg.histogram("op.count.latency_ns");
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE betalike_op_count_requests counter"));
+        assert!(text.contains("betalike_op_count_requests 7"));
+        assert!(text.contains("betalike_server_queue_depth 2"));
+        assert!(text.contains("betalike_op_count_latency_ns{quantile=\"0.5\"} 20"));
+        assert!(text.contains("betalike_op_count_latency_ns_count 3"));
+        assert!(text.contains("betalike_op_count_latency_ns_sum 60"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-request traces: a request-scoped collector of named, nested spans
+//! timing the pipeline stages, tagged with the client's optional
+//! `trace_id`.
+//!
+//! A [`Trace`] is created per request (from the request's `trace_id`
+//! field when present, or a server-generated sequence id otherwise); code
+//! opens a [`Span`] per stage and the guard's drop closes it. Closed
+//! spans carry their start/end times and nesting depth, so the slow-query
+//! log can attribute a slow request to the stage that ate it. Time comes
+//! from the injected [`Clock`], so tests assert exact durations with a
+//! [`crate::ManualClock`].
+
+use crate::clock::Clock;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One closed (or still-open) span of a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stage name (`"parse"`, `"publish"`, …).
+    pub name: String,
+    /// Clock reading when the span opened.
+    pub start_ns: u64,
+    /// Clock reading when the span closed; `None` while open.
+    pub end_ns: Option<u64>,
+    /// How many spans were open when this one started (0 = top level).
+    pub depth: usize,
+}
+
+impl SpanRecord {
+    /// The span's duration, if closed.
+    pub fn duration_ns(&self) -> Option<u64> {
+        self.end_ns.map(|end| end.saturating_sub(self.start_ns))
+    }
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    spans: Vec<SpanRecord>,
+    open: Vec<usize>,
+}
+
+/// A request-scoped span collector. Cheap to create; spans cost two clock
+/// reads and two short mutex takes each (the mutex is request-private, so
+/// it is never contended in practice).
+#[derive(Debug)]
+pub struct Trace {
+    clock: Arc<dyn Clock>,
+    id: Option<String>,
+    inner: Mutex<TraceInner>,
+}
+
+impl Trace {
+    /// A fresh trace. `id` is the request's `trace_id` when the client
+    /// sent one.
+    pub fn new(clock: Arc<dyn Clock>, id: Option<String>) -> Self {
+        Trace {
+            clock,
+            id,
+            inner: Mutex::new(TraceInner::default()),
+        }
+    }
+
+    /// The wire-provided trace id, if any.
+    pub fn id(&self) -> Option<&str> {
+        self.id.as_deref()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TraceInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Opens a named span; dropping the guard closes it. Spans opened
+    /// while another is open record one level deeper.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        let start_ns = self.clock.now_ns();
+        let mut inner = self.lock();
+        let idx = inner.spans.len();
+        let depth = inner.open.len();
+        inner.spans.push(SpanRecord {
+            name: name.to_string(),
+            start_ns,
+            end_ns: None,
+            depth,
+        });
+        inner.open.push(idx);
+        Span { trace: self, idx }
+    }
+
+    /// Every span recorded so far, in open order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.lock().spans.clone()
+    }
+
+    /// The closed span named `name`, if any (first match).
+    pub fn span_named(&self, name: &str) -> Option<SpanRecord> {
+        self.lock()
+            .spans
+            .iter()
+            .find(|s| s.name == name && s.end_ns.is_some())
+            .cloned()
+    }
+}
+
+/// An open span; drop (or [`Span::finish`]) closes it with the current
+/// clock reading.
+#[derive(Debug)]
+pub struct Span<'a> {
+    trace: &'a Trace,
+    idx: usize,
+}
+
+impl Span<'_> {
+    /// Closes the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let end = self.trace.clock.now_ns();
+        let mut inner = self.trace.lock();
+        if let Some(span) = inner.spans.get_mut(self.idx) {
+            span.end_ns = Some(end);
+        }
+        // Out-of-order drops (guards escaping scopes) still unwind the
+        // stack correctly: remove this span wherever it sits.
+        inner.open.retain(|&i| i != self.idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn manual_clock_span_nesting() {
+        let clock = Arc::new(ManualClock::new());
+        let trace = Trace::new(Arc::clone(&clock) as Arc<dyn Clock>, Some("t-1".into()));
+        assert_eq!(trace.id(), Some("t-1"));
+        {
+            let _outer = trace.span("request");
+            clock.advance(10);
+            {
+                let _inner = trace.span("parse");
+                clock.advance(5);
+            }
+            {
+                let _inner = trace.span("dispatch");
+                clock.advance(20);
+            }
+            clock.advance(2);
+        }
+        let spans = trace.spans();
+        assert_eq!(
+            spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            ["request", "parse", "dispatch"]
+        );
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[2].depth, 1);
+        assert_eq!(spans[0].duration_ns(), Some(37));
+        assert_eq!(spans[1].duration_ns(), Some(5));
+        assert_eq!(spans[2].duration_ns(), Some(20));
+        assert_eq!(spans[1].start_ns, 10);
+        assert_eq!(spans[2].start_ns, 15);
+        assert_eq!(trace.span_named("parse"), Some(spans[1].clone()));
+        assert_eq!(trace.span_named("missing"), None);
+    }
+
+    #[test]
+    fn open_spans_report_no_duration() {
+        let clock = Arc::new(ManualClock::new());
+        let trace = Trace::new(clock as Arc<dyn Clock>, None);
+        let guard = trace.span("open");
+        assert_eq!(trace.spans()[0].end_ns, None);
+        assert_eq!(trace.spans()[0].duration_ns(), None);
+        guard.finish();
+        assert_eq!(trace.spans()[0].duration_ns(), Some(0));
+    }
+
+    #[test]
+    fn out_of_order_drops_keep_depths_sane() {
+        let clock = Arc::new(ManualClock::new());
+        let trace = Trace::new(clock as Arc<dyn Clock>, None);
+        let a = trace.span("a");
+        let b = trace.span("b");
+        drop(a); // drops out of order
+        let c = trace.span("c");
+        drop(b);
+        drop(c);
+        let spans = trace.spans();
+        assert!(spans.iter().all(|s| s.end_ns.is_some()));
+        assert_eq!(spans[2].depth, 1, "b was still open when c started");
+    }
+}

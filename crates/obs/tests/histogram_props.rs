@@ -1,0 +1,74 @@
+//! The histogram's accuracy contract, as properties: for arbitrary
+//! samples, every reported quantile sits within the documented bucket
+//! error bound of the exact sorted-sample quantile, and merging is
+//! associative and commutative (so per-thread or per-client histograms
+//! can be combined in any order without changing any quantile).
+
+use betalike_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// The exact rank-th quantile the histogram approximates: with the same
+/// rank rule the snapshot uses (`rank = ceil(q * count)`, 1-based).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let count = sorted.len() as u64;
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    sorted[(rank - 1) as usize]
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For every quantile in a sweep, the histogram's answer `r` brackets
+    /// the exact answer: `r <= exact <= r + r/16` (exact below 16, one
+    /// sub-octave of relative error above). This is the bound DESIGN.md
+    /// §14 advertises.
+    #[test]
+    fn quantiles_sit_within_one_sub_octave_of_exact(
+        values in proptest::collection::vec(0u64..u64::MAX / 2, 1..300),
+    ) {
+        let snap = snapshot_of(&values);
+        let mut values = values;
+        values.sort_unstable();
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&values, q);
+            let approx = snap.quantile(q);
+            prop_assert!(
+                approx <= exact && exact <= approx + approx / 16,
+                "q={q}: approx {approx} must bracket exact {exact}"
+            );
+        }
+    }
+
+    /// Merge is associative and commutative, and merging never changes
+    /// what a combined population would have reported: (a ∪ b) ∪ c and
+    /// a ∪ (b ∪ c) and one histogram fed all three sample sets are the
+    /// same snapshot.
+    #[test]
+    fn merge_is_associative_commutative_and_lossless(
+        a in proptest::collection::vec(0u64..1 << 40, 0..120),
+        b in proptest::collection::vec(0u64..1 << 40, 0..120),
+        c in proptest::collection::vec(0u64..1 << 40, 0..120),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let left = sa.clone().merged(&sb).merged(&sc);
+        let right = sa.clone().merged(&sb.clone().merged(&sc));
+        let swapped = sc.clone().merged(&sa).merged(&sb);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &swapped);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &snapshot_of(&all));
+        prop_assert_eq!(left.count(), (a.len() + b.len() + c.len()) as u64);
+    }
+}

@@ -38,6 +38,8 @@ use betalike::perturb::PerturbedTable;
 use betalike::retrieve::hilbert_keys;
 use betalike_metrics::Partition;
 use betalike_microdata::{AttrKind, RowId, Table};
+use betalike_obs::Counter;
+use std::sync::Arc;
 
 /// Version of the catalog derivation scheme. Persisted snapshots carrying
 /// a different version are discarded and the catalog is rebuilt from the
@@ -99,6 +101,55 @@ pub struct CatalogPlan {
     pub residual: Vec<RangePred>,
 }
 
+/// Shared counters classifying how the catalog resolved each candidate
+/// group, one bump per group per query (plus one `full_cover` bump when
+/// the `O(1)` prefix-sum path answers without visiting groups at all).
+/// The default is a set of detached counters — recording is always on,
+/// but nobody reads them unless the server wires in handles from its
+/// metrics registry. Groups the posting lists prune *before* the extent
+/// check are never classified (they were never candidates).
+#[derive(Debug, Clone, Default)]
+pub struct CatalogStats {
+    /// Candidate groups skipped because a covered predicate was disjoint
+    /// from their extent.
+    pub disjoint: Arc<Counter>,
+    /// Groups counted whole from their summary (every covered predicate
+    /// spans the group), and prefix-sum fast-path answers.
+    pub full_cover: Arc<Counter>,
+    /// Groups resolved by binary search over one straddling predicate's
+    /// sorted codes (estimates count their per-group SA search here).
+    pub straddle: Arc<Counter>,
+    /// Groups that fell back to scanning their rows.
+    pub residual_scan: Arc<Counter>,
+}
+
+/// A query-local tally, flushed to the shared [`CatalogStats`] once per
+/// call so hot loops touch plain integers instead of atomics per group.
+#[derive(Debug, Default)]
+struct PlanTally {
+    disjoint: u64,
+    full_cover: u64,
+    straddle: u64,
+    residual_scan: u64,
+}
+
+impl CatalogStats {
+    fn flush(&self, t: &PlanTally) {
+        if t.disjoint > 0 {
+            self.disjoint.add(t.disjoint);
+        }
+        if t.full_cover > 0 {
+            self.full_cover.add(t.full_cover);
+        }
+        if t.straddle > 0 {
+            self.straddle.add(t.straddle);
+        }
+        if t.residual_scan > 0 {
+            self.residual_scan.add(t.residual_scan);
+        }
+    }
+}
+
 /// The perturbed-form overlay: per group, a sparse histogram of the
 /// *published* (randomized) SA column, indexed by the plan's dense
 /// support index. Lets fully-covered groups contribute their observed
@@ -150,6 +201,9 @@ pub struct Catalog {
     qi_len: usize,
     /// Published-SA histograms for perturbed artifacts.
     alt_sa: Option<AltSaOverlay>,
+    /// Plan-classification counters (detached unless the server wires in
+    /// registry-backed handles via [`Catalog::set_stats`]).
+    stats: CatalogStats,
 }
 
 impl Catalog {
@@ -314,6 +368,14 @@ impl Catalog {
         self.groups.len()
     }
 
+    /// Replaces the plan-classification counters with shared handles (the
+    /// server passes registry-backed ones so `metrics` can report how
+    /// queries resolved: disjoint prune / whole-group summary / straddle
+    /// binary search / residual row scan).
+    pub fn set_stats(&mut self, stats: CatalogStats) {
+        self.stats = stats;
+    }
+
     /// The covered attributes, in extent order.
     pub fn covered(&self) -> &[usize] {
         &self.covered
@@ -380,8 +442,10 @@ impl Catalog {
         if covered.is_empty() && residual.is_empty() {
             return self.num_rows as u64;
         }
+        let mut tally = PlanTally::default();
         // O(1): a single covered predicate answers from the prefix sums.
         if residual.is_empty() && covered.len() == 1 {
+            self.stats.full_cover.inc();
             let (ci, p) = covered[0];
             let hi = p.hi.min(self.cards[ci] - 1) as usize;
             if p.lo as usize > hi {
@@ -399,6 +463,7 @@ impl Catalog {
             for &(ci, p) in &covered {
                 let (lo, hi) = self.extents[g][ci];
                 if p.hi < lo || p.lo > hi {
+                    tally.disjoint += 1;
                     continue 'groups;
                 }
                 if !(p.lo <= lo && p.hi >= hi) {
@@ -407,9 +472,13 @@ impl Catalog {
             }
             total += match (straddle.as_slice(), res_cols.is_empty()) {
                 // Every covered predicate spans the group: count it whole.
-                ([], true) => self.groups[g].len() as u64,
+                ([], true) => {
+                    tally.full_cover += 1;
+                    self.groups[g].len() as u64
+                }
                 // One straddling predicate: binary search its sorted codes.
                 ([(ci, p)], true) => {
+                    tally.straddle += 1;
                     let (ci, p) = (*ci, *p);
                     let codes = &self.sorted[ci][g];
                     (codes.partition_point(|&v| v <= p.hi) - codes.partition_point(|&v| v < p.lo))
@@ -417,6 +486,7 @@ impl Catalog {
                 }
                 // Residual scan over this group's rows only.
                 _ => {
+                    tally.residual_scan += 1;
                     let cols: Vec<(&[u32], RangePred)> = straddle
                         .iter()
                         .map(|&(_, p)| (table.column(p.attr), p))
@@ -436,6 +506,7 @@ impl Catalog {
                 }
             };
         }
+        self.stats.flush(&tally);
         total
     }
 
@@ -469,12 +540,14 @@ impl Catalog {
             })
             .collect();
         let sa_ci = self.qi_len;
+        let mut tally = PlanTally::default();
         let mut total = 0.0;
         'groups: for g in 0..self.groups.len() {
             for &(pos, p) in &positions {
                 let (lo, hi) = self.extents[g][pos];
                 if p.hi < lo || p.lo > hi {
                     // The scan path computes frac = 0.0 and `continue`s.
+                    tally.disjoint += 1;
                     continue 'groups;
                 }
             }
@@ -482,8 +555,12 @@ impl Catalog {
             if query.sa_pred.hi < slo || query.sa_pred.lo > shi {
                 // The scan path adds frac × 0 = +0.0: skipping is bitwise
                 // equivalent.
+                tally.disjoint += 1;
                 continue;
             }
+            // Every surviving group resolves by the per-group SA binary
+            // search below — a straddle in plan-classification terms.
+            tally.straddle += 1;
             let mut frac = 1.0;
             for &(pos, p) in &positions {
                 let (lo, hi) = self.extents[g][pos];
@@ -497,6 +574,7 @@ impl Catalog {
             let hi_idx = sa.partition_point(|&v| v <= query.sa_pred.hi);
             total += frac * (hi_idx - lo_idx) as f64;
         }
+        self.stats.flush(&tally);
         total
     }
 
@@ -540,6 +618,7 @@ impl Catalog {
             .iter()
             .map(|p| (table.column(p.attr), *p))
             .collect();
+        let mut tally = PlanTally::default();
         let mut matched = 0u64;
         let mut counts = vec![0.0; overlay.m];
         'groups: for g in self.candidates(&covered) {
@@ -547,6 +626,7 @@ impl Catalog {
             for &(ci, p) in &covered {
                 let (lo, hi) = self.extents[g][ci];
                 if p.hi < lo || p.lo > hi {
+                    tally.disjoint += 1;
                     continue 'groups;
                 }
                 if !(p.lo <= lo && p.hi >= hi) {
@@ -555,12 +635,14 @@ impl Catalog {
             }
             if !straddles && res_cols.is_empty() {
                 // The whole group matches: add its published-SA histogram.
+                tally.full_cover += 1;
                 matched += self.groups[g].len() as u64;
                 for &(idx, c) in &overlay.hists[g] {
                     counts[idx as usize] += c as f64;
                 }
                 continue;
             }
+            tally.residual_scan += 1;
             let cols: Vec<(&[u32], RangePred)> = covered
                 .iter()
                 .map(|&(_, p)| (table.column(p.attr), p))
@@ -581,6 +663,7 @@ impl Catalog {
                 counts[idx] += 1.0;
             }
         }
+        self.stats.flush(&tally);
         (matched, counts)
     }
 
@@ -719,6 +802,7 @@ impl Catalog {
             num_rows,
             qi_len,
             alt_sa: None,
+            stats: CatalogStats::default(),
         }
     }
 }

@@ -49,7 +49,7 @@ pub mod workload;
 pub use answer::{
     compile_preds, estimate_anatomy, estimate_perturbed, exact_count, qi_matches, GeneralizedView,
 };
-pub use catalog::{Catalog, CatalogPlan, CatalogSpec, GroupingSpec, CATALOG_VERSION};
+pub use catalog::{Catalog, CatalogPlan, CatalogSpec, CatalogStats, GroupingSpec, CATALOG_VERSION};
 pub use published::PublishedAnswerer;
 pub use workload::{generate_workload, AggQuery, RangePred, WorkloadConfig};
 

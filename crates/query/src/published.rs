@@ -15,7 +15,7 @@
 //! tests of `betalike-server` rely on exactly that.
 
 use crate::answer::{estimate_anatomy, estimate_perturbed, exact_count, GeneralizedView};
-use crate::catalog::{Catalog, CatalogSpec};
+use crate::catalog::{Catalog, CatalogSpec, CatalogStats};
 use crate::workload::{AggQuery, RangePred};
 use betalike::error::Result;
 use betalike::perturb::PerturbedTable;
@@ -152,6 +152,16 @@ impl PublishedAnswerer {
     /// The aggregate catalog, when one was built.
     pub fn catalog(&self) -> Option<&Arc<Catalog>> {
         self.catalog.as_ref()
+    }
+
+    /// Wires plan-classification counters into the catalog, when one was
+    /// built (the server passes registry-backed [`CatalogStats`] handles
+    /// so its `metrics` op can report query plan shapes). Clones the
+    /// catalog if the handle is already shared, so attach at build time.
+    pub fn attach_catalog_stats(&mut self, stats: CatalogStats) {
+        if let Some(catalog) = &mut self.catalog {
+            Arc::make_mut(catalog).set_stats(stats);
+        }
     }
 
     /// The persistable spec of the catalog, when one was built (see

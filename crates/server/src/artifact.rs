@@ -17,7 +17,7 @@ use betalike_baselines::sabre::{sabre_with_keys, SabreConfig};
 use betalike_metrics::audit::{audit_partition, ClosenessMetric, PartitionAudit};
 use betalike_metrics::Partition;
 use betalike_microdata::json::Json;
-use betalike_query::PublishedAnswerer;
+use betalike_query::{CatalogStats, PublishedAnswerer};
 use std::sync::{Arc, OnceLock};
 
 /// The closeness metric audits report (the workspace default, matching the
@@ -70,6 +70,22 @@ impl Artifact {
         request: &PublishRequest,
         catalog: bool,
     ) -> Result<Arc<Self>, String> {
+        Self::publish_with(registry, request, catalog, None)
+    }
+
+    /// [`Artifact::publish_opt`] with optional plan-classification
+    /// counters wired into the catalog (the server passes registry-backed
+    /// [`CatalogStats`] so its `metrics` op reports query plan shapes).
+    ///
+    /// # Errors
+    ///
+    /// As [`Artifact::publish`].
+    pub fn publish_with(
+        registry: &Registry,
+        request: &PublishRequest,
+        catalog: bool,
+        stats: Option<CatalogStats>,
+    ) -> Result<Arc<Self>, String> {
         let request = request.clone().normalized();
         let dataset = registry.dataset(&request.dataset);
         let table = Arc::clone(&dataset.table);
@@ -91,7 +107,7 @@ impl Artifact {
 
         let mut partition = None;
         let mut alphas = None;
-        let answerer = match request.algo {
+        let mut answerer = match request.algo {
             Algo::Burel => {
                 let keys = registry.hilbert_keys(&dataset, &qi);
                 let cfg = BurelConfig::new(request.beta).with_seed(request.seed);
@@ -127,6 +143,9 @@ impl Artifact {
                 PublishedAnswerer::perturbed_opt(Arc::clone(&table), published, catalog)
             }
         };
+        if let Some(stats) = stats {
+            answerer.attach_catalog_stats(stats);
+        }
         Ok(Arc::new(Artifact {
             handle: request.handle(),
             request,

@@ -19,6 +19,11 @@
 //!                              if the artifact fails
 //!   health                     the server's health document: status,
 //!                              queue depth, shed count, store state
+//!   metrics                    the server's metrics snapshot as
+//!                              Prometheus exposition text (counters,
+//!                              gauges, per-op latency histograms with
+//!                              p50/p99/p999); `--json` prints the raw
+//!                              reply document instead
 //!   smoke [--rows N]           full publish → count → audit round trip,
 //!                              cross-checked bit-for-bit against the same
 //!                              computation done in-process; non-zero exit
@@ -147,7 +152,7 @@ impl Args {
         let mut it = std::env::args().skip(1);
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                if key == "exact" || key == "battery" {
+                if key == "exact" || key == "battery" || key == "json" {
                     flags.entry(key.into()).or_default().push("true".into());
                     continue;
                 }
@@ -191,7 +196,8 @@ impl Args {
 /// lists them. Checked before any connection is opened so an unknown
 /// command is a usage error regardless of whether a server is reachable.
 const COMMANDS: &[&str] = &[
-    "ping", "datasets", "publish", "count", "audit", "verify", "health", "smoke", "shutdown",
+    "ping", "datasets", "publish", "count", "audit", "verify", "health", "metrics", "smoke",
+    "shutdown",
 ];
 
 /// Dials `addr` and runs one command attempt per fresh connection,
@@ -307,6 +313,22 @@ fn run() -> Result<(), Failure> {
             println!("{}", doc.pretty());
             Ok(())
         }),
+        "metrics" => {
+            let raw = args.one("json").is_some();
+            attempt(addr, &policy, |client| {
+                let doc = client.metrics().map_err(op_failed("metrics"))?;
+                if raw {
+                    println!("{}", doc.pretty());
+                } else {
+                    // The scrape format: what a Prometheus exporter serves.
+                    match doc.get("prometheus").and_then(Json::as_str) {
+                        Some(text) => print!("{text}"),
+                        None => return Err(Failure::from("metrics reply missing `prometheus`")),
+                    }
+                }
+                Ok(())
+            })
+        }
         // The smoke is idempotent end to end (publishes are
         // content-addressed), so the whole round trip re-runs per attempt.
         "smoke" => {
@@ -546,8 +568,8 @@ mod tests {
         // set `run` accepts (every arm in its match).
         for cmd in COMMANDS {
             assert!([
-                "ping", "datasets", "publish", "count", "audit", "verify", "health", "smoke",
-                "shutdown"
+                "ping", "datasets", "publish", "count", "audit", "verify", "health", "metrics",
+                "smoke", "shutdown"
             ]
             .contains(cmd));
         }

@@ -4,7 +4,8 @@
 //! betalike-serve [--addr HOST:PORT] [--threads N] [--preload SPEC]
 //!                [--data-dir DIR] [--queue N] [--read-timeout-ms MS]
 //!                [--idle-timeout-ms MS] [--request-timeout-ms MS]
-//!                [--no-catalog] [--result-cache N]
+//!                [--no-catalog] [--result-cache N] [--no-obs]
+//!                [--log-level LEVEL] [--log-json] [--slow-query-ms MS]
 //! ```
 //!
 //! * `--addr` defaults to `127.0.0.1:7878`; port `0` binds an ephemeral
@@ -35,6 +36,17 @@
 //! * `--result-cache` caps the per-process `count` result cache in
 //!   entries (default 1024; `0` disables it). Hits replay the stored
 //!   response byte-identically; `health` reports hit/miss/size gauges.
+//! * `--no-obs` turns request *timings* off: per-op latency histograms,
+//!   pipeline spans, and the slow-query log stop reading the clock.
+//!   Counters and gauges (`health`, `metrics`) still update, and
+//!   responses are byte-identical either way (see DESIGN.md §14).
+//! * `--log-level` sets the structured stderr log level
+//!   (`off | error | warn | info | debug`; default `warn`, or the
+//!   `BETALIKE_LOG` environment variable when set). `--log-json` emits
+//!   one JSON object per line instead of `key=value` text.
+//! * `--slow-query-ms` logs one `warn` line, with the request's per-span
+//!   timing breakdown, for every request slower than MS milliseconds
+//!   (`0`, the default, disables the slow-query log).
 //!
 //! Each timing/queue flag also reads an environment fallback when the
 //! flag is absent: `BETALIKE_READ_TIMEOUT_MS`, `BETALIKE_IDLE_TIMEOUT_MS`,
@@ -44,6 +56,7 @@
 //!
 //! The process runs until a client sends `{"op":"shutdown"}`.
 
+use betalike_obs::{Level, Logger};
 use betalike_server::{serve, DatasetSpec, ServerConfig};
 use std::io::Write;
 
@@ -73,6 +86,8 @@ fn main() {
     let mut request_timeout = None;
     let mut queue = None;
     let mut result_cache = None;
+    let mut slow_query = None;
+    cfg.log_level = Logger::level_from_env().unwrap_or(Level::Warn);
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -103,12 +118,23 @@ fn main() {
             "--queue" => queue = Some(value("--queue")),
             "--no-catalog" => cfg.catalog = false,
             "--result-cache" => result_cache = Some(value("--result-cache")),
+            "--no-obs" => cfg.obs = false,
+            "--log-level" => {
+                let text = value("--log-level");
+                cfg.log_level = Level::parse(&text).unwrap_or_else(|| {
+                    eprintln!("--log-level expects off|error|warn|info|debug, got `{text}`");
+                    std::process::exit(2);
+                })
+            }
+            "--log-json" => cfg.log_json = true,
+            "--slow-query-ms" => slow_query = Some(value("--slow-query-ms")),
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: betalike-serve [--addr HOST:PORT] [--threads N] [--preload SPEC] \
                      [--data-dir DIR] [--queue N] [--read-timeout-ms MS] [--idle-timeout-ms MS] \
-                     [--request-timeout-ms MS] [--no-catalog] [--result-cache N]"
+                     [--request-timeout-ms MS] [--no-catalog] [--result-cache N] [--no-obs] \
+                     [--log-level LEVEL] [--log-json] [--slow-query-ms MS]"
                 );
                 std::process::exit(2);
             }
@@ -130,6 +156,7 @@ fn main() {
         request_timeout,
     );
     cfg.queue = numeric("--queue", "BETALIKE_QUEUE", queue) as usize;
+    cfg.slow_query_ms = numeric("--slow-query-ms", "BETALIKE_SLOW_QUERY_MS", slow_query);
     // Unlike the flags above, the cache default is non-zero (`0` means
     // *disabled*), so only an explicit flag or environment value overrides.
     if result_cache.is_some() || std::env::var("BETALIKE_RESULT_CACHE").is_ok() {

@@ -343,6 +343,28 @@ impl Client {
         Ok(doc)
     }
 
+    /// Fetches the server's metrics snapshot: every counter, gauge, and
+    /// latency histogram (count / sum / p50 / p99 / p999 nanoseconds),
+    /// plus the same snapshot as Prometheus exposition text under the
+    /// `prometheus` member (see DESIGN.md §14).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`], plus [`ClientError::Protocol`] if the reply
+    /// lacks the `counters` member.
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        let doc = self.call(&Json::Obj(vec![(
+            "op".to_string(),
+            Json::Str("metrics".into()),
+        )]))?;
+        if doc.get("counters").is_none() {
+            return Err(ClientError::Protocol(
+                "metrics reply missing `counters`".into(),
+            ));
+        }
+        Ok(doc)
+    }
+
     /// Asks the server to stop accepting connections and drain.
     ///
     /// # Errors

@@ -40,6 +40,7 @@
 
 pub mod artifact;
 pub mod client;
+pub(crate) mod obs;
 pub mod persist;
 pub mod registry;
 pub(crate) mod result_cache;

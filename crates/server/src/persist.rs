@@ -18,7 +18,7 @@ use crate::wire::{Algo, PublishRequest};
 use betalike::perturb::{PerturbationPlan, PerturbedTable};
 use betalike_metrics::Partition;
 use betalike_microdata::{Table, Value};
-use betalike_query::{CatalogSpec, GroupingSpec, PublishedAnswerer, CATALOG_VERSION};
+use betalike_query::{CatalogSpec, CatalogStats, GroupingSpec, PublishedAnswerer, CATALOG_VERSION};
 use betalike_store::{CatalogSnapshot, FormSnapshot, PubParams, PublicationSnapshot};
 use std::sync::Arc;
 
@@ -123,7 +123,21 @@ pub fn snapshot(artifact: &Artifact) -> PublicationSnapshot {
 ///
 /// As [`restore`].
 pub fn restore_opt(snap: PublicationSnapshot, catalog: bool) -> Result<Arc<Artifact>, String> {
-    restore_inner(snap, catalog)
+    restore_inner(snap, catalog, None)
+}
+
+/// [`restore_opt`] with optional plan-classification counters wired into
+/// the rebuilt catalog (mirroring [`Artifact::publish_with`]).
+///
+/// # Errors
+///
+/// As [`restore`].
+pub fn restore_with(
+    snap: PublicationSnapshot,
+    catalog: bool,
+    stats: Option<CatalogStats>,
+) -> Result<Arc<Artifact>, String> {
+    restore_inner(snap, catalog, stats)
 }
 
 /// Rebuilds a serving-ready artifact from a snapshot.
@@ -144,10 +158,14 @@ pub fn restore_opt(snap: PublicationSnapshot, catalog: bool) -> Result<Arc<Artif
 /// outside the stored schema, or a partition that does not cover the
 /// stored table.
 pub fn restore(snap: PublicationSnapshot) -> Result<Arc<Artifact>, String> {
-    restore_inner(snap, true)
+    restore_inner(snap, true, None)
 }
 
-fn restore_inner(snap: PublicationSnapshot, catalog: bool) -> Result<Arc<Artifact>, String> {
+fn restore_inner(
+    snap: PublicationSnapshot,
+    catalog: bool,
+    stats: Option<CatalogStats>,
+) -> Result<Arc<Artifact>, String> {
     let p = &snap.params;
     let algo = Algo::parse(&p.algo)?;
     let rows_arg = match p.dataset_name.as_str() {
@@ -268,6 +286,10 @@ fn restore_inner(snap: PublicationSnapshot, catalog: bool) -> Result<Arc<Artifac
             }
             // Version skew: keep the freshly derived default catalog.
         }
+    }
+    // After any rebuild, so the counters land on the catalog that serves.
+    if let Some(stats) = stats {
+        answerer.attach_catalog_stats(stats);
     }
 
     Ok(Artifact::restored(

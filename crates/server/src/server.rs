@@ -34,6 +34,7 @@
 //! bounded by `read_timeout_ms` plus the in-flight request.
 
 use crate::artifact::Artifact;
+use crate::obs::ServerObs;
 use crate::registry::{DatasetSpec, Registry};
 use crate::result_cache::{cache_key, ResultCache, DEFAULT_RESULT_CACHE};
 use crate::wire::{
@@ -42,14 +43,15 @@ use crate::wire::{
 };
 use betalike_faults::{RealVfs, Vfs};
 use betalike_microdata::json::Json;
-use betalike_query::{AggQuery, RangePred};
-use betalike_store::ArtifactStore;
+use betalike_obs::{Level, Registry as MetricsRegistry, Trace};
+use betalike_query::{AggQuery, CatalogStats, RangePred};
+use betalike_store::{ArtifactStore, StoreObs};
 use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -120,6 +122,22 @@ pub struct ServerConfig {
     /// and miss responses are byte-identical. Entries are invalidated per
     /// handle on fresh publishes and quarantines.
     pub result_cache: usize,
+    /// Whether requests are *timed*: per-op latency histograms, pipeline
+    /// spans, and the slow-query log all read the clock only when this is
+    /// on. Counters and gauges (and so `health`/`metrics`) update either
+    /// way, and responses are byte-identical either way — the perf
+    /// suite's instrumentation-overhead benchmark flips exactly this.
+    pub obs: bool,
+    /// Structured-log level (stderr). The `betalike-serve` binary seeds
+    /// this from `BETALIKE_LOG`, overridden by `--log-level`.
+    pub log_level: Level,
+    /// Emit log lines as JSON objects instead of `key=value` text.
+    pub log_json: bool,
+    /// Requests slower than this many milliseconds get one `warn` line
+    /// with their per-span breakdown; `0` disables the slow-query log.
+    /// Effective only while [`ServerConfig::obs`] is on (timings are the
+    /// evidence the log reports).
+    pub slow_query_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -136,6 +154,10 @@ impl Default for ServerConfig {
             vfs: None,
             catalog: true,
             result_cache: DEFAULT_RESULT_CACHE,
+            obs: true,
+            log_level: Level::Warn,
+            log_json: false,
+            slow_query_ms: 0,
         }
     }
 }
@@ -152,11 +174,13 @@ pub(crate) struct State {
     workers: usize,
     /// Admission-queue capacity (for `health`).
     queue_capacity: usize,
-    /// Accepted connections waiting for a worker (acceptor increments
-    /// after a successful enqueue, the worker decrements after dequeue).
-    queue_depth: AtomicI64,
-    /// Connections shed with `overloaded` since startup.
-    shed: AtomicU64,
+    /// Metrics registry, per-op counters/histograms, logger, tracing.
+    /// The admission gauges live here: the acceptor bumps `queue_depth`
+    /// after a successful enqueue and the worker moves the connection to
+    /// `active_connections` in one coherent registry transition.
+    obs: ServerObs,
+    /// Plan-classification counters shared by every artifact's catalog.
+    catalog_stats: CatalogStats,
     /// Handles a detached background publisher is currently computing
     /// (deadline-bounded publishes claim here so at most one background
     /// thread runs per handle).
@@ -215,6 +239,20 @@ impl ServerHandle {
 /// Propagates the bind failure, or a data directory that cannot be opened
 /// (unwritable, or a manifest too damaged to trust).
 pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let metrics = Arc::new(MetricsRegistry::new());
+    let obs = ServerObs::new(
+        Arc::clone(&metrics),
+        cfg.obs,
+        cfg.log_level,
+        cfg.log_json,
+        cfg.slow_query_ms,
+    );
+    let catalog_stats = CatalogStats {
+        disjoint: metrics.counter("catalog_plan_disjoint"),
+        full_cover: metrics.counter("catalog_plan_full_cover"),
+        straddle: metrics.counter("catalog_plan_straddle"),
+        residual_scan: metrics.counter("catalog_plan_residual_scan"),
+    };
     let store = match &cfg.data_dir {
         None => None,
         Some(dir) => {
@@ -225,8 +263,16 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
             let (store, quarantined) = ArtifactStore::open_with(dir, vfs).map_err(|e| {
                 std::io::Error::other(format!("open data dir {}: {e}", dir.display()))
             })?;
+            store.attach_obs(StoreObs::from_registry(
+                &metrics,
+                Arc::clone(&obs.clock),
+                cfg.obs,
+            ));
             for handle in quarantined {
-                eprintln!("betalike-serve: quarantined corrupt stored artifact `{handle}`");
+                obs.logger.warn(
+                    "quarantined corrupt stored artifact",
+                    &[("handle", handle.as_str().into())],
+                );
             }
             Some(store)
         }
@@ -251,8 +297,8 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
         addr,
         workers: threads,
         queue_capacity: queue,
-        queue_depth: AtomicI64::new(0),
-        shed: AtomicU64::new(0),
+        obs,
+        catalog_stats,
         inflight: Mutex::new(BTreeSet::new()),
         read_timeout_ms: cfg.read_timeout_ms,
         idle_timeout_ms: cfg.idle_timeout_ms,
@@ -299,7 +345,7 @@ fn acceptor_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, state: &Sta
                 }
                 match tx.try_send(stream) {
                     Ok(()) => {
-                        state.queue_depth.fetch_add(1, Ordering::SeqCst);
+                        state.obs.queue_depth.add(1);
                     }
                     // Every worker is busy and the queue is at capacity:
                     // shed with an explicit retryable error instead of
@@ -326,7 +372,11 @@ fn acceptor_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, state: &Sta
 /// on the acceptor thread, so the write carries a short timeout — a peer
 /// that never reads cannot stall admission.
 fn shed_connection(state: &State, mut stream: TcpStream) {
-    state.shed.fetch_add(1, Ordering::SeqCst);
+    state.obs.shed.inc();
+    state.obs.logger.warn(
+        "connection shed: admission queue full",
+        &[("queue_capacity", state.queue_capacity.into())],
+    );
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(std::time::Duration::from_millis(1000)));
     let reply = retryable_error(
@@ -347,8 +397,15 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &Arc<State>) {
         };
         match stream {
             Ok(stream) => {
-                state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                // One coherent transition: a health/metrics probe never
+                // observes the connection in neither the queue nor a
+                // worker (the old two-atomic version had that window).
+                state.obs.registry.coherent(|| {
+                    state.obs.queue_depth.add(-1);
+                    state.obs.active_connections.add(1);
+                });
                 handle_connection(stream, state);
+                state.obs.active_connections.add(-1);
             }
             Err(_) => break, // channel closed: shutdown
         }
@@ -472,31 +529,75 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) {
     }
 }
 
+/// Appends the request's `trace_id` (when the client sent one) to the
+/// response, so concurrent pipelined responses are attributable. Applied
+/// whether or not timings are on — responses stay byte-identical across
+/// the `obs` flag.
+fn echo_trace_id(response: &mut Json, trace_id: Option<&str>) {
+    if let (Json::Obj(members), Some(id)) = (response, trace_id) {
+        members.push(("trace_id".to_string(), Json::Str(id.to_string())));
+    }
+}
+
 /// Parses and dispatches one request line. The dispatch is wrapped in
 /// `catch_unwind` so a bug in an algorithm takes down one request, not a
-/// pool worker.
+/// pool worker. Every path — parse failure included — lands in
+/// [`ServerObs::finish`], so the per-op request/error counters account
+/// for every request line the server ever answered.
 fn respond(state: &Arc<State>, text: &str) -> (Json, bool) {
-    let doc = match Json::parse(text) {
-        Ok(doc) => doc,
-        Err(e) => return (error_response(&format!("parse: {e}")), false),
+    let obs = &state.obs;
+    let start = obs.start();
+    let trace = obs.trace();
+    let parsed = {
+        let _span = trace.as_ref().map(|t| t.span("parse"));
+        Json::parse(text)
     };
-    let op = doc.get("op").and_then(Json::as_str).unwrap_or_default();
+    let doc = match parsed {
+        Ok(doc) => doc,
+        Err(e) => {
+            let response = error_response(&format!("parse: {e}"));
+            obs.finish(crate::obs::UNKNOWN_OP, false, start, trace.as_ref(), None);
+            return (response, false);
+        }
+    };
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let trace_id = doc
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .map(str::to_string);
     if op == "shutdown" {
-        return (
-            ok_response(vec![("stopping".into(), Json::Bool(true))]),
-            true,
-        );
+        let mut response = ok_response(vec![("stopping".into(), Json::Bool(true))]);
+        echo_trace_id(&mut response, trace_id.as_deref());
+        obs.finish(&op, true, start, trace.as_ref(), trace_id.as_deref());
+        return (response, true);
     }
-    let result = catch_unwind(AssertUnwindSafe(|| dispatch(state, op, &doc)));
-    let response = match result {
+    let result = {
+        let _span = trace.as_ref().map(|t| t.span("dispatch"));
+        catch_unwind(AssertUnwindSafe(|| {
+            dispatch(state, &op, &doc, trace.as_ref())
+        }))
+    };
+    let mut response = match result {
         Ok(Ok(response)) => response,
         Ok(Err(message)) => error_response(&message),
         Err(_) => error_response("internal error while handling the request"),
     };
+    let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
+    echo_trace_id(&mut response, trace_id.as_deref());
+    obs.finish(&op, ok, start, trace.as_ref(), trace_id.as_deref());
     (response, false)
 }
 
-fn dispatch(state: &Arc<State>, op: &str, doc: &Json) -> Result<Json, String> {
+fn dispatch(
+    state: &Arc<State>,
+    op: &str,
+    doc: &Json,
+    trace: Option<&Trace>,
+) -> Result<Json, String> {
     match op {
         "ping" => Ok(ok_response(vec![("pong".into(), Json::Bool(true))])),
         "datasets" => {
@@ -518,8 +619,8 @@ fn dispatch(state: &Arc<State>, op: &str, doc: &Json) -> Result<Json, String> {
             }
             Ok(ok_response(members))
         }
-        "publish" => publish(state, doc),
-        "count" => count(state, doc),
+        "publish" => publish(state, doc, trace),
+        "count" => count(state, doc, trace),
         "audit" => {
             let handle = doc
                 .get("handle")
@@ -534,9 +635,10 @@ fn dispatch(state: &Arc<State>, op: &str, doc: &Json) -> Result<Json, String> {
         }
         "verify" => verify(state, doc),
         "health" => Ok(health(state)),
+        "metrics" => Ok(metrics(state)),
         other => Err(format!(
             "unknown op `{other}` (expected ping | datasets | publish | count | audit | verify \
-             | health | shutdown)"
+             | health | metrics | shutdown)"
         )),
     }
 }
@@ -547,8 +649,16 @@ fn dispatch(state: &Arc<State>, op: &str, doc: &Json) -> Result<Json, String> {
 /// count, the effective timeout settings, whether catalogs are enabled,
 /// and the result-cache gauges (capacity/size/hits/misses). Never touches
 /// an artifact, so it stays cheap under load.
+///
+/// All dynamic gauges come from **one** [`MetricsRegistry::snapshot`],
+/// taken under the registry lock that paired transitions (queue → worker
+/// handoff, cache stat mirroring) also hold — a probe can no longer catch
+/// a connection in neither the queue nor a worker, which the old
+/// per-atomic assembly allowed.
 fn health(state: &Arc<State>) -> Json {
-    let store_degraded = state.store.as_ref().is_some_and(ArtifactStore::degraded);
+    let snap = state.obs.registry.snapshot();
+    let gauge = |name: &str| snap.gauge(name).unwrap_or(0).max(0) as f64;
+    let store_degraded = snap.gauge("store_degraded").unwrap_or(0) == 1 && state.store.is_some();
     let status = if store_degraded { "degraded" } else { "ok" };
     let mut members = vec![
         ("status".to_string(), Json::Str(status.into())),
@@ -557,17 +667,18 @@ fn health(state: &Arc<State>) -> Json {
             "queue_capacity".to_string(),
             Json::Num(state.queue_capacity as f64),
         ),
+        ("queue_depth".to_string(), Json::Num(gauge("queue_depth"))),
         (
-            "queue_depth".to_string(),
-            Json::Num(state.queue_depth.load(Ordering::SeqCst).max(0) as f64),
+            "active_connections".to_string(),
+            Json::Num(gauge("active_connections")),
         ),
         (
             "shed".to_string(),
-            Json::Num(state.shed.load(Ordering::SeqCst) as f64),
+            Json::Num(snap.counter("shed_total").unwrap_or(0) as f64),
         ),
         (
             "artifacts".to_string(),
-            Json::Num(state.artifacts.keys().len() as f64),
+            Json::Num(gauge("artifacts_resident")),
         ),
         (
             "read_timeout_ms".to_string(),
@@ -586,42 +697,88 @@ fn health(state: &Arc<State>) -> Json {
             Json::Num(state.request_timeout_ms as f64),
         ),
         ("catalog".to_string(), Json::Bool(state.catalog)),
-    ];
-    let cache = state.results.stats();
-    members.extend([
         (
             "result_cache_capacity".to_string(),
             Json::Num(state.results.capacity() as f64),
         ),
-        ("result_cache_size".to_string(), Json::Num(cache.len as f64)),
+        (
+            "result_cache_size".to_string(),
+            Json::Num(gauge("result_cache_size")),
+        ),
         (
             "result_cache_hits".to_string(),
-            Json::Num(cache.hits as f64),
+            Json::Num(gauge("result_cache_hits")),
         ),
         (
             "result_cache_misses".to_string(),
-            Json::Num(cache.misses as f64),
+            Json::Num(gauge("result_cache_misses")),
         ),
-    ]);
+    ];
     match &state.store {
         None => members.push(("store".to_string(), Json::Str("none".into()))),
-        Some(store) => {
-            let store_status = if store.degraded() { "degraded" } else { "ok" };
+        Some(_) => {
+            let store_status = if store_degraded { "degraded" } else { "ok" };
             members.push(("store".to_string(), Json::Str(store_status.into())));
-            members.push((
-                "stored".to_string(),
-                Json::Num(store.handles().len() as f64),
-            ));
+            members.push(("stored".to_string(), Json::Num(gauge("store_artifacts"))));
             members.push((
                 "write_failures".to_string(),
-                Json::Num(store.write_failures() as f64),
+                Json::Num(gauge("store_write_failures")),
             ));
         }
     }
     ok_response(members)
 }
 
-fn publish(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
+/// The `metrics` op: the full registry snapshot — every counter, gauge,
+/// and latency histogram (count / sum / p50 / p99 / p999 nanoseconds) —
+/// plus the same snapshot rendered as Prometheus exposition text, so
+/// `betalike-client metrics` can feed a scraper directly.
+fn metrics(state: &Arc<State>) -> Json {
+    let snap = state.obs.registry.snapshot();
+    let counters = snap
+        .counters
+        .iter()
+        .map(|(name, v)| (name.clone(), Json::Num(*v as f64)))
+        .collect();
+    let gauges = snap
+        .gauges
+        .iter()
+        .map(|(name, v)| (name.clone(), Json::Num(*v as f64)))
+        .collect();
+    let histograms = snap
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            let (p50, p99, p999) = h.p50_p99_p999();
+            (
+                name.clone(),
+                Json::Obj(vec![
+                    ("count".to_string(), Json::Num(h.count() as f64)),
+                    ("sum_ns".to_string(), Json::Num(h.sum() as f64)),
+                    ("p50_ns".to_string(), Json::Num(p50 as f64)),
+                    ("p99_ns".to_string(), Json::Num(p99 as f64)),
+                    ("p999_ns".to_string(), Json::Num(p999 as f64)),
+                ]),
+            )
+        })
+        .collect();
+    ok_response(vec![
+        ("obs".to_string(), Json::Bool(state.obs.timings)),
+        ("counters".to_string(), Json::Obj(counters)),
+        ("gauges".to_string(), Json::Obj(gauges)),
+        ("histograms".to_string(), Json::Obj(histograms)),
+        ("prometheus".to_string(), Json::Str(snap.to_prometheus())),
+    ])
+}
+
+/// Mirrors the resident-artifact cache size into its gauge; call after
+/// any `artifacts.get_or_init`.
+fn sync_artifacts(state: &Arc<State>) {
+    let len = state.artifacts.keys().len().min(i64::MAX as usize) as i64;
+    state.obs.artifacts_resident.set(len);
+}
+
+fn publish(state: &Arc<State>, doc: &Json, trace: Option<&Trace>) -> Result<Json, String> {
     let request = PublishRequest::from_json(doc)?;
     let deadline_ms = match doc.get("deadline_ms") {
         None => None,
@@ -659,14 +816,26 @@ fn publish(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
         return publish_with_deadline(state, request, handle, ms);
     }
     let mut fresh = false;
-    let artifact = state.artifacts.get_or_init(&handle, || {
-        fresh = true;
-        Artifact::publish_opt(&state.registry, &request, state.catalog)
-    })?;
+    let artifact = {
+        let _span = trace.map(|t| t.span("publish.compute"));
+        state.artifacts.get_or_init(&handle, || {
+            fresh = true;
+            Artifact::publish_with(
+                &state.registry,
+                &request,
+                state.catalog,
+                Some(state.catalog_stats.clone()),
+            )
+        })
+    };
+    sync_artifacts(state);
+    let artifact = artifact?;
     if fresh {
         // A fresh compute may follow a quarantine of the same handle:
         // cached count responses for the old artifact must not survive it.
         state.results.invalidate(&handle);
+        state.obs.sync_cache(&state.results.stats());
+        let _span = trace.map(|t| t.span("publish.persist"));
         persist(state, &artifact);
     }
     Ok(publish_ack(state, &request, handle, &artifact, fresh))
@@ -699,17 +868,27 @@ fn publish_with_deadline(
                 let mut fresh = false;
                 let computed = state.artifacts.get_or_init(&handle, || {
                     fresh = true;
-                    Artifact::publish_opt(&state.registry, &request, state.catalog)
+                    Artifact::publish_with(
+                        &state.registry,
+                        &request,
+                        state.catalog,
+                        Some(state.catalog_stats.clone()),
+                    )
                 });
+                sync_artifacts(&state);
                 if fresh {
                     state.results.invalidate(&handle);
+                    state.obs.sync_cache(&state.results.stats());
                     if let Ok(artifact) = &computed {
                         persist(&state, artifact);
                     }
                 }
             }));
             if run.is_err() {
-                eprintln!("betalike-serve: background publish of `{handle}` panicked");
+                state.obs.logger.error(
+                    "background publish panicked",
+                    &[("handle", handle.as_str().into())],
+                );
             }
             let mut inflight = state.inflight.lock().unwrap_or_else(|e| e.into_inner());
             inflight.remove(&handle);
@@ -783,9 +962,12 @@ fn persist(state: &Arc<State>, artifact: &Arc<Artifact>) {
     };
     let snap = crate::persist::snapshot(artifact);
     if let Err(e) = store.save(&snap) {
-        eprintln!(
-            "betalike-serve: failed to persist `{}`: {e}",
-            artifact.handle
+        state.obs.logger.error(
+            "failed to persist artifact",
+            &[
+                ("handle", artifact.handle.as_str().into()),
+                ("error", e.to_string().into()),
+            ],
         );
     }
 }
@@ -824,9 +1006,12 @@ fn verify(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
     Ok(ok_response(members))
 }
 
-fn count(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
+fn count(state: &Arc<State>, doc: &Json, trace: Option<&Trace>) -> Result<Json, String> {
     let request = CountRequest::from_json(doc)?;
-    let artifact = lookup(state, &request.handle)?;
+    let artifact = {
+        let _span = trace.map(|t| t.span("count.lookup"));
+        lookup(state, &request.handle)?
+    };
     validate_preds(&artifact, &request)?;
     // Deterministic artifact + deterministic estimators ⇒ the response is
     // a pure function of the key; a cache hit replays the exact document
@@ -839,7 +1024,9 @@ fn count(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
         request.sa_hi,
         request.exact,
     );
-    if let Some(cached) = state.results.get(&key) {
+    let cached = state.results.get(&key);
+    state.obs.sync_cache(&state.results.stats());
+    if let Some(cached) = cached {
         return Ok(cached);
     }
     let query = AggQuery {
@@ -850,6 +1037,7 @@ fn count(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
             hi: request.sa_hi,
         },
     };
+    let _span = trace.map(|t| t.span("count.answer"));
     let estimate = artifact
         .answerer
         .estimate(&query)
@@ -861,8 +1049,10 @@ fn count(state: &Arc<State>, doc: &Json) -> Result<Json, String> {
             Json::Num(artifact.answerer.exact(&query) as f64),
         ));
     }
+    drop(_span);
     let response = ok_response(members);
     state.results.insert(key, response.clone());
+    state.obs.sync_cache(&state.results.stats());
     Ok(response)
 }
 
@@ -893,17 +1083,24 @@ fn resident_or_stored(state: &Arc<State>, handle: &str) -> Result<Option<Arc<Art
     };
     match store.load(handle) {
         Ok(None) => Ok(None),
-        Ok(Some(snap)) => match crate::persist::restore_opt(snap, state.catalog) {
+        Ok(Some(snap)) => match crate::persist::restore_with(
+            snap,
+            state.catalog,
+            Some(state.catalog_stats.clone()),
+        ) {
             Ok(restored) => {
                 // Racing loaders resolve to one inserted artifact.
-                let artifact = state.artifacts.get_or_init(handle, || Ok(restored))?;
-                Ok(Some(artifact))
+                let artifact = state.artifacts.get_or_init(handle, || Ok(restored));
+                sync_artifacts(state);
+                Ok(Some(artifact?))
             }
             Err(e) => {
                 let _ = store.quarantine(handle);
                 state.results.invalidate(handle);
-                eprintln!(
-                    "betalike-serve: stored artifact `{handle}` failed to restore ({e}); quarantined"
+                state.obs.sync_cache(&state.results.stats());
+                state.obs.logger.error(
+                    "stored artifact failed to restore; quarantined",
+                    &[("handle", handle.into()), ("error", e.as_str().into())],
                 );
                 Err(format!(
                     "stored artifact `{handle}` was unusable and has been quarantined; republish to recompute"
@@ -923,7 +1120,11 @@ fn resident_or_stored(state: &Arc<State>, handle: &str) -> Result<Option<Arc<Art
         Err(e) => {
             let _ = store.quarantine(handle);
             state.results.invalidate(handle);
-            eprintln!("betalike-serve: stored artifact `{handle}` is corrupt ({e}); quarantined");
+            state.obs.sync_cache(&state.results.stats());
+            state.obs.logger.error(
+                "stored artifact is corrupt; quarantined",
+                &[("handle", handle.into()), ("error", e.to_string().into())],
+            );
             Err(format!(
                 "stored artifact `{handle}` was corrupt and has been quarantined; republish to recompute"
             ))

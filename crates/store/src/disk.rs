@@ -31,6 +31,7 @@
 
 use crate::bpub::{publication_from_slice, publication_to_vec, PublicationSnapshot};
 use crate::error::{Result, StoreError};
+use crate::obs::StoreObs;
 use betalike_faults::{RealVfs, Vfs};
 use betalike_microdata::hash::fnv1a64;
 use betalike_microdata::json::Json;
@@ -38,7 +39,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The manifest file name.
 pub const MANIFEST: &str = "MANIFEST";
@@ -160,6 +161,7 @@ pub struct ArtifactStore {
     vfs: Arc<dyn Vfs>,
     entries: Mutex<BTreeMap<String, StoreEntry>>,
     write_failures: AtomicU32,
+    obs: OnceLock<StoreObs>,
 }
 
 impl ArtifactStore {
@@ -284,6 +286,7 @@ impl ArtifactStore {
             vfs,
             entries: Mutex::new(entries),
             write_failures: AtomicU32::new(0),
+            obs: OnceLock::new(),
         };
         store.rewrite_manifest()?;
         Ok((store, quarantined))
@@ -292,6 +295,34 @@ impl ArtifactStore {
     /// The data directory this store lives under.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Attaches observability handles (first caller wins; later calls are
+    /// ignored). Saves, loads and fsyncs are timed from here on, and the
+    /// `store_*` gauges start mirroring manifest size and failure state —
+    /// seeded immediately so a freshly restarted server reports its
+    /// restored artifact count before any traffic.
+    pub fn attach_obs(&self, obs: StoreObs) {
+        let _ = self.obs.set(obs);
+        if let Some(o) = self.obs.get() {
+            o.stored.set(self.len() as i64);
+            o.write_failures.set(i64::from(self.write_failures()));
+            o.degraded.set(i64::from(self.degraded()));
+        }
+    }
+
+    fn obs(&self) -> Option<&StoreObs> {
+        self.obs.get()
+    }
+
+    /// Pushes failure-state gauges after any operation that can move
+    /// them.
+    fn sync_obs_gauges(&self) {
+        if let Some(o) = self.obs() {
+            o.stored.set(self.len() as i64);
+            o.write_failures.set(i64::from(self.write_failures()));
+            o.degraded.set(i64::from(self.degraded()));
+        }
     }
 
     /// All stored handles, sorted.
@@ -349,6 +380,7 @@ impl ArtifactStore {
             .write(site::PROBE_WRITE, &path, b"betalike probe")?;
         self.vfs.remove_file(site::PROBE_REMOVE, &path)?;
         self.write_failures.store(0, Ordering::SeqCst);
+        self.sync_obs_gauges();
         Ok(())
     }
 
@@ -362,6 +394,7 @@ impl ArtifactStore {
     /// Propagates serialization and I/O failures; `Malformed` on a handle
     /// that is not a safe file name.
     pub fn save(&self, snap: &PublicationSnapshot) -> Result<StoreEntry> {
+        let start = self.obs().and_then(StoreObs::start);
         let result = self.save_inner(snap);
         match &result {
             Ok(_) => self.write_failures.store(0, Ordering::SeqCst),
@@ -375,6 +408,10 @@ impl ArtifactStore {
                     });
             }
         }
+        if let Some(o) = self.obs() {
+            o.record_since(&o.save_ns, start);
+        }
+        self.sync_obs_gauges();
         result
     }
 
@@ -390,6 +427,7 @@ impl ArtifactStore {
         };
         write_atomically(
             self.vfs.as_ref(),
+            self.obs(),
             &AtomicWriteSites::ARTIFACT,
             &self.path_of(&handle),
             &bytes,
@@ -415,6 +453,15 @@ impl ArtifactStore {
     /// the BPUB reader's structured errors on parse failure, `Malformed`
     /// if the decoded document claims a different handle.
     pub fn load(&self, handle: &str) -> Result<Option<PublicationSnapshot>> {
+        let start = self.obs().and_then(StoreObs::start);
+        let result = self.load_inner(handle);
+        if let Some(o) = self.obs() {
+            o.record_since(&o.load_ns, start);
+        }
+        result
+    }
+
+    fn load_inner(&self, handle: &str) -> Result<Option<PublicationSnapshot>> {
         let Some(entry) = self.entry(handle) else {
             return Ok(None);
         };
@@ -454,6 +501,12 @@ impl ArtifactStore {
         if removed {
             self.rewrite_manifest()?;
         }
+        if removed || moved {
+            if let Some(o) = self.obs() {
+                o.quarantines.inc();
+            }
+            self.sync_obs_gauges();
+        }
         Ok(removed || moved)
     }
 
@@ -471,6 +524,7 @@ impl ArtifactStore {
         }
         if removed {
             self.rewrite_manifest()?;
+            self.sync_obs_gauges();
         }
         Ok(removed)
     }
@@ -524,6 +578,7 @@ impl ArtifactStore {
         ]);
         write_atomically(
             self.vfs.as_ref(),
+            self.obs(),
             &AtomicWriteSites::MANIFEST,
             &self.root.join(MANIFEST),
             (doc.pretty() + "\n").as_bytes(),
@@ -617,18 +672,29 @@ impl AtomicWriteSites {
 
 /// Temp-file-then-rename write with a trailing directory fsync: readers
 /// never observe a torn file, and the rename itself survives a crash.
+/// Each fsync is individually timed into `obs` when handles are attached
+/// (no new [`Vfs`] sites — the timing wraps the existing calls).
 fn write_atomically(
     vfs: &dyn Vfs,
+    obs: Option<&StoreObs>,
     sites: &AtomicWriteSites,
     path: &Path,
     bytes: &[u8],
 ) -> Result<()> {
+    let timed_fsync = |site: &'static str, target: &Path| -> io::Result<()> {
+        let start = obs.and_then(StoreObs::start);
+        let result = vfs.fsync(site, target);
+        if let Some(o) = obs {
+            o.record_since(&o.fsync_ns, start);
+        }
+        result
+    };
     let tmp = path.with_extension("tmp");
     vfs.write(sites.write, &tmp, bytes)?;
-    vfs.fsync(sites.fsync_tmp, &tmp)?;
+    timed_fsync(sites.fsync_tmp, &tmp)?;
     vfs.rename(sites.rename, &tmp, path)?;
     if let Some(parent) = path.parent() {
-        vfs.fsync(sites.fsync_dir, parent)?;
+        timed_fsync(sites.fsync_dir, parent)?;
     }
     Ok(())
 }

@@ -44,6 +44,7 @@ pub mod btbl;
 pub mod codec;
 pub mod disk;
 pub mod error;
+pub mod obs;
 
 pub use bpub::{
     publication_from_slice, publication_to_vec, CatalogSnapshot, FormSnapshot, PubParams,
@@ -52,3 +53,4 @@ pub use bpub::{
 pub use btbl::{table_from_slice, table_to_vec};
 pub use disk::{ArtifactStore, StoreEntry};
 pub use error::{Result, StoreError};
+pub use obs::StoreObs;
