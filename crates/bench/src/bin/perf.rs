@@ -57,6 +57,13 @@
 //! two in-process servers, timings on vs `obs: false`, with the
 //! fractional overhead asserted ≤ 5% by the schema checker.
 //!
+//! Since PR 9 the serve section also carries `pipeline` points: one
+//! client pipelining batches of depth 1 and 32 against each server core
+//! (`--event-loops` event-driven vs threaded), recording batch-amortized
+//! per-request latency quantiles. The schema checker holds the event
+//! core's p99 at depth 32 to be no worse than the threaded core's p99 at
+//! depth 1 — the amortization claim of DESIGN.md §15, as a gate.
+//!
 //! ```text
 //! cargo run --release -p betalike-bench --bin perf -- --rows 200000
 //! cargo run --release -p betalike-bench --bin perf -- smoke --out perf-smoke.json
@@ -79,7 +86,7 @@
 //!   before uploading it.
 //!
 //! `--rows N` replaces the default 10k/50k/200k grid with the single size
-//! N; `--out FILE` overrides the default `BENCH_8.json`.
+//! N; `--out FILE` overrides the default `BENCH_9.json`.
 
 use betalike::bucketize::dp_partition;
 use betalike::burel::rows_per_bucket;
@@ -125,7 +132,7 @@ fn main() {
         .extra
         .get("out")
         .cloned()
-        .unwrap_or_else(|| "BENCH_8.json".into());
+        .unwrap_or_else(|| "BENCH_9.json".into());
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     // On a single-core host 4 threads still exercise the pool (and honestly
     // record the oversubscription cost); on real hardware N = all cores.
@@ -347,6 +354,58 @@ fn check_schema(doc: &Json) -> Result<String, String> {
                      are not ordered positive latencies"
                 ));
             }
+        }
+    }
+    // Pipelined serve points exist from PR 9 on, and carry the event
+    // core's acceptance gate: batch-amortized p99 at depth 32 must be no
+    // worse than the threaded core's p99 at depth 1 — pipelining that
+    // fails to amortize latency is a regression, not a feature.
+    if pr >= 9.0 {
+        let pipeline = serve
+            .get("pipeline")
+            .and_then(Json::as_arr)
+            .ok_or("serve: missing array `pipeline` (required from pr 9 on)")?;
+        let mut threaded_d1_p99 = None;
+        let mut event_d32_p99 = None;
+        for (i, p) in pipeline.iter().enumerate() {
+            let ctx = |e: String| format!("serve.pipeline[{i}]: {e}");
+            let mode = text(p, "mode").map_err(ctx)?;
+            if mode != "threaded" && mode != "event" {
+                return Err(format!(
+                    "serve.pipeline[{i}]: mode `{mode}` is neither `threaded` nor `event`"
+                ));
+            }
+            let depth = num(p, "depth").map_err(ctx)?;
+            num(p, "total_queries").map_err(ctx)?;
+            num(p, "secs").map_err(ctx)?;
+            let qps = num(p, "qps").map_err(ctx)?;
+            if !qps.is_finite() || qps <= 0.0 {
+                return Err(format!("serve.pipeline[{i}]: qps = {qps} is not > 0"));
+            }
+            let p50 = num(p, "p50_ms").map_err(ctx)?;
+            let p99 = num(p, "p99_ms").map_err(ctx)?;
+            let p999 = num(p, "p999_ms").map_err(ctx)?;
+            if !p50.is_finite() || p50 <= 0.0 || p50 > p99 || p99 > p999 {
+                return Err(format!(
+                    "serve.pipeline[{i}]: p50_ms = {p50} / p99_ms = {p99} / p999_ms = {p999} \
+                     are not ordered positive latencies"
+                ));
+            }
+            if mode == "threaded" && depth == 1.0 {
+                threaded_d1_p99 = Some(p99);
+            }
+            if mode == "event" && depth == 32.0 {
+                event_d32_p99 = Some(p99);
+            }
+        }
+        let threaded =
+            threaded_d1_p99.ok_or("serve.pipeline: missing the threaded depth-1 baseline point")?;
+        let event = event_d32_p99.ok_or("serve.pipeline: missing the event depth-32 point")?;
+        if event > threaded {
+            return Err(format!(
+                "serve.pipeline: event-core p99 at depth 32 ({event} ms) exceeds the \
+                 threaded-core p99 at depth 1 ({threaded} ms) — pipelining must amortize"
+            ));
         }
     }
     // The `store` section exists from PR 4 on; earlier committed
@@ -662,11 +721,31 @@ struct ServePoint {
     p999_ms: f64,
 }
 
+/// One pipelined serving point: a single client writing `depth` requests
+/// per batch before reading any response, against one of the two server
+/// cores. `p*_ms` are batch-amortized per-request latencies
+/// (`batch_elapsed / batch_len`), the quantity pipelining improves.
+struct PipelinePoint {
+    /// `"threaded"` or `"event"` — which core served the workload.
+    mode: &'static str,
+    depth: usize,
+    total_queries: usize,
+    secs: f64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+}
+
 /// The serve-throughput section of the trajectory document.
 struct ServeMeasurement {
     dataset_rows: usize,
     workload_queries: usize,
     points: Vec<ServePoint>,
+    /// Pipelined points, mode × depth ∈ {1, 32} (PR 9 on). The schema
+    /// checker holds the event core's batch-amortized p99 at depth 32 to
+    /// be no worse than the threaded core's p99 at depth 1.
+    pipeline: Vec<PipelinePoint>,
 }
 
 /// Publishes one BUREL artifact on an in-process `betalike-server` and
@@ -769,11 +848,68 @@ fn measure_serve(rows: usize, num_queries: usize, client_counts: &[usize]) -> Se
             p999_ms: p999 as f64 / 1e6,
         });
     }
+    // Pipelined points: one client, batches of `depth` requests written
+    // before any response is read, batch-amortized per-request latency.
+    // The threaded core serves pipelined batches serially (requests are
+    // answered one line at a time), so its depth-1 point is the baseline
+    // the event core's depth-32 point is held against.
+    let mut pipeline = Vec::new();
+    let measure_pipelined = |addr: std::net::SocketAddr, mode: &'static str, depth: usize| {
+        let latency = betalike_obs::Histogram::new();
+        let mut client = Client::connect(addr).expect("connect pipelined");
+        let (_, elapsed) = betalike_bench::time_it(|| {
+            for batch in lines.chunks(depth) {
+                let t0 = std::time::Instant::now();
+                let responses = client.pipeline_raw(batch).expect("pipelined batch");
+                let amortized = t0.elapsed().as_nanos() as u64 / batch.len() as u64;
+                for response in &responses {
+                    latency.record(amortized);
+                    assert!(
+                        response.contains("\"ok\":true"),
+                        "served error during pipelined perf: {response}"
+                    );
+                }
+            }
+        });
+        let secs = elapsed.as_secs_f64();
+        let (p50, p99, p999) = latency.snapshot().p50_p99_p999();
+        PipelinePoint {
+            mode,
+            depth,
+            total_queries: lines.len(),
+            secs,
+            qps: lines.len() as f64 / secs.max(1e-12),
+            p50_ms: p50 as f64 / 1e6,
+            p99_ms: p99 as f64 / 1e6,
+            p999_ms: p999 as f64 / 1e6,
+        }
+    };
+    for depth in [1, 32] {
+        pipeline.push(measure_pipelined(addr, "threaded", depth));
+    }
     server.shutdown_and_join();
+
+    let event_server = serve(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        event_loops: 2,
+        ..Default::default()
+    })
+    .expect("bind the event core");
+    {
+        let mut client = Client::connect(event_server.addr()).expect("connect");
+        client.publish(&request).expect("publish on the event core");
+    }
+    for depth in [1, 32] {
+        pipeline.push(measure_pipelined(event_server.addr(), "event", depth));
+    }
+    event_server.shutdown_and_join();
+
     ServeMeasurement {
         dataset_rows: rows,
         workload_queries: num_queries,
         points,
+        pipeline,
     }
 }
 
@@ -1607,6 +1743,37 @@ fn print_serve(serve: &ServeMeasurement) {
         &rows,
     );
     println!();
+    println!("pipelined (1 client, batch-amortized per-request latency):");
+    let rows: Vec<Vec<String>> = serve
+        .pipeline
+        .iter()
+        .map(|p| {
+            vec![
+                p.mode.to_string(),
+                p.depth.to_string(),
+                p.total_queries.to_string(),
+                secs(Duration::from_secs_f64(p.secs)),
+                format!("{:.0}", p.qps),
+                format!("{:.3}", p.p50_ms),
+                format!("{:.3}", p.p99_ms),
+                format!("{:.3}", p.p999_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "core",
+            "depth",
+            "queries",
+            "secs",
+            "queries/sec",
+            "p50 ms",
+            "p99 ms",
+            "p99.9 ms",
+        ],
+        &rows,
+    );
+    println!();
 }
 
 /// Prints the observability-overhead comparison.
@@ -1712,6 +1879,22 @@ fn to_json(
             ])
         })
         .collect();
+    let pipeline_points: Vec<Json> = serve
+        .pipeline
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("mode".into(), Json::Str(p.mode.into())),
+                ("depth".into(), Json::Num(p.depth as f64)),
+                ("total_queries".into(), Json::Num(p.total_queries as f64)),
+                ("secs".into(), Json::Num(p.secs)),
+                ("qps".into(), Json::Num(p.qps)),
+                ("p50_ms".into(), Json::Num(p.p50_ms)),
+                ("p99_ms".into(), Json::Num(p.p99_ms)),
+                ("p999_ms".into(), Json::Num(p.p999_ms)),
+            ])
+        })
+        .collect();
     let store_points: Vec<Json> = store
         .iter()
         .map(|p| {
@@ -1805,7 +1988,7 @@ fn to_json(
         ));
     }
     let mut members = vec![
-        ("pr".into(), Json::Num(8.0)),
+        ("pr".into(), Json::Num(9.0)),
         ("harness".into(), Json::Str("perf".into())),
         ("dataset".into(), Json::Str("CENSUS (synthetic)".into())),
         ("beta".into(), Json::Num(BETA)),
@@ -1827,6 +2010,7 @@ fn to_json(
                 ),
                 ("algo".into(), Json::Str("burel".into())),
                 ("clients".into(), Json::Arr(serve_points)),
+                ("pipeline".into(), Json::Arr(pipeline_points)),
             ]),
         ),
         (

@@ -29,6 +29,15 @@
 //!                              computation done in-process; non-zero exit
 //!                              on any mismatch (the CI server-smoke step),
 //!                              naming the op that failed
+//!   pipeline                   write a batch of requests without waiting
+//!     [--depth N]              (depth per connection, default 32) and
+//!     [--clients N]            assert the pipelined responses are
+//!                              byte-identical to a serial connection's,
+//!                              arrive in request order, and pair 1:1 by
+//!                              `trace_id`; `--clients` runs N such
+//!                              connections concurrently (default 1) —
+//!                              the CI pipeline-stress step. See
+//!                              docs/WIRE.md "Pipelining".
 //!   shutdown                   stop the server
 //!
 //! `--retries N` re-runs a command up to N extra times when the failure is
@@ -197,7 +206,7 @@ impl Args {
 /// command is a usage error regardless of whether a server is reachable.
 const COMMANDS: &[&str] = &[
     "ping", "datasets", "publish", "count", "audit", "verify", "health", "metrics", "smoke",
-    "shutdown",
+    "pipeline", "shutdown",
 ];
 
 /// Dials `addr` and runs one command attempt per fresh connection,
@@ -335,6 +344,14 @@ fn run() -> Result<(), Failure> {
             let rows = args.num("rows", 2_000usize).map_err(Failure::usage)?;
             attempt(addr, &policy, |client| smoke(client, rows))
         }
+        "pipeline" => {
+            let depth = args.num("depth", 32usize).map_err(Failure::usage)?;
+            let clients = args.num("clients", 1usize).map_err(Failure::usage)?;
+            if depth == 0 || clients == 0 {
+                return Err(Failure::usage("--depth and --clients must be at least 1"));
+            }
+            pipeline_stress(addr, depth, clients)
+        }
         "shutdown" => attempt(addr, &policy, |client| {
             client.shutdown_server().map_err(op_failed("shutdown"))?;
             println!("server stopping");
@@ -343,6 +360,83 @@ fn run() -> Result<(), Failure> {
         // Unreachable: the command was validated against COMMANDS above.
         other => Err(Failure::usage(format!("unknown command `{other}`"))),
     }
+}
+
+/// The deterministic request mix one pipelined connection sends: pings,
+/// `datasets` listings, and a `count` against an unknown handle (a
+/// deterministic *error* response, so ordering is checked across the
+/// error path too), each tagged with a unique `trace_id`.
+fn pipeline_requests(client_id: usize, depth: usize) -> Vec<String> {
+    (0..depth)
+        .map(|i| {
+            let trace = format!("c{client_id}-{i}");
+            match i % 3 {
+                0 => format!("{{\"op\":\"ping\",\"trace_id\":\"{trace}\"}}"),
+                1 => format!("{{\"op\":\"datasets\",\"trace_id\":\"{trace}\"}}"),
+                _ => format!(
+                    "{{\"op\":\"count\",\"handle\":\"no-such-handle\",\
+                     \"sa\":{{\"lo\":0,\"hi\":1}},\"trace_id\":\"{trace}\"}}"
+                ),
+            }
+        })
+        .collect()
+}
+
+/// One connection's pipelining check: the batch of `depth` requests is
+/// first answered serially (one call, one read) for a reference
+/// transcript, then written all at once — the responses must come back
+/// byte-identical, in request order, each echoing its request's
+/// `trace_id`.
+fn pipeline_once(addr: &str, client_id: usize, depth: usize) -> Result<(), Failure> {
+    let lines = pipeline_requests(client_id, depth);
+    let mut serial =
+        Client::connect(addr).map_err(|e| Failure::from(format!("connect {addr}: {e}")))?;
+    let mut reference = Vec::with_capacity(depth);
+    for line in &lines {
+        reference.push(serial.call_raw(line).map_err(|e| {
+            Failure::from(format!("client {client_id}: serial reference failed: {e}"))
+        })?);
+    }
+    let mut piped =
+        Client::connect(addr).map_err(|e| Failure::from(format!("connect {addr}: {e}")))?;
+    let answers = piped
+        .pipeline_raw(&lines)
+        .map_err(|e| Failure::from(format!("client {client_id}: pipelined batch failed: {e}")))?;
+    for (i, (got, want)) in answers.iter().zip(&reference).enumerate() {
+        if got != want {
+            return Err(Failure::from(format!(
+                "client {client_id}: response {i} diverged from the serial transcript:\n  \
+                 pipelined: {got}\n  serial:    {want}"
+            )));
+        }
+        let trace = Json::parse(got)
+            .ok()
+            .and_then(|doc| doc.get("trace_id").and_then(Json::as_str).map(String::from))
+            .unwrap_or_default();
+        let expected = format!("c{client_id}-{i}");
+        if trace != expected {
+            return Err(Failure::from(format!(
+                "client {client_id}: response {i} echoes trace_id `{trace}`, expected \
+                 `{expected}` — responses are out of request order"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// `clients` concurrent connections, each pipelining `depth` requests
+/// and checking its own transcript — the CI pipeline-stress workload.
+/// Concurrency goes through the workspace pool (one worker per client)
+/// so thread creation stays centrally controlled.
+fn pipeline_stress(addr: &str, depth: usize, clients: usize) -> Result<(), Failure> {
+    mini_rayon::set_threads(clients.clamp(1, 64));
+    let ids: Vec<usize> = (0..clients).collect();
+    let results = mini_rayon::par_map(&ids, |&id| pipeline_once(addr, id, depth));
+    if let Some(first) = results.into_iter().find_map(Result::err) {
+        return Err(first);
+    }
+    println!("PIPELINE OK: {clients} clients x depth {depth} byte-identical and in order");
+    Ok(())
 }
 
 fn publish_request(args: &Args) -> Result<PublishRequest, String> {
@@ -569,7 +663,7 @@ mod tests {
         for cmd in COMMANDS {
             assert!([
                 "ping", "datasets", "publish", "count", "audit", "verify", "health", "metrics",
-                "smoke", "shutdown"
+                "smoke", "pipeline", "shutdown"
             ]
             .contains(cmd));
         }

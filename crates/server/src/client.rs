@@ -181,6 +181,53 @@ impl Client {
         Ok(response.trim_end_matches(['\n', '\r']).to_string())
     }
 
+    /// *Pipelines* a batch: writes every request line up front, then
+    /// reads exactly one response line per request, in order. Against an
+    /// event-driven server (`--event-loops`) the requests are serviced
+    /// concurrently while responses still come back in request order
+    /// (DESIGN.md §15); against a threaded server this degrades
+    /// gracefully to serial service over one round trip. Response lines
+    /// are returned raw (no trailing newline), so byte-identity tests
+    /// can compare them against [`Client::call_raw`] transcripts.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call_raw`]: I/O failures, and a connection closed
+    /// before all responses arrived is `UnexpectedEof` (responses that
+    /// did arrive are lost to the caller — pipelining is all-or-nothing).
+    pub fn pipeline_raw(&mut self, lines: &[String]) -> std::io::Result<Vec<String>> {
+        let mut batch = String::new();
+        for line in lines {
+            batch.push_str(line);
+            batch.push('\n');
+        }
+        self.writer.write_all(batch.as_bytes())?;
+        self.writer.flush()?;
+        let mut responses = Vec::with_capacity(lines.len());
+        for _ in 0..lines.len() {
+            let mut response = String::new();
+            let n = self.reader.read_line(&mut response)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "server closed the connection after {} of {} pipelined responses",
+                        responses.len(),
+                        lines.len()
+                    ),
+                ));
+            }
+            if !response.ends_with('\n') {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                ));
+            }
+            responses.push(response.trim_end_matches(['\n', '\r']).to_string());
+        }
+        Ok(responses)
+    }
+
     /// Sends one request document and returns the parsed `ok: true`
     /// response.
     ///

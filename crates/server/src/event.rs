@@ -1,0 +1,561 @@
+//! The event-driven server core: N readiness loops multiplexing
+//! non-blocking connections, with compute handed off to a worker pool.
+//!
+//! Enabled by [`crate::ServerConfig::event_loops`] > 0 (DESIGN.md §15).
+//! Each loop owns a [`mini_poll::Poller`], a dup of the shared listener
+//! (accept is *sharded*: every loop polls the listener and races
+//! `accept`, so connections spread across loops without a coordinator),
+//! and the [`Conn`] state machines of the connections it admitted. The
+//! loop never computes: every framed request is sent over an in-process
+//! queue to `threads` compute workers, which run the same
+//! [`crate::server::respond`] dispatch the threaded core uses — deadline
+//! publishes, degraded-store refusals, `catch_unwind`, and per-op
+//! accounting behave identically — and post the response to the owning
+//! loop's completion queue, waking it through a [`mini_poll::Waker`]. A
+//! loop blocked on a cold artifact is therefore impossible by
+//! construction, and clients may **pipeline**: many requests written
+//! without waiting, responses returned strictly in request order because
+//! [`Conn`] files each completion into its arrival-ordered slot.
+//!
+//! # Admission, backpressure, and overload parity
+//!
+//! The threaded core bounds concurrently open connections at
+//! `workers + queue` (sticky workers plus the bounded channel). This
+//! core enforces the *same* cap with a shared counter: an arrival beyond
+//! it is refused through the identical [`crate::server::shed_connection`]
+//! path — same retryable `overloaded` line, same `shed_total` counter —
+//! so the overload suite's "exactly N − workers − queue refusals"
+//! arithmetic holds for either core. Within one connection, at most
+//! [`MAX_PIPELINE_INFLIGHT`] requests may be dispatched-but-unanswered;
+//! past that the loop parks the socket at [`Interest::NONE`] and lets
+//! TCP flow control push back on the sender.
+//!
+//! The `queue_depth` gauge reports compute jobs queued for a worker (the
+//! analogue of connections waiting for a sticky worker), and each loop
+//! exports `loop_<i>_connections` / `loop_<i>_accepted` so a `metrics`
+//! scrape can see the accept shards stay balanced and sum to
+//! `active_connections` / `accepted_total`.
+//!
+//! Idle and mid-request timeouts reuse the threaded semantics (silent
+//! close / one retryable `deadline` error) but are measured against
+//! [`crate::obs::ServerObs::clock`] — the workspace's clock seam — at
+//! the read-tick resolution the poll timeout provides. Shutdown mirrors
+//! the threaded core: the flag is observed within one tick (the
+//! loopback poke also wakes every loop, since all of them poll the
+//! listener), loops drop their connections and exit, and the compute
+//! channel's closure retires the workers.
+
+use crate::conn::{Conn, FramedRequest};
+use crate::server::{initiate_shutdown, respond, shed_connection, State, DEFAULT_READ_TIMEOUT_MS};
+use crate::wire::{retryable_error, ERR_DEADLINE};
+use betalike_obs::{Counter, Gauge};
+use mini_poll::{Event, Interest, Poller, Waker};
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Per-connection pipelining bound: requests dispatched to compute but
+/// not yet answered. At the bound the loop stops reading the socket
+/// (TCP flow control backpressures the sender) until completions drain.
+pub const MAX_PIPELINE_INFLIGHT: usize = 64;
+
+/// Poller token of the (shared) listener in every loop.
+const TOKEN_LISTENER: u64 = 0;
+/// Poller token of the loop's waker pipe.
+const TOKEN_WAKER: u64 = 1;
+/// First token handed to an accepted connection.
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Reads drained from one socket per readiness event before yielding to
+/// the rest of the loop (level-triggered readiness re-reports leftovers).
+const READS_PER_EVENT: usize = 16;
+
+/// One framed request on its way to a compute worker.
+struct Job {
+    loop_id: usize,
+    token: u64,
+    seq: u64,
+    text: String,
+}
+
+/// One response on its way back to the owning loop.
+struct Completion {
+    token: u64,
+    seq: u64,
+    /// The compact response line (no trailing newline).
+    response: String,
+    /// The response acknowledged a `shutdown` request.
+    stop: bool,
+}
+
+/// The half of a loop that compute workers touch: its completion queue
+/// and the waker that interrupts its poll.
+struct LoopShared {
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+/// One admitted connection as the loop sees it.
+struct EvConn {
+    stream: TcpStream,
+    conn: Conn,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Clock reading at the last completed line (or accept) — the idle
+    /// timer's anchor.
+    last_line_ns: u64,
+    /// Clock reading when the current partial line started, if one is in
+    /// progress — the request timer's anchor. Deliberately *not*
+    /// refreshed by further partial bytes, matching the threaded core.
+    partial_since_ns: Option<u64>,
+    /// A read or write on the socket failed; close without ceremony.
+    dead: bool,
+}
+
+/// Spawns `loops` event loops plus the compute pool and returns every
+/// thread handle (loops first). The listener is moved in already bound;
+/// this makes it non-blocking and dups it into each loop.
+///
+/// # Errors
+///
+/// Failure to create a poller or waker pipe, to dup the listener, or to
+/// register the initial fds.
+pub(crate) fn spawn_event_core(
+    state: &Arc<State>,
+    listener: TcpListener,
+    loops: usize,
+) -> std::io::Result<Vec<JoinHandle<()>>> {
+    listener.set_nonblocking(true)?;
+    let admitted = Arc::new(AtomicUsize::new(0));
+    let (job_tx, job_rx) = channel::<Job>();
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    // Build every loop's poller/waker/listener-dup up front so a failure
+    // surfaces as a serve() error instead of a dead thread.
+    let mut shared: Vec<Arc<LoopShared>> = Vec::with_capacity(loops);
+    let mut parts: Vec<(Poller, TcpListener)> = Vec::with_capacity(loops);
+    for _ in 0..loops {
+        let waker = Waker::new()?;
+        let dup = listener.try_clone()?;
+        let mut poller = Poller::new()?;
+        poller.register(dup.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.register(waker.fd(), TOKEN_WAKER, Interest::READ)?;
+        shared.push(Arc::new(LoopShared {
+            completions: Mutex::new(Vec::new()),
+            waker,
+        }));
+        parts.push((poller, dup));
+    }
+    let shared = Arc::new(shared);
+    let mut threads: Vec<JoinHandle<()>> = Vec::with_capacity(loops + state.workers);
+    for (id, (poller, dup)) in parts.into_iter().enumerate() {
+        let state = Arc::clone(state);
+        let shared = Arc::clone(&shared);
+        let admitted = Arc::clone(&admitted);
+        let job_tx = job_tx.clone();
+        threads.push(std::thread::spawn(move || {
+            event_loop(id, &state, poller, &dup, &shared, &admitted, &job_tx);
+        }));
+    }
+    drop(job_tx); // workers exit once every loop's clone is gone
+    for _ in 0..state.workers {
+        let state = Arc::clone(state);
+        let job_rx = Arc::clone(&job_rx);
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            compute_loop(&state, &job_rx, &shared);
+        }));
+    }
+    Ok(threads)
+}
+
+/// A compute worker: takes jobs, runs the shared dispatch, posts the
+/// completion to the owning loop, and wakes it.
+fn compute_loop(state: &Arc<State>, rx: &Arc<Mutex<Receiver<Job>>>, loops: &[Arc<LoopShared>]) {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        let Ok(job) = job else {
+            return; // channel closed: every loop exited
+        };
+        state.obs.queue_depth.add(-1);
+        let (response, stop) = respond(state, &job.text);
+        let Some(home) = loops.get(job.loop_id) else {
+            continue;
+        };
+        {
+            let mut queue = home.completions.lock().unwrap_or_else(|e| e.into_inner());
+            queue.push(Completion {
+                token: job.token,
+                seq: job.seq,
+                response: response.compact(),
+                stop,
+            });
+        }
+        home.waker.wake();
+    }
+}
+
+/// The per-loop observability handles.
+struct LoopObs {
+    connections: Arc<Gauge>,
+    accepted: Arc<Counter>,
+    accepted_total: Arc<Counter>,
+}
+
+fn event_loop(
+    id: usize,
+    state: &Arc<State>,
+    mut poller: Poller,
+    listener: &TcpListener,
+    shared: &[Arc<LoopShared>],
+    admitted: &Arc<AtomicUsize>,
+    job_tx: &Sender<Job>,
+) {
+    let Some(home) = shared.get(id) else {
+        return;
+    };
+    let obs = LoopObs {
+        connections: state.obs.registry.gauge(&format!("loop_{id}_connections")),
+        accepted: state.obs.registry.counter(&format!("loop_{id}_accepted")),
+        accepted_total: state.obs.registry.counter("accepted_total"),
+    };
+    let tick_ms = if state.read_timeout_ms == 0 {
+        DEFAULT_READ_TIMEOUT_MS
+    } else {
+        state.read_timeout_ms
+    };
+    let idle_ns = state.idle_timeout_ms.saturating_mul(1_000_000);
+    let request_ns = state.request_timeout_ms.saturating_mul(1_000_000);
+    let mut conns: BTreeMap<u64, EvConn> = BTreeMap::new();
+    let mut next_token = TOKEN_FIRST_CONN;
+    let mut events: Vec<Event> = Vec::new();
+    loop {
+        if poller.wait(&mut events, Some(tick_ms)).is_err() {
+            break;
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let drained: Vec<Event> = std::mem::take(&mut events);
+        for ev in drained {
+            match ev.token {
+                TOKEN_LISTENER => accept_ready(
+                    state,
+                    &mut poller,
+                    listener,
+                    &mut conns,
+                    &mut next_token,
+                    admitted,
+                    &obs,
+                ),
+                TOKEN_WAKER => home.waker.drain(),
+                token => {
+                    if let Some(c) = conns.get_mut(&token) {
+                        if ev.readable || ev.closed {
+                            read_ready(state, c, id, token, job_tx);
+                        }
+                        if ev.writable {
+                            try_flush(c);
+                        }
+                    }
+                }
+            }
+        }
+        let completions = {
+            let mut queue = home.completions.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *queue)
+        };
+        for done in completions {
+            let Some(c) = conns.get_mut(&done.token) else {
+                continue; // the connection died before its answer arrived
+            };
+            c.conn.complete(done.seq, &done.response, done.stop);
+            // Re-anchor the idle timer: the threaded core's idle ticks
+            // start counting after a response is written, not while the
+            // request computes.
+            c.last_line_ns = state.obs.clock.now_ns();
+            if done.stop {
+                // Mirror the threaded core: the shutdown ack must reach
+                // the client before the server starts draining, and a
+                // failed ack write cancels nothing further (the flag is
+                // only raised on a successful flush there too).
+                if flush_blocking(c) {
+                    initiate_shutdown(state);
+                }
+                c.dead = true;
+            }
+        }
+        // Sweep: drain due output, retire finished or dead connections,
+        // track timers, and settle each socket's registered interest.
+        let now_ns = state.obs.clock.now_ns();
+        let mut to_close: Vec<u64> = Vec::new();
+        for (token, c) in conns.iter_mut() {
+            if !c.dead {
+                try_flush(c);
+            }
+            if c.dead || c.conn.wants_close() {
+                to_close.push(*token);
+                continue;
+            }
+            if let Some(since) = c.partial_since_ns {
+                if request_ns != 0 && now_ns.saturating_sub(since) >= request_ns {
+                    let reply = retryable_error(
+                        ERR_DEADLINE,
+                        "request deadline: the line did not complete in time",
+                    );
+                    // Best-effort, like the threaded core's closing write.
+                    let _ = c.stream.write_all((reply.compact() + "\n").as_bytes());
+                    to_close.push(*token);
+                    continue;
+                }
+            } else if idle_ns != 0
+                && c.conn.in_flight() == 0
+                && !c.conn.has_output()
+                && !c.conn.reading_closed()
+                && now_ns.saturating_sub(c.last_line_ns) >= idle_ns
+            {
+                to_close.push(*token); // idle expiry: close silently
+                continue;
+            }
+            let desired = Interest {
+                readable: !c.conn.reading_closed() && c.conn.in_flight() < MAX_PIPELINE_INFLIGHT,
+                writable: c.conn.has_output(),
+            };
+            if desired != c.interest {
+                if poller
+                    .reregister(c.stream.as_raw_fd(), *token, desired)
+                    .is_err()
+                {
+                    to_close.push(*token);
+                    continue;
+                }
+                c.interest = desired;
+            }
+        }
+        for token in to_close {
+            if let Some(c) = conns.remove(&token) {
+                let _ = poller.deregister(c.stream.as_raw_fd());
+                admitted.fetch_sub(1, Ordering::SeqCst);
+                state.obs.registry.coherent(|| {
+                    state.obs.active_connections.add(-1);
+                    obs.connections.add(-1);
+                });
+            }
+        }
+    }
+    // Shutdown (or a broken poller): drop every connection, matching the
+    // threaded workers' silent return. Dropping our job_tx clone (by
+    // returning) lets the compute pool retire once all loops are gone.
+    for (_, c) in conns {
+        let _ = poller.deregister(c.stream.as_raw_fd());
+        admitted.fetch_sub(1, Ordering::SeqCst);
+        state.obs.registry.coherent(|| {
+            state.obs.active_connections.add(-1);
+            obs.connections.add(-1);
+        });
+    }
+}
+
+/// Accepts until the listener would block, admitting up to the shared
+/// `workers + queue` cap and shedding the rest with the canonical
+/// `overloaded` refusal.
+fn accept_ready(
+    state: &Arc<State>,
+    poller: &mut Poller,
+    listener: &TcpListener,
+    conns: &mut BTreeMap<u64, EvConn>,
+    next_token: &mut u64,
+    admitted: &Arc<AtomicUsize>,
+    obs: &LoopObs,
+) {
+    let cap = state.workers + state.queue_capacity;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return; // the poke connection (or late arrival) is dropped
+                }
+                let prev = admitted.fetch_add(1, Ordering::SeqCst);
+                if prev >= cap {
+                    admitted.fetch_sub(1, Ordering::SeqCst);
+                    // Accepted sockets do not inherit the listener's
+                    // non-blocking flag, so the refusal's bounded
+                    // blocking write behaves as on the threaded core.
+                    shed_connection(state, stream);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    admitted.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let token = *next_token;
+                *next_token += 1;
+                if poller
+                    .register(stream.as_raw_fd(), token, Interest::READ)
+                    .is_err()
+                {
+                    admitted.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                state.obs.registry.coherent(|| {
+                    state.obs.active_connections.add(1);
+                    obs.connections.add(1);
+                });
+                obs.accepted.inc();
+                obs.accepted_total.inc();
+                conns.insert(
+                    token,
+                    EvConn {
+                        stream,
+                        conn: Conn::new(state.max_line_bytes),
+                        interest: Interest::READ,
+                        last_line_ns: state.obs.clock.now_ns(),
+                        partial_since_ns: None,
+                        dead: false,
+                    },
+                );
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // Transient accept errors (EMFILE, aborted handshake): the
+            // loop's next tick retries; nothing to spin on here.
+            Err(_) => return,
+        }
+    }
+}
+
+/// Drains readable bytes into the connection's state machine and ships
+/// every framed request to the compute pool.
+fn read_ready(
+    state: &Arc<State>,
+    c: &mut EvConn,
+    loop_id: usize,
+    token: u64,
+    job_tx: &Sender<Job>,
+) {
+    let mut chunk = [0u8; 16 * 1024];
+    for _ in 0..READS_PER_EVENT {
+        if c.conn.reading_closed() || c.conn.in_flight() >= MAX_PIPELINE_INFLIGHT {
+            return; // the sweep will park the socket at Interest::NONE
+        }
+        match c.stream.read(&mut chunk) {
+            Ok(0) => {
+                let requests = c.conn.on_eof();
+                dispatch(state, c, loop_id, token, job_tx, requests);
+                return;
+            }
+            Ok(n) => {
+                let before = c.conn.lines_seen();
+                // `.get(..n)`: `n <= chunk.len()` by the `Read` contract,
+                // but the request path is panic-free by policy (lint P1).
+                let requests = c.conn.on_bytes(chunk.get(..n).unwrap_or(&[]));
+                if c.conn.lines_seen() > before {
+                    c.last_line_ns = state.obs.clock.now_ns();
+                    c.partial_since_ns = None;
+                }
+                if c.conn.has_partial() && c.partial_since_ns.is_none() {
+                    c.partial_since_ns = Some(state.obs.clock.now_ns());
+                }
+                dispatch(state, c, loop_id, token, job_tx, requests);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                c.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Queues framed requests for the compute pool, accounting each under
+/// the `queue_depth` gauge until a worker picks it up.
+fn dispatch(
+    state: &Arc<State>,
+    c: &mut EvConn,
+    loop_id: usize,
+    token: u64,
+    job_tx: &Sender<Job>,
+    requests: Vec<FramedRequest>,
+) {
+    for request in requests {
+        state.obs.queue_depth.add(1);
+        if job_tx
+            .send(Job {
+                loop_id,
+                token,
+                seq: request.seq,
+                text: request.text,
+            })
+            .is_err()
+        {
+            // The pool is gone (shutdown): the connection can never be
+            // answered; drop it.
+            state.obs.queue_depth.add(-1);
+            c.dead = true;
+            return;
+        }
+    }
+}
+
+/// Writes due output until the socket would block. Returns `false` (and
+/// marks the connection dead) on a write failure.
+fn try_flush(c: &mut EvConn) -> bool {
+    loop {
+        let written = {
+            let out = c.conn.output();
+            if out.is_empty() {
+                return true;
+            }
+            match c.stream.write(out) {
+                Ok(0) => {
+                    c.dead = true;
+                    return false;
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    c.dead = true;
+                    return false;
+                }
+            }
+        };
+        c.conn.consume(written);
+    }
+}
+
+/// Flushes *all* pending output with a bounded blocking write — used for
+/// the shutdown acknowledgment, which must not be lost to a full socket
+/// buffer. Returns whether everything was delivered.
+fn flush_blocking(c: &mut EvConn) -> bool {
+    if c.stream.set_nonblocking(false).is_err() {
+        return false;
+    }
+    let _ = c
+        .stream
+        .set_write_timeout(Some(std::time::Duration::from_millis(1000)));
+    loop {
+        let written = {
+            let out = c.conn.output();
+            if out.is_empty() {
+                return true;
+            }
+            match c.stream.write(out) {
+                Ok(0) => return false,
+                Ok(n) => n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        };
+        c.conn.consume(written);
+    }
+}

@@ -1,12 +1,25 @@
-//! The resident TCP service: acceptor, worker pool, request dispatch.
+//! The resident TCP service: connection handling, request dispatch.
 //!
-//! One acceptor thread hands accepted connections to a fixed pool of
-//! worker threads over a *bounded* channel; each worker owns a connection
-//! for its lifetime and processes newline-delimited JSON requests in order
-//! (see [`crate::wire`]). All published state lives in one shared `State`:
-//! the dataset registry and a content-addressed artifact cache whose
-//! entries are computed at most once and then served lock-free (workers
-//! hold `Arc`s; the cache mutex guards only map lookups).
+//! The server has **two interchangeable cores** behind one wire contract:
+//!
+//! * The default *threaded* core (this module): one acceptor thread hands
+//!   accepted connections to a fixed pool of worker threads over a
+//!   *bounded* channel; each worker owns a connection for its lifetime
+//!   and processes newline-delimited JSON requests in order (see
+//!   [`crate::wire`]).
+//! * The *event-driven* core ([`crate::event`], enabled by
+//!   [`ServerConfig::event_loops`] > 0): N readiness loops multiplex all
+//!   connections over non-blocking sockets and hand compute to a worker
+//!   pool, which unlocks request **pipelining** (DESIGN.md §15).
+//!
+//! Both cores frame and order requests through the same
+//! [`crate::conn::Conn`] state machine, so their wire behavior is
+//! byte-identical by construction — the deterministic harness in
+//! `tests/pipeline.rs` asserts it. All published state lives in one
+//! shared `State`: the dataset registry and a content-addressed artifact
+//! cache whose entries are computed at most once and then served
+//! lock-free (workers hold `Arc`s; the cache mutex guards only map
+//! lookups).
 //!
 //! # Overload protection (DESIGN.md §12)
 //!
@@ -34,6 +47,7 @@
 //! bounded by `read_timeout_ms` plus the in-flight request.
 
 use crate::artifact::Artifact;
+use crate::conn::Conn;
 use crate::obs::ServerObs;
 use crate::registry::{DatasetSpec, Registry};
 use crate::result_cache::{cache_key, ResultCache, DEFAULT_RESULT_CACHE};
@@ -47,7 +61,7 @@ use betalike_obs::{Level, Registry as MetricsRegistry, Trace};
 use betalike_query::{AggQuery, CatalogStats, RangePred};
 use betalike_store::{ArtifactStore, StoreObs};
 use std::collections::BTreeSet;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -138,6 +152,24 @@ pub struct ServerConfig {
     /// Effective only while [`ServerConfig::obs`] is on (timings are the
     /// evidence the log reports).
     pub slow_query_ms: u64,
+    /// Event loops for the event-driven core (`0` = the default threaded
+    /// core). With N > 0 loops, connections are multiplexed over
+    /// non-blocking sockets sharded across N readiness threads
+    /// ([`crate::event`]): clients may *pipeline* requests (responses
+    /// come back in request order), `threads` sizes the compute pool the
+    /// loops hand dispatch to, and admission is capped at
+    /// `threads + queue` concurrently open connections (the same bound
+    /// the threaded core enforces with sticky workers plus its queue) —
+    /// arrivals beyond it are shed with the identical retryable
+    /// [`crate::wire::ERR_OVERLOADED`] line.
+    pub event_loops: usize,
+    /// Longest accepted request line in bytes (`0` →
+    /// [`crate::conn::DEFAULT_MAX_LINE_BYTES`], 1 MiB). A line that
+    /// exceeds the bound is answered with one parseable *fatal*
+    /// [`crate::wire::ERR_TOO_LARGE`] error and the connection is closed
+    /// — before this bound the read buffer grew without limit, so a
+    /// newline-free sender could exhaust memory.
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -158,50 +190,58 @@ impl Default for ServerConfig {
             log_level: Level::Warn,
             log_json: false,
             slow_query_ms: 0,
+            event_loops: 0,
+            max_line_bytes: 0,
         }
     }
 }
 
 /// Shared server state: everything a worker needs to answer any request.
+/// Fields are `pub(crate)` because both cores — the threaded one here and
+/// the event-driven one in [`crate::event`] — drive the same state.
 #[derive(Debug)]
 pub(crate) struct State {
     registry: Registry,
     artifacts: crate::registry::LazyMap<Result<Arc<Artifact>, String>>,
     store: Option<ArtifactStore>,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     addr: SocketAddr,
-    /// Worker-pool size (for `health`).
-    workers: usize,
-    /// Admission-queue capacity (for `health`).
-    queue_capacity: usize,
+    /// Worker-pool size (for `health`; the event core's admission cap).
+    pub(crate) workers: usize,
+    /// Admission-queue capacity (for `health`; ditto).
+    pub(crate) queue_capacity: usize,
     /// Metrics registry, per-op counters/histograms, logger, tracing.
     /// The admission gauges live here: the acceptor bumps `queue_depth`
     /// after a successful enqueue and the worker moves the connection to
     /// `active_connections` in one coherent registry transition.
-    obs: ServerObs,
+    pub(crate) obs: ServerObs,
     /// Plan-classification counters shared by every artifact's catalog.
     catalog_stats: CatalogStats,
     /// Handles a detached background publisher is currently computing
     /// (deadline-bounded publishes claim here so at most one background
     /// thread runs per handle).
     inflight: Mutex<BTreeSet<String>>,
-    read_timeout_ms: u64,
-    idle_timeout_ms: u64,
-    request_timeout_ms: u64,
+    pub(crate) read_timeout_ms: u64,
+    pub(crate) idle_timeout_ms: u64,
+    pub(crate) request_timeout_ms: u64,
     /// Whether publishes/restores derive aggregate catalogs.
     catalog: bool,
     /// The `count` result cache (capacity 0 = disabled).
     results: ResultCache,
+    /// Event loops serving this process (`0` = threaded core).
+    pub(crate) event_loops: usize,
+    /// Request-line byte bound (`0` → the [`Conn`] default, 1 MiB).
+    pub(crate) max_line_bytes: usize,
 }
 
 /// A running server: its bound address plus the thread handles needed to
-/// join or stop it.
+/// join or stop it — the acceptor and workers of the threaded core, or
+/// the event loops and compute pool of the event-driven one.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<State>,
-    acceptor: JoinHandle<()>,
-    workers: Vec<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -211,17 +251,16 @@ impl ServerHandle {
     }
 
     /// Requests shutdown without a client: raises the flag and pokes the
-    /// acceptor.
+    /// accepting thread(s).
     pub fn shutdown(&self) {
         initiate_shutdown(&self.state);
     }
 
-    /// Blocks until the acceptor and every worker exit (after a shutdown
-    /// request from any side).
+    /// Blocks until every server thread exits (after a shutdown request
+    /// from any side).
     pub fn join(self) {
-        let _ = self.acceptor.join();
-        for w in self.workers {
-            let _ = w.join();
+        for t in self.threads {
+            let _ = t.join();
         }
     }
 
@@ -232,13 +271,33 @@ impl ServerHandle {
     }
 }
 
-/// Binds, spawns the acceptor and worker pool, and returns immediately.
+/// Binds, spawns the chosen core ([`ServerConfig::event_loops`]), and
+/// returns immediately.
 ///
 /// # Errors
 ///
 /// Propagates the bind failure, or a data directory that cannot be opened
 /// (unwritable, or a manifest too damaged to trust).
 pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let state = build_state(cfg, addr)?;
+    let threads = if cfg.event_loops > 0 {
+        crate::event::spawn_event_core(&state, listener, cfg.event_loops)?
+    } else {
+        spawn_threaded_core(&state, listener)
+    };
+    Ok(ServerHandle {
+        addr,
+        state,
+        threads,
+    })
+}
+
+/// Everything [`serve`] does except binding and spawning: resolves the
+/// config, opens the durable store, registers metrics, and preloads —
+/// shared by both cores and by [`LocalServer`] (which never binds).
+fn build_state(cfg: &ServerConfig, addr: SocketAddr) -> std::io::Result<Arc<State>> {
     let metrics = Arc::new(MetricsRegistry::new());
     let obs = ServerObs::new(
         Arc::clone(&metrics),
@@ -277,8 +336,6 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
             Some(store)
         }
     };
-    let listener = TcpListener::bind(&cfg.addr)?;
-    let addr = listener.local_addr()?;
     let threads = if cfg.threads == 0 {
         mini_rayon::threads().max(8)
     } else {
@@ -305,32 +362,78 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
         request_timeout_ms: cfg.request_timeout_ms,
         catalog: cfg.catalog,
         results: ResultCache::new(cfg.result_cache),
+        event_loops: cfg.event_loops,
+        max_line_bytes: cfg.max_line_bytes,
     });
     if let Some(spec) = &cfg.preload {
         state.registry.dataset(spec);
     }
-    let (tx, rx) = sync_channel::<TcpStream>(queue);
+    Ok(state)
+}
+
+/// Spawns the threaded core: one acceptor plus the sticky worker pool.
+fn spawn_threaded_core(state: &Arc<State>, listener: TcpListener) -> Vec<JoinHandle<()>> {
+    let (tx, rx) = sync_channel::<TcpStream>(state.queue_capacity);
     let rx = Arc::new(Mutex::new(rx));
-    let workers: Vec<JoinHandle<()>> = (0..threads)
+    let mut threads: Vec<JoinHandle<()>> = (0..state.workers)
         .map(|_| {
             let rx = Arc::clone(&rx);
-            let state = Arc::clone(&state);
+            let state = Arc::clone(state);
             std::thread::spawn(move || worker_loop(&rx, &state))
         })
         .collect();
     let acceptor = {
-        let state = Arc::clone(&state);
+        let state = Arc::clone(state);
         std::thread::spawn(move || acceptor_loop(&listener, &tx, &state))
     };
-    Ok(ServerHandle {
-        addr,
-        state,
-        acceptor,
-        workers,
-    })
+    threads.insert(0, acceptor);
+    threads
 }
 
-fn initiate_shutdown(state: &State) {
+/// The server's dispatch logic without any sockets: feed it request
+/// lines, get back exactly the compact-JSON response a served connection
+/// would read. This is the seam the deterministic protocol harness
+/// (`tests/pipeline.rs`) builds on — drive a [`Conn`] with a scripted
+/// byte-arrival schedule, answer its framed requests here, and the bytes
+/// the machine emits are byte-for-byte what either server core would have
+/// written.
+#[derive(Debug)]
+pub struct LocalServer {
+    state: Arc<State>,
+}
+
+impl LocalServer {
+    /// Builds the server state without binding a listener or spawning
+    /// threads. `addr`, `threads`, `queue`, and `event_loops` are
+    /// recorded for `health` but nothing listens or runs.
+    ///
+    /// # Errors
+    ///
+    /// A data directory that cannot be opened, exactly like [`serve`].
+    pub fn new(cfg: &ServerConfig) -> std::io::Result<LocalServer> {
+        let addr: SocketAddr = ([127, 0, 0, 1], 0).into();
+        Ok(LocalServer {
+            state: build_state(cfg, addr)?,
+        })
+    }
+
+    /// Parses and dispatches one trimmed request line, returning the
+    /// compact response (no trailing newline) and whether the line was a
+    /// `shutdown` request. Unlike a served connection, a `shutdown` here
+    /// only reports `stop = true`; there is nothing to stop.
+    pub fn respond_line(&self, text: &str) -> (String, bool) {
+        let (response, stop) = respond(&self.state, text);
+        (response.compact(), stop)
+    }
+
+    /// The configured request-line byte bound, resolved the same way the
+    /// serving cores resolve it — harnesses hand this to [`Conn::new`].
+    pub fn max_line_bytes(&self) -> usize {
+        self.state.max_line_bytes
+    }
+}
+
+pub(crate) fn initiate_shutdown(state: &State) {
     state.shutdown.store(true, Ordering::SeqCst);
     // Poke the acceptor so its blocking accept() observes the flag.
     let _ = TcpStream::connect(state.addr);
@@ -369,9 +472,10 @@ fn acceptor_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, state: &Sta
 }
 
 /// Refuses one connection with a retryable `overloaded` error line. Runs
-/// on the acceptor thread, so the write carries a short timeout — a peer
-/// that never reads cannot stall admission.
-fn shed_connection(state: &State, mut stream: TcpStream) {
+/// on the accepting thread (the threaded core's acceptor, or an event
+/// loop), so the write carries a short timeout — a peer that never reads
+/// cannot stall admission.
+pub(crate) fn shed_connection(state: &State, mut stream: TcpStream) {
     state.obs.shed.inc();
     state.obs.logger.warn(
         "connection shed: admission queue full",
@@ -421,19 +525,60 @@ fn ticks_for(timeout_ms: u64, tick_ms: u64) -> u64 {
     }
 }
 
+/// Writes a [`Conn`]'s due output to the socket and consumes it.
+/// Blocking-path sockets have no write timeout, so this drains fully.
+fn flush_conn(conn: &mut Conn, writer: &mut TcpStream) -> std::io::Result<()> {
+    let bytes = conn.output().to_vec();
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    writer.write_all(&bytes)?;
+    writer.flush()?;
+    conn.consume(bytes.len());
+    Ok(())
+}
+
+/// Answers every request `conn` just framed, in order, flushing each
+/// response (and any framing refusal queued before it) as it completes —
+/// exactly the bytes-per-step the pre-state-machine loop produced.
+/// Returns `false` when the connection is finished (write failure or a
+/// `shutdown` request, which also stops the server).
+fn serve_framed(
+    state: &Arc<State>,
+    conn: &mut Conn,
+    writer: &mut TcpStream,
+    requests: Vec<crate::conn::FramedRequest>,
+) -> bool {
+    for request in requests {
+        let (response, stop) = respond(state, &request.text);
+        conn.complete(request.seq, &response.compact(), stop);
+        if flush_conn(conn, writer).is_err() {
+            return false;
+        }
+        if stop {
+            initiate_shutdown(state);
+            return false;
+        }
+    }
+    // A chunk may have produced only framing refusals (bad UTF-8, an
+    // oversized line) — those queued output without framing a request.
+    flush_conn(conn, writer).is_ok()
+}
+
 /// Processes one connection's requests in order until EOF, an I/O error,
 /// a `shutdown` request, server shutdown, or a timeout expiry.
 ///
-/// Reads run under a configurable poll tick ([`ServerConfig::
-/// read_timeout_ms`]) so a worker parked on an idle connection still
-/// observes shutdown within one tick. The same tick drives two timers,
-/// both counted in ticks and reset per request line: the *idle* timer
-/// (no byte of a next request yet → close silently) and the *request*
-/// timer (line started but unfinished → answer a retryable `deadline`
-/// error, then close). Lines are accumulated as *bytes* (`read_until`)
-/// and validated as UTF-8 only once complete: `read_line`'s guard would
-/// discard already-consumed bytes if a timeout fired mid-multibyte
-/// character, silently corrupting request framing.
+/// Framing and response ordering run through the same [`Conn`] state
+/// machine as the event-driven core, which is what bounds the request
+/// line ([`ServerConfig::max_line_bytes`]) and validates UTF-8 only once
+/// a line is complete (a mid-multibyte timeout must not corrupt
+/// framing). Reads run under a configurable poll tick
+/// ([`ServerConfig::read_timeout_ms`]) so a worker parked on an idle
+/// connection still observes shutdown within one tick. The same tick
+/// drives two timers, both counted in ticks and reset per request line:
+/// the *idle* timer (no byte of a next request yet → close silently) and
+/// the *request* timer (line started but unfinished → answer a retryable
+/// `deadline` error, then close).
 fn handle_connection(stream: TcpStream, state: &Arc<State>) {
     let Ok(writer) = stream.try_clone() else {
         return;
@@ -455,76 +600,70 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) {
     let idle_ticks_max = ticks_for(state.idle_timeout_ms, tick_ms);
     let request_ticks_max = ticks_for(state.request_timeout_ms, tick_ms);
     let mut writer = writer;
-    let mut reader = BufReader::new(stream);
-    let mut raw = Vec::new();
+    let mut reader = stream;
+    let mut conn = Conn::new(state.max_line_bytes);
+    let mut chunk = [0u8; 16 * 1024];
+    let mut idle_ticks: u64 = 0;
+    let mut request_ticks: u64 = 0;
     loop {
-        raw.clear();
-        let mut idle_ticks: u64 = 0;
-        let mut request_ticks: u64 = 0;
-        loop {
-            match reader.read_until(b'\n', &mut raw) {
-                Ok(0) => return, // EOF
-                Ok(_) => break,  // a full line (or final unterminated one)
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    // Bytes that arrived before the timeout stay appended
-                    // to `raw`; keep accumulating unless the server is
-                    // draining or a timer expired.
-                    if state.shutdown.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    if raw.is_empty() {
-                        idle_ticks += 1;
-                        if idle_ticks_max != 0 && idle_ticks >= idle_ticks_max {
-                            return; // idle expiry: close silently
-                        }
-                    } else {
-                        request_ticks += 1;
-                        if request_ticks_max != 0 && request_ticks >= request_ticks_max {
-                            let reply = retryable_error(
-                                ERR_DEADLINE,
-                                "request deadline: the line did not complete in time",
-                            );
-                            let _ = writer
-                                .write_all((reply.compact() + "\n").as_bytes())
-                                .and_then(|()| writer.flush());
-                            return;
-                        }
-                    }
-                }
-                Err(_) => return, // broken connection
-            }
-        }
-        let Ok(text) = std::str::from_utf8(&raw) else {
-            let reply = error_response("request line is not valid UTF-8");
-            if writer
-                .write_all((reply.compact() + "\n").as_bytes())
-                .and_then(|()| writer.flush())
-                .is_err()
-            {
+        match reader.read(&mut chunk) {
+            Ok(0) => {
+                // EOF: a final unterminated line is still served.
+                let requests = conn.on_eof();
+                let _ = serve_framed(state, &mut conn, &mut writer, requests);
                 return;
             }
-            continue;
-        };
-        let text = text.trim();
-        if text.is_empty() {
-            continue;
-        }
-        let (response, stop) = respond(state, text);
-        if writer
-            .write_all((response.compact() + "\n").as_bytes())
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            return;
-        }
-        if stop {
-            initiate_shutdown(state);
-            return;
+            Ok(n) => {
+                let before = conn.lines_seen();
+                // `.get(..n)` in place of `&chunk[..n]`: `n <= chunk.len()`
+                // by the `Read` contract, but the request path is
+                // panic-free by policy (lint P1), so stay with the
+                // non-panicking accessor.
+                let requests = conn.on_bytes(chunk.get(..n).unwrap_or(&[]));
+                if !serve_framed(state, &mut conn, &mut writer, requests) {
+                    return;
+                }
+                if conn.wants_close() {
+                    return; // an oversized line was refused; we're done
+                }
+                if conn.lines_seen() > before {
+                    // A line boundary passed: both timers restart, same
+                    // as the old per-line loop. Bytes that only extend a
+                    // partial line deliberately do *not* reset the
+                    // request timer.
+                    idle_ticks = 0;
+                    request_ticks = 0;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if conn.has_partial() {
+                    request_ticks += 1;
+                    if request_ticks_max != 0 && request_ticks >= request_ticks_max {
+                        let reply = retryable_error(
+                            ERR_DEADLINE,
+                            "request deadline: the line did not complete in time",
+                        );
+                        let _ = writer
+                            .write_all((reply.compact() + "\n").as_bytes())
+                            .and_then(|()| writer.flush());
+                        return;
+                    }
+                } else {
+                    idle_ticks += 1;
+                    if idle_ticks_max != 0 && idle_ticks >= idle_ticks_max {
+                        return; // idle expiry: close silently
+                    }
+                }
+            }
+            Err(_) => return, // broken connection
         }
     }
 }
@@ -544,7 +683,7 @@ fn echo_trace_id(response: &mut Json, trace_id: Option<&str>) {
 /// pool worker. Every path — parse failure included — lands in
 /// [`ServerObs::finish`], so the per-op request/error counters account
 /// for every request line the server ever answered.
-fn respond(state: &Arc<State>, text: &str) -> (Json, bool) {
+pub(crate) fn respond(state: &Arc<State>, text: &str) -> (Json, bool) {
     let obs = &state.obs;
     let start = obs.start();
     let trace = obs.trace();
@@ -663,6 +802,10 @@ fn health(state: &Arc<State>) -> Json {
     let mut members = vec![
         ("status".to_string(), Json::Str(status.into())),
         ("workers".to_string(), Json::Num(state.workers as f64)),
+        (
+            "event_loops".to_string(),
+            Json::Num(state.event_loops as f64),
+        ),
         (
             "queue_capacity".to_string(),
             Json::Num(state.queue_capacity as f64),

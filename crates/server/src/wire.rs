@@ -328,6 +328,11 @@ pub const ERR_DEGRADED: &str = "degraded";
 /// Retryable error code: the request's deadline expired before the answer
 /// was ready (the work may continue in the background).
 pub const ERR_DEADLINE: &str = "deadline";
+/// *Fatal* error code: a request line exceeded the server's
+/// `max_line_bytes` bound. The server answers one parseable refusal and
+/// closes the connection — retrying the same oversized line cannot
+/// succeed, so the error carries a `code` but no `retryable: true`.
+pub const ERR_TOO_LARGE: &str = "too_large";
 
 /// A *retryable* error response: `ok: false` plus a stable machine `code`
 /// and `retryable: true`. Clients back off and retry these; plain
@@ -338,6 +343,17 @@ pub fn retryable_error(code: &str, message: &str) -> Json {
         ("error".to_string(), Json::Str(message.into())),
         ("code".to_string(), Json::Str(code.into())),
         ("retryable".to_string(), Json::Bool(true)),
+    ])
+}
+
+/// A *fatal* error response that still carries a stable machine `code`
+/// ([`ERR_TOO_LARGE`]): clients can classify the refusal without scraping
+/// the message, but must not retry the request as written.
+pub fn fatal_coded_error(code: &str, message: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str(message.into())),
+        ("code".to_string(), Json::Str(code.into())),
     ])
 }
 

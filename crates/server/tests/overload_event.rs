@@ -1,0 +1,471 @@
+//! The overload, degraded-mode, and timeout suite (`tests/overload.rs`)
+//! ported to the **event-driven core** (DESIGN.md §15): the same
+//! admission arithmetic — `workers + queue` concurrently open
+//! connections, every arrival beyond that shed with one parseable
+//! retryable `overloaded` line — now enforced by the event loops'
+//! shared admission counter instead of sticky workers; the same
+//! degraded-mode and deadline refusals (the dispatch layer is shared);
+//! idle and mid-request timeouts driven by the loop's tick sweep; the
+//! shutdown-latency contract; and shed behavior with pipelining in the
+//! mix.
+
+use betalike_faults::{ChaosVfs, FaultPlan};
+use betalike_microdata::json::Json;
+use betalike_server::wire::{retryable_error, ERR_OVERLOADED};
+use betalike_server::{
+    serve, Algo, Client, ClientError, CountRequest, DatasetSpec, PublishRequest, ServerConfig,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("betalike-ev-overload-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn synthetic(seed: u64) -> DatasetSpec {
+    DatasetSpec::Synthetic { rows: 200, seed }
+}
+
+/// Floods a `workers=2, queue=1` event server: the first three
+/// connections are admitted (the event core's capacity is *admitted
+/// connections*, the same `workers + queue` bound the threaded core
+/// enforces with sticky workers), every arrival beyond that is shed with
+/// one parseable retryable `overloaded` line — never a silent
+/// disconnect — and closing an admitted connection frees its slot.
+#[test]
+fn flood_sheds_with_overloaded_not_disconnects() {
+    let server = serve(&ServerConfig {
+        threads: 2,
+        queue: 1,
+        read_timeout_ms: 25,
+        event_loops: 1,
+        ..Default::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    // Fill the admission capacity: three connections, each proven
+    // admitted by a served ping.
+    let mut admitted = Vec::new();
+    for i in 0..3 {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .ping()
+            .unwrap_or_else(|e| panic!("admitted ping {i}: {e:?}"));
+        admitted.push(client);
+    }
+
+    // Seven more arrivals: every one must shed.
+    let mut shed_count = 0;
+    for _ in 0..7 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(2000)))
+            .expect("timeout");
+        stream
+            .write_all(b"{\"op\":\"ping\"}\n")
+            .expect("write ping");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("shed reply");
+        let doc = Json::parse(line.trim()).expect("shed reply parses");
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            doc.get("code").and_then(Json::as_str),
+            Some("overloaded"),
+            "shed reply must carry the stable code: {line}"
+        );
+        assert_eq!(doc.get("retryable").and_then(Json::as_bool), Some(true));
+        // After the error line the server hangs up.
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap_or(0), 0);
+        shed_count += 1;
+    }
+    assert_eq!(shed_count, 7, "exactly capacity connections may stay");
+
+    // Closing one admitted connection frees its slot: the next arrival
+    // is admitted and served.
+    drop(admitted.remove(0));
+    let mut fresh = Client::connect(addr).expect("reconnect");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match fresh.ping() {
+            Ok(()) => break,
+            Err(_) if Instant::now() < deadline => {
+                // The loop releases the slot on its next tick; retry.
+                std::thread::sleep(Duration::from_millis(25));
+                fresh = Client::connect(addr).expect("reconnect");
+            }
+            Err(e) => panic!("freed slot never readmitted: {e:?}"),
+        }
+    }
+
+    // `health` accounts for the sheds (and the gauges are sane). The
+    // health probe itself needs a slot, so free the rest first. The
+    // gauge is a lower bound here: retries in the readmission loop above
+    // that raced the slot release were themselves shed and counted (the
+    // exact flood count, 7, was already asserted reply-by-reply).
+    drop(admitted);
+    drop(fresh);
+    std::thread::sleep(Duration::from_millis(100));
+    let mut client = Client::connect(addr).expect("connect for health");
+    let doc = client.health().expect("health");
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(doc.get("workers").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("event_loops").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("queue_capacity").and_then(Json::as_u64), Some(1));
+    let shed = doc.get("shed").and_then(Json::as_u64).expect("shed gauge");
+    assert!(shed >= 7, "the 7 flood sheds must be counted, saw {shed}");
+    assert_eq!(doc.get("store").and_then(Json::as_str), Some("none"));
+    drop(client);
+    server.shutdown_and_join();
+}
+
+/// A store whose writes persistently fail trips the event server into
+/// read-only degraded mode exactly like the threaded one — the dispatch
+/// layer is shared, and the event core must not bypass it.
+#[test]
+fn degraded_store_turns_server_read_only_until_recovery() {
+    let dir = temp_dir("degraded");
+    let chaos = Arc::new(ChaosVfs::new(FaultPlan::None));
+    let server = serve(&ServerConfig {
+        threads: 2,
+        data_dir: Some(dir.clone()),
+        vfs: Some(chaos.clone()),
+        read_timeout_ms: 25,
+        event_loops: 2,
+        ..Default::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let healthy = client
+        .publish(&PublishRequest::new(synthetic(1), Algo::Anatomy))
+        .expect("healthy publish");
+
+    chaos.set_plan(FaultPlan::FailWrites);
+    for seed in 2..=(1 + u64::from(betalike_store::disk::DEGRADED_AFTER)) {
+        let reply = client
+            .publish(&PublishRequest::new(synthetic(seed), Algo::Anatomy))
+            .expect("publish succeeds even when its persist fails");
+        assert!(!reply.cached);
+    }
+
+    let err = client
+        .publish(&PublishRequest::new(synthetic(99), Algo::Anatomy))
+        .expect_err("cold publish in degraded mode must be refused");
+    match &err {
+        ClientError::Retryable { code, .. } => assert_eq!(code, "degraded"),
+        other => panic!("expected a retryable `degraded` refusal, got {other:?}"),
+    }
+    assert!(err.is_retryable());
+
+    let count = client
+        .count(&CountRequest {
+            handle: healthy.handle.clone(),
+            qi_preds: vec![],
+            sa_lo: 0,
+            sa_hi: u32::MAX,
+            exact: false,
+        })
+        .expect("degraded mode still serves counts");
+    assert!(count.estimate > 0.0);
+    let doc = client.health().expect("health");
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("degraded"));
+    assert_eq!(doc.get("store").and_then(Json::as_str), Some("degraded"));
+
+    chaos.set_plan(FaultPlan::None);
+    client
+        .publish(&PublishRequest::new(synthetic(99), Algo::Anatomy))
+        .expect("publish after recovery");
+    let doc = client.health().expect("health after recovery");
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    drop(client);
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A publish with a tiny `deadline_ms` answers a retryable `deadline`
+/// error while the computation continues detached on the compute pool;
+/// re-requesting collects the finished artifact. The event loop itself
+/// never runs the computation — other connections stay responsive.
+#[test]
+fn publish_deadline_cancels_the_request_not_the_computation() {
+    let server = serve(&ServerConfig {
+        threads: 2,
+        read_timeout_ms: 25,
+        event_loops: 1,
+        ..Default::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let request = PublishRequest::new(
+        DatasetSpec::Census {
+            rows: 8000,
+            seed: 42,
+        },
+        Algo::Burel,
+    );
+    let mut doc = request.to_json();
+    if let Json::Obj(members) = &mut doc {
+        members.push(("deadline_ms".to_string(), Json::Num(1.0)));
+    }
+    let err = client.call(&doc).expect_err("a 1ms deadline must expire");
+    match &err {
+        ClientError::Retryable { code, .. } => assert_eq!(code, "deadline"),
+        other => panic!("expected a retryable `deadline` error, got {other:?}"),
+    }
+
+    // While the detached publish still runs, the event loop keeps
+    // serving: a second connection's ping answers immediately.
+    let mut other = Client::connect(server.addr()).expect("second connect");
+    other.ping().expect("loop stays responsive during compute");
+    drop(other);
+
+    let reply = client
+        .publish(&request)
+        .expect("followup publish collects the background result");
+    assert!(reply.cached, "the detached computation must be reused");
+    drop(client);
+    server.shutdown_and_join();
+}
+
+/// An idle connection is closed after `idle_timeout_ms` by the loop's
+/// tick sweep — but activity within the window resets the timer, and a
+/// freed slot readmits a new connection.
+#[test]
+fn idle_connections_expire_and_free_their_slot() {
+    let server = serve(&ServerConfig {
+        threads: 1,
+        queue: 1,
+        read_timeout_ms: 25,
+        idle_timeout_ms: 300,
+        event_loops: 1,
+        ..Default::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.ping().expect("first ping");
+    std::thread::sleep(Duration::from_millis(100));
+    client
+        .ping()
+        .expect("activity inside the window resets the timer");
+
+    std::thread::sleep(Duration::from_millis(900));
+    assert!(
+        client.ping().is_err(),
+        "the idle connection must have been closed"
+    );
+
+    // Its admission slot is free again: a new client is served.
+    let mut fresh = Client::connect(server.addr()).expect("reconnect");
+    fresh.ping().expect("slot freed by idle expiry");
+    drop(fresh);
+    drop(client);
+    server.shutdown_and_join();
+}
+
+/// A request line that starts but never finishes is answered with a
+/// retryable `deadline` error and closed — a trickling or stalled peer
+/// cannot hold its connection (or admission slot) forever.
+#[test]
+fn stalled_mid_request_lines_get_a_deadline_error() {
+    let server = serve(&ServerConfig {
+        threads: 1,
+        read_timeout_ms: 25,
+        request_timeout_ms: 200,
+        event_loops: 1,
+        ..Default::default()
+    })
+    .expect("bind");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(5000)))
+        .expect("timeout");
+    // Half a request, never completed.
+    stream.write_all(b"{\"op\":\"pi").expect("partial write");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("deadline reply");
+    let doc = Json::parse(line.trim()).expect("deadline reply parses");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(doc.get("code").and_then(Json::as_str), Some("deadline"));
+    assert_eq!(doc.get("retryable").and_then(Json::as_bool), Some(true));
+    // Then EOF: the connection is gone.
+    let mut rest = Vec::new();
+    assert_eq!(reader.read_to_end(&mut rest).unwrap_or(0), 0);
+    drop(stream);
+    server.shutdown_and_join();
+}
+
+/// The shutdown-latency contract holds for the event core: loops poll
+/// with a `read_timeout_ms` tick, so shutdown with idle connections
+/// parked on multiple loops completes within a few ticks.
+#[test]
+fn shutdown_latency_is_bounded_by_the_loop_tick() {
+    let server = serve(&ServerConfig {
+        threads: 4,
+        read_timeout_ms: 25,
+        event_loops: 2,
+        ..Default::default()
+    })
+    .expect("bind");
+    let mut parked = Vec::new();
+    for _ in 0..4 {
+        let mut client = Client::connect(server.addr()).expect("connect");
+        client.ping().expect("ping");
+        parked.push(client);
+    }
+    let started = Instant::now();
+    server.shutdown_and_join();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "shutdown with parked connections took {elapsed:?} (tick is 25ms)"
+    );
+    drop(parked);
+}
+
+/// Sheds stay parseable while admitted connections are mid-pipeline: a
+/// full-capacity server busy with deep pipelined batches refuses the
+/// next arrival with the exact `overloaded` line, and the pipelines
+/// still complete in order.
+#[test]
+fn sheds_are_parseable_mid_pipeline_and_pipelines_complete() {
+    let server = serve(&ServerConfig {
+        threads: 1,
+        queue: 1,
+        read_timeout_ms: 25,
+        event_loops: 1,
+        ..Default::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    // Two admitted connections (capacity = 1 worker + 1 queue) each
+    // write a depth-32 pipelined batch without reading yet.
+    let depth = 32;
+    let mut busy = Vec::new();
+    for c in 0..2 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(10000)))
+            .expect("timeout");
+        let batch: String = (0..depth)
+            .map(|i| format!("{{\"op\":\"ping\",\"trace_id\":\"c{c}-{i}\"}}\n"))
+            .collect();
+        stream.write_all(batch.as_bytes()).expect("write batch");
+        busy.push(stream);
+    }
+
+    // The third arrival sheds mid-pipeline, parseably.
+    let mut extra = TcpStream::connect(addr).expect("connect extra");
+    extra
+        .set_read_timeout(Some(Duration::from_millis(2000)))
+        .expect("timeout");
+    extra.write_all(b"{\"op\":\"ping\"}\n").expect("write ping");
+    let mut reader = BufReader::new(extra);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("shed reply");
+    let doc = Json::parse(line.trim()).expect("shed reply parses");
+    assert_eq!(doc.get("code").and_then(Json::as_str), Some("overloaded"));
+    assert_eq!(doc.get("retryable").and_then(Json::as_bool), Some(true));
+
+    // Both pipelines drain completely, responses in request order.
+    for (c, stream) in busy.into_iter().enumerate() {
+        let mut reader = BufReader::new(stream);
+        for i in 0..depth {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("pipelined reply");
+            let doc = Json::parse(line.trim()).expect("reply parses");
+            assert_eq!(
+                doc.get("trace_id").and_then(Json::as_str),
+                Some(format!("c{c}-{i}").as_str()),
+                "client {c} response {i} out of order: {line}"
+            );
+        }
+    }
+    server.shutdown_and_join();
+}
+
+/// End-to-end retry proof against the event core: the real
+/// `betalike-client smoke` binary, shed once by a proxy with an injected
+/// `overloaded` line, retries into the event server and exits 0 with
+/// every answer bit-identical.
+#[test]
+fn client_smoke_retries_through_an_injected_shed() {
+    let server = serve(&ServerConfig {
+        threads: 4,
+        read_timeout_ms: 25,
+        event_loops: 2,
+        ..Default::default()
+    })
+    .expect("bind");
+    let backend = server.addr();
+
+    let proxy = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    let proxy_addr = proxy.local_addr().expect("proxy addr");
+    std::thread::spawn(move || {
+        // First connection: read one request, shed it, hang up.
+        if let Ok((stream, _)) = proxy.accept() {
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut line = String::new();
+            let _ = reader.read_line(&mut line);
+            let mut stream = stream;
+            let reply = retryable_error(ERR_OVERLOADED, "injected shed").compact() + "\n";
+            let _ = stream.write_all(reply.as_bytes());
+        }
+        // Every later connection: transparent pipe to the event server.
+        while let Ok((client_side, _)) = proxy.accept() {
+            let Ok(server_side) = TcpStream::connect(backend) else {
+                break;
+            };
+            let mut up_read = client_side.try_clone().expect("clone");
+            let mut up_write = server_side.try_clone().expect("clone");
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut up_read, &mut up_write);
+                let _ = up_write.shutdown(std::net::Shutdown::Write);
+            });
+            let mut down_read = server_side;
+            let mut down_write = client_side;
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut down_read, &mut down_write);
+                let _ = down_write.shutdown(std::net::Shutdown::Write);
+            });
+        }
+    });
+
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_betalike-client"))
+        .args([
+            "smoke",
+            "--addr",
+            &proxy_addr.to_string(),
+            "--retries",
+            "3",
+            "--retry-seed",
+            "5",
+            "--rows",
+            "300",
+        ])
+        .output()
+        .expect("run betalike-client");
+    assert!(
+        output.status.success(),
+        "smoke through the shedding proxy failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("failed retryably"),
+        "the retry path must actually have engaged; stderr: {stderr}"
+    );
+    server.shutdown_and_join();
+}

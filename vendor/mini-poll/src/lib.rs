@@ -1,0 +1,569 @@
+//! Offline vendored mini-poll: a minimal readiness reactor.
+//!
+//! The build environment has no crates.io access, so this crate stands in
+//! for the tiny subset of [`mio`](https://crates.io/crates/mio) the
+//! betalike server's event loops need: register file descriptors with a
+//! token and an [`Interest`], block in [`Poller::wait`] until some are
+//! ready, and wake a blocked loop from another thread with a [`Waker`].
+//!
+//! Two backends implement the same level-triggered semantics:
+//!
+//! * **epoll** (Linux): `epoll_create1`/`epoll_ctl`/`epoll_wait`, O(ready)
+//!   per wakeup — the production backend.
+//! * **poll** (portable POSIX `poll(2)`): the interest list is replayed
+//!   into a `pollfd` array per call, O(registered) per wakeup — the
+//!   fallback for kernels without epoll, and a second implementation the
+//!   tests run every scenario against so backend parity is continuously
+//!   checked.
+//!
+//! [`Poller::new`] picks epoll on Linux and falls back to poll; setting
+//! `MINI_POLL_BACKEND=poll` forces the fallback (the CI matrix and the
+//! server tests use this to cover both). All `unsafe` lives in [`sys`]'s
+//! five syscall shims — this file re-denies `unsafe_code`, and
+//! `vendor/mini-poll/src/sys.rs` is the only entry on the betalike-lint
+//! P2 whitelist.
+//!
+//! Sockets themselves stay plain `std::net` types: callers put them in
+//! non-blocking mode with the safe `set_nonblocking` and hand mini-poll
+//! only the raw fd (borrowed, never owned — dropping the socket after
+//! [`Poller::deregister`] closes it as usual).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod sys;
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+
+/// What readiness a registration asks for. `Interest::NONE` keeps the fd
+/// registered but reports nothing — the event loops use it to pause
+/// reading from a connection under backpressure without a deregister/
+/// re-register churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the fd is readable.
+    pub readable: bool,
+    /// Report when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Registered but silent (backpressure pause).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd is readable — or in an error/hangup state a `read` will
+    /// surface (errors are folded into readability so a caller that only
+    /// ever reads and writes still observes them).
+    pub readable: bool,
+    /// The fd is writable, or in an error state a `write` will surface.
+    pub writable: bool,
+    /// The peer hung up or the fd errored; no further data will arrive.
+    pub closed: bool,
+}
+
+/// Which syscall family a [`Poller`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll` — O(ready) per wakeup.
+    Epoll,
+    /// Portable POSIX `poll(2)` — O(registered) per wakeup.
+    Poll,
+}
+
+/// How many events one `epoll_wait` can deliver; more ready fds are
+/// simply reported on the next call (level-triggered readiness persists).
+const EPOLL_BATCH: usize = 1024;
+
+/// One registration in the poll-backend interest list.
+#[derive(Debug, Clone, Copy)]
+struct PollEntry {
+    fd: RawFd,
+    token: u64,
+    interest: Interest,
+}
+
+#[derive(Debug)]
+enum Imp {
+    Epoll {
+        epfd: RawFd,
+        buf: Vec<sys::EpollEvent>,
+    },
+    Poll {
+        entries: Vec<PollEntry>,
+        buf: Vec<sys::PollFd>,
+    },
+}
+
+impl std::fmt::Debug for sys::EpollEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (events, data) = (self.events, self.data);
+        write!(f, "EpollEvent {{ events: {events:#x}, data: {data} }}")
+    }
+}
+
+impl std::fmt::Debug for sys::PollFd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PollFd {{ fd: {}, events: {:#x}, revents: {:#x} }}",
+            self.fd, self.events, self.revents
+        )
+    }
+}
+
+/// A readiness selector over registered fds.
+#[derive(Debug)]
+pub struct Poller {
+    imp: Imp,
+}
+
+impl Poller {
+    /// The default backend: epoll on Linux (falling back to poll if the
+    /// kernel refuses), poll elsewhere. `MINI_POLL_BACKEND=poll` forces
+    /// the portable backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction failure (e.g. fd exhaustion).
+    pub fn new() -> io::Result<Poller> {
+        let forced_poll = std::env::var("MINI_POLL_BACKEND").is_ok_and(|v| v == "poll");
+        if !forced_poll && cfg!(target_os = "linux") {
+            if let Ok(poller) = Poller::with_backend(Backend::Epoll) {
+                return Ok(poller);
+            }
+        }
+        Poller::with_backend(Backend::Poll)
+    }
+
+    /// A poller on a specific backend (the parity tests drive both).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure; the poll backend cannot fail.
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        let imp = match backend {
+            Backend::Epoll => Imp::Epoll {
+                epfd: sys::sys_epoll_create()?,
+                buf: vec![sys::EpollEvent { events: 0, data: 0 }; EPOLL_BATCH],
+            },
+            Backend::Poll => Imp::Poll {
+                entries: Vec::new(),
+                buf: Vec::new(),
+            },
+        };
+        Ok(Poller { imp })
+    }
+
+    /// Which backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match self.imp {
+            Imp::Epoll { .. } => Backend::Epoll,
+            Imp::Poll { .. } => Backend::Poll,
+        }
+    }
+
+    /// Registers `fd` under `token`. The fd must stay open until
+    /// [`Poller::deregister`] (the poller borrows, never owns).
+    ///
+    /// # Errors
+    ///
+    /// `AlreadyExists` if the fd is already registered; syscall errors.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.imp {
+            Imp::Epoll { epfd, .. } => {
+                sys::sys_epoll_ctl(*epfd, sys::EPOLL_CTL_ADD, fd, epoll_mask(interest), token)
+            }
+            Imp::Poll { entries, .. } => {
+                if entries.iter().any(|e| e.fd == fd) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd is already registered",
+                    ));
+                }
+                entries.push(PollEntry {
+                    fd,
+                    token,
+                    interest,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Changes a registered fd's token and interest.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if the fd was never registered; syscall errors.
+    pub fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.imp {
+            Imp::Epoll { epfd, .. } => {
+                sys::sys_epoll_ctl(*epfd, sys::EPOLL_CTL_MOD, fd, epoll_mask(interest), token)
+            }
+            Imp::Poll { entries, .. } => {
+                let entry = entries.iter_mut().find(|e| e.fd == fd).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::NotFound, "fd is not registered")
+                })?;
+                entry.token = token;
+                entry.interest = interest;
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes a registered fd.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if the fd was never registered; syscall errors.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.imp {
+            Imp::Epoll { epfd, .. } => sys::sys_epoll_ctl(*epfd, sys::EPOLL_CTL_DEL, fd, 0, 0),
+            Imp::Poll { entries, .. } => {
+                let before = entries.len();
+                entries.retain(|e| e.fd != fd);
+                if entries.len() == before {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        "fd is not registered",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks until at least one registered fd is ready or the timeout
+    /// elapses, clearing and refilling `events`. `None` blocks
+    /// indefinitely; `Some(0)` polls without blocking. Readiness is
+    /// level-triggered: an fd that stays ready is reported again on the
+    /// next call.
+    ///
+    /// # Errors
+    ///
+    /// Syscall errors other than `EINTR` (which is retried internally).
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: Option<u64>) -> io::Result<()> {
+        events.clear();
+        let timeout = timeout_ms.map_or(-1i32, |ms| ms.min(i32::MAX as u64) as i32);
+        match &mut self.imp {
+            Imp::Epoll { epfd, buf } => {
+                let n = sys::sys_epoll_wait(*epfd, buf, timeout)?;
+                for ev in buf.iter().take(n) {
+                    let (mask, token) = (ev.events, ev.data);
+                    let err = mask & (sys::EPOLLERR | sys::EPOLLHUP) != 0;
+                    events.push(Event {
+                        token,
+                        readable: mask & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 || err,
+                        writable: mask & sys::EPOLLOUT != 0 || err,
+                        closed: mask & (sys::EPOLLHUP | sys::EPOLLRDHUP | sys::EPOLLERR) != 0,
+                    });
+                }
+            }
+            Imp::Poll { entries, buf } => {
+                buf.clear();
+                buf.extend(entries.iter().map(|e| sys::PollFd {
+                    fd: e.fd,
+                    events: poll_mask(e.interest),
+                    revents: 0,
+                }));
+                sys::sys_poll(buf, timeout)?;
+                for (pfd, entry) in buf.iter().zip(entries.iter()) {
+                    let r = pfd.revents;
+                    if r == 0 {
+                        continue;
+                    }
+                    let err = r & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0;
+                    events.push(Event {
+                        token: entry.token,
+                        readable: r & (sys::POLLIN | sys::POLLRDHUP) != 0 || err,
+                        writable: r & sys::POLLOUT != 0 || err,
+                        closed: err || r & sys::POLLRDHUP != 0,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        if let Imp::Epoll { epfd, .. } = &self.imp {
+            sys::sys_close(*epfd);
+        }
+    }
+}
+
+fn epoll_mask(interest: Interest) -> u32 {
+    let mut mask = sys::EPOLLRDHUP;
+    if interest.readable {
+        mask |= sys::EPOLLIN;
+    }
+    if interest.writable {
+        mask |= sys::EPOLLOUT;
+    }
+    mask
+}
+
+fn poll_mask(interest: Interest) -> i16 {
+    let mut mask = sys::POLLRDHUP;
+    if interest.readable {
+        mask |= sys::POLLIN;
+    }
+    if interest.writable {
+        mask |= sys::POLLOUT;
+    }
+    mask
+}
+
+/// Wakes a [`Poller`] blocked in [`Poller::wait`] from another thread: a
+/// non-blocking self-pipe whose read end the loop registers like any
+/// other fd. [`Waker::wake`] writes one byte (a full pipe means a wake is
+/// already pending — success either way); the loop calls [`Waker::drain`]
+/// when its token fires and then processes whatever state the waker
+/// advertised.
+#[derive(Debug)]
+pub struct Waker {
+    read: File,
+    write: File,
+}
+
+impl Waker {
+    /// Creates the self-pipe (both ends non-blocking, close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `pipe2` failure (e.g. fd exhaustion).
+    pub fn new() -> io::Result<Waker> {
+        let (read, write) = sys::sys_pipe_nonblock()?;
+        Ok(Waker { read, write })
+    }
+
+    /// The fd to register (readable interest) with the poller.
+    pub fn fd(&self) -> RawFd {
+        self.read.as_raw_fd()
+    }
+
+    /// Makes the registered fd readable, waking a blocked `wait`.
+    /// Callable from any thread; a full pipe counts as success (a wake is
+    /// already pending and cannot be missed — readiness is level-
+    /// triggered until drained).
+    pub fn wake(&self) {
+        let _ = (&self.write).write(&[1u8]);
+    }
+
+    /// Consumes all pending wake bytes so the fd stops reading as ready.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.read).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn both_backends(test: impl Fn(Poller)) {
+        for backend in [Backend::Epoll, Backend::Poll] {
+            test(Poller::with_backend(backend).unwrap());
+        }
+    }
+
+    #[test]
+    fn idle_wait_times_out_empty() {
+        both_backends(|mut poller| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            poller
+                .register(listener.as_raw_fd(), 7, Interest::READ)
+                .unwrap();
+            let mut events = Vec::new();
+            poller.wait(&mut events, Some(0)).unwrap();
+            assert!(events.is_empty(), "{:?}", poller.backend());
+        });
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        both_backends(|mut poller| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            poller
+                .register(listener.as_raw_fd(), 42, Interest::READ)
+                .unwrap();
+            let _client = TcpStream::connect(addr).unwrap();
+            let mut events = Vec::new();
+            poller.wait(&mut events, None).unwrap();
+            assert!(
+                events.iter().any(|e| e.token == 42 && e.readable),
+                "{:?}: {events:?}",
+                poller.backend()
+            );
+            // Level-triggered: still pending until accepted.
+            poller.wait(&mut events, Some(0)).unwrap();
+            assert!(events.iter().any(|e| e.token == 42 && e.readable));
+            let _ = listener.accept().unwrap();
+            poller.wait(&mut events, Some(0)).unwrap();
+            assert!(events.is_empty());
+        });
+    }
+
+    #[test]
+    fn stream_reports_data_write_readiness_and_peer_close() {
+        both_backends(|mut poller| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let mut client = TcpStream::connect(addr).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            server.set_nonblocking(true).unwrap();
+            poller
+                .register(server.as_raw_fd(), 1, Interest::BOTH)
+                .unwrap();
+            // A fresh socket with empty buffers: writable, not readable.
+            let mut events = Vec::new();
+            poller.wait(&mut events, None).unwrap();
+            let ev = events.iter().find(|e| e.token == 1).unwrap();
+            assert!(ev.writable && !ev.readable, "{ev:?}");
+            // Peer data: readable. (Drop the write interest first — an
+            // always-writable socket would return immediately, racing the
+            // peer's bytes.)
+            poller
+                .reregister(server.as_raw_fd(), 1, Interest::READ)
+                .unwrap();
+            client.write_all(b"hi").unwrap();
+            client.flush().unwrap();
+            poller.wait(&mut events, None).unwrap();
+            assert!(events.iter().any(|e| e.token == 1 && e.readable));
+            let mut server = server;
+            let mut buf = [0u8; 8];
+            assert_eq!(server.read(&mut buf).unwrap(), 2);
+            // Peer close: readable (EOF) and flagged closed.
+            drop(client);
+            poller.wait(&mut events, None).unwrap();
+            let ev = events.iter().find(|e| e.token == 1).unwrap();
+            assert!(ev.readable && ev.closed, "{ev:?}");
+        });
+    }
+
+    #[test]
+    fn reregister_changes_interest_and_none_silences() {
+        both_backends(|mut poller| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let mut client = TcpStream::connect(addr).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            client.write_all(b"x").unwrap();
+            client.flush().unwrap();
+            poller
+                .register(server.as_raw_fd(), 9, Interest::READ)
+                .unwrap();
+            let mut events = Vec::new();
+            poller.wait(&mut events, None).unwrap();
+            assert!(events.iter().any(|e| e.token == 9 && e.readable));
+            // Pause: data still pending, but NONE reports nothing.
+            poller
+                .reregister(server.as_raw_fd(), 9, Interest::NONE)
+                .unwrap();
+            poller.wait(&mut events, Some(0)).unwrap();
+            assert!(events.is_empty(), "{:?}", poller.backend());
+            // Resume under a new token.
+            poller
+                .reregister(server.as_raw_fd(), 10, Interest::READ)
+                .unwrap();
+            poller.wait(&mut events, Some(0)).unwrap();
+            assert!(events.iter().any(|e| e.token == 10 && e.readable));
+        });
+    }
+
+    #[test]
+    fn deregistered_fds_report_nothing_and_registration_errors_are_typed() {
+        both_backends(|mut poller| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let _client = TcpStream::connect(addr).unwrap();
+            poller
+                .register(listener.as_raw_fd(), 3, Interest::READ)
+                .unwrap();
+            let dup = poller.register(listener.as_raw_fd(), 4, Interest::READ);
+            assert!(dup.is_err(), "double register must fail");
+            poller.deregister(listener.as_raw_fd()).unwrap();
+            let mut events = Vec::new();
+            poller.wait(&mut events, Some(0)).unwrap();
+            assert!(events.is_empty());
+            assert!(poller.deregister(listener.as_raw_fd()).is_err());
+            assert!(poller
+                .reregister(listener.as_raw_fd(), 5, Interest::READ)
+                .is_err());
+        });
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_wait_from_another_thread() {
+        both_backends(|mut poller| {
+            let waker = std::sync::Arc::new(Waker::new().unwrap());
+            poller.register(waker.fd(), 99, Interest::READ).unwrap();
+            let remote = std::sync::Arc::clone(&waker);
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                remote.wake();
+            });
+            // Blocks until the remote wake (a hang here is the failure).
+            let mut events = Vec::new();
+            poller.wait(&mut events, None).unwrap();
+            assert!(events.iter().any(|e| e.token == 99 && e.readable));
+            t.join().unwrap();
+            // Drained, the waker goes quiet; repeated wakes coalesce.
+            waker.drain();
+            poller.wait(&mut events, Some(0)).unwrap();
+            assert!(events.is_empty());
+            waker.wake();
+            waker.wake();
+            poller.wait(&mut events, Some(0)).unwrap();
+            assert_eq!(events.len(), 1);
+        });
+    }
+
+    #[test]
+    fn default_backend_resolves_and_serves() {
+        let mut poller = Poller::new().unwrap();
+        if cfg!(target_os = "linux") && std::env::var("MINI_POLL_BACKEND").is_err() {
+            assert_eq!(poller.backend(), Backend::Epoll);
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        poller
+            .register(listener.as_raw_fd(), 1, Interest::READ)
+            .unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, None).unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+    }
+}

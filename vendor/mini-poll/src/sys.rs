@@ -1,0 +1,206 @@
+//! The syscall shims — the only `unsafe` code in the workspace.
+//!
+//! Everything here is a thin, narrowly-scoped wrapper over five POSIX /
+//! Linux syscalls (`epoll_create1` / `epoll_ctl` / `epoll_wait`, `poll`,
+//! `pipe2`, `close`) declared directly as `extern "C"` items so the
+//! workspace stays dependency-free (no libc crate). Each wrapper owns one
+//! `unsafe` block with a local safety argument; callers receive plain
+//! `io::Result`s and never see a raw pointer. The file is whitelisted for
+//! betalike-lint rule P2 in `crates/lint/unsafe_allow.txt`; the library
+//! layer (`lib.rs`) re-denies `unsafe_code`, so new unsafe cannot creep in
+//! outside this file.
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io;
+use std::os::fd::{FromRawFd, RawFd};
+
+/// `epoll_ctl` op: add a new fd to the interest set.
+pub const EPOLL_CTL_ADD: i32 = 1;
+/// `epoll_ctl` op: remove an fd from the interest set.
+pub const EPOLL_CTL_DEL: i32 = 2;
+/// `epoll_ctl` op: change an fd's registered interest.
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+/// Readable readiness (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (`EPOLLERR`); always reported, never registered.
+pub const EPOLLERR: u32 = 0x008;
+/// Peer hangup (`EPOLLHUP`); always reported, never registered.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// Readable readiness (`POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// Writable readiness (`POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (`POLLERR`).
+pub const POLLERR: i16 = 0x008;
+/// Peer hangup (`POLLHUP`).
+pub const POLLHUP: i16 = 0x010;
+/// The fd was not open (`POLLNVAL`).
+pub const POLLNVAL: i16 = 0x020;
+/// Peer closed its write half (`POLLRDHUP`, Linux). Plain `POLLHUP` only
+/// fires on a full close/reset, so this is requested alongside the
+/// interest mask to match the epoll backend's half-close reporting.
+pub const POLLRDHUP: i16 = 0x2000;
+
+/// `EPOLL_CLOEXEC` (== `O_CLOEXEC` on Linux).
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+/// `O_CLOEXEC` for `pipe2`.
+const O_CLOEXEC: i32 = 0o2000000;
+/// `O_NONBLOCK` for `pipe2` (Linux generic ABI value).
+const O_NONBLOCK: i32 = 0o4000;
+
+/// One `struct epoll_event`. The kernel ABI packs this on x86-64 (no
+/// padding between the 32-bit mask and the 64-bit payload); other
+/// architectures use natural alignment.
+#[derive(Clone, Copy)]
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+pub struct EpollEvent {
+    /// Readiness mask (`EPOLLIN` | ...).
+    pub events: u32,
+    /// The caller's token, returned verbatim.
+    pub data: u64,
+}
+
+/// One `struct pollfd`.
+#[derive(Clone, Copy)]
+#[repr(C)]
+pub struct PollFd {
+    /// The fd to poll.
+    pub fd: i32,
+    /// Requested readiness (`POLLIN` | `POLLOUT`).
+    pub events: i16,
+    /// Returned readiness.
+    pub revents: i16,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// Creates a close-on-exec epoll instance and returns its fd.
+///
+/// # Errors
+///
+/// The syscall's errno (e.g. `EMFILE`), or `ENOSYS` on kernels without
+/// epoll — the caller falls back to the portable `poll(2)` backend.
+pub fn sys_epoll_create() -> io::Result<RawFd> {
+    // SAFETY: epoll_create1 takes no pointers; a negative return is the
+    // only failure signal and is mapped to errno here.
+    let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+/// Adds, modifies, or removes (`EPOLL_CTL_*`) one fd in an epoll set.
+///
+/// # Errors
+///
+/// The syscall's errno (`EEXIST`, `ENOENT`, `EBADF`, ...).
+pub fn sys_epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent {
+        events,
+        data: token,
+    };
+    // SAFETY: `ev` is a live, properly-laid-out epoll_event for the
+    // duration of the call; the kernel only reads it (and ignores it
+    // entirely for EPOLL_CTL_DEL).
+    let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Waits for readiness on an epoll set, filling `buf` from the front, and
+/// returns how many entries are valid. Retries `EINTR` internally.
+/// `timeout_ms < 0` blocks indefinitely; `0` polls.
+///
+/// # Errors
+///
+/// The syscall's errno (`EBADF`, `EFAULT`, ...) — never `EINTR`.
+pub fn sys_epoll_wait(epfd: RawFd, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    if buf.is_empty() {
+        return Ok(0);
+    }
+    loop {
+        // SAFETY: `buf` is a live &mut slice; its pointer and length
+        // describe exactly the memory the kernel may fill, and the
+        // returned count is bounded by that length.
+        let rc = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Waits for readiness with portable `poll(2)`, updating each entry's
+/// `revents` in place, and returns how many fds are ready. Retries
+/// `EINTR` internally. `timeout_ms < 0` blocks indefinitely; `0` polls.
+///
+/// # Errors
+///
+/// The syscall's errno — never `EINTR`.
+pub fn sys_poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    if fds.is_empty() && timeout_ms < 0 {
+        // poll(NULL, 0, -1) would sleep forever with nothing to wake it.
+        return Ok(0);
+    }
+    loop {
+        // SAFETY: `fds` is a live &mut slice; pointer and length describe
+        // exactly the pollfd array the kernel reads and writes.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Creates a non-blocking close-on-exec pipe and returns `(read, write)`
+/// ends as owned [`File`]s — from here on, the waker does all its I/O
+/// through safe `std` reads and writes, and `Drop` closes the fds.
+///
+/// # Errors
+///
+/// The syscall's errno (e.g. `EMFILE`).
+pub fn sys_pipe_nonblock() -> io::Result<(File, File)> {
+    let mut fds: [i32; 2] = [-1, -1];
+    // SAFETY: `fds` is a live 2-element array, exactly what pipe2 fills.
+    let rc = unsafe { pipe2(fds.as_mut_ptr(), O_CLOEXEC | O_NONBLOCK) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: both fds were just returned by a successful pipe2, are valid
+    // and owned by nothing else; each File takes sole ownership of one.
+    let (r, w) = unsafe { (File::from_raw_fd(fds[0]), File::from_raw_fd(fds[1])) };
+    Ok((r, w))
+}
+
+/// Closes an fd owned by the caller (the epoll instance fd).
+pub fn sys_close(fd: RawFd) {
+    // SAFETY: callers pass only fds they own and never reuse afterwards
+    // (the Poller's Drop, exactly once). The return value is deliberately
+    // ignored — there is no recovery from a failed close.
+    let _ = unsafe { close(fd) };
+}
